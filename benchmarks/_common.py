@@ -1,0 +1,65 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every module ``bench_*.py`` in this directory regenerates one table or
+figure of the paper.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Fraction of the paper-scale node counts to generate (default 0.008,
+    i.e. ~500-650-node graphs).  Raise toward 1.0 to approach paper
+    scale; runtime grows roughly linearly.
+``REPRO_BENCH_DATASETS``
+    Comma-separated subset of dataset names for the multi-dataset
+    figures (default: all five for Fig. 3 / Table 2, reduced sets for
+    the sensitivity figures as noted per module).
+``REPRO_BENCH_SEED``
+    Base seed (default 0).
+
+Each harness prints the regenerated rows/series and also writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference a
+stable artefact.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.eval import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: DeepDirect speed profile shared by all harnesses.
+BENCH_DIMENSIONS = 64
+BENCH_PAIRS_PER_TIE = 150.0
+BENCH_MAX_PAIRS = 6_000_000
+
+
+def get_scale() -> float:
+    """Graph scale for this run (fraction of paper node counts)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.008"))
+
+
+def get_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def get_datasets(default: tuple[str, ...]) -> tuple[str, ...]:
+    """Dataset subset for multi-dataset figures."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if raw is None:
+        return default
+    return tuple(name.strip().lower() for name in raw.split(",") if name.strip())
+
+
+def record(name: str, rows: list[dict[str, object]], columns: list[str]) -> str:
+    """Format rows as a table, print it, and persist it under results/."""
+    table = format_table(rows, columns)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print(f"\n=== {name} ===")
+    print(table)
+    return table

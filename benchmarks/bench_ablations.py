@@ -1,0 +1,127 @@
+"""Ablations beyond the paper — the design choices DESIGN.md calls out.
+
+* **D-Step warm start** (Algorithm 1, line 20): initialise the D-Step
+  logistic regression from the E-Step head vs from zero.
+* **Degree threshold T** (Eq. 16): how selective the degree-pattern
+  pseudo-label gate is.
+* **Witness budget γ** (Eq. 15): common neighbours per triad
+  pseudo-label.
+* **Tie-degree weighting in the D-Step**: Eq. 13's weighting idea
+  applied to the final classifier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps import discovery_accuracy
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import DeepDirectConfig
+from repro.models import DeepDirectModel
+
+from _common import (
+    BENCH_DIMENSIONS,
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_scale,
+    get_seed,
+    record,
+)
+
+BASE = DeepDirectConfig(
+    dimensions=BENCH_DIMENSIONS,
+    alpha=5.0,
+    beta=1.0,
+    pairs_per_tie=BENCH_PAIRS_PER_TIE,
+    max_pairs=BENCH_MAX_PAIRS,
+)
+
+
+def _task():
+    network = load_dataset("twitter", scale=get_scale(), seed=get_seed())
+    return hide_directions(network, 0.15, seed=get_seed() + 1)
+
+
+def _accuracy(task, config=BASE, **model_kwargs) -> float:
+    model = DeepDirectModel(config, **model_kwargs)
+    model.fit(task.network, seed=get_seed())
+    return discovery_accuracy(model, task)
+
+
+def bench_ablation_warm_start(benchmark):
+    def _run():
+        task = _task()
+        return [
+            {
+                "variant": "warm start (paper)",
+                "accuracy": f"{_accuracy(task, warm_start=True):.3f}",
+            },
+            {
+                "variant": "cold start",
+                "accuracy": f"{_accuracy(task, warm_start=False):.3f}",
+            },
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("ablation_warm_start", rows, ["variant", "accuracy"])
+    for row in rows:
+        assert 0.5 < float(row["accuracy"]) <= 1.0
+
+
+def bench_ablation_degree_threshold(benchmark):
+    def _run():
+        task = _task()
+        rows = []
+        for threshold in (0.5, 0.6, 0.8):
+            config = dataclasses.replace(BASE, degree_threshold=threshold)
+            rows.append(
+                {
+                    "T": threshold,
+                    "accuracy": f"{_accuracy(task, config):.3f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("ablation_degree_threshold", rows, ["T", "accuracy"])
+    assert all(0.5 < float(r["accuracy"]) <= 1.0 for r in rows)
+
+
+def bench_ablation_gamma(benchmark):
+    def _run():
+        task = _task()
+        rows = []
+        for gamma in (1, 5, 10):
+            config = dataclasses.replace(BASE, gamma=gamma)
+            rows.append(
+                {
+                    "gamma": gamma,
+                    "accuracy": f"{_accuracy(task, config):.3f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("ablation_gamma", rows, ["gamma", "accuracy"])
+    assert all(0.5 < float(r["accuracy"]) <= 1.0 for r in rows)
+
+
+def bench_ablation_dstep_weighting(benchmark):
+    def _run():
+        task = _task()
+        return [
+            {
+                "variant": "unweighted D-Step (paper)",
+                "accuracy": f"{_accuracy(task):.3f}",
+            },
+            {
+                "variant": "tie-degree-weighted D-Step",
+                "accuracy": (
+                    f"{_accuracy(task, degree_weighted_dstep=True):.3f}"
+                ),
+            },
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("ablation_dstep_weighting", rows, ["variant", "accuracy"])
+    assert all(0.5 < float(r["accuracy"]) <= 1.0 for r in rows)

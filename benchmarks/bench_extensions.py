@@ -1,0 +1,150 @@
+"""Extensions beyond the paper's evaluation.
+
+* **Non-linear D-Step** — Sec. 8 names "a deep neural network in D-Step"
+  as future work; this bench compares the logistic D-Step against the
+  one-hidden-layer MLP realisation.
+* **node2vec** — an extra node-embedding baseline from the related work
+  (Sec. 7), measuring whether a walk-based node embedding fares better
+  than LINE's proximity-based one at the tie-direction task (both are
+  handicapped by the same endpoint-concatenation indirection).
+* **Grid-searched DeepDirect** — the paper's α/β cross-validation
+  protocol vs the fixed default.
+* **Transfer learning** — Sec. 8's other future-work item: transfer the
+  HF directionality function from a label-rich source network to a
+  label-scarce target.
+"""
+
+from __future__ import annotations
+
+from repro.apps import discovery_accuracy
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import DeepDirectConfig, Node2VecConfig
+from repro.eval import deepdirect_grid_factory
+from repro.models import (
+    DeepDirectModel,
+    HFModel,
+    Node2VecModel,
+    TransferHFModel,
+)
+
+from _common import (
+    BENCH_DIMENSIONS,
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_scale,
+    get_seed,
+    record,
+)
+
+BASE = DeepDirectConfig(
+    dimensions=BENCH_DIMENSIONS,
+    alpha=5.0,
+    beta=0.1,
+    pairs_per_tie=BENCH_PAIRS_PER_TIE,
+    max_pairs=BENCH_MAX_PAIRS,
+)
+
+
+def _task():
+    network = load_dataset("tencent", scale=get_scale(), seed=get_seed())
+    return hide_directions(network, 0.2, seed=get_seed() + 1)
+
+
+def bench_extension_mlp_dstep(benchmark):
+    def _run():
+        task = _task()
+        rows = []
+        for name, kwargs in (
+            ("logistic D-Step (paper)", {}),
+            ("MLP D-Step (future work)", {"dstep": "mlp", "mlp_hidden": 32}),
+        ):
+            model = DeepDirectModel(BASE, **kwargs)
+            model.fit(task.network, seed=get_seed())
+            rows.append(
+                {
+                    "variant": name,
+                    "accuracy": f"{discovery_accuracy(model, task):.3f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("extension_mlp_dstep", rows, ["variant", "accuracy"])
+    assert all(float(r["accuracy"]) > 0.5 for r in rows)
+
+
+def bench_extension_node2vec(benchmark):
+    def _run():
+        task = _task()
+        deepdirect = DeepDirectModel(BASE).fit(task.network, seed=get_seed())
+        node2vec = Node2VecModel(
+            Node2VecConfig(dimensions=BENCH_DIMENSIONS // 2)
+        ).fit(task.network, seed=get_seed())
+        return [
+            {
+                "method": "DeepDirect",
+                "accuracy": f"{discovery_accuracy(deepdirect, task):.3f}",
+            },
+            {
+                "method": "node2vec",
+                "accuracy": f"{discovery_accuracy(node2vec, task):.3f}",
+            },
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("extension_node2vec", rows, ["method", "accuracy"])
+    accs = {r["method"]: float(r["accuracy"]) for r in rows}
+    # Edge-based embedding beats the indirect node-based one.
+    assert accs["DeepDirect"] > accs["node2vec"]
+
+
+def bench_extension_grid_search(benchmark):
+    def _run():
+        task = _task()
+        fixed = DeepDirectModel(BASE).fit(task.network, seed=get_seed())
+        searched = deepdirect_grid_factory(
+            dimensions=BENCH_DIMENSIONS,
+            pairs_per_tie=BENCH_PAIRS_PER_TIE,
+            max_pairs=BENCH_MAX_PAIRS,
+        )().fit(task.network, seed=get_seed())
+        return [
+            {
+                "variant": "fixed (α=5, β=0.1)",
+                "accuracy": f"{discovery_accuracy(fixed, task):.3f}",
+            },
+            {
+                "variant": f"grid-searched {searched.best_params_}",
+                "accuracy": f"{discovery_accuracy(searched, task):.3f}",
+            },
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("extension_grid_search", rows, ["variant", "accuracy"])
+    assert all(float(r["accuracy"]) > 0.5 for r in rows)
+
+
+def bench_extension_transfer(benchmark):
+    def _run():
+        source = load_dataset("slashdot", scale=get_scale(), seed=get_seed())
+        target = hide_directions(
+            load_dataset("tencent", scale=get_scale(), seed=get_seed()),
+            0.03,
+            seed=get_seed() + 1,
+        )
+        transfer = TransferHFModel(source, transfer_strength=1.0)
+        transfer.fit(target.network, seed=get_seed())
+        plain = HFModel().fit(target.network, seed=get_seed())
+        return [
+            {
+                "variant": "HF, target labels only (3 %)",
+                "accuracy": f"{discovery_accuracy(plain, target):.3f}",
+            },
+            {
+                "variant": "HF transferred from slashdot",
+                "accuracy": f"{discovery_accuracy(transfer, target):.3f}",
+            },
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("extension_transfer", rows, ["variant", "accuracy"])
+    assert all(float(r["accuracy"]) > 0.5 for r in rows)

@@ -1,0 +1,79 @@
+"""Fig. 3 — direction-discovery accuracy: 5 datasets × 5 methods × %directed.
+
+The paper sweeps the fraction of ties that remain directed and plots the
+accuracy of LINE, HF, ReDirect-N/sm, ReDirect-T/sm and DeepDirect on all
+five datasets.  Expected shape: DeepDirect on top (clearest at low and
+mid label fractions), the ReDirect variants second tier, LINE and HF
+behind.
+
+Default grid is reduced for runtime (three fractions); set
+``REPRO_BENCH_DATASETS`` / ``REPRO_BENCH_FRACTIONS`` to widen.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.datasets import hide_directions, load_dataset
+from repro.eval import default_methods, run_discovery_on_task
+
+from _common import (
+    BENCH_DIMENSIONS,
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_datasets,
+    get_scale,
+    get_seed,
+    record,
+)
+
+ALL = ("twitter", "livejournal", "epinions", "slashdot", "tencent")
+
+
+def _fractions() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_FRACTIONS", "0.1,0.3,0.7")
+    return tuple(float(x) for x in raw.split(","))
+
+
+def _run() -> list[dict[str, object]]:
+    rows = []
+    methods = default_methods(
+        dimensions=BENCH_DIMENSIONS,
+        pairs_per_tie=BENCH_PAIRS_PER_TIE,
+        max_pairs=BENCH_MAX_PAIRS,
+    )
+    for dataset in get_datasets(ALL):
+        network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
+        for fraction in _fractions():
+            task = hide_directions(
+                network, fraction, seed=get_seed() + 1
+            )
+            for run in run_discovery_on_task(task, methods, seed=get_seed()):
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "directed_fraction": fraction,
+                        "method": run.method,
+                        "accuracy": f"{run.accuracy:.3f}",
+                        "fit_seconds": f"{run.fit_seconds:.1f}",
+                    }
+                )
+    return rows
+
+
+def bench_fig3(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "fig3_direction_discovery",
+        rows,
+        ["dataset", "directed_fraction", "method", "accuracy", "fit_seconds"],
+    )
+    # Shape assertion: averaged over the whole grid, DeepDirect is the
+    # strongest method and the embedding/propagation methods beat LINE.
+    def mean_accuracy(method):
+        vals = [float(r["accuracy"]) for r in rows if r["method"] == method]
+        return sum(vals) / len(vals)
+
+    deepdirect = mean_accuracy("DeepDirect")
+    assert deepdirect > mean_accuracy("LINE")
+    assert deepdirect > mean_accuracy("ReDirect-N/sm")

@@ -1,0 +1,77 @@
+"""Fig. 4 — effectiveness of labeled data in the E-Step (α sweep, β = 0).
+
+The paper varies α ∈ {0, 0.1, 1, 5} with β = 0 across label fractions
+and finds α > 0 always beats α = 0, with α = 5 usually optimal.
+Default: two datasets × two fractions (widen via REPRO_BENCH_DATASETS /
+REPRO_BENCH_FRACTIONS).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps import discovery_accuracy
+from repro.datasets import hide_directions, load_dataset
+from repro.eval import deepdirect_factory
+
+from _common import (
+    BENCH_DIMENSIONS,
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_datasets,
+    get_scale,
+    get_seed,
+    record,
+)
+
+ALPHAS = (0.0, 0.1, 1.0, 5.0)
+
+
+def _fractions() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_FRACTIONS", "0.2,0.5")
+    return tuple(float(x) for x in raw.split(","))
+
+
+def _run() -> list[dict[str, object]]:
+    rows = []
+    for dataset in get_datasets(("twitter", "tencent")):
+        network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
+        for fraction in _fractions():
+            task = hide_directions(network, fraction, seed=get_seed() + 1)
+            for alpha in ALPHAS:
+                factory = deepdirect_factory(
+                    dimensions=BENCH_DIMENSIONS,
+                    alpha=alpha,
+                    beta=0.0,
+                    pairs_per_tie=BENCH_PAIRS_PER_TIE,
+                    max_pairs=BENCH_MAX_PAIRS,
+                )
+                model = factory().fit(task.network, seed=get_seed())
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "directed_fraction": fraction,
+                        "alpha": alpha,
+                        "accuracy": f"{discovery_accuracy(model, task):.3f}",
+                    }
+                )
+    return rows
+
+
+def bench_fig4(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "fig4_alpha",
+        rows,
+        ["dataset", "directed_fraction", "alpha", "accuracy"],
+    )
+    # Shape assertion: supervised (α > 0) beats unsupervised (α = 0) on
+    # average across the grid — the headline claim of Fig. 4.
+    cells: dict[tuple, dict[float, float]] = {}
+    for row in rows:
+        key = (row["dataset"], row["directed_fraction"])
+        cells.setdefault(key, {})[row["alpha"]] = float(row["accuracy"])
+    wins = sum(
+        max(c[a] for a in ALPHAS if a > 0) > c[0.0] for c in cells.values()
+    )
+    assert wins >= 0.75 * len(cells)

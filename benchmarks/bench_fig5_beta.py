@@ -1,0 +1,85 @@
+"""Fig. 5 — effectiveness of the directionality patterns (β sweep).
+
+The paper keeps the fraction of directed ties ≤ 15 % (patterns are the
+low-label supplement) and compares six (α, β) combinations:
+α ∈ {0, 5} × β ∈ {0, 0.1, 1}.  Expected shape: β > 0 helps, most
+clearly when α = 0 or labels are scarce; best cells have α > 0 ∧ β > 0.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.apps import discovery_accuracy
+from repro.datasets import hide_directions, load_dataset
+from repro.eval import deepdirect_factory
+
+from _common import (
+    BENCH_DIMENSIONS,
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_datasets,
+    get_scale,
+    get_seed,
+    record,
+)
+
+COMBINATIONS = (
+    (0.0, 0.0),
+    (0.0, 0.1),
+    (0.0, 1.0),
+    (5.0, 0.0),
+    (5.0, 0.1),
+    (5.0, 1.0),
+)
+
+
+def _fractions() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_FRACTIONS", "0.05,0.15")
+    return tuple(float(x) for x in raw.split(","))
+
+
+def _run() -> list[dict[str, object]]:
+    rows = []
+    for dataset in get_datasets(("epinions",)):
+        network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
+        for fraction in _fractions():
+            task = hide_directions(network, fraction, seed=get_seed() + 1)
+            for alpha, beta in COMBINATIONS:
+                factory = deepdirect_factory(
+                    dimensions=BENCH_DIMENSIONS,
+                    alpha=alpha,
+                    beta=beta,
+                    pairs_per_tie=BENCH_PAIRS_PER_TIE,
+                    max_pairs=BENCH_MAX_PAIRS,
+                )
+                model = factory().fit(task.network, seed=get_seed())
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "directed_fraction": fraction,
+                        "alpha": alpha,
+                        "beta": beta,
+                        "accuracy": f"{discovery_accuracy(model, task):.3f}",
+                    }
+                )
+    return rows
+
+
+def bench_fig5(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "fig5_beta",
+        rows,
+        ["dataset", "directed_fraction", "alpha", "beta", "accuracy"],
+    )
+    # Shape assertion: with no labels used (α = 0), introducing the
+    # patterns (β > 0) improves accuracy in every cell of the grid.
+    cells: dict[tuple, dict[tuple, float]] = {}
+    for row in rows:
+        key = (row["dataset"], row["directed_fraction"])
+        cells.setdefault(key, {})[(row["alpha"], row["beta"])] = float(
+            row["accuracy"]
+        )
+    for cell in cells.values():
+        assert max(cell[(0.0, 0.1)], cell[(0.0, 1.0)]) > cell[(0.0, 0.0)]

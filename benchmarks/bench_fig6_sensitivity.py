@@ -1,0 +1,88 @@
+"""Fig. 6 — parameter sensitivity: dimensions l and negatives λ.
+
+The paper fixes 20 % directed ties and sweeps (a) the embedding
+dimension l and (b) the negative-sample count λ on all five datasets.
+Expected shape: accuracy grows mildly and saturates with l (128 chosen
+as the cost/quality balance); λ = 5–10 beats λ = 1.
+"""
+
+from __future__ import annotations
+
+from repro.apps import discovery_accuracy
+from repro.datasets import hide_directions, load_dataset
+from repro.eval import deepdirect_factory
+
+from _common import (
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    get_datasets,
+    get_scale,
+    get_seed,
+    record,
+)
+
+DIMENSIONS = (16, 32, 64, 128)
+NEGATIVES = (1, 3, 5, 10)
+DIRECTED_FRACTION = 0.2
+
+
+def _accuracy(dataset: str, dimensions: int, n_negative: int) -> float:
+    network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
+    task = hide_directions(network, DIRECTED_FRACTION, seed=get_seed() + 1)
+    factory = deepdirect_factory(
+        dimensions=dimensions,
+        n_negative=n_negative,
+        pairs_per_tie=BENCH_PAIRS_PER_TIE,
+        max_pairs=BENCH_MAX_PAIRS,
+    )
+    model = factory().fit(task.network, seed=get_seed())
+    return discovery_accuracy(model, task)
+
+
+def bench_fig6a_dimensions(benchmark):
+    def _run():
+        return [
+            {
+                "dataset": dataset,
+                "l": dims,
+                "accuracy": f"{_accuracy(dataset, dims, 5):.3f}",
+            }
+            for dataset in get_datasets(("twitter", "slashdot"))
+            for dims in DIMENSIONS
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("fig6a_dimensions", rows, ["dataset", "l", "accuracy"])
+    # Shape assertion: the largest dimension is not materially worse
+    # than the smallest (accuracy saturates rather than degrades).
+    for dataset in {row["dataset"] for row in rows}:
+        accs = {
+            row["l"]: float(row["accuracy"])
+            for row in rows
+            if row["dataset"] == dataset
+        }
+        assert accs[DIMENSIONS[-1]] > accs[DIMENSIONS[0]] - 0.05
+
+
+def bench_fig6b_negatives(benchmark):
+    def _run():
+        return [
+            {
+                "dataset": dataset,
+                "lambda": lam,
+                "accuracy": f"{_accuracy(dataset, 64, lam):.3f}",
+            }
+            for dataset in get_datasets(("twitter", "slashdot"))
+            for lam in NEGATIVES
+        ]
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("fig6b_negatives", rows, ["dataset", "lambda", "accuracy"])
+    for dataset in {row["dataset"] for row in rows}:
+        accs = {
+            row["lambda"]: float(row["accuracy"])
+            for row in rows
+            if row["dataset"] == dataset
+        }
+        # λ ∈ {5, 10} should not lose badly to λ = 1 (paper: they win).
+        assert max(accs[5], accs[10]) > accs[1] - 0.03

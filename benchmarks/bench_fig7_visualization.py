@@ -1,0 +1,128 @@
+"""Fig. 7 — t-SNE visualisation of tie embeddings: DeepDirect vs LINE.
+
+The paper takes the top-1 %-degree sub-network of Slashdot, hides 90 %
+of tie directions, embeds with both methods, projects the hidden ties'
+embedding vectors to 2-D with t-SNE, and colours points by the true
+source.  DeepDirect separates the two orientations; LINE's points are
+"totally mixed".
+
+The eyeball judgement is made quantitative here with the 1-NN label
+agreement score (0.5 = fully mixed, 1.0 = fully separable), in two
+views:
+
+* ``raw`` — t-SNE of the tie embedding vectors themselves, exactly the
+  paper's plot;
+* ``pair-diff`` — t-SNE of the antisymmetrised per-tie representation
+  ``m_(u,v) − m_(v,u)``, which removes the (direction-irrelevant)
+  neighbourhood identity that dominates the raw coordinates and exposes
+  the orientation axis the classifier actually uses.
+
+DeepDirect should beat LINE in both views, decisively in the pair-diff
+one.  The 2-D coordinates are saved for plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import DeepDirectConfig, DeepDirectEmbedding, LineConfig, LineEmbedding
+from repro.eval import nearest_neighbor_separability, tsne
+from repro.graph import top_degree_subgraph
+
+from _common import (
+    BENCH_MAX_PAIRS,
+    BENCH_PAIRS_PER_TIE,
+    RESULTS_DIR,
+    get_scale,
+    get_seed,
+    record,
+)
+
+MAX_POINTS_PER_CLASS = 250
+
+
+def _run() -> list[dict[str, object]]:
+    network = load_dataset("slashdot", scale=get_scale(), seed=get_seed())
+    # The paper keeps the top-1 % nodes of the 77k-node graph (~770
+    # nodes); at bench scale we keep a fraction that yields a comparably
+    # sized dense core.
+    dense = top_degree_subgraph(network, fraction=0.5)
+    task = hide_directions(dense, 0.1, seed=get_seed() + 1)
+    net = task.network
+
+    hidden = task.true_sources[:MAX_POINTS_PER_CLASS]
+    forward_ids = [net.tie_id(int(u), int(v)) for u, v in hidden]
+    reverse_ids = [int(net.reverse_of[e]) for e in forward_ids]
+    ids = forward_ids + reverse_ids
+    labels = np.array([1] * len(forward_ids) + [0] * len(reverse_ids))
+
+    deep = DeepDirectEmbedding(
+        DeepDirectConfig(
+            dimensions=64,
+            pairs_per_tie=BENCH_PAIRS_PER_TIE,
+            max_pairs=BENCH_MAX_PAIRS,
+        )
+    ).fit(net, seed=get_seed())
+    line = LineEmbedding(
+        LineConfig(dimensions=32, epochs=150.0, max_samples=BENCH_MAX_PAIRS)
+    ).fit(net, seed=get_seed())
+
+    half = len(forward_ids)
+
+    def _pair_diff(features: np.ndarray) -> np.ndarray:
+        return np.vstack(
+            [
+                features[:half] - features[half:],
+                features[half:] - features[:half],
+            ]
+        )
+
+    rows = []
+    for name, features in (
+        ("DeepDirect", deep.embeddings[ids]),
+        ("LINE", line.tie_features(net, np.array(ids))),
+    ):
+        for view, matrix in (
+            ("raw", features),
+            ("pair-diff", _pair_diff(features)),
+        ):
+            projected = tsne(matrix, perplexity=30, n_iter=300, seed=0)
+            score = nearest_neighbor_separability(projected, labels)
+            rows.append(
+                {
+                    "method": name,
+                    "view": view,
+                    "separability_1nn": f"{score:.3f}",
+                }
+            )
+            RESULTS_DIR.mkdir(exist_ok=True)
+            np.savetxt(
+                RESULTS_DIR / f"fig7_tsne_{name.lower()}_{view}.csv",
+                np.column_stack([projected, labels]),
+                header="x,y,true_source_is_row_orientation",
+                delimiter=",",
+                comments="",
+            )
+    return rows
+
+
+def bench_fig7(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "fig7_visualization", rows, ["method", "view", "separability_1nn"]
+    )
+    scores = {
+        (row["method"], row["view"]): float(row["separability_1nn"])
+        for row in rows
+    }
+    # Shape assertions: DeepDirect is never less separable than LINE,
+    # and decisively more separable once the neighbourhood-identity
+    # component is removed (the orientation structure the paper's
+    # figure displays).
+    assert scores[("DeepDirect", "raw")] > scores[("LINE", "raw")] - 0.02
+    assert (
+        scores[("DeepDirect", "pair-diff")]
+        > scores[("LINE", "pair-diff")] + 0.1
+    )
+    assert scores[("DeepDirect", "pair-diff")] > 0.75

@@ -1,0 +1,75 @@
+"""Fig. 9 — scalability: DeepDirect's runtime is linear in |E|.
+
+The paper BFS-samples Tencent sub-networks of growing tie count, runs
+DeepDirect on each, and plots runtime vs |E|; Sec. 4.6 derives the
+O(|E|) bound (the iteration count is τ·|C(G)| and |C(G)| = C·|E| on
+sparse graphs).  Here each size is timed with pytest-benchmark and the
+series is checked for linearity (R² of the linear fit).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+from repro.graph import bfs_sample_ties
+
+from _common import get_scale, get_seed, record
+
+#: Tie-count targets for the sweep, as fractions of the full network.
+SIZE_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+#: Fixed passes over |C(G)| so runtime tracks the Sec. 4.6 bound.
+EPOCHS = 2.0
+
+
+def _prepare():
+    full = load_dataset("tencent", scale=2 * get_scale(), seed=get_seed())
+    sizes = [
+        int(full.n_social_ties * fraction) for fraction in SIZE_FRACTIONS
+    ]
+    networks = []
+    for size in sizes:
+        sub = bfs_sample_ties(full, size, seed=get_seed())
+        networks.append(hide_directions(sub, 0.3, seed=get_seed()).network)
+    return networks
+
+
+def _train(network) -> float:
+    config = DeepDirectConfig(dimensions=32, epochs=EPOCHS, batch_size=256)
+    start = time.perf_counter()
+    DeepDirectEmbedding(config).fit(network, seed=get_seed())
+    return time.perf_counter() - start
+
+
+def bench_fig9(benchmark):
+    def _run():
+        networks = _prepare()
+        rows = []
+        for network in networks:
+            seconds = _train(network)
+            rows.append(
+                {
+                    "ties": network.n_social_ties,
+                    "connected_pairs": network.connected_pair_count(),
+                    "seconds": f"{seconds:.2f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record("fig9_scalability", rows, ["ties", "connected_pairs", "seconds"])
+
+    # Shape assertion: runtime vs |C(G)| (∝ |E| on sparse graphs) is
+    # close to linear — R² of the least-squares line above 0.9.
+    x = np.array([float(r["connected_pairs"]) for r in rows])
+    y = np.array([float(r["seconds"]) for r in rows])
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    assert ss_tot > 0
+    assert 1.0 - ss_res / ss_tot > 0.9
+    assert slope > 0

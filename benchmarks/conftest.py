@@ -1,0 +1,6 @@
+"""Benchmark suite package marker (keeps _common importable)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,75 @@
+"""Using the library on your own graph data.
+
+Shows the three entry points for external data:
+
+* :func:`repro.from_directed_edges` — a raw directed edge list (e.g. an
+  exported follower graph); reciprocated pairs become bidirectional ties;
+* :func:`repro.from_networkx` — an annotated :class:`networkx.DiGraph`;
+* :func:`repro.read_tie_list` / :func:`repro.write_tie_list` — the
+  library's own TSV format.
+
+It then compares all five methods of the paper on the custom graph.
+
+Run:  python examples/custom_network.py
+"""
+
+import tempfile
+
+import networkx as nx
+
+from repro import from_directed_edges, from_networkx, read_tie_list, write_tie_list
+from repro.datasets import hide_directions
+from repro.eval import default_methods, run_discovery_on_task
+
+
+def edge_list_roundtrip() -> None:
+    """Entry point 1: plain directed edge lists."""
+    edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (0, 2)]
+    network = from_directed_edges(edges)
+    print(f"from_directed_edges: {network}")
+
+    # Entry point 3: persist and reload in the TSV tie-list format.
+    with tempfile.NamedTemporaryFile(suffix=".tsv", mode="w") as handle:
+        write_tie_list(network, handle.name)
+        reloaded = read_tie_list(handle.name)
+    assert reloaded.n_social_ties == network.n_social_ties
+    print("tie-list TSV roundtrip ok")
+
+
+def networkx_entry_point() -> None:
+    """Entry point 2: annotated networkx graphs."""
+    g = nx.DiGraph()
+    g.add_edge("alice", "bob", kind="directed")
+    g.add_edge("bob", "carol", kind="bidirectional")
+    g.add_edge("carol", "bob", kind="bidirectional")
+    g.add_edge("alice", "carol", kind="undirected")
+    g.add_edge("carol", "alice", kind="undirected")
+    network = from_networkx(g)
+    print(f"from_networkx: {network}")
+
+
+def compare_methods() -> None:
+    """All five paper methods on a scale-free custom graph."""
+    # A directed scale-free graph from networkx as the 'custom' data.
+    g = nx.scale_free_graph(400, seed=7)
+    network = from_directed_edges(
+        (u, v) for u, v, _k in g.edges(keys=True)
+    )
+    task = hide_directions(network, directed_fraction=0.3, seed=1)
+    print(f"\nCustom graph workload: {task.network}")
+    methods = default_methods(dimensions=32, pairs_per_tie=80.0)
+    for run in run_discovery_on_task(task, methods, seed=0):
+        print(
+            f"  {run.method:15s} accuracy={run.accuracy:.3f} "
+            f"({run.fit_seconds:.1f}s)"
+        )
+
+
+def main() -> None:
+    edge_list_roundtrip()
+    networkx_entry_point()
+    compare_methods()
+
+
+if __name__ == "__main__":
+    main()

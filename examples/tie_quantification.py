@@ -1,0 +1,72 @@
+"""Direction quantification on bidirectional ties (paper Sec. 5.2 / 6.3).
+
+"The two directions of a bidirectional tie are not always equal — one of
+the directions may be stronger than the other.  Who is dominant in this
+relationship?"
+
+This example fits DeepDirect on an Epinions-like trust network (>50 % of
+ties bidirectional), quantifies each bidirectional tie, builds the
+*directionality adjacency matrix*, and shows the Fig. 8 effect: Jaccard
+link prediction gets a better AUC on the quantified matrix than on the
+plain 0/1 adjacency matrix.
+
+Run:  python examples/tie_quantification.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeepDirectConfig,
+    DeepDirectModel,
+    directionality_adjacency_matrix,
+    held_out_tie_split,
+    link_prediction_auc,
+    load_dataset,
+    quantify_bidirectional_ties,
+    two_hop_candidate_pairs,
+)
+
+
+def main() -> None:
+    network = load_dataset("epinions", scale=0.008, seed=0)
+    print(f"Trust network: {network}")
+
+    # Hold out 20 % of ties: the link-prediction targets (Sec. 6.3).
+    split = held_out_tie_split(network, keep_fraction=0.8, seed=0)
+    train = split.train_network
+
+    model = DeepDirectModel(
+        DeepDirectConfig(dimensions=64, alpha=5.0, beta=0.1,
+                         pairs_per_tie=150.0)
+    ).fit(train, seed=0)
+
+    # --- who is dominant in each mutual relationship? ---
+    table = quantify_bidirectional_ties(model)
+    imbalance = np.abs(table[:, 2] - table[:, 3])
+    most_unbalanced = table[np.argsort(imbalance)[::-1][:5]]
+    print("\nMost unbalanced bidirectional ties (u, v, d(u,v), d(v,u)):")
+    for u, v, duv, dvu in most_unbalanced:
+        dominant = int(u) if duv >= dvu else int(v)
+        print(
+            f"  ({int(u):4d}, {int(v):4d})  d={duv:.2f}/{dvu:.2f}  "
+            f"dominant: {dominant}"
+        )
+
+    # --- does quantification help link prediction? (Fig. 8) ---
+    candidates = two_hop_candidate_pairs(train, max_pairs=50_000, seed=0)
+    raw = link_prediction_auc(
+        train.adjacency_matrix(), candidates, network
+    )
+    quantified = link_prediction_auc(
+        directionality_adjacency_matrix(model), candidates, network
+    )
+    print(
+        f"\nJaccard link prediction on {raw.n_candidates} two-hop pairs"
+        f" ({raw.n_positives} positives):"
+    )
+    print(f"  plain adjacency matrix      AUC = {raw.auc:.4f}")
+    print(f"  directionality matrix       AUC = {quantified.auc:.4f}")
+
+
+if __name__ == "__main__":
+    main()

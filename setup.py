@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The authoritative metadata lives in pyproject.toml; this file only enables
+legacy (--no-use-pep517 / setup.py develop) editable installs in offline
+environments that lack the `wheel` build backend dependency.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""repro — reproduction of *DeepDirect: Learning Directions of Social Ties
+with Edge-Based Network Embedding* (ICDE 2019 / TKDE 2018).
+
+Quick start
+-----------
+>>> from repro import load_dataset, hide_directions, DeepDirectModel
+>>> from repro import DeepDirectConfig, discovery_accuracy
+>>> task = hide_directions(load_dataset("twitter", scale=0.01), 0.3, seed=0)
+>>> model = DeepDirectModel(DeepDirectConfig(dimensions=32, epochs=2.0))
+>>> _ = model.fit(task.network, seed=0)
+>>> 0.0 <= discovery_accuracy(model, task) <= 1.0
+True
+
+Package map
+-----------
+``repro.graph``      mixed social networks (Definition 1) and tools
+``repro.datasets``   synthetic dataset registry + workload perturbations
+``repro.features``   handcrafted tie features (Sec. 3)
+``repro.embedding``  the DeepDirect edge embedding + LINE (Sec. 4)
+``repro.models``     the five tie-direction models of the evaluation
+``repro.apps``       direction discovery & quantification (Sec. 5)
+``repro.eval``       metrics, t-SNE, and the experiment harness (Sec. 6)
+"""
+
+from .apps import (
+    bidirectionality_auc,
+    bidirectionality_scores,
+    directionality_adjacency_matrix,
+    discover_and_apply,
+    discovery_accuracy,
+    hide_tie_types,
+    jaccard_scores,
+    link_prediction_auc,
+    predict_directions,
+    quantify_bidirectional_ties,
+    two_hop_candidate_pairs,
+)
+from .datasets import (
+    DATASET_NAMES,
+    GeneratorConfig,
+    HiddenDirectionTask,
+    dataset_statistics,
+    generate_social_network,
+    held_out_tie_split,
+    hide_directions,
+    load_dataset,
+    random_mixed_network,
+)
+from .embedding import (
+    DeepDirectConfig,
+    DeepDirectEmbedding,
+    EmbeddingResult,
+    LineConfig,
+    LineEmbedding,
+    embed,
+)
+from .features import HandcraftedFeatureExtractor
+from .graph import (
+    MixedSocialNetwork,
+    TieKind,
+    bfs_sample_nodes,
+    bfs_sample_ties,
+    from_directed_edges,
+    from_networkx,
+    read_tie_list,
+    top_degree_subgraph,
+    write_tie_list,
+)
+from .models import (
+    DeepDirectGridSearch,
+    DeepDirectModel,
+    HFModel,
+    LineModel,
+    LogisticRegression,
+    MLPClassifier,
+    Node2VecModel,
+    ReDirectNSM,
+    ReDirectTSM,
+    TieDirectionModel,
+    TransferHFModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DATASET_NAMES",
+    "DeepDirectConfig",
+    "DeepDirectEmbedding",
+    "DeepDirectGridSearch",
+    "DeepDirectModel",
+    "EmbeddingResult",
+    "GeneratorConfig",
+    "HFModel",
+    "HandcraftedFeatureExtractor",
+    "HiddenDirectionTask",
+    "LineConfig",
+    "LineEmbedding",
+    "LineModel",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MixedSocialNetwork",
+    "Node2VecModel",
+    "ReDirectNSM",
+    "ReDirectTSM",
+    "TieDirectionModel",
+    "TieKind",
+    "TransferHFModel",
+    "bfs_sample_nodes",
+    "bfs_sample_ties",
+    "bidirectionality_auc",
+    "bidirectionality_scores",
+    "dataset_statistics",
+    "directionality_adjacency_matrix",
+    "discover_and_apply",
+    "discovery_accuracy",
+    "embed",
+    "from_directed_edges",
+    "from_networkx",
+    "generate_social_network",
+    "held_out_tie_split",
+    "hide_directions",
+    "hide_tie_types",
+    "jaccard_scores",
+    "link_prediction_auc",
+    "load_dataset",
+    "predict_directions",
+    "quantify_bidirectional_ties",
+    "random_mixed_network",
+    "read_tie_list",
+    "top_degree_subgraph",
+    "two_hop_candidate_pairs",
+    "write_tie_list",
+]

@@ -1,0 +1,35 @@
+"""Applications of the directionality function (paper Sec. 5 + Sec. 8)."""
+
+from .bidirectionality import (
+    HiddenTieTypeTask,
+    bidirectionality_auc,
+    bidirectionality_scores,
+    hide_tie_types,
+)
+from .discovery import discover_and_apply, discovery_accuracy, predict_directions
+from .link_prediction import (
+    LinkPredictionResult,
+    jaccard_scores,
+    link_prediction_auc,
+    two_hop_candidate_pairs,
+)
+from .quantification import (
+    directionality_adjacency_matrix,
+    quantify_bidirectional_ties,
+)
+
+__all__ = [
+    "HiddenTieTypeTask",
+    "LinkPredictionResult",
+    "bidirectionality_auc",
+    "bidirectionality_scores",
+    "hide_tie_types",
+    "directionality_adjacency_matrix",
+    "discover_and_apply",
+    "discovery_accuracy",
+    "jaccard_scores",
+    "link_prediction_auc",
+    "predict_directions",
+    "quantify_bidirectional_ties",
+    "two_hop_candidate_pairs",
+]

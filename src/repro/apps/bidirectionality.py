@@ -1,0 +1,133 @@
+"""Bidirectionality detection — the paper's third future-work item (Sec. 8).
+
+"Since now the undirected ties are regarded as directed ties with hidden
+direction, we can study the possibility that an undirected tie is
+actually bidirectional."
+
+The directionality function itself carries the needed signal: for a
+genuinely one-way tie the two orientations score asymmetrically
+(``d(u,v)`` high, ``d(v,u)`` low), while for a mutual relationship both
+orientations look plausible.  The *bidirectionality score* of an
+undirected tie is therefore the balance of its two directionality
+values:
+
+    ``bi(u, v) = 1 − |d(u, v) − d(v, u)|``
+
+:func:`hide_tie_types` builds the evaluation workload: it moves a sample
+of directed *and* bidirectional ties into ``E_u`` while remembering
+which were mutual, and :func:`bidirectionality_auc` scores how well the
+balance statistic ranks the hidden mutual ties above the hidden one-way
+ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork, TieKind
+from ..models import TieDirectionModel
+from ..utils import check_probability, ensure_rng
+
+
+@dataclass(frozen=True)
+class HiddenTieTypeTask:
+    """A bidirectionality-detection workload.
+
+    ``network`` has the sampled ties moved into ``E_u``; ``hidden_pairs``
+    holds their canonical pairs and ``is_bidirectional`` whether each was
+    a mutual tie before hiding.
+    """
+
+    network: MixedSocialNetwork
+    hidden_pairs: np.ndarray
+    is_bidirectional: np.ndarray
+
+
+def hide_tie_types(
+    network: MixedSocialNetwork,
+    hide_fraction: float = 0.3,
+    seed: int | np.random.Generator = 0,
+) -> HiddenTieTypeTask:
+    """Move a random ``hide_fraction`` of directed *and* bidirectional
+    ties into ``E_u``, remembering which were bidirectional.
+
+    At least one directed tie is always kept (Definition 1).
+    """
+    check_probability(hide_fraction, "hide_fraction")
+    rng = ensure_rng(seed)
+
+    directed = network.social_ties(TieKind.DIRECTED)
+    bidirectional = network.social_ties(TieKind.BIDIRECTIONAL)
+    if len(bidirectional) == 0:
+        raise ValueError("network has no bidirectional ties to hide")
+
+    n_hide_d = min(
+        int(round(hide_fraction * len(directed))), len(directed) - 1
+    )
+    n_hide_b = int(round(hide_fraction * len(bidirectional)))
+    hide_d = rng.permutation(len(directed))[:n_hide_d]
+    hide_b = rng.permutation(len(bidirectional))[:n_hide_b]
+
+    keep_d_mask = np.ones(len(directed), dtype=bool)
+    keep_d_mask[hide_d] = False
+    keep_b_mask = np.ones(len(bidirectional), dtype=bool)
+    keep_b_mask[hide_b] = False
+
+    hidden_pairs = [
+        (int(min(u, v)), int(max(u, v))) for u, v in directed[hide_d]
+    ]
+    labels = [0.0] * len(hidden_pairs)
+    hidden_pairs += [
+        (int(min(u, v)), int(max(u, v))) for u, v in bidirectional[hide_b]
+    ]
+    labels += [1.0] * n_hide_b
+
+    existing_undirected = [
+        tuple(map(int, p)) for p in network.social_ties(TieKind.UNDIRECTED)
+    ]
+    perturbed = MixedSocialNetwork(
+        network.n_nodes,
+        [tuple(map(int, p)) for p in directed[keep_d_mask]],
+        [tuple(map(int, p)) for p in bidirectional[keep_b_mask]],
+        existing_undirected + hidden_pairs,
+    )
+    return HiddenTieTypeTask(
+        network=perturbed,
+        hidden_pairs=np.asarray(hidden_pairs, dtype=np.int64),
+        is_bidirectional=np.asarray(labels),
+    )
+
+
+def bidirectionality_scores(
+    model: TieDirectionModel, pairs: np.ndarray | None = None
+) -> np.ndarray:
+    """``1 − |d(u,v) − d(v,u)|`` for undirected ties of the fitted net.
+
+    High values mean the two orientations are equally plausible — the
+    signature of a mutual relationship.
+    """
+    network = model._check_fitted()  # noqa: SLF001 - intra-package API
+    if pairs is None:
+        pairs = network.social_ties(TieKind.UNDIRECTED)
+    scores = model.tie_scores()
+    balance = np.empty(len(pairs))
+    for i, (u, v) in enumerate(pairs):
+        u, v = int(u), int(v)
+        forward = scores[network.tie_id(u, v)]
+        backward = scores[network.tie_id(v, u)]
+        balance[i] = 1.0 - abs(forward - backward)
+    return balance
+
+
+def bidirectionality_auc(
+    model: TieDirectionModel, task: HiddenTieTypeTask
+) -> float:
+    """ROC-AUC of the balance statistic at ranking mutual over one-way."""
+    from ..eval.metrics import roc_auc
+
+    if model.network is not task.network:
+        raise ValueError("model was not fitted on task.network")
+    scores = bidirectionality_scores(model, task.hidden_pairs)
+    return roc_auc(task.is_bidirectional, scores)

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table-2-style statistics for the named (or all) datasets.
+``generate``
+    Generate a named dataset and write it as a tie-list TSV.
+``discover``
+    Learn a directionality function on a tie-list file and either
+    evaluate hidden-direction discovery or write the completed network.
+``quantify``
+    Learn a directionality function and print the bidirectional-tie
+    quantification table.
+
+Every command takes ``--seed`` and is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import (
+    discover_and_apply,
+    discovery_accuracy,
+    quantify_bidirectional_ties,
+)
+from .datasets import (
+    DATASET_NAMES,
+    dataset_statistics,
+    hide_directions,
+    load_dataset,
+)
+from .embedding import DeepDirectConfig, LineConfig, Node2VecConfig
+from .eval import format_table
+from .graph import read_tie_list, write_tie_list
+from .models import (
+    DeepDirectModel,
+    HFModel,
+    LineModel,
+    Node2VecModel,
+    ReDirectNSM,
+    ReDirectTSM,
+    TieDirectionModel,
+)
+
+METHOD_CHOICES = (
+    "deepdirect",
+    "hf",
+    "line",
+    "node2vec",
+    "redirect-n",
+    "redirect-t",
+)
+
+
+def _build_model(args: argparse.Namespace) -> TieDirectionModel:
+    if args.method == "deepdirect":
+        return DeepDirectModel(
+            DeepDirectConfig(
+                dimensions=args.dimensions,
+                alpha=args.alpha,
+                beta=args.beta,
+                pairs_per_tie=args.pairs_per_tie,
+            ),
+            dstep=args.dstep,
+        )
+    if args.method == "hf":
+        return HFModel()
+    if args.method == "line":
+        return LineModel(
+            LineConfig(dimensions=max(2, args.dimensions // 2))
+        )
+    if args.method == "node2vec":
+        return Node2VecModel(
+            Node2VecConfig(dimensions=max(2, args.dimensions // 2))
+        )
+    if args.method == "redirect-n":
+        return ReDirectNSM()
+    if args.method == "redirect-t":
+        return ReDirectTSM()
+    raise ValueError(f"unknown method {args.method!r}")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    names = args.names or list(DATASET_NAMES)
+    rows = []
+    for name in names:
+        stats = dataset_statistics(
+            load_dataset(name, scale=args.scale, seed=args.seed)
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "nodes": stats["nodes"],
+                "ties": stats["ties"],
+                "reciprocity": f"{stats['reciprocity']:.2f}",
+                "mean_degree": f"{stats['mean_degree']:.1f}",
+            }
+        )
+    print(
+        format_table(
+            rows, ["dataset", "nodes", "ties", "reciprocity", "mean_degree"]
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    write_tie_list(network, args.output)
+    print(f"wrote {network} to {args.output}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    network = read_tie_list(args.input)
+    if args.hide is not None:
+        task = hide_directions(network, args.hide, seed=args.seed)
+        model = _build_model(args).fit(task.network, seed=args.seed)
+        accuracy = discovery_accuracy(model, task)
+        print(
+            f"method={args.method} hidden={len(task.true_sources)} "
+            f"accuracy={accuracy:.4f}"
+        )
+        return 0
+    if network.n_undirected == 0:
+        print("network has no undirected ties; nothing to discover",
+              file=sys.stderr)
+        return 1
+    model = _build_model(args).fit(network, seed=args.seed)
+    completed = discover_and_apply(model)
+    if args.output:
+        write_tie_list(completed, args.output)
+        print(f"wrote completed network to {args.output}")
+    else:
+        print(f"completed network: {completed}")
+    return 0
+
+
+def _cmd_quantify(args: argparse.Namespace) -> int:
+    network = read_tie_list(args.input)
+    if network.n_bidirectional == 0:
+        print("network has no bidirectional ties", file=sys.stderr)
+        return 1
+    model = _build_model(args).fit(network, seed=args.seed)
+    table = quantify_bidirectional_ties(model)
+    rows = [
+        {
+            "u": int(u),
+            "v": int(v),
+            "d_uv": f"{duv:.3f}",
+            "d_vu": f"{dvu:.3f}",
+        }
+        for u, v, duv, dvu in table[: args.limit]
+    ]
+    print(format_table(rows, ["u", "v", "d_uv", "d_vu"]))
+    return 0
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method", choices=METHOD_CHOICES, default="deepdirect"
+    )
+    parser.add_argument("--dimensions", type=int, default=64)
+    parser.add_argument("--alpha", type=float, default=5.0)
+    parser.add_argument("--beta", type=float, default=0.1)
+    parser.add_argument("--pairs-per-tie", type=float, default=150.0,
+                        dest="pairs_per_tie")
+    parser.add_argument(
+        "--dstep", choices=("logistic", "mlp"), default="logistic"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepDirect reproduction: tie direction learning",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datasets = commands.add_parser(
+        "datasets", help="print Table-2-style dataset statistics"
+    )
+    datasets.add_argument("names", nargs="*", help="dataset names (default: all)")
+    datasets.add_argument("--scale", type=float, default=0.01)
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    generate = commands.add_parser(
+        "generate", help="generate a dataset as a tie-list TSV"
+    )
+    generate.add_argument("name", choices=DATASET_NAMES)
+    generate.add_argument("output")
+    generate.add_argument("--scale", type=float, default=0.01)
+    generate.set_defaults(handler=_cmd_generate)
+
+    discover = commands.add_parser(
+        "discover", help="discover directions of undirected ties"
+    )
+    discover.add_argument("input", help="tie-list TSV file")
+    discover.add_argument(
+        "--hide",
+        type=float,
+        default=None,
+        help="evaluation mode: keep this fraction of directed ties and "
+        "score accuracy on the hidden rest",
+    )
+    discover.add_argument("--output", default=None)
+    _add_model_arguments(discover)
+    discover.set_defaults(handler=_cmd_discover)
+
+    quantify = commands.add_parser(
+        "quantify", help="quantify bidirectional ties"
+    )
+    quantify.add_argument("input", help="tie-list TSV file")
+    quantify.add_argument("--limit", type=int, default=20)
+    _add_model_arguments(quantify)
+    quantify.set_defaults(handler=_cmd_quantify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

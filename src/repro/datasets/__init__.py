@@ -1,0 +1,35 @@
+"""Synthetic dataset substrate (stand-in for the paper's crawled graphs)."""
+
+from .generators import (
+    GeneratorConfig,
+    generate_social_network,
+    random_mixed_network,
+)
+from .perturb import (
+    HiddenDirectionTask,
+    TieSplit,
+    held_out_tie_split,
+    hide_directions,
+)
+from .registry import (
+    DATASET_NAMES,
+    DATASETS,
+    DatasetSpec,
+    dataset_statistics,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "GeneratorConfig",
+    "HiddenDirectionTask",
+    "TieSplit",
+    "dataset_statistics",
+    "generate_social_network",
+    "held_out_tie_split",
+    "hide_directions",
+    "load_dataset",
+    "random_mixed_network",
+]

@@ -1,0 +1,193 @@
+"""Named dataset registry mirroring the paper's Table 2.
+
+Each entry holds paper-scale node/tie counts plus the generator
+calibration that gives the synthetic stand-in the statistical character
+of the original network (see DESIGN.md §2 for the substitution argument):
+
+* reciprocity above 0.5 for LiveJournal, Epinions and Slashdot — the
+  paper's Fig. 8 uses exactly those three "because over 50 % of social
+  ties in them are bidirectional";
+* tie densities matching Table 2 (LiveJournal is by far the densest);
+* per-dataset pattern strengths, so the relative difficulty of the
+  datasets differs the way it does in Fig. 3.
+
+``load_dataset(name, scale=...)`` generates the network at a fraction of
+paper scale (default 1/20) so experiments run on one CPU; pass
+``scale=1.0`` for paper-scale graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork
+from .generators import GeneratorConfig, generate_social_network
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Calibration of one named dataset."""
+
+    name: str
+    paper_nodes: int
+    paper_ties: int
+    reciprocity: float
+    status_degree_weight: float
+    status_sharpness: float
+    triad_closure: float
+    seed_offset: int
+    community_size: int = 26
+    community_weight: float = 0.75
+    homophily: float = 0.9
+    status_attachment: float = 1.5
+
+    @property
+    def ties_per_node(self) -> int:
+        """Average social ties per node at paper scale (Table 2 ratio)."""
+        return max(2, round(self.paper_ties / self.paper_nodes))
+
+    def generator_config(self, scale: float) -> GeneratorConfig:
+        """Generator parameters at ``scale`` × paper node count."""
+        if not 0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        n_nodes = max(50, int(round(self.paper_nodes * scale)))
+        return GeneratorConfig(
+            n_nodes=n_nodes,
+            ties_per_node=self.ties_per_node,
+            triad_closure=self.triad_closure,
+            reciprocity=self.reciprocity,
+            status_degree_weight=self.status_degree_weight,
+            status_sharpness=self.status_sharpness,
+            n_communities=max(4, round(n_nodes / self.community_size)),
+            community_weight=self.community_weight,
+            homophily=self.homophily,
+            status_attachment=self.status_attachment,
+        )
+
+
+#: Table 2 of the paper with per-dataset generator calibrations.
+DATASETS: dict[str, DatasetSpec] = {
+    "twitter": DatasetSpec(
+        name="twitter",
+        paper_nodes=65_044,
+        paper_ties=526_296,
+        reciprocity=0.28,
+        status_degree_weight=0.55,  # celebrity-driven: strongest degree pattern
+        status_sharpness=4.5,
+        triad_closure=0.35,
+        seed_offset=11,
+        community_size=26,
+        community_weight=0.70,
+        homophily=0.85,
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        paper_nodes=80_000,
+        paper_ties=1_894_724,
+        reciprocity=0.62,
+        status_degree_weight=0.40,  # community-driven blogging circles
+        status_sharpness=3.5,
+        triad_closure=0.55,
+        seed_offset=23,
+        community_size=24,
+        community_weight=0.80,
+        homophily=0.92,
+    ),
+    "epinions": DatasetSpec(
+        name="epinions",
+        paper_nodes=75_879,
+        paper_ties=508_837,
+        reciprocity=0.55,
+        status_degree_weight=0.40,  # trust network: weak degree pattern
+        status_sharpness=3.5,
+        triad_closure=0.45,
+        seed_offset=37,
+        community_size=28,
+        community_weight=0.75,
+        homophily=0.90,
+    ),
+    "slashdot": DatasetSpec(
+        name="slashdot",
+        paper_nodes=77_360,
+        paper_ties=905_468,
+        reciprocity=0.56,
+        status_degree_weight=0.50,
+        status_sharpness=4.0,
+        triad_closure=0.40,
+        seed_offset=41,
+        community_size=26,
+        community_weight=0.75,
+        homophily=0.88,
+    ),
+    "tencent": DatasetSpec(
+        name="tencent",
+        paper_nodes=75_000,
+        paper_ties=705_864,
+        reciprocity=0.38,
+        status_degree_weight=0.45,
+        status_sharpness=4.0,
+        triad_closure=0.50,
+        seed_offset=53,
+        community_size=25,
+        community_weight=0.70,
+        homophily=0.88,
+    ),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(DATASETS)
+
+
+def load_dataset(
+    name: str, scale: float = 0.05, seed: int = 0
+) -> MixedSocialNetwork:
+    """Generate the named dataset at ``scale`` × paper node count.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive).
+    scale:
+        Fraction of the paper's node count; the default 0.05 gives
+        3–4k-node graphs that train in seconds on a laptop.
+    seed:
+        Base random seed; combined with a per-dataset offset so different
+        datasets never share randomness.
+    """
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+        )
+    spec = DATASETS[key]
+    return generate_social_network(
+        spec.generator_config(scale), seed=seed * 1_000 + spec.seed_offset
+    )
+
+
+def dataset_statistics(network: MixedSocialNetwork) -> dict[str, float]:
+    """Summary statistics in the shape of the paper's Table 2 (plus extras)."""
+    degrees = network.degrees()
+    n_social = network.n_social_ties
+    return {
+        "nodes": network.n_nodes,
+        "ties": n_social,
+        "directed_ties": network.n_directed,
+        "bidirectional_ties": network.n_bidirectional,
+        "undirected_ties": network.n_undirected,
+        "reciprocity": network.n_bidirectional / n_social if n_social else 0.0,
+        "mean_degree": float(degrees.mean()),
+        "max_degree": float(degrees.max()),
+        "degree_gini": _gini(degrees),
+    }
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient — a scale-free summary of degree inequality."""
+    sorted_vals = np.sort(values.astype(float))
+    n = len(sorted_vals)
+    if n == 0 or sorted_vals.sum() == 0:
+        return 0.0
+    cum = np.cumsum(sorted_vals)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)

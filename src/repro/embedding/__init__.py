@@ -1,0 +1,42 @@
+"""Edge-based network embedding (the paper's core contribution, Sec. 4)."""
+
+from .config import DeepDirectConfig
+from .deepdirect import DeepDirectEmbedding, EmbeddingResult, embed
+from .line import LineConfig, LineEmbedding, LineResult
+from .node2vec import (
+    Node2VecConfig,
+    Node2VecEmbedding,
+    Node2VecResult,
+    generate_walks,
+)
+from .persistence import load_embedding, save_embedding
+from .patterns import (
+    TriadNeighborhood,
+    build_triad_neighborhoods,
+    degree_pseudo_labels,
+    triad_pseudo_labels,
+)
+from .samplers import AliasSampler, ConnectedPairSampler, sample_common_neighbors
+
+__all__ = [
+    "AliasSampler",
+    "ConnectedPairSampler",
+    "DeepDirectConfig",
+    "DeepDirectEmbedding",
+    "EmbeddingResult",
+    "LineConfig",
+    "LineEmbedding",
+    "LineResult",
+    "Node2VecConfig",
+    "Node2VecEmbedding",
+    "Node2VecResult",
+    "generate_walks",
+    "TriadNeighborhood",
+    "build_triad_neighborhoods",
+    "degree_pseudo_labels",
+    "embed",
+    "load_embedding",
+    "sample_common_neighbors",
+    "save_embedding",
+    "triad_pseudo_labels",
+]

@@ -1,0 +1,152 @@
+"""Directionality-pattern pseudo-labels (paper Sec. 4.4, Eqs. 14-15).
+
+Two of ReDirect's four directionality patterns supply latent supervision
+for undirected ties:
+
+* **Degree Consistency Pattern** (Definition 5): directed ties usually
+  point from low-degree to high-degree nodes.  The pseudo-label for the
+  orientation ``(u, v)`` is the share of degree mass at the *target*:
+  ``y^d_uv = deg(v) / (deg(u) + deg(v))``.
+
+  .. note::
+     Eq. 14 as printed puts ``deg(u)`` in the numerator, which would make
+     the pseudo-label *contradict* Definition 5 (it would mark high-degree
+     proposers as likely sources).  We implement the orientation that is
+     consistent with the pattern's definition and with the paper's own
+     observation that ``L_pattern`` always helps; the printed equation is
+     a typo.  See DESIGN.md.
+
+* **Triad Status Consistency Pattern** (Definition 6): directed ties
+  avoid loops.  For a common neighbour ``w`` of ``(u, v)``, the current
+  classifier's scores on ``(u, w)`` and ``(v, w)`` vote on the likely
+  orientation of ``(u, v)`` (Eq. 15).  These pseudo-labels are *dynamic*:
+  they are recomputed from the live model during training, with no
+  gradient flowing through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork, TieKind
+from ..utils import ensure_rng
+from .samplers import sample_common_neighbors
+
+
+def degree_pseudo_labels(network: MixedSocialNetwork) -> np.ndarray:
+    """``y^d_e`` for every oriented tie (meaningful only on ``E_u``).
+
+    Returns an array over all oriented tie ids; entries for ties whose
+    endpoints both have zero degree default to 0.5.
+    """
+    degrees = network.degrees()
+    src_deg = degrees[network.tie_src]
+    dst_deg = degrees[network.tie_dst]
+    total = src_deg + dst_deg
+    with np.errstate(invalid="ignore", divide="ignore"):
+        labels = np.where(total > 0, dst_deg / np.maximum(total, 1e-12), 0.5)
+    return labels
+
+
+@dataclass(frozen=True)
+class TriadNeighborhood:
+    """Pre-sampled ``t(u, v)`` ties for the triad pseudo-labels.
+
+    For every oriented tie ``e = (u, v)``, ``uw_ids[e]`` and ``vw_ids[e]``
+    hold the oriented tie ids of ``(u, w)`` and ``(v, w)`` for each
+    sampled common neighbour ``w``, padded with ``-1`` to width ``gamma``.
+    ``counts[e]`` is ``|t(u, v)|``; zero means the triad term is skipped
+    for that tie.
+    """
+
+    uw_ids: np.ndarray
+    vw_ids: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def gamma(self) -> int:
+        """Padding width (maximum common neighbours per tie)."""
+        return self.uw_ids.shape[1]
+
+
+def build_triad_neighborhoods(
+    network: MixedSocialNetwork,
+    gamma: int,
+    seed: int | np.random.Generator = 0,
+    tie_ids: np.ndarray | None = None,
+) -> TriadNeighborhood:
+    """Sample ``t(u, v)`` for the requested ties (default: all of ``E_u``).
+
+    This is the preprocessing of Algorithm 1 lines 6-9; sampling happens
+    once, the classifier scores are read live during training.
+    """
+    rng = ensure_rng(seed)
+    n = network.n_ties
+    if tie_ids is None:
+        tie_ids = network.ties_of_kind(TieKind.UNDIRECTED)
+
+    uw = np.full((n, gamma), -1, dtype=np.int64)
+    vw = np.full((n, gamma), -1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+
+    done: set[int] = set()
+    for e in tie_ids:
+        e = int(e)
+        if e in done:
+            continue
+        rev = int(network.reverse_of[e])
+        u, v = int(network.tie_src[e]), int(network.tie_dst[e])
+        witnesses = sample_common_neighbors(network, u, v, gamma, rng)
+        k = len(witnesses)
+        for slot, w in enumerate(witnesses):
+            uw_id = network.tie_id(u, int(w))
+            vw_id = network.tie_id(v, int(w))
+            uw[e, slot] = uw_id
+            vw[e, slot] = vw_id
+            # The reverse orientation (v, u) swaps the roles of u and v.
+            uw[rev, slot] = vw_id
+            vw[rev, slot] = uw_id
+        counts[e] = k
+        counts[rev] = k
+        done.add(e)
+        done.add(rev)
+    return TriadNeighborhood(uw_ids=uw, vw_ids=vw, counts=counts)
+
+
+def triad_pseudo_labels(
+    neighborhood: TriadNeighborhood,
+    tie_ids: np.ndarray,
+    predictions: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``y^t_e`` (Eq. 15) for ``tie_ids`` from live classifier predictions.
+
+    Parameters
+    ----------
+    neighborhood:
+        Pre-sampled witnesses from :func:`build_triad_neighborhoods`.
+    tie_ids:
+        Oriented ties to label (typically the undirected ties of a batch).
+    predictions:
+        Current classifier score ``ȳ`` for *every* oriented tie
+        (length ``n_ties``).
+
+    Returns
+    -------
+    ``(labels, valid)`` — the pseudo-labels (0.5 placeholder where
+    invalid) and a boolean mask marking ties with at least one witness.
+    """
+    uw = neighborhood.uw_ids[tie_ids]
+    vw = neighborhood.vw_ids[tie_ids]
+    mask = uw >= 0
+    y_uw = np.where(mask, predictions[np.maximum(uw, 0)], 0.0)
+    y_vw = np.where(mask, predictions[np.maximum(vw, 0)], 0.0)
+    denom = y_uw + y_vw
+    votes = np.where(mask & (denom > 1e-12), y_uw / np.maximum(denom, 1e-12), 0.0)
+    counts = mask.sum(axis=1)
+    valid = counts > 0
+    labels = np.where(
+        valid, votes.sum(axis=1) / np.maximum(counts, 1), 0.5
+    )
+    return labels, valid

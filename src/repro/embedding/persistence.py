@@ -1,0 +1,60 @@
+"""Persistence for trained embeddings (numpy ``.npz``).
+
+An E-Step run on a large network is the expensive part of the pipeline;
+these helpers let it be saved once and reloaded for further D-Step
+experiments, visualisation, or export.
+
+The format is a plain ``.npz`` archive (no pickling), so files are
+portable and safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .deepdirect import EmbeddingResult
+
+
+def save_embedding(result: EmbeddingResult, path: str | os.PathLike) -> None:
+    """Write an :class:`EmbeddingResult` to ``path`` as ``.npz``."""
+    history = np.asarray(result.loss_history, dtype=float).reshape(-1, 2)
+    np.savez(
+        path,
+        embeddings=result.embeddings,
+        contexts=result.contexts,
+        classifier_weights=result.classifier_weights,
+        classifier_bias=np.asarray([result.classifier_bias]),
+        loss_history=history,
+        n_pairs_trained=np.asarray([result.n_pairs_trained]),
+    )
+
+
+def load_embedding(path: str | os.PathLike) -> EmbeddingResult:
+    """Read an :class:`EmbeddingResult` written by :func:`save_embedding`."""
+    with np.load(path, allow_pickle=False) as archive:
+        required = {
+            "embeddings",
+            "contexts",
+            "classifier_weights",
+            "classifier_bias",
+            "loss_history",
+            "n_pairs_trained",
+        }
+        missing = required - set(archive.files)
+        if missing:
+            raise ValueError(
+                f"{path} is not a saved embedding (missing {sorted(missing)})"
+            )
+        history = [
+            (int(step), float(loss)) for step, loss in archive["loss_history"]
+        ]
+        return EmbeddingResult(
+            embeddings=archive["embeddings"],
+            contexts=archive["contexts"],
+            classifier_weights=archive["classifier_weights"],
+            classifier_bias=float(archive["classifier_bias"][0]),
+            loss_history=history,
+            n_pairs_trained=int(archive["n_pairs_trained"][0]),
+        )

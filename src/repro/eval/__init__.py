@@ -1,0 +1,39 @@
+"""Evaluation: metrics, t-SNE projection, and the experiment harness."""
+
+from .experiments import (
+    METHOD_NAMES,
+    DiscoveryRun,
+    LinkPredictionRun,
+    deepdirect_factory,
+    deepdirect_grid_factory,
+    default_methods,
+    format_table,
+    run_discovery,
+    run_discovery_on_task,
+    run_link_prediction,
+)
+from .metrics import (
+    accuracy,
+    nearest_neighbor_separability,
+    roc_auc,
+    roc_curve,
+)
+from .tsne import tsne
+
+__all__ = [
+    "METHOD_NAMES",
+    "DiscoveryRun",
+    "LinkPredictionRun",
+    "accuracy",
+    "deepdirect_factory",
+    "deepdirect_grid_factory",
+    "default_methods",
+    "format_table",
+    "nearest_neighbor_separability",
+    "roc_auc",
+    "roc_curve",
+    "run_discovery",
+    "run_discovery_on_task",
+    "run_link_prediction",
+    "tsne",
+]

@@ -1,0 +1,242 @@
+"""Experiment harness shared by the benchmarks and examples.
+
+Wraps the five methods of the paper's evaluation behind factory
+functions with a shared "speed profile" (embedding dimensions / epochs),
+and provides runners for the two tasks:
+
+* :func:`run_discovery` — one point of the Fig. 3-6 direction-discovery
+  grids: hide directions, fit each method, report accuracy.
+* :func:`run_link_prediction` — one dataset of Fig. 8: split ties, fit
+  each method on G', compare directionality adjacency matrices against
+  the raw adjacency matrix via Jaccard link prediction AUC.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..apps import (
+    directionality_adjacency_matrix,
+    discovery_accuracy,
+    link_prediction_auc,
+    two_hop_candidate_pairs,
+)
+from ..datasets import HiddenDirectionTask, held_out_tie_split, hide_directions
+from ..embedding import DeepDirectConfig, LineConfig
+from ..graph import MixedSocialNetwork
+from ..models import (
+    DeepDirectGridSearch,
+    DeepDirectModel,
+    HFModel,
+    LineModel,
+    ReDirectNSM,
+    ReDirectTSM,
+    TieDirectionModel,
+)
+
+MethodFactory = Callable[[], TieDirectionModel]
+
+#: Canonical method names, in the paper's plotting order.
+METHOD_NAMES = ("LINE", "HF", "ReDirect-N/sm", "ReDirect-T/sm", "DeepDirect")
+
+
+def deepdirect_factory(
+    dimensions: int = 64,
+    epochs: float = 10.0,
+    alpha: float = 5.0,
+    beta: float = 0.1,
+    n_negative: int = 5,
+    pairs_per_tie: float | None = 150.0,
+    max_pairs: int | None = 6_000_000,
+    **kwargs,
+) -> MethodFactory:
+    """Factory for DeepDirect with a given hyper-parameter profile."""
+
+    def build() -> DeepDirectModel:
+        return DeepDirectModel(
+            DeepDirectConfig(
+                dimensions=dimensions,
+                epochs=epochs,
+                alpha=alpha,
+                beta=beta,
+                n_negative=n_negative,
+                pairs_per_tie=pairs_per_tie,
+                max_pairs=max_pairs,
+                **kwargs,
+            )
+        )
+
+    return build
+
+
+def deepdirect_grid_factory(
+    dimensions: int = 64,
+    epochs: float = 10.0,
+    selection_epochs: float | None = 4.0,
+    grid: tuple[tuple[float, float], ...] = ((5.0, 0.1), (5.0, 1.0)),
+    pairs_per_tie: float | None = 150.0,
+    max_pairs: int | None = 6_000_000,
+) -> MethodFactory:
+    """Factory for grid-searched DeepDirect (the paper's protocol)."""
+
+    def build() -> DeepDirectGridSearch:
+        return DeepDirectGridSearch(
+            DeepDirectConfig(
+                dimensions=dimensions,
+                epochs=epochs,
+                pairs_per_tie=pairs_per_tie,
+                max_pairs=max_pairs,
+            ),
+            grid=grid,
+            selection_epochs=selection_epochs,
+        )
+
+    return build
+
+
+def default_methods(
+    dimensions: int = 64,
+    epochs: float = 10.0,
+    pairs_per_tie: float | None = 150.0,
+    max_pairs: int | None = 6_000_000,
+    centrality_pivots: int = 48,
+) -> dict[str, MethodFactory]:
+    """The five methods of Sec. 6.1 with a common speed profile.
+
+    ``dimensions`` is DeepDirect's tie-embedding size; LINE's node size
+    is half of it so its concatenated tie feature matches (the paper's
+    128-vs-64 convention).  ``pairs_per_tie`` normalises the SGD budget
+    across graphs of different density.
+    """
+    # LINE counts epochs over edges the way DeepDirect counts pairs per
+    # tie, so give it the same per-tie sample budget.
+    line_epochs = pairs_per_tie if pairs_per_tie is not None else epochs
+
+    def line_factory() -> LineModel:
+        return LineModel(
+            LineConfig(
+                dimensions=max(2, dimensions // 2),
+                epochs=line_epochs,
+                max_samples=max_pairs,
+            )
+        )
+
+    return {
+        "LINE": line_factory,
+        "HF": lambda: HFModel(centrality_pivots=centrality_pivots),
+        "ReDirect-N/sm": lambda: ReDirectNSM(dimensions=40),
+        "ReDirect-T/sm": lambda: ReDirectTSM(),
+        "DeepDirect": deepdirect_factory(
+            dimensions=dimensions,
+            epochs=epochs,
+            pairs_per_tie=pairs_per_tie,
+            max_pairs=max_pairs,
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class DiscoveryRun:
+    """One (method, workload) cell of a direction-discovery experiment."""
+
+    method: str
+    directed_fraction: float
+    accuracy: float
+    fit_seconds: float
+
+
+def run_discovery(
+    network: MixedSocialNetwork,
+    directed_fraction: float,
+    methods: Mapping[str, MethodFactory],
+    seed: int = 0,
+) -> list[DiscoveryRun]:
+    """Hide directions, fit every method, and score discovery accuracy."""
+    task = hide_directions(network, directed_fraction, seed=seed)
+    return run_discovery_on_task(task, methods, seed=seed)
+
+
+def run_discovery_on_task(
+    task: HiddenDirectionTask,
+    methods: Mapping[str, MethodFactory],
+    seed: int = 0,
+) -> list[DiscoveryRun]:
+    """Fit every method on an existing hidden-direction task."""
+    results = []
+    for name, factory in methods.items():
+        start = time.perf_counter()
+        model = factory().fit(task.network, seed=seed)
+        elapsed = time.perf_counter() - start
+        results.append(
+            DiscoveryRun(
+                method=name,
+                directed_fraction=task.directed_fraction,
+                accuracy=discovery_accuracy(model, task),
+                fit_seconds=elapsed,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class LinkPredictionRun:
+    """One (method, dataset) cell of the Fig. 8 experiment."""
+
+    method: str
+    auc: float
+    n_candidates: int
+
+
+def run_link_prediction(
+    network: MixedSocialNetwork,
+    methods: Mapping[str, MethodFactory],
+    keep_fraction: float = 0.8,
+    max_pairs: int | None = 200_000,
+    seed: int = 0,
+) -> list[LinkPredictionRun]:
+    """Fig. 8 for one dataset: raw adjacency vs each method's matrix.
+
+    The returned list leads with the ``"Adjacency"`` control row (plain
+    0/1 matrix), followed by one row per method.
+    """
+    split = held_out_tie_split(network, keep_fraction, seed=seed)
+    train = split.train_network
+    candidates = two_hop_candidate_pairs(train, max_pairs=max_pairs, seed=seed)
+
+    results = [
+        LinkPredictionRun(
+            method="Adjacency",
+            auc=link_prediction_auc(
+                train.adjacency_matrix(), candidates, network
+            ).auc,
+            n_candidates=len(candidates),
+        )
+    ]
+    for name, factory in methods.items():
+        model = factory().fit(train, seed=seed)
+        matrix = directionality_adjacency_matrix(model)
+        outcome = link_prediction_auc(matrix, candidates, network)
+        results.append(
+            LinkPredictionRun(
+                method=name, auc=outcome.auc, n_candidates=outcome.n_candidates
+            )
+        )
+    return results
+
+
+def format_table(
+    rows: list[dict[str, object]], columns: list[str]
+) -> str:
+    """Plain-text table used by the bench harnesses to print paper rows."""
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 7 visualisation.
+
+scipy has no t-SNE and scikit-learn is not a dependency, so this is a
+compact exact-gradient implementation: Gaussian input affinities with a
+per-point perplexity binary search, Student-t output affinities, and
+gradient descent with momentum and early exaggeration.  Adequate for the
+~10³ tie embeddings the paper projects; not intended for large n (the
+gradient is O(n²)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import ensure_rng
+
+
+def _pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    sq = (points**2).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    np.maximum(d, 0.0, out=d)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tol: float = 1e-5
+) -> np.ndarray:
+    """Row-wise Gaussian affinities whose entropy matches ``perplexity``."""
+    n = len(distances)
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        for _ in range(64):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                entropy, p_row = 0.0, weights
+            else:
+                p_row = weights / total
+                entropy = float(
+                    -(p_row[p_row > 0] * np.log(p_row[p_row > 0])).sum()
+                )
+            if abs(entropy - target_entropy) < tol:
+                break
+            if entropy > target_entropy:
+                beta_lo = beta
+                beta = beta * 2.0 if beta_hi == np.inf else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = (beta + beta_lo) / 2
+        p_full = np.insert(p_row, i, 0.0)
+        probabilities[i] = p_full
+    return probabilities
+
+
+def tsne(
+    points: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    n_iter: int = 400,
+    learning_rate: float = 200.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Project ``points`` to ``n_components`` dimensions with exact t-SNE.
+
+    Parameters mirror the standard implementation; early exaggeration
+    (×4) runs for the first quarter of the iterations.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = ensure_rng(seed)
+
+    distances = _pairwise_sq_distances(points)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(joint, 1e-12, out=joint)
+
+    embedding = rng.standard_normal((n, n_components)) * 1e-4
+    update = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+    exaggeration_until = n_iter // 4
+
+    for iteration in range(n_iter):
+        p = joint * 4.0 if iteration < exaggeration_until else joint
+        d = _pairwise_sq_distances(embedding)
+        student = 1.0 / (1.0 + d)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-12)
+        np.maximum(q, 1e-12, out=q)
+
+        coefficient = (p - q) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+
+        momentum = 0.5 if iteration < exaggeration_until else 0.8
+        same_sign = np.sign(gradient) == np.sign(update)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+        update = momentum * update - learning_rate * gains * gradient
+        embedding = embedding + update
+        embedding -= embedding.mean(axis=0)
+    return embedding

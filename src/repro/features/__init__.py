@@ -1,0 +1,40 @@
+"""Handcrafted tie features (paper Sec. 3.1)."""
+
+from .centrality import (
+    CENTRALITY_FEATURE_NAMES,
+    betweenness_centrality,
+    centrality_features,
+    closeness_centrality,
+)
+from .degrees import DEGREE_FEATURE_NAMES, degree_features
+from .handcrafted import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    HandcraftedFeatureExtractor,
+    standardize,
+)
+from .triads import (
+    N_TRIAD_TYPES,
+    TRIAD_FEATURE_NAMES,
+    reverse_triad_counts,
+    triad_counts_for_tie,
+    triad_features,
+)
+
+__all__ = [
+    "CENTRALITY_FEATURE_NAMES",
+    "DEGREE_FEATURE_NAMES",
+    "FEATURE_NAMES",
+    "HandcraftedFeatureExtractor",
+    "N_FEATURES",
+    "N_TRIAD_TYPES",
+    "TRIAD_FEATURE_NAMES",
+    "betweenness_centrality",
+    "centrality_features",
+    "closeness_centrality",
+    "degree_features",
+    "reverse_triad_counts",
+    "standardize",
+    "triad_counts_for_tie",
+    "triad_features",
+]

@@ -1,0 +1,37 @@
+"""Degree features for social ties (paper Sec. 3.1, Eqs. 1-2).
+
+For a tie ``(u, v)`` the four degree features are ``deg_out(u)``,
+``deg_out(v)``, ``deg_in(u)`` and ``deg_in(v)``, where undirected ties
+contribute 1/2 to both the out- and in-degree of both endpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork
+
+DEGREE_FEATURE_NAMES = ("deg_out_u", "deg_out_v", "deg_in_u", "deg_in_v")
+
+
+def degree_features(
+    network: MixedSocialNetwork, pairs: np.ndarray
+) -> np.ndarray:
+    """Degree feature block for the oriented ties in ``pairs``.
+
+    Parameters
+    ----------
+    network:
+        The mixed social network.
+    pairs:
+        ``(k, 2)`` array of ``(u, v)`` node pairs (need not be existing
+        ties — degrees are node-level quantities).
+
+    Returns
+    -------
+    ``(k, 4)`` array ordered as :data:`DEGREE_FEATURE_NAMES`.
+    """
+    out_deg = network.out_degrees()
+    in_deg = network.in_degrees()
+    u, v = pairs[:, 0], pairs[:, 1]
+    return np.column_stack([out_deg[u], out_deg[v], in_deg[u], in_deg[v]])

@@ -1,0 +1,76 @@
+"""Directed triad count features (paper Sec. 3.1).
+
+For a tie ``(u, v)`` and a common neighbour ``w``, the ties ``(w, u)``
+and ``(w, v)`` each take one of four *types* relative to ``w``:
+
+======  =============================================
+type    meaning for the pair ``(w, x)``
+======  =============================================
+0       directed tie ``w → x``
+1       directed tie ``x → w``
+2       bidirectional tie
+3       undirected tie (direction unknown)
+======  =============================================
+
+The triad type of ``(u, v, w)`` is ``type(w, u) * 4 + type(w, v)``,
+giving ``4 × 4 = 16`` counts ``ee_1 .. ee_16``.  The orientation of
+``(u, v)`` itself is *not* used (its direction may be the unknown being
+predicted).
+
+The type codes deliberately coincide with :class:`repro.graph.TieKind`
+numeric values, so classification is a single kind-array lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork
+
+N_TRIAD_TYPES = 16
+TRIAD_FEATURE_NAMES = tuple(f"ee_{i + 1}" for i in range(N_TRIAD_TYPES))
+
+
+def triad_counts_for_tie(
+    network: MixedSocialNetwork, u: int, v: int
+) -> np.ndarray:
+    """The 16 directed-triad counts for the tie ``(u, v)``."""
+    counts = np.zeros(N_TRIAD_TYPES, dtype=np.int64)
+    for w in network.common_neighbors(int(u), int(v)):
+        w = int(w)
+        type_wu = int(network.tie_kind[network.tie_id(w, u)])
+        type_wv = int(network.tie_kind[network.tie_id(w, v)])
+        counts[type_wu * 4 + type_wv] += 1
+    return counts
+
+
+def reverse_triad_counts(counts: np.ndarray) -> np.ndarray:
+    """Triad counts of ``(v, u)`` from those of ``(u, v)``.
+
+    Swapping the endpoints swaps the roles of ``(w, u)`` and ``(w, v)``,
+    i.e. transposes the 4×4 type grid.
+    """
+    grid = counts.reshape(*counts.shape[:-1], 4, 4)
+    return np.swapaxes(grid, -1, -2).reshape(counts.shape)
+
+
+def triad_features(
+    network: MixedSocialNetwork, pairs: np.ndarray
+) -> np.ndarray:
+    """Triad count feature block for the ``(k, 2)`` node pairs.
+
+    Pairs that appear in both orientations are computed once and
+    transposed for the reverse orientation.
+    """
+    cache: dict[tuple[int, int], np.ndarray] = {}
+    rows = np.empty((len(pairs), N_TRIAD_TYPES), dtype=np.int64)
+    for i, (u, v) in enumerate(pairs):
+        u, v = int(u), int(v)
+        if (u, v) in cache:
+            rows[i] = cache[(u, v)]
+            continue
+        counts = triad_counts_for_tie(network, u, v)
+        cache[(u, v)] = counts
+        cache[(v, u)] = reverse_triad_counts(counts)
+        rows[i] = counts
+    return rows

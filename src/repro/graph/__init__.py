@@ -1,0 +1,24 @@
+"""Mixed social network substrate (paper Sec. 2)."""
+
+from .builders import from_directed_edges, from_networkx, from_tie_arrays
+from .io import read_tie_list, write_tie_list
+from .line_graph import line_graph_edges, line_graph_size, to_networkx_line_graph
+from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
+from .sampling import bfs_sample_nodes, bfs_sample_ties, top_degree_subgraph
+
+__all__ = [
+    "GraphValidationError",
+    "MixedSocialNetwork",
+    "TieKind",
+    "bfs_sample_nodes",
+    "bfs_sample_ties",
+    "from_directed_edges",
+    "from_networkx",
+    "from_tie_arrays",
+    "line_graph_edges",
+    "line_graph_size",
+    "read_tie_list",
+    "to_networkx_line_graph",
+    "top_degree_subgraph",
+    "write_tie_list",
+]

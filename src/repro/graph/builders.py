@@ -1,0 +1,119 @@
+"""Constructors that build :class:`MixedSocialNetwork` from other forms."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
+
+
+def from_directed_edges(
+    edges: Iterable[tuple[int, int]],
+    n_nodes: int | None = None,
+    reciprocal_as_bidirectional: bool = True,
+) -> MixedSocialNetwork:
+    """Build a mixed network from a plain directed edge list.
+
+    Reciprocated pairs (both ``(u, v)`` and ``(v, u)`` present) become
+    bidirectional ties when ``reciprocal_as_bidirectional`` is true — this
+    is how the paper's crawled datasets are interpreted.  Self loops and
+    duplicate edges are dropped.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` integer pairs.
+    n_nodes:
+        Node count; inferred as ``max id + 1`` when omitted.
+    """
+    seen: set[tuple[int, int]] = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u != v:
+            seen.add((u, v))
+    if not seen:
+        raise GraphValidationError("edge list is empty after cleaning")
+
+    if n_nodes is None:
+        n_nodes = 1 + max(max(u, v) for u, v in seen)
+
+    directed: list[tuple[int, int]] = []
+    bidirectional: list[tuple[int, int]] = []
+    for u, v in seen:
+        if (v, u) in seen:
+            if reciprocal_as_bidirectional:
+                if u < v:
+                    bidirectional.append((u, v))
+            elif u < v:
+                # Treat the reciprocated pair as a single directed tie in
+                # the canonical orientation; used by tests that need pure
+                # E_d graphs.
+                directed.append((u, v))
+        else:
+            directed.append((u, v))
+    return MixedSocialNetwork(n_nodes, directed, bidirectional)
+
+
+def from_networkx(graph) -> MixedSocialNetwork:
+    """Build a mixed network from a :class:`networkx.DiGraph`.
+
+    Edges may carry a ``kind`` attribute (``"directed"``,
+    ``"bidirectional"`` or ``"undirected"``); absent that, reciprocated
+    pairs become bidirectional ties and the rest directed ties.  Node
+    labels are relabelled to ``0..n-1`` in sorted order.
+    """
+    nodes = sorted(graph.nodes())
+    index: Mapping[Hashable, int] = {node: i for i, node in enumerate(nodes)}
+
+    explicit = any("kind" in data for *_pair, data in graph.edges(data=True))
+    if not explicit:
+        return from_directed_edges(
+            ((index[u], index[v]) for u, v in graph.edges()), n_nodes=len(nodes)
+        )
+
+    directed, bidirectional, undirected = [], [], []
+    handled: set[tuple[int, int]] = set()
+    for u, v, data in graph.edges(data=True):
+        iu, iv = index[u], index[v]
+        canon = (min(iu, iv), max(iu, iv))
+        kind = data.get("kind", "directed")
+        if kind == "directed":
+            directed.append((iu, iv))
+        elif canon not in handled:
+            handled.add(canon)
+            if kind == "bidirectional":
+                bidirectional.append(canon)
+            elif kind == "undirected":
+                undirected.append(canon)
+            else:
+                raise GraphValidationError(f"unknown tie kind {kind!r}")
+    return MixedSocialNetwork(len(nodes), directed, bidirectional, undirected)
+
+
+def from_tie_arrays(
+    n_nodes: int,
+    tie_src: np.ndarray,
+    tie_dst: np.ndarray,
+    tie_kind: np.ndarray,
+) -> MixedSocialNetwork:
+    """Rebuild a network from expanded oriented tie arrays.
+
+    Inverse of the internal representation: reverse orientations
+    (``DIRECTED_REVERSE`` and the second copy of bidirectional and
+    undirected ties) are collapsed back to canonical social ties.
+    """
+    directed_mask = tie_kind == int(TieKind.DIRECTED)
+    directed = list(zip(tie_src[directed_mask], tie_dst[directed_mask]))
+
+    def _canonical(kind: TieKind) -> list[tuple[int, int]]:
+        mask = (tie_kind == int(kind)) & (tie_src < tie_dst)
+        return list(zip(tie_src[mask], tie_dst[mask]))
+
+    return MixedSocialNetwork(
+        n_nodes,
+        directed,
+        _canonical(TieKind.BIDIRECTIONAL),
+        _canonical(TieKind.UNDIRECTED),
+    )

@@ -1,0 +1,72 @@
+"""Plain-text persistence for mixed social networks.
+
+Format: a header line ``# nodes=<n>`` followed by one tie per line,
+``<u>\t<v>\t<kind>`` with ``kind`` one of ``d`` (directed, true
+orientation), ``b`` (bidirectional, canonical pair) or ``u`` (undirected,
+canonical pair).  Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
+
+_KIND_CODES = {
+    "d": TieKind.DIRECTED,
+    "b": TieKind.BIDIRECTIONAL,
+    "u": TieKind.UNDIRECTED,
+}
+
+
+def write_tie_list(network: MixedSocialNetwork, path: str | os.PathLike) -> None:
+    """Write a network to ``path`` in the tie-list format."""
+    with open(path, "w") as handle:
+        _write(network, handle)
+
+
+def _write(network: MixedSocialNetwork, handle: TextIO) -> None:
+    handle.write(f"# nodes={network.n_nodes}\n")
+    for code, kind in _KIND_CODES.items():
+        for u, v in network.social_ties(kind):
+            handle.write(f"{u}\t{v}\t{code}\n")
+
+
+def read_tie_list(path: str | os.PathLike) -> MixedSocialNetwork:
+    """Read a network previously written by :func:`write_tie_list`."""
+    with open(path) as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> MixedSocialNetwork:
+    n_nodes: int | None = None
+    ties: dict[TieKind, list[tuple[int, int]]] = {
+        kind: [] for kind in _KIND_CODES.values()
+    }
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if body.startswith("nodes="):
+                n_nodes = int(body.split("=", 1)[1])
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise GraphValidationError(
+                f"line {lineno}: expected '<u>\\t<v>\\t<kind>', got {line!r}"
+            )
+        u, v, code = parts
+        if code not in _KIND_CODES:
+            raise GraphValidationError(f"line {lineno}: unknown tie kind {code!r}")
+        ties[_KIND_CODES[code]].append((int(u), int(v)))
+    if n_nodes is None:
+        raise GraphValidationError("missing '# nodes=<n>' header")
+    return MixedSocialNetwork(
+        n_nodes,
+        ties[TieKind.DIRECTED],
+        ties[TieKind.BIDIRECTIONAL],
+        ties[TieKind.UNDIRECTED],
+    )

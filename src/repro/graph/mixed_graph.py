@@ -1,0 +1,441 @@
+"""Mixed social network: the substrate every other subsystem builds on.
+
+A *mixed social network* (paper, Definition 1) is a graph
+``G = (V, E_d ∪ E_b ∪ E_u)`` whose tie set is partitioned into
+
+* **directed ties** ``E_d`` — orientation is known (these are the labels),
+* **bidirectional ties** ``E_b`` — both orientations exist and are known,
+* **undirected ties** ``E_u`` — the tie exists but its orientation is unknown.
+
+Internally the network stores the *expanded oriented tie set* produced by
+the preprocessing step of Algorithm 1 in the paper: every directed tie
+``(u, v)`` is accompanied by its reverse ``(v, u)`` (label 0), and every
+bidirectional or undirected tie is stored in both orientations.  Each
+oriented tie gets a dense integer id ``0..n_ties-1``; ``reverse_of[e]``
+links the two orientations of the same social tie.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable
+
+import numpy as np
+
+
+class TieKind(IntEnum):
+    """Kind of an oriented tie in the expanded tie set."""
+
+    #: A directed tie in its true orientation (label 1).
+    DIRECTED = 0
+    #: The materialised reverse of a directed tie (label 0).
+    DIRECTED_REVERSE = 1
+    #: One orientation of a bidirectional tie.
+    BIDIRECTIONAL = 2
+    #: One orientation of an undirected (direction-unknown) tie.
+    UNDIRECTED = 3
+
+
+class GraphValidationError(ValueError):
+    """Raised when tie lists violate the mixed-social-network contract."""
+
+
+def _as_pair_array(ties: Iterable[tuple[int, int]]) -> np.ndarray:
+    """Normalise an iterable of (u, v) pairs into an ``(n, 2)`` int array."""
+    arr = np.asarray(list(ties), dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphValidationError(
+            f"tie list must be pairs (u, v); got array of shape {arr.shape}"
+        )
+    return arr
+
+
+class MixedSocialNetwork:
+    """A mixed social network with directed, bidirectional and undirected ties.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; node ids are ``0..n_nodes-1``.
+    directed_ties:
+        Iterable of ``(u, v)`` pairs, one per directed tie, in the true
+        orientation.  The reverse orientation is materialised automatically.
+    bidirectional_ties:
+        Iterable of ``(u, v)`` pairs, **one canonical pair per tie** (either
+        orientation); both orientations are materialised.
+    undirected_ties:
+        Iterable of ``(u, v)`` pairs, one canonical pair per tie; both
+        orientations are materialised.
+    validate:
+        When true (default), enforce Definition 1: no self loops, no
+        duplicate ties, disjoint tie classes, and ``|E_d| > 0``.
+
+    Examples
+    --------
+    >>> net = MixedSocialNetwork(3, directed_ties=[(0, 1)],
+    ...                          undirected_ties=[(1, 2)])
+    >>> net.n_social_ties
+    2
+    >>> net.n_ties  # oriented: (0,1), (1,0), (1,2), (2,1)
+    4
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        directed_ties: Iterable[tuple[int, int]],
+        bidirectional_ties: Iterable[tuple[int, int]] = (),
+        undirected_ties: Iterable[tuple[int, int]] = (),
+        validate: bool = True,
+    ) -> None:
+        if n_nodes <= 0:
+            raise GraphValidationError("n_nodes must be positive")
+        self._n_nodes = int(n_nodes)
+
+        e_d = _as_pair_array(directed_ties)
+        e_b = _as_pair_array(bidirectional_ties)
+        e_u = _as_pair_array(undirected_ties)
+
+        if validate:
+            self._validate(e_d, e_b, e_u)
+
+        src_parts, dst_parts, kind_parts = [], [], []
+
+        def _add(pairs: np.ndarray, kind: TieKind) -> None:
+            src_parts.append(pairs[:, 0])
+            dst_parts.append(pairs[:, 1])
+            kind_parts.append(np.full(len(pairs), int(kind), dtype=np.int8))
+
+        # Layout: [E_d forward | E_d reverse | E_b both | E_u both].
+        # Reverse orientations sit at a fixed offset from their partner,
+        # which makes reverse_of cheap to build.
+        _add(e_d, TieKind.DIRECTED)
+        _add(e_d[:, ::-1], TieKind.DIRECTED_REVERSE)
+        _add(e_b, TieKind.BIDIRECTIONAL)
+        _add(e_b[:, ::-1], TieKind.BIDIRECTIONAL)
+        _add(e_u, TieKind.UNDIRECTED)
+        _add(e_u[:, ::-1], TieKind.UNDIRECTED)
+
+        self.tie_src = np.concatenate(src_parts) if src_parts else np.zeros(0, np.int64)
+        self.tie_dst = np.concatenate(dst_parts) if dst_parts else np.zeros(0, np.int64)
+        self.tie_kind = (
+            np.concatenate(kind_parts) if kind_parts else np.zeros(0, np.int8)
+        )
+
+        nd, nb, nu = len(e_d), len(e_b), len(e_u)
+        self._n_directed = nd
+        self._n_bidirectional = nb
+        self._n_undirected = nu
+
+        rev = np.empty(2 * (nd + nb + nu), dtype=np.int64)
+        rev[:nd] = np.arange(nd) + nd
+        rev[nd : 2 * nd] = np.arange(nd)
+        base = 2 * nd
+        rev[base : base + nb] = np.arange(nb) + base + nb
+        rev[base + nb : base + 2 * nb] = np.arange(nb) + base
+        base = 2 * nd + 2 * nb
+        rev[base : base + nu] = np.arange(nu) + base + nu
+        rev[base + nu : base + 2 * nu] = np.arange(nu) + base
+        self.reverse_of = rev
+
+        self._tie_index: dict[tuple[int, int], int] = {
+            (int(s), int(d)): i
+            for i, (s, d) in enumerate(zip(self.tie_src, self.tie_dst))
+        }
+        if self._tie_index and len(self._tie_index) != self.n_ties:
+            raise GraphValidationError("duplicate oriented ties detected")
+
+        self._out_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._und_csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._tie_degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self, e_d: np.ndarray, e_b: np.ndarray, e_u: np.ndarray) -> None:
+        if len(e_d) == 0:
+            raise GraphValidationError(
+                "Definition 1 requires |E_d| > 0 (pass validate=False to bypass)"
+            )
+        for name, pairs in (("E_d", e_d), ("E_b", e_b), ("E_u", e_u)):
+            if len(pairs) == 0:
+                continue
+            if pairs.min() < 0 or pairs.max() >= self._n_nodes:
+                raise GraphValidationError(f"{name} refers to nodes outside 0..n-1")
+            if np.any(pairs[:, 0] == pairs[:, 1]):
+                raise GraphValidationError(f"{name} contains self loops")
+
+        def _canon(pairs: np.ndarray) -> set[tuple[int, int]]:
+            return {
+                (int(min(u, v)), int(max(u, v))) for u, v in pairs
+            }
+
+        cd, cb, cu = _canon(e_d), _canon(e_b), _canon(e_u)
+        if len(cd) != len(e_d):
+            raise GraphValidationError(
+                "E_d contains both orientations (or duplicates) of a tie; "
+                "a reciprocated pair belongs in E_b"
+            )
+        if len(cb) != len(e_b) or len(cu) != len(e_u):
+            raise GraphValidationError("E_b or E_u contains duplicate ties")
+        if cd & cb or cd & cu or cb & cu:
+            raise GraphValidationError("tie classes E_d, E_b, E_u must be disjoint")
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n_nodes
+
+    @property
+    def n_ties(self) -> int:
+        """Number of *oriented* ties in the expanded tie set."""
+        return len(self.tie_src)
+
+    @property
+    def n_social_ties(self) -> int:
+        """Number of social ties ``|E_d| + |E_b| + |E_u|`` (unoriented)."""
+        return self._n_directed + self._n_bidirectional + self._n_undirected
+
+    @property
+    def n_directed(self) -> int:
+        """``|E_d|``."""
+        return self._n_directed
+
+    @property
+    def n_bidirectional(self) -> int:
+        """``|E_b|``."""
+        return self._n_bidirectional
+
+    @property
+    def n_undirected(self) -> int:
+        """``|E_u|``."""
+        return self._n_undirected
+
+    def tie_id(self, u: int, v: int) -> int:
+        """Dense id of the oriented tie ``(u, v)``; raises KeyError if absent."""
+        return self._tie_index[(int(u), int(v))]
+
+    def has_tie(self, u: int, v: int) -> bool:
+        """Whether the oriented tie ``(u, v)`` exists in the expanded set."""
+        return (int(u), int(v)) in self._tie_index
+
+    def has_oriented_tie(self, u: int, v: int) -> bool:
+        """Whether the network truly contains a tie in orientation u → v.
+
+        Unlike :meth:`has_tie`, the materialised reverse of a directed tie
+        does *not* count: for ``(u, v) ∈ E_d`` only the true orientation
+        answers true; bidirectional and undirected ties answer true both
+        ways.
+        """
+        idx = self._tie_index.get((int(u), int(v)))
+        return idx is not None and self.tie_kind[idx] != int(
+            TieKind.DIRECTED_REVERSE
+        )
+
+    def ties_of_kind(self, *kinds: TieKind) -> np.ndarray:
+        """Ids of oriented ties whose kind is one of ``kinds``."""
+        mask = np.isin(self.tie_kind, [int(k) for k in kinds])
+        return np.flatnonzero(mask)
+
+    @property
+    def labeled_tie_ids(self) -> np.ndarray:
+        """Oriented ties with direction labels: E_d forward and reverse."""
+        return self.ties_of_kind(TieKind.DIRECTED, TieKind.DIRECTED_REVERSE)
+
+    @property
+    def undirected_tie_ids(self) -> np.ndarray:
+        """Oriented ties belonging to undirected social ties (both ways)."""
+        return self.ties_of_kind(TieKind.UNDIRECTED)
+
+    @property
+    def bidirectional_tie_ids(self) -> np.ndarray:
+        """Oriented ties belonging to bidirectional social ties (both ways)."""
+        return self.ties_of_kind(TieKind.BIDIRECTIONAL)
+
+    def tie_labels(self) -> np.ndarray:
+        """Per-oriented-tie label: 1.0 / 0.0 for E_d forward/reverse, NaN else."""
+        labels = np.full(self.n_ties, np.nan)
+        labels[self.tie_kind == int(TieKind.DIRECTED)] = 1.0
+        labels[self.tie_kind == int(TieKind.DIRECTED_REVERSE)] = 0.0
+        return labels
+
+    # ------------------------------------------------------------------
+    # Degrees (paper Eqs. 1-2)
+    # ------------------------------------------------------------------
+
+    def out_degrees(self) -> np.ndarray:
+        """Mixed out-degrees (Eq. 1): undirected ties count 1/2 each way."""
+        deg = np.zeros(self._n_nodes)
+        full = np.isin(
+            self.tie_kind, [int(TieKind.DIRECTED), int(TieKind.BIDIRECTIONAL)]
+        )
+        half = self.tie_kind == int(TieKind.UNDIRECTED)
+        np.add.at(deg, self.tie_src[full], 1.0)
+        np.add.at(deg, self.tie_src[half], 0.5)
+        return deg
+
+    def in_degrees(self) -> np.ndarray:
+        """Mixed in-degrees (Eq. 2): undirected ties count 1/2 each way."""
+        deg = np.zeros(self._n_nodes)
+        full = np.isin(
+            self.tie_kind, [int(TieKind.DIRECTED), int(TieKind.BIDIRECTIONAL)]
+        )
+        half = self.tie_kind == int(TieKind.UNDIRECTED)
+        np.add.at(deg, self.tie_dst[full], 1.0)
+        np.add.at(deg, self.tie_dst[half], 0.5)
+        return deg
+
+    def degrees(self) -> np.ndarray:
+        """Total mixed degree ``deg(u) = deg_out(u) + deg_in(u)``."""
+        return self.out_degrees() + self.in_degrees()
+
+    # ------------------------------------------------------------------
+    # Connected ties (paper Definition 4, Eq. 6)
+    # ------------------------------------------------------------------
+
+    def _ensure_out_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR over nodes -> outgoing oriented tie ids in the expanded set."""
+        if self._out_csr is None:
+            order = np.argsort(self.tie_src, kind="stable")
+            counts = np.bincount(self.tie_src, minlength=self._n_nodes)
+            offsets = np.zeros(self._n_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._out_csr = (offsets, order.astype(np.int64))
+        return self._out_csr
+
+    def out_ties(self, node: int) -> np.ndarray:
+        """Ids of oriented ties leaving ``node`` in the expanded tie set."""
+        offsets, targets = self._ensure_out_csr()
+        return targets[offsets[node] : offsets[node + 1]]
+
+    def connected_ties(self, e: int) -> np.ndarray:
+        """``c(e)``: oriented ties ``(v, v')`` continuing ``e = (u, v)``.
+
+        Per Definition 4 the back-tie ``(v, u)`` is excluded.
+        """
+        u, v = self.tie_src[e], self.tie_dst[e]
+        candidates = self.out_ties(int(v))
+        return candidates[self.tie_dst[candidates] != u]
+
+    def tie_degrees(self) -> np.ndarray:
+        """``deg_tie(e) = |c(e)|`` for every oriented tie (vectorised).
+
+        Equals the out-tie count of ``dst(e)`` minus one if the back-tie
+        ``(dst, src)`` exists (Definition 4 excludes it).
+        """
+        if self._tie_degrees is None:
+            offsets, _ = self._ensure_out_csr()
+            out_counts = np.diff(offsets)
+            deg = out_counts[self.tie_dst].astype(np.int64)
+            # The reverse orientation of e is always materialised for every
+            # tie kind, so the back-tie (dst, src) always exists.
+            deg -= 1
+            self._tie_degrees = deg
+        return self._tie_degrees
+
+    def connected_pair_count(self) -> int:
+        """``|C(G)|``: total number of connected tie pairs."""
+        return int(self.tie_degrees().sum())
+
+    # ------------------------------------------------------------------
+    # Undirected neighbourhood view (for centrality, triads, patterns)
+    # ------------------------------------------------------------------
+
+    def _ensure_und_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR over nodes -> neighbour node ids, ignoring orientation.
+
+        Every social tie contributes each endpoint to the other's
+        neighbour list exactly once.
+        """
+        if self._und_csr is None:
+            # Orientated ties already contain (u,v) and (v,u) for every
+            # social tie, so the neighbour multiset is just tie_dst grouped
+            # by tie_src, deduplicated (a pair can have at most one social
+            # tie by validation, so no dedup needed).
+            order = np.lexsort((self.tie_dst, self.tie_src))
+            counts = np.bincount(self.tie_src, minlength=self._n_nodes)
+            offsets = np.zeros(self._n_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._und_csr = (offsets, self.tie_dst[order].astype(np.int64))
+        return self._und_csr
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node``, ignoring tie orientation."""
+        offsets, targets = self._ensure_und_csr()
+        return targets[offsets[node] : offsets[node + 1]]
+
+    def common_neighbors(self, u: int, v: int) -> np.ndarray:
+        """Sorted common neighbours of ``u`` and ``v`` (orientation-blind)."""
+        return np.intersect1d(
+            self.neighbors(u), self.neighbors(v), assume_unique=True
+        )
+
+    # ------------------------------------------------------------------
+    # Export / conversion
+    # ------------------------------------------------------------------
+
+    def social_ties(self, kind: TieKind) -> np.ndarray:
+        """Canonical ``(n, 2)`` pairs of the requested social-tie class.
+
+        For DIRECTED, pairs are in the true orientation; for BIDIRECTIONAL
+        and UNDIRECTED one canonical orientation per tie is returned.
+        """
+        if kind == TieKind.DIRECTED:
+            ids = self.ties_of_kind(TieKind.DIRECTED)
+        elif kind == TieKind.DIRECTED_REVERSE:
+            ids = self.ties_of_kind(TieKind.DIRECTED_REVERSE)
+        else:
+            ids = self.ties_of_kind(kind)
+            ids = ids[self.tie_src[ids] < self.tie_dst[ids]]
+        return np.column_stack([self.tie_src[ids], self.tie_dst[ids]])
+
+    def adjacency_matrix(self, directionality: np.ndarray | None = None):
+        """Adjacency matrix of the network as scipy CSR.
+
+        Directed ties contribute only their true orientation; bidirectional
+        and undirected ties contribute both orientations.  When
+        ``directionality`` (per-oriented-tie values, e.g. ``d(e)``) is
+        given, bidirectional cells take those values instead of 1 —
+        this is the *directionality adjacency matrix* of Sec. 5.2.
+        """
+        from scipy import sparse
+
+        keep = self.tie_kind != int(TieKind.DIRECTED_REVERSE)
+        ids = np.flatnonzero(keep)
+        values = np.ones(len(ids))
+        if directionality is not None:
+            is_bi = self.tie_kind[ids] == int(TieKind.BIDIRECTIONAL)
+            values[is_bi] = directionality[ids[is_bi]]
+        return sparse.csr_matrix(
+            (values, (self.tie_src[ids], self.tie_dst[ids])),
+            shape=(self._n_nodes, self._n_nodes),
+        )
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` with a ``kind`` edge attr."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._n_nodes))
+        for e in range(self.n_ties):
+            kind = TieKind(self.tie_kind[e])
+            if kind == TieKind.DIRECTED_REVERSE:
+                continue
+            g.add_edge(
+                int(self.tie_src[e]), int(self.tie_dst[e]), kind=kind.name.lower()
+            )
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MixedSocialNetwork(n_nodes={self._n_nodes}, "
+            f"|E_d|={self._n_directed}, |E_b|={self._n_bidirectional}, "
+            f"|E_u|={self._n_undirected})"
+        )

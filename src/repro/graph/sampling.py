@@ -1,0 +1,143 @@
+"""Sub-network sampling, mirroring the paper's preprocessing (Sec. 6.1).
+
+The paper samples 65k–80k-node sub-networks from each crawled graph by
+breadth-first traversal; Sec. 6.4 additionally BFS-samples sub-networks
+with a target *tie* count for the scalability study, and Sec. 6.2.5 keeps
+only the top-1 %-degree nodes for the visualisation figure.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from .mixed_graph import MixedSocialNetwork, TieKind
+
+
+def _induced(network: MixedSocialNetwork, kept: np.ndarray) -> MixedSocialNetwork:
+    """Sub-network induced on the node set ``kept`` (relabelled 0..k-1)."""
+    keep_mask = np.zeros(network.n_nodes, dtype=bool)
+    keep_mask[kept] = True
+    relabel = np.full(network.n_nodes, -1, dtype=np.int64)
+    relabel[kept] = np.arange(len(kept))
+
+    def _select(kind: TieKind) -> list[tuple[int, int]]:
+        pairs = network.social_ties(kind)
+        if len(pairs) == 0:
+            return []
+        mask = keep_mask[pairs[:, 0]] & keep_mask[pairs[:, 1]]
+        return [
+            (int(relabel[u]), int(relabel[v])) for u, v in pairs[mask]
+        ]
+
+    return MixedSocialNetwork(
+        len(kept),
+        _select(TieKind.DIRECTED),
+        _select(TieKind.BIDIRECTIONAL),
+        _select(TieKind.UNDIRECTED),
+        validate=False,
+    )
+
+
+def bfs_sample_nodes(
+    network: MixedSocialNetwork,
+    n_target: int,
+    seed: int | np.random.Generator = 0,
+) -> MixedSocialNetwork:
+    """BFS from a random start until ``n_target`` nodes are collected.
+
+    If the reachable component is smaller than ``n_target``, BFS restarts
+    from a fresh unvisited node (so disconnected graphs still yield the
+    requested size when possible).
+    """
+    rng = np.random.default_rng(seed)
+    n_target = min(n_target, network.n_nodes)
+
+    visited = np.zeros(network.n_nodes, dtype=bool)
+    order: list[int] = []
+    candidates = rng.permutation(network.n_nodes)
+    cursor = 0
+    queue: collections.deque[int] = collections.deque()
+
+    while len(order) < n_target:
+        if not queue:
+            while cursor < len(candidates) and visited[candidates[cursor]]:
+                cursor += 1
+            if cursor == len(candidates):
+                break
+            start = int(candidates[cursor])
+            visited[start] = True
+            order.append(start)
+            queue.append(start)
+        else:
+            node = queue.popleft()
+            for nb in network.neighbors(node):
+                nb = int(nb)
+                if not visited[nb]:
+                    visited[nb] = True
+                    order.append(nb)
+                    queue.append(nb)
+                    if len(order) == n_target:
+                        break
+    return _induced(network, np.asarray(order[:n_target], dtype=np.int64))
+
+
+def bfs_sample_ties(
+    network: MixedSocialNetwork,
+    n_ties_target: int,
+    seed: int | np.random.Generator = 0,
+) -> MixedSocialNetwork:
+    """BFS-grow a sub-network until it holds ~``n_ties_target`` social ties.
+
+    Used by the Fig. 9 scalability sweep, which samples Tencent
+    sub-networks "with different number of social ties through a BFS
+    process".  Growth stops at the first node whose addition reaches the
+    target, so the result can slightly overshoot.
+    """
+    rng = np.random.default_rng(seed)
+
+    enqueued = np.zeros(network.n_nodes, dtype=bool)
+    selected = np.zeros(network.n_nodes, dtype=bool)
+    order: list[int] = []
+    tie_count = 0
+    candidates = rng.permutation(network.n_nodes)
+    cursor = 0
+    queue: collections.deque[int] = collections.deque()
+
+    while tie_count < n_ties_target and len(order) < network.n_nodes:
+        if not queue:
+            while cursor < len(candidates) and enqueued[candidates[cursor]]:
+                cursor += 1
+            if cursor == len(candidates):
+                break
+            node = int(candidates[cursor])
+            enqueued[node] = True
+        else:
+            node = int(queue.popleft())
+        # Count ties into the already-selected set, then admit the node.
+        neighbours = network.neighbors(node)
+        tie_count += int(selected[neighbours].sum())
+        selected[node] = True
+        order.append(node)
+        for nb in neighbours:
+            nb = int(nb)
+            if not enqueued[nb]:
+                enqueued[nb] = True
+                queue.append(nb)
+    return _induced(network, np.asarray(order, dtype=np.int64))
+
+
+def top_degree_subgraph(
+    network: MixedSocialNetwork, fraction: float = 0.01
+) -> MixedSocialNetwork:
+    """Sub-network induced on the top-``fraction`` nodes by mixed degree.
+
+    This is the Sec. 6.2.5 preprocessing for the visualisation figure
+    ("the nodes with top 1 % degrees of Slashdot are selected").
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    k = max(2, int(round(network.n_nodes * fraction)))
+    top = np.argsort(network.degrees())[::-1][:k]
+    return _induced(network, np.sort(top))

@@ -1,0 +1,27 @@
+"""Tie-direction models: the five methods of the paper's evaluation."""
+
+from .base import TieDirectionModel
+from .deepdirect_model import DeepDirectModel
+from .grid_search import DEFAULT_GRID, DeepDirectGridSearch
+from .hf import HFModel
+from .line_model import LineModel
+from .logistic import LogisticRegression
+from .mlp import MLPClassifier
+from .node2vec_model import Node2VecModel
+from .redirect import ReDirectNSM, ReDirectTSM
+from .transfer import TransferHFModel
+
+__all__ = [
+    "DEFAULT_GRID",
+    "DeepDirectGridSearch",
+    "DeepDirectModel",
+    "HFModel",
+    "LineModel",
+    "LogisticRegression",
+    "MLPClassifier",
+    "Node2VecModel",
+    "ReDirectNSM",
+    "ReDirectTSM",
+    "TieDirectionModel",
+    "TransferHFModel",
+]

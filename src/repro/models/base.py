@@ -1,0 +1,46 @@
+"""Common interface of every tie-direction model.
+
+All five methods from the paper's evaluation (HF, DeepDirect, LINE,
+ReDirect-N/sm, ReDirect-T/sm) implement :class:`TieDirectionModel`:
+``fit`` on a mixed social network, then expose the directionality value
+``d(e)`` for every oriented tie.  Applications (Sec. 5) consume only
+this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..graph import MixedSocialNetwork
+
+
+class TieDirectionModel(abc.ABC):
+    """A learned (or propagated) directionality function on one network."""
+
+    network: MixedSocialNetwork | None = None
+
+    @abc.abstractmethod
+    def fit(
+        self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
+    ) -> "TieDirectionModel":
+        """Learn from ``network``'s labeled ties; returns ``self``."""
+
+    @abc.abstractmethod
+    def tie_scores(self) -> np.ndarray:
+        """``d(e)`` for every oriented tie id of the fitted network."""
+
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> MixedSocialNetwork:
+        if self.network is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+        return self.network
+
+    def directionality(self, u: int, v: int) -> float:
+        """``d(u, v)`` for one existing oriented tie."""
+        network = self._check_fitted()
+        return float(self.tie_scores()[network.tie_id(u, v)])

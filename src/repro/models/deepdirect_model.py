@@ -1,0 +1,124 @@
+"""DeepDirect end-to-end: E-Step embedding + D-Step classifier (Sec. 4).
+
+The D-Step (Sec. 4.5.2) trains an L2-regularised logistic regression on
+the embedding rows of the labeled ties, warm-started from the E-Step's
+joint head, optionally weighting samples by tie degree (mirroring the
+``deg_tie`` weighting of Eq. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding import DeepDirectConfig, DeepDirectEmbedding, EmbeddingResult
+from ..graph import MixedSocialNetwork
+from ..utils import ensure_rng
+from .base import TieDirectionModel
+from .logistic import LogisticRegression
+
+
+class DeepDirectModel(TieDirectionModel):
+    """The paper's headline method.
+
+    Parameters
+    ----------
+    config:
+        E-Step hyper-parameters (``α``, ``β``, ``l``, ``λ``, ``τ``, ...).
+    l2:
+        D-Step regularisation strength.
+    warm_start:
+        Initialise the D-Step from the E-Step head ``(w', b')``
+        (Algorithm 1 line 20).  Disable for the ablation bench.
+    degree_weighted_dstep:
+        Weight D-Step samples by tie degree, matching the E-Step's
+        emphasis on well-connected ties.  Off by default (the paper
+        trains the D-Step unweighted).
+    dstep:
+        ``"logistic"`` (the paper's D-Step, Eq. 26) or ``"mlp"`` — the
+        non-linear directionality function proposed as future work in
+        Sec. 8, realised by :class:`repro.models.MLPClassifier`.
+    mlp_hidden:
+        Hidden width of the MLP D-Step (ignored for ``"logistic"``).
+    """
+
+    def __init__(
+        self,
+        config: DeepDirectConfig | None = None,
+        l2: float = 1e-3,
+        warm_start: bool = True,
+        degree_weighted_dstep: bool = False,
+        dstep: str = "logistic",
+        mlp_hidden: int = 32,
+    ) -> None:
+        if dstep not in ("logistic", "mlp"):
+            raise ValueError("dstep must be 'logistic' or 'mlp'")
+        self.config = config or DeepDirectConfig()
+        self.l2 = l2
+        self.warm_start = warm_start
+        self.degree_weighted_dstep = degree_weighted_dstep
+        self.dstep = dstep
+        self.mlp_hidden = mlp_hidden
+        self.network: MixedSocialNetwork | None = None
+        self.embedding_: EmbeddingResult | None = None
+        self._classifier: LogisticRegression | None = None
+        self._scores: np.ndarray | None = None
+
+    def fit(
+        self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
+    ) -> "DeepDirectModel":
+        rng = ensure_rng(seed)
+
+        # E-Step: learn the tie embedding matrix M.
+        embedding = DeepDirectEmbedding(self.config).fit(network, seed=rng)
+
+        # D-Step: classifier on the labeled tie embeddings.
+        labels = network.tie_labels()
+        labeled = np.flatnonzero(~np.isnan(labels))
+        sample_weight = (
+            network.tie_degrees()[labeled].astype(float)
+            if self.degree_weighted_dstep
+            else None
+        )
+        if self.dstep == "mlp":
+            # Future-work variant (Sec. 8): the MLP has its own
+            # parameterisation, so the E-Step warm start does not apply.
+            from .mlp import MLPClassifier
+
+            classifier = MLPClassifier(
+                hidden=self.mlp_hidden, l2=self.l2, seed=rng
+            )
+            classifier.fit(
+                embedding.embeddings[labeled],
+                labels[labeled],
+                sample_weight=sample_weight,
+            )
+        else:
+            classifier = LogisticRegression(l2=self.l2)
+            warm = (
+                (embedding.classifier_weights, embedding.classifier_bias)
+                if self.warm_start
+                else None
+            )
+            classifier.fit(
+                embedding.embeddings[labeled],
+                labels[labeled],
+                sample_weight=sample_weight,
+                warm_start=warm,
+            )
+
+        self.network = network
+        self.embedding_ = embedding
+        self._classifier = classifier
+        self._scores = classifier.predict_proba(embedding.embeddings)
+        return self
+
+    def tie_scores(self) -> np.ndarray:
+        self._check_fitted()
+        return self._scores
+
+    @property
+    def tie_embeddings(self) -> np.ndarray:
+        """The E-Step embedding matrix ``M`` (rows = oriented tie ids)."""
+        if self.embedding_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.embedding_.embeddings

@@ -1,0 +1,119 @@
+"""Grid-searched DeepDirect (paper Sec. 6.1).
+
+"As for the hyper parameters α and β, which balance the effect of the
+three loss functions in E-Step, we use the grid search with
+cross-validation to determine the optimal values."
+
+:class:`DeepDirectGridSearch` realises that protocol: it carves a
+validation workload out of the network's own labeled ties (hiding a
+fraction of ``E_d`` the same way the experiments hide directions),
+trains one candidate per ``(α, β)`` pair on the reduced network, keeps
+the candidate with the best validation discovery accuracy, and retrains
+it on the full network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..datasets.perturb import hide_directions
+from ..embedding import DeepDirectConfig
+from ..graph import MixedSocialNetwork
+from ..utils import ensure_rng
+from .base import TieDirectionModel
+from .deepdirect_model import DeepDirectModel
+
+#: The (α, β) grid of the paper's sensitivity studies (Figs. 4-5).
+DEFAULT_GRID: tuple[tuple[float, float], ...] = (
+    (5.0, 0.1),
+    (10.0, 0.1),
+    (5.0, 1.0),
+)
+
+
+class DeepDirectGridSearch(TieDirectionModel):
+    """DeepDirect with validation-based (α, β) selection.
+
+    Parameters
+    ----------
+    base_config:
+        Shared hyper-parameters; ``alpha``/``beta`` are overridden per
+        grid point.
+    grid:
+        Candidate ``(α, β)`` pairs.
+    validation_fraction:
+        Share of the labeled ties hidden to form the validation workload.
+    selection_epochs:
+        Optional cheaper epoch budget for the selection runs (the final
+        refit always uses ``base_config.epochs``).
+    """
+
+    def __init__(
+        self,
+        base_config: DeepDirectConfig | None = None,
+        grid: tuple[tuple[float, float], ...] = DEFAULT_GRID,
+        validation_fraction: float = 0.25,
+        selection_epochs: float | None = None,
+        l2: float = 1e-3,
+    ) -> None:
+        if not grid:
+            raise ValueError("grid must contain at least one (alpha, beta) pair")
+        if not 0 < validation_fraction < 1:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        self.base_config = base_config or DeepDirectConfig()
+        self.grid = tuple(grid)
+        self.validation_fraction = validation_fraction
+        self.selection_epochs = selection_epochs
+        self.l2 = l2
+        self.network: MixedSocialNetwork | None = None
+        self.best_model_: DeepDirectModel | None = None
+        self.best_params_: tuple[float, float] | None = None
+        self.validation_scores_: dict[tuple[float, float], float] = {}
+
+    def _candidate_config(
+        self, alpha: float, beta: float, selection: bool
+    ) -> DeepDirectConfig:
+        changes: dict[str, object] = {"alpha": alpha, "beta": beta}
+        if selection and self.selection_epochs is not None:
+            changes["epochs"] = self.selection_epochs
+        return dataclasses.replace(self.base_config, **changes)
+
+    def fit(
+        self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
+    ) -> "DeepDirectGridSearch":
+        # Imported here: repro.apps depends on repro.models.
+        from ..apps.discovery import discovery_accuracy
+
+        rng = ensure_rng(seed)
+        selection_seed = int(rng.integers(0, 2**31 - 1))
+        validation_task = hide_directions(
+            network, 1.0 - self.validation_fraction, seed=selection_seed
+        )
+
+        self.validation_scores_ = {}
+        best_pair, best_score = self.grid[0], -1.0
+        for alpha, beta in self.grid:
+            candidate = DeepDirectModel(
+                self._candidate_config(alpha, beta, selection=True), l2=self.l2
+            )
+            candidate.fit(validation_task.network, seed=selection_seed)
+            score = discovery_accuracy(candidate, validation_task)
+            self.validation_scores_[(alpha, beta)] = score
+            if score > best_score:
+                best_pair, best_score = (alpha, beta), score
+
+        final = DeepDirectModel(
+            self._candidate_config(*best_pair, selection=False), l2=self.l2
+        )
+        final.fit(network, seed=selection_seed)
+
+        self.network = network
+        self.best_model_ = final
+        self.best_params_ = best_pair
+        return self
+
+    def tie_scores(self) -> np.ndarray:
+        self._check_fitted()
+        return self.best_model_.tie_scores()

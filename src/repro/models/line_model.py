@@ -1,0 +1,51 @@
+"""LINE baseline end-to-end (paper Sec. 6.1).
+
+LINE node vectors are learned unsupervised; a tie ``(u, v)`` is
+represented by concatenating the endpoint vectors, and a logistic
+regression on the labeled ties models the directionality function —
+the indirect edge representation the paper argues against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding import LineConfig, LineEmbedding, LineResult
+from ..graph import MixedSocialNetwork
+from ..utils import ensure_rng
+from .base import TieDirectionModel
+from .logistic import LogisticRegression
+
+
+class LineModel(TieDirectionModel):
+    """LINE node embedding + endpoint concatenation + logistic regression."""
+
+    def __init__(
+        self, config: LineConfig | None = None, l2: float = 1e-3
+    ) -> None:
+        self.config = config or LineConfig()
+        self.l2 = l2
+        self.network: MixedSocialNetwork | None = None
+        self.embedding_: LineResult | None = None
+        self._scores: np.ndarray | None = None
+
+    def fit(
+        self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
+    ) -> "LineModel":
+        rng = ensure_rng(seed)
+        embedding = LineEmbedding(self.config).fit(network, seed=rng)
+        features = embedding.tie_features(network)
+
+        labels = network.tie_labels()
+        labeled = np.flatnonzero(~np.isnan(labels))
+        classifier = LogisticRegression(l2=self.l2)
+        classifier.fit(features[labeled], labels[labeled])
+
+        self.network = network
+        self.embedding_ = embedding
+        self._scores = classifier.predict_proba(features)
+        return self
+
+    def tie_scores(self) -> np.ndarray:
+        self._check_fitted()
+        return self._scores

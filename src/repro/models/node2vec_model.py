@@ -1,0 +1,50 @@
+"""node2vec + endpoint concatenation + logistic regression.
+
+A second node-based baseline (Sec. 7 related work) sharing the
+:class:`TieDirectionModel` interface, so it drops into every experiment
+next to LINE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..embedding.node2vec import Node2VecConfig, Node2VecEmbedding, Node2VecResult
+from ..graph import MixedSocialNetwork
+from ..utils import ensure_rng
+from .base import TieDirectionModel
+from .logistic import LogisticRegression
+
+
+class Node2VecModel(TieDirectionModel):
+    """node2vec node embedding with a logistic-regression D-Step."""
+
+    def __init__(
+        self, config: Node2VecConfig | None = None, l2: float = 1e-3
+    ) -> None:
+        self.config = config or Node2VecConfig()
+        self.l2 = l2
+        self.network: MixedSocialNetwork | None = None
+        self.embedding_: Node2VecResult | None = None
+        self._scores: np.ndarray | None = None
+
+    def fit(
+        self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
+    ) -> "Node2VecModel":
+        rng = ensure_rng(seed)
+        embedding = Node2VecEmbedding(self.config).fit(network, seed=rng)
+        features = embedding.tie_features(network)
+
+        labels = network.tie_labels()
+        labeled = np.flatnonzero(~np.isnan(labels))
+        classifier = LogisticRegression(l2=self.l2)
+        classifier.fit(features[labeled], labels[labeled])
+
+        self.network = network
+        self.embedding_ = embedding
+        self._scores = classifier.predict_proba(features)
+        return self
+
+    def tie_scores(self) -> np.ndarray:
+        self._check_fitted()
+        return self._scores

@@ -1,0 +1,18 @@
+"""Small shared helpers (determinism, validation)."""
+
+from .rng import ensure_rng, spawn
+from .validation import (
+    check_finite_array,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "check_finite_array",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "ensure_rng",
+    "spawn",
+]

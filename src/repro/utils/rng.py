@@ -1,0 +1,24 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library accepts ``seed`` as either an
+integer or a ready :class:`numpy.random.Generator`; this module is the
+single place that normalises the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator: pass-through if already one, else seed a new one."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    return [np.random.default_rng(s) for s in rng.integers(0, 2**63 - 1, size=n)]

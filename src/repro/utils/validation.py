@@ -1,0 +1,34 @@
+"""Shared argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]; got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive; got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative; got {value}")
+    return value
+
+
+def check_finite_array(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that every entry of ``array`` is finite."""
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array

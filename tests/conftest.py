@@ -1,0 +1,88 @@
+"""Shared fixtures: small deterministic networks and one trained model.
+
+Expensive artefacts (generated datasets, a fitted DeepDirect model) are
+session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GeneratorConfig,
+    generate_social_network,
+    hide_directions,
+)
+from repro.embedding import DeepDirectConfig
+from repro.graph import MixedSocialNetwork
+from repro.models import DeepDirectModel
+
+
+@pytest.fixture
+def tiny_network() -> MixedSocialNetwork:
+    """The Fig. 1 example network from the paper (10 nodes, 14 ties)."""
+    # a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9
+    return MixedSocialNetwork(
+        10,
+        directed_ties=[
+            (3, 0),  # (d, a)
+            (2, 5),  # (c, f)
+            (4, 3),  # (e, d)
+            (5, 4),  # (f, e)
+            (7, 5),  # (h, f)
+            (8, 5),  # (i, f)
+            (5, 9),  # (f, j)
+        ],
+        bidirectional_ties=[(1, 5), (3, 5), (4, 6), (4, 7)],
+        undirected_ties=[(1, 3), (2, 9), (7, 8)],
+    )
+
+
+@pytest.fixture
+def triangle_network() -> MixedSocialNetwork:
+    """Three nodes, three directed ties forming a feed-forward triangle."""
+    return MixedSocialNetwork(3, directed_ties=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> MixedSocialNetwork:
+    """A ~200-node generated social network (session-scoped)."""
+    config = GeneratorConfig(
+        n_nodes=200,
+        ties_per_node=6,
+        triad_closure=0.4,
+        reciprocity=0.3,
+        status_degree_weight=0.5,
+        status_sharpness=4.0,
+        n_communities=8,
+        community_weight=0.7,
+        homophily=0.85,
+    )
+    return generate_social_network(config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def discovery_task(small_dataset):
+    """A hidden-direction workload on the small dataset."""
+    return hide_directions(small_dataset, 0.4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> DeepDirectConfig:
+    """A DeepDirect configuration sized for tests."""
+    return DeepDirectConfig(
+        dimensions=16, epochs=2.0, alpha=5.0, beta=0.1, max_pairs=120_000
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_deepdirect(discovery_task, fast_config) -> DeepDirectModel:
+    """One fitted DeepDirect model, shared by the app/eval tests."""
+    model = DeepDirectModel(fast_config)
+    return model.fit(discovery_task.network, seed=0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

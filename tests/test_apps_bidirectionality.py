@@ -1,0 +1,95 @@
+"""Unit tests for bidirectionality detection (Sec. 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    bidirectionality_auc,
+    bidirectionality_scores,
+    hide_tie_types,
+)
+from repro.datasets import random_mixed_network
+from repro.embedding import DeepDirectConfig
+from repro.models import DeepDirectModel, ReDirectTSM
+
+
+class TestHideTieTypes:
+    def test_counts(self, small_dataset):
+        task = hide_tie_types(small_dataset, 0.3, seed=0)
+        n_hidden = len(task.hidden_pairs)
+        assert n_hidden == len(task.is_bidirectional)
+        assert (
+            task.network.n_undirected
+            == small_dataset.n_undirected + n_hidden
+        )
+
+    def test_both_classes_present(self, small_dataset):
+        task = hide_tie_types(small_dataset, 0.3, seed=0)
+        assert 0 < task.is_bidirectional.sum() < len(task.is_bidirectional)
+
+    def test_labels_match_origin(self, small_dataset):
+        task = hide_tie_types(small_dataset, 0.3, seed=0)
+        for (u, v), label in zip(task.hidden_pairs, task.is_bidirectional):
+            u, v = int(u), int(v)
+            was_bidir = small_dataset.has_oriented_tie(
+                u, v
+            ) and small_dataset.has_oriented_tie(v, u)
+            assert bool(label) == was_bidir
+
+    def test_at_least_one_directed_kept(self, small_dataset):
+        task = hide_tie_types(small_dataset, 1.0, seed=0)
+        assert task.network.n_directed >= 1
+
+    def test_no_bidirectional_rejected(self):
+        network = random_mixed_network(20, 40, 0, 0, seed=0)
+        with pytest.raises(ValueError, match="bidirectional"):
+            hide_tie_types(network, 0.3)
+
+    def test_deterministic(self, small_dataset):
+        a = hide_tie_types(small_dataset, 0.3, seed=4)
+        b = hide_tie_types(small_dataset, 0.3, seed=4)
+        assert np.array_equal(a.hidden_pairs, b.hidden_pairs)
+
+
+class TestDetection:
+    @pytest.fixture(scope="class")
+    def task_and_model(self):
+        # Detection needs the phenomenon: mutuality correlated with
+        # status balance (reciprocity_balance > 0); see the generator
+        # docs — with balance 0 mutuality is random and AUC is ~0.5.
+        from repro.datasets import GeneratorConfig, generate_social_network
+
+        config = GeneratorConfig(
+            n_nodes=250,
+            ties_per_node=6,
+            triad_closure=0.4,
+            reciprocity=0.35,
+            status_degree_weight=0.5,
+            status_sharpness=4.0,
+            n_communities=8,
+            community_weight=0.7,
+            homophily=0.85,
+            reciprocity_balance=2.0,
+        )
+        network = generate_social_network(config, seed=7)
+        task = hide_tie_types(network, 0.3, seed=0)
+        model = DeepDirectModel(
+            DeepDirectConfig(dimensions=32, epochs=3.0, max_pairs=400_000)
+        ).fit(task.network, seed=0)
+        return task, model
+
+    def test_scores_in_unit_interval(self, task_and_model):
+        task, model = task_and_model
+        scores = bidirectionality_scores(model, task.hidden_pairs)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_auc_beats_chance(self, task_and_model):
+        task, model = task_and_model
+        auc = bidirectionality_auc(model, task)
+        assert auc > 0.55
+
+    def test_model_task_mismatch(self, task_and_model, small_dataset):
+        task, _model = task_and_model
+        other = ReDirectTSM(max_sweeps=5).fit(small_dataset, seed=0)
+        with pytest.raises(ValueError, match="fitted on"):
+            bidirectionality_auc(other, task)

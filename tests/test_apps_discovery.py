@@ -1,0 +1,88 @@
+"""Unit tests for direction discovery (Sec. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discover_and_apply, discovery_accuracy, predict_directions
+from repro.graph import TieKind
+from repro.models import ReDirectTSM
+
+
+class TestPredictDirections:
+    def test_default_predicts_all_undirected(
+        self, fitted_deepdirect, discovery_task
+    ):
+        predictions = predict_directions(fitted_deepdirect)
+        assert len(predictions) == discovery_task.network.n_undirected
+
+    def test_rows_are_orientations_of_input(
+        self, fitted_deepdirect, discovery_task
+    ):
+        pairs = discovery_task.true_sources[:25]
+        predictions = predict_directions(fitted_deepdirect, pairs)
+        for (u, v), (p, q) in zip(pairs, predictions):
+            assert {int(u), int(v)} == {int(p), int(q)}
+
+    def test_orientation_of_query_is_irrelevant(
+        self, fitted_deepdirect, discovery_task
+    ):
+        pairs = discovery_task.true_sources[:25]
+        forward = predict_directions(fitted_deepdirect, pairs)
+        backward = predict_directions(fitted_deepdirect, pairs[:, ::-1])
+        assert np.array_equal(forward, backward)
+
+    def test_consistent_with_scores(self, fitted_deepdirect, discovery_task):
+        net = discovery_task.network
+        scores = fitted_deepdirect.tie_scores()
+        pairs = discovery_task.true_sources[:25]
+        predictions = predict_directions(fitted_deepdirect, pairs)
+        for p, q in predictions:
+            p, q = int(p), int(q)
+            assert scores[net.tie_id(p, q)] >= scores[net.tie_id(q, p)] or (
+                scores[net.tie_id(p, q)] == scores[net.tie_id(q, p)]
+            )
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            predict_directions(ReDirectTSM())
+
+
+class TestDiscoveryAccuracy:
+    def test_in_unit_interval(self, fitted_deepdirect, discovery_task):
+        accuracy = discovery_accuracy(fitted_deepdirect, discovery_task)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_beats_chance(self, fitted_deepdirect, discovery_task):
+        assert discovery_accuracy(fitted_deepdirect, discovery_task) > 0.55
+
+    def test_model_task_mismatch_rejected(
+        self, fitted_deepdirect, small_dataset
+    ):
+        from repro.datasets import hide_directions
+
+        other_task = hide_directions(small_dataset, 0.4, seed=99)
+        with pytest.raises(ValueError, match="fitted on"):
+            discovery_accuracy(fitted_deepdirect, other_task)
+
+
+class TestDiscoverAndApply:
+    def test_no_undirected_ties_remain(self, fitted_deepdirect):
+        completed = discover_and_apply(fitted_deepdirect)
+        assert completed.n_undirected == 0
+
+    def test_tie_budget_conserved(self, fitted_deepdirect, discovery_task):
+        net = discovery_task.network
+        completed = discover_and_apply(fitted_deepdirect)
+        assert completed.n_social_ties == net.n_social_ties
+        assert completed.n_directed == net.n_directed + net.n_undirected
+        assert completed.n_bidirectional == net.n_bidirectional
+
+    def test_discovered_orientation_matches_prediction(
+        self, fitted_deepdirect, discovery_task
+    ):
+        net = discovery_task.network
+        predictions = predict_directions(fitted_deepdirect)
+        completed = discover_and_apply(fitted_deepdirect)
+        for p, q in predictions[:25]:
+            assert completed.has_oriented_tie(int(p), int(q))
+            assert not completed.has_oriented_tie(int(q), int(p))

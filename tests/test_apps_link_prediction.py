@@ -1,0 +1,87 @@
+"""Unit tests for Jaccard-coefficient link prediction (Sec. 6.3, Eq. 29)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.apps import (
+    jaccard_scores,
+    link_prediction_auc,
+    two_hop_candidate_pairs,
+)
+from repro.datasets import held_out_tie_split
+from repro.graph import MixedSocialNetwork
+
+
+class TestJaccardScores:
+    def test_hand_computed(self):
+        # A: 0->1, 1->2, 0->2 ; score(0->2) via w=1
+        a = sparse.csr_matrix(
+            (np.ones(3), ([0, 1, 0], [1, 2, 2])), shape=(3, 3)
+        )
+        pairs = np.array([[0, 2]])
+        score = jaccard_scores(a, pairs)[0]
+        # numerator: A[0,1]*A[1,2] = 1; denominator: row0 sum (2) + col2 sum (2)
+        assert score == pytest.approx(1.0 / 4.0)
+
+    def test_weighted_matrix(self):
+        a = sparse.csr_matrix(
+            (np.array([0.5, 0.8]), ([0, 1], [1, 2])), shape=(3, 3)
+        )
+        score = jaccard_scores(a, np.array([[0, 2]]))[0]
+        assert score == pytest.approx(0.4 / (0.5 + 0.8))
+
+    def test_zero_denominator(self):
+        a = sparse.csr_matrix((3, 3))
+        assert jaccard_scores(a, np.array([[0, 2]]))[0] == 0.0
+
+    def test_empty_pairs(self):
+        a = sparse.csr_matrix((3, 3))
+        assert jaccard_scores(a, np.zeros((0, 2), dtype=int)).shape == (0,)
+
+
+class TestTwoHopCandidates:
+    def test_candidates_are_two_hop_non_adjacent(self, small_dataset):
+        pairs = two_hop_candidate_pairs(small_dataset, max_pairs=500, seed=0)
+        adjacency = small_dataset.adjacency_matrix()
+        product = adjacency @ adjacency
+        for u, v in pairs[:100]:
+            u, v = int(u), int(v)
+            assert u != v
+            assert adjacency[u, v] == 0
+            assert product[u, v] > 0
+
+    def test_max_pairs_cap(self, small_dataset):
+        pairs = two_hop_candidate_pairs(small_dataset, max_pairs=100, seed=0)
+        assert len(pairs) == 100
+
+    def test_deterministic(self, small_dataset):
+        a = two_hop_candidate_pairs(small_dataset, max_pairs=200, seed=3)
+        b = two_hop_candidate_pairs(small_dataset, max_pairs=200, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestLinkPredictionAuc:
+    def test_fig8_pipeline(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 0.8, seed=0)
+        candidates = two_hop_candidate_pairs(
+            split.train_network, max_pairs=4000, seed=0
+        )
+        result = link_prediction_auc(
+            split.train_network.adjacency_matrix(), candidates, small_dataset
+        )
+        assert 0.0 <= result.auc <= 1.0
+        assert result.n_candidates == len(candidates)
+        assert 0 < result.n_positives < result.n_candidates
+        # Jaccard on 2-hop pairs should beat random ranking.
+        assert result.auc > 0.5
+
+    def test_single_class_rejected(self, small_dataset):
+        adjacency = small_dataset.adjacency_matrix()
+        # candidate pairs that are all disconnected in G
+        pairs = np.array([[0, 1]])
+        isolated = MixedSocialNetwork(
+            small_dataset.n_nodes, [(2, 3)]
+        )
+        with pytest.raises(ValueError, match="single-class"):
+            link_prediction_auc(adjacency, pairs, isolated)

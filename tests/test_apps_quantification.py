@@ -1,0 +1,64 @@
+"""Unit tests for direction quantification (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    directionality_adjacency_matrix,
+    quantify_bidirectional_ties,
+)
+from repro.graph import TieKind
+from repro.models import ReDirectTSM
+
+
+class TestDirectionalityAdjacencyMatrix:
+    def test_shape(self, fitted_deepdirect, discovery_task):
+        matrix = directionality_adjacency_matrix(fitted_deepdirect)
+        n = discovery_task.network.n_nodes
+        assert matrix.shape == (n, n)
+
+    def test_bidirectional_cells_reweighted(
+        self, fitted_deepdirect, discovery_task
+    ):
+        net = discovery_task.network
+        matrix = directionality_adjacency_matrix(fitted_deepdirect).toarray()
+        scores = fitted_deepdirect.tie_scores()
+        for u, v in net.social_ties(TieKind.BIDIRECTIONAL)[:20]:
+            u, v = int(u), int(v)
+            assert matrix[u, v] == pytest.approx(scores[net.tie_id(u, v)])
+            assert matrix[v, u] == pytest.approx(scores[net.tie_id(v, u)])
+
+    def test_directed_cells_keep_one(self, fitted_deepdirect, discovery_task):
+        net = discovery_task.network
+        matrix = directionality_adjacency_matrix(fitted_deepdirect).toarray()
+        for u, v in net.social_ties(TieKind.DIRECTED)[:20]:
+            assert matrix[int(u), int(v)] == pytest.approx(1.0)
+            assert matrix[int(v), int(u)] == pytest.approx(0.0)
+
+    def test_same_sparsity_as_plain_adjacency(
+        self, fitted_deepdirect, discovery_task
+    ):
+        net = discovery_task.network
+        plain = net.adjacency_matrix().toarray()
+        weighted = directionality_adjacency_matrix(fitted_deepdirect).toarray()
+        # the non-zero structure is a subset of the plain structure
+        assert not np.any((weighted != 0) & (plain == 0))
+
+
+class TestQuantifyBidirectionalTies:
+    def test_table_shape(self, fitted_deepdirect, discovery_task):
+        table = quantify_bidirectional_ties(fitted_deepdirect)
+        assert table.shape == (discovery_task.network.n_bidirectional, 4)
+
+    def test_rows_match_scores(self, fitted_deepdirect, discovery_task):
+        net = discovery_task.network
+        scores = fitted_deepdirect.tie_scores()
+        table = quantify_bidirectional_ties(fitted_deepdirect)
+        for u, v, duv, dvu in table[:20]:
+            u, v = int(u), int(v)
+            assert duv == pytest.approx(scores[net.tie_id(u, v)])
+            assert dvu == pytest.approx(scores[net.tie_id(v, u)])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            quantify_bidirectional_ties(ReDirectTSM())

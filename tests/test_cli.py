@@ -1,0 +1,128 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import random_mixed_network
+from repro.graph import read_tie_list, write_tie_list
+
+
+@pytest.fixture
+def tie_file(tmp_path, small_dataset):
+    path = tmp_path / "net.tsv"
+    write_tie_list(small_dataset, path)
+    return str(path)
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "twitter", "--scale", "0.002"]) == 0
+    out = capsys.readouterr().out
+    assert "twitter" in out
+    assert "reciprocity" in out
+
+
+def test_generate_command(tmp_path, capsys):
+    out_path = tmp_path / "gen.tsv"
+    code = main(
+        ["generate", "epinions", str(out_path), "--scale", "0.002"]
+    )
+    assert code == 0
+    network = read_tie_list(out_path)
+    assert network.n_social_ties > 0
+
+
+def test_discover_evaluation_mode(tie_file, capsys):
+    code = main(
+        [
+            "discover",
+            tie_file,
+            "--hide", "0.3",
+            "--method", "hf",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accuracy=" in out
+    accuracy = float(out.strip().rsplit("accuracy=", 1)[1])
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_discover_completion_mode(tmp_path, capsys):
+    from repro.datasets import hide_directions
+    from repro.datasets import load_dataset
+
+    network = hide_directions(
+        load_dataset("twitter", scale=0.002, seed=0), 0.5, seed=0
+    ).network
+    src = tmp_path / "in.tsv"
+    dst = tmp_path / "out.tsv"
+    write_tie_list(network, src)
+    code = main(
+        [
+            "discover", str(src),
+            "--output", str(dst),
+            "--method", "redirect-t",
+        ]
+    )
+    assert code == 0
+    completed = read_tie_list(dst)
+    assert completed.n_undirected == 0
+
+
+def test_discover_no_undirected_errors(tie_file, capsys):
+    # small_dataset has no undirected ties -> completion mode must fail
+    assert main(["discover", tie_file, "--method", "hf"]) == 1
+
+
+def test_quantify_command(tie_file, capsys):
+    code = main(
+        ["quantify", tie_file, "--method", "redirect-t", "--limit", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "d_uv" in out
+
+
+def test_quantify_without_bidirectional(tmp_path):
+    network = random_mixed_network(20, 30, 0, 0, seed=0)
+    path = tmp_path / "nobidir.tsv"
+    write_tie_list(network, path)
+    assert main(["quantify", str(path)]) == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_discover_with_deepdirect_mlp(tmp_path, capsys):
+    from repro.datasets import load_dataset
+
+    network = load_dataset("twitter", scale=0.002, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    code = main(
+        [
+            "discover", str(path),
+            "--hide", "0.3",
+            "--method", "deepdirect",
+            "--dimensions", "16",
+            "--pairs-per-tie", "20",
+            "--dstep", "mlp",
+        ]
+    )
+    assert code == 0
+    assert "accuracy=" in capsys.readouterr().out
+
+
+def test_quantify_with_node2vec(tmp_path, capsys):
+    from repro.datasets import load_dataset
+
+    network = load_dataset("epinions", scale=0.002, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    code = main(
+        ["quantify", str(path), "--method", "node2vec", "--limit", "3"]
+    )
+    assert code == 0
+    assert "d_uv" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Unit tests for the synthetic social-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GeneratorConfig,
+    generate_social_network,
+    random_mixed_network,
+)
+from repro.graph import TieKind
+
+
+class TestGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_nodes=2)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_nodes=100, ties_per_node=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_nodes=100, reciprocity=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_nodes=100, n_communities=-1)
+
+
+class TestGenerateSocialNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        config = GeneratorConfig(
+            n_nodes=300,
+            ties_per_node=6,
+            reciprocity=0.3,
+            status_degree_weight=0.8,
+            status_sharpness=5.0,
+        )
+        return generate_social_network(config, seed=0)
+
+    def test_shapes(self, network):
+        assert network.n_nodes == 300
+        # Growth adds ~m ties per arriving node.
+        assert 0.7 * 300 * 6 <= network.n_social_ties <= 300 * 6
+
+    def test_no_undirected_ties(self, network):
+        assert network.n_undirected == 0
+
+    def test_reciprocity_close_to_target(self, network):
+        observed = network.n_bidirectional / network.n_social_ties
+        assert 0.2 <= observed <= 0.4
+
+    def test_deterministic(self):
+        config = GeneratorConfig(n_nodes=100, ties_per_node=4)
+        a = generate_social_network(config, seed=3)
+        b = generate_social_network(config, seed=3)
+        assert np.array_equal(a.tie_src, b.tie_src)
+        assert np.array_equal(a.tie_kind, b.tie_kind)
+
+    def test_degree_consistency_pattern_planted(self, network):
+        """High status_degree_weight ⇒ ties point low→high degree."""
+        degrees = network.degrees()
+        directed = network.social_ties(TieKind.DIRECTED)
+        fraction_up = np.mean(
+            degrees[directed[:, 0]] < degrees[directed[:, 1]]
+        )
+        assert fraction_up > 0.7
+
+    def test_heavy_tailed_degrees(self, network):
+        degrees = network.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_pattern_strength_scales_with_weight(self):
+        def planted_fraction(theta):
+            config = GeneratorConfig(
+                n_nodes=300,
+                ties_per_node=6,
+                status_degree_weight=theta,
+                status_sharpness=5.0,
+            )
+            net = generate_social_network(config, seed=1)
+            degrees = net.degrees()
+            directed = net.social_ties(TieKind.DIRECTED)
+            return np.mean(degrees[directed[:, 0]] < degrees[directed[:, 1]])
+
+        assert planted_fraction(0.9) > planted_fraction(0.1) + 0.1
+
+    def test_reciprocity_one_keeps_a_directed_tie(self):
+        config = GeneratorConfig(n_nodes=50, ties_per_node=3, reciprocity=1.0)
+        net = generate_social_network(config, seed=0)
+        assert net.n_directed >= 1  # Definition 1 requires |E_d| > 0
+
+    def test_communities_increase_homophily(self):
+        def cross_fraction(homophily):
+            config = GeneratorConfig(
+                n_nodes=300,
+                ties_per_node=5,
+                n_communities=10,
+                homophily=homophily,
+            )
+            rng = np.random.default_rng(4)
+            from repro.datasets.generators import (
+                _draw_communities,
+                _draw_latent,
+                _grow_skeleton,
+            )
+
+            communities = _draw_communities(config, rng)
+            latent = _draw_latent(config, communities, rng)
+            edges, _deg = _grow_skeleton(config, rng, communities, latent)
+            return np.mean(
+                communities[edges[:, 0]] != communities[edges[:, 1]]
+            )
+
+        # Without homophily ~90 % of ties would cross (10 communities).
+        assert cross_fraction(0.0) > 0.8
+        assert cross_fraction(0.9) < 0.55
+        assert cross_fraction(0.9) < cross_fraction(0.0)
+
+
+class TestRandomMixedNetwork:
+    def test_counts(self):
+        net = random_mixed_network(50, 30, 10, 5, seed=0)
+        assert net.n_directed == 30
+        assert net.n_bidirectional == 10
+        assert net.n_undirected == 5
+
+    def test_too_many_ties_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            random_mixed_network(4, 10, seed=0)
+
+    def test_deterministic(self):
+        a = random_mixed_network(30, 20, 5, 5, seed=9)
+        b = random_mixed_network(30, 20, 5, 5, seed=9)
+        assert np.array_equal(a.tie_src, b.tie_src)
+
+    def test_no_pattern_in_null_model(self):
+        net = random_mixed_network(200, 400, seed=2)
+        degrees = net.degrees()
+        directed = net.social_ties(TieKind.DIRECTED)
+        fraction_up = np.mean(degrees[directed[:, 0]] < degrees[directed[:, 1]])
+        assert 0.35 < fraction_up < 0.65  # chance level
+
+
+class TestReciprocityBalance:
+    def test_balanced_pairs_more_often_mutual(self):
+        """reciprocity_balance concentrates mutual ties on status-equals."""
+        from repro.datasets.generators import (
+            _draw_communities,
+            _draw_latent,
+            _grow_skeleton,
+            _latent_status,
+        )
+        from repro.utils import ensure_rng
+
+        config = GeneratorConfig(
+            n_nodes=400,
+            ties_per_node=6,
+            reciprocity=0.3,
+            status_degree_weight=0.5,
+            reciprocity_balance=2.0,
+        )
+        net = generate_social_network(config, seed=3)
+        # Recover the same latent status by replaying the RNG stream.
+        rng = ensure_rng(3)
+        communities = _draw_communities(config, rng)
+        latent = _draw_latent(config, communities, rng)
+        _edges, degrees = _grow_skeleton(config, rng, communities, latent)
+        status = _latent_status(degrees, latent, config)
+
+        bidir = net.social_ties(TieKind.BIDIRECTIONAL)
+        directed = net.social_ties(TieKind.DIRECTED)
+        gap_bidir = np.abs(status[bidir[:, 0]] - status[bidir[:, 1]]).mean()
+        gap_directed = np.abs(
+            status[directed[:, 0]] - status[directed[:, 1]]
+        ).mean()
+        assert gap_bidir < gap_directed
+
+    def test_overall_reciprocity_preserved(self):
+        config = GeneratorConfig(
+            n_nodes=300,
+            ties_per_node=6,
+            reciprocity=0.4,
+            reciprocity_balance=3.0,
+        )
+        net = generate_social_network(config, seed=1)
+        observed = net.n_bidirectional / net.n_social_ties
+        assert abs(observed - 0.4) < 0.03
+
+    def test_negative_balance_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_nodes=100, reciprocity_balance=-1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for workload perturbations (direction hiding, tie splits)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import held_out_tie_split, hide_directions
+from repro.graph import TieKind
+
+
+class TestHideDirections:
+    def test_fraction_respected(self, small_dataset):
+        task = hide_directions(small_dataset, 0.3, seed=0)
+        n_d = task.network.n_directed
+        n_u = task.network.n_undirected
+        assert task.directed_fraction == pytest.approx(n_d / (n_d + n_u))
+        assert abs(task.directed_fraction - 0.3) < 0.02
+
+    def test_truth_matches_hidden_count(self, small_dataset):
+        task = hide_directions(small_dataset, 0.3, seed=0)
+        assert len(task.true_sources) == (
+            small_dataset.n_directed - task.network.n_directed
+        )
+
+    def test_hidden_ties_become_undirected(self, small_dataset):
+        task = hide_directions(small_dataset, 0.5, seed=1)
+        for u, v in task.true_sources:
+            tie_id = task.network.tie_id(int(u), int(v))
+            assert task.network.tie_kind[tie_id] == int(TieKind.UNDIRECTED)
+
+    def test_bidirectional_untouched(self, small_dataset):
+        task = hide_directions(small_dataset, 0.5, seed=1)
+        assert task.network.n_bidirectional == small_dataset.n_bidirectional
+
+    def test_at_least_one_directed_kept(self, small_dataset):
+        task = hide_directions(small_dataset, 0.0, seed=0)
+        assert task.network.n_directed == 1
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            hide_directions(small_dataset, 1.5)
+
+    def test_evaluate_accuracy_perfect(self, small_dataset):
+        task = hide_directions(small_dataset, 0.5, seed=2)
+        assert task.evaluate_accuracy(task.true_sources) == 1.0
+
+    def test_evaluate_accuracy_all_reversed(self, small_dataset):
+        task = hide_directions(small_dataset, 0.5, seed=2)
+        assert task.evaluate_accuracy(task.true_sources[:, ::-1]) == 0.0
+
+    def test_evaluate_accuracy_shape_check(self, small_dataset):
+        task = hide_directions(small_dataset, 0.5, seed=2)
+        with pytest.raises(ValueError, match="align"):
+            task.evaluate_accuracy(task.true_sources[:-1])
+
+    def test_deterministic(self, small_dataset):
+        a = hide_directions(small_dataset, 0.4, seed=9)
+        b = hide_directions(small_dataset, 0.4, seed=9)
+        assert np.array_equal(a.true_sources, b.true_sources)
+
+
+class TestHeldOutTieSplit:
+    def test_keep_fraction(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 0.8, seed=0)
+        kept = split.train_network.n_social_ties
+        total = small_dataset.n_social_ties
+        assert abs(kept / total - 0.8) < 0.02
+        assert kept + len(split.held_out) == total
+
+    def test_class_proportions_preserved(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 0.8, seed=0)
+        orig_recip = small_dataset.n_bidirectional / small_dataset.n_social_ties
+        kept_recip = (
+            split.train_network.n_bidirectional
+            / split.train_network.n_social_ties
+        )
+        assert abs(orig_recip - kept_recip) < 0.05
+
+    def test_held_out_ties_absent_from_train(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 0.8, seed=0)
+        for u, v in split.held_out[:50]:
+            assert not split.train_network.has_tie(int(u), int(v))
+
+    def test_held_out_ties_exist_in_original(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 0.8, seed=0)
+        for u, v in split.held_out[:50]:
+            assert small_dataset.has_tie(int(u), int(v))
+
+    def test_keep_everything(self, small_dataset):
+        split = held_out_tie_split(small_dataset, 1.0, seed=0)
+        assert len(split.held_out) == 0
+        assert split.train_network.n_social_ties == small_dataset.n_social_ties

@@ -1,0 +1,18 @@
+"""Docstring examples stay truthful."""
+
+import doctest
+
+import repro
+import repro.graph.mixed_graph
+
+
+def test_mixed_graph_doctests():
+    results = doctest.testmod(repro.graph.mixed_graph, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -1,0 +1,107 @@
+"""Edge-case and failure-injection tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discovery_accuracy, predict_directions
+from repro.datasets import hide_directions, random_mixed_network
+from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+from repro.features import HandcraftedFeatureExtractor
+from repro.graph import MixedSocialNetwork
+from repro.models import HFModel, ReDirectTSM
+
+
+class TestDegenerateNetworks:
+    def test_two_node_network_features(self):
+        net = MixedSocialNetwork(2, [(0, 1)])
+        extractor = HandcraftedFeatureExtractor(net, centrality_pivots=None)
+        features = extractor.all_tie_features()
+        assert features.shape == (2, 24)
+        assert np.all(np.isfinite(features))
+
+    def test_star_network_embedding(self):
+        """A star has connected tie pairs only through the hub."""
+        net = MixedSocialNetwork(6, [(0, i) for i in range(1, 6)])
+        config = DeepDirectConfig(dimensions=4, epochs=1.0, max_pairs=5_000)
+        result = DeepDirectEmbedding(config).fit(net, seed=0)
+        assert np.all(np.isfinite(result.embeddings))
+
+    def test_single_tie_network_has_no_pairs(self):
+        net = MixedSocialNetwork(2, [(0, 1)])
+        config = DeepDirectConfig(dimensions=4, epochs=1.0)
+        with pytest.raises(ValueError, match="no connected tie pairs"):
+            DeepDirectEmbedding(config).fit(net, seed=0)
+
+    def test_isolated_nodes_tolerated(self):
+        # nodes 3, 4 have no ties at all
+        net = MixedSocialNetwork(5, [(0, 1), (1, 2), (0, 2)])
+        extractor = HandcraftedFeatureExtractor(net, centrality_pivots=None)
+        assert np.all(np.isfinite(extractor.all_tie_features()))
+        model = HFModel(centrality_pivots=None).fit(net, seed=0)
+        assert np.all(np.isfinite(model.tie_scores()))
+
+    def test_disconnected_components(self):
+        net = MixedSocialNetwork(
+            8,
+            [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6)],
+            undirected_ties=[(2, 3), (6, 7)],
+        )
+        model = ReDirectTSM(max_sweeps=10).fit(net, seed=0)
+        scores = model.tie_scores()
+        assert np.all((scores >= 0) & (scores <= 1))
+
+
+class TestExtremeWorkloads:
+    def test_all_directions_hidden_but_one(self, small_dataset):
+        task = hide_directions(small_dataset, 0.0, seed=0)
+        assert task.network.n_directed == 1
+        model = HFModel(centrality_pivots=16).fit(task.network, seed=0)
+        accuracy = discovery_accuracy(model, task)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_nothing_hidden(self, small_dataset):
+        task = hide_directions(small_dataset, 1.0, seed=0)
+        assert len(task.true_sources) == 0
+        assert task.evaluate_accuracy(task.true_sources) == 0.0
+
+    def test_structureless_network_near_chance(self):
+        """On a uniform random network no method should find signal."""
+        network = random_mixed_network(150, 500, 50, 0, seed=0)
+        task = hide_directions(network, 0.5, seed=1)
+        model = HFModel(centrality_pivots=24).fit(task.network, seed=0)
+        accuracy = discovery_accuracy(model, task)
+        assert 0.3 < accuracy < 0.7
+
+    def test_deepdirect_tiny_budget_survives(self, discovery_task):
+        """One batch of training must still produce a usable model."""
+        config = DeepDirectConfig(
+            dimensions=4, epochs=0.001, max_pairs=256, batch_size=256
+        )
+        result = DeepDirectEmbedding(config).fit(discovery_task.network, seed=0)
+        assert result.n_pairs_trained == 256
+        assert np.all(np.isfinite(result.embeddings))
+
+    def test_predict_directions_empty_input(self, fitted_deepdirect):
+        predictions = predict_directions(
+            fitted_deepdirect, np.zeros((0, 2), dtype=np.int64)
+        )
+        assert predictions.shape == (0, 2)
+
+
+class TestNumericalRobustness:
+    def test_huge_alpha_clipped(self, discovery_task):
+        """grad_clip keeps α = 1000 from exploding the embedding."""
+        config = DeepDirectConfig(
+            dimensions=8, epochs=1.0, alpha=1000.0, grad_clip=5.0,
+            max_pairs=30_000,
+        )
+        result = DeepDirectEmbedding(config).fit(discovery_task.network, seed=0)
+        assert np.all(np.isfinite(result.embeddings))
+        assert np.all(np.isfinite(result.classifier_weights))
+
+    def test_large_learning_rate_finite(self, discovery_task):
+        config = DeepDirectConfig(
+            dimensions=8, epochs=1.0, learning_rate=0.5, max_pairs=30_000
+        )
+        result = DeepDirectEmbedding(config).fit(discovery_task.network, seed=0)
+        assert np.all(np.isfinite(result.embeddings))

@@ -1,0 +1,59 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.embedding import DeepDirectConfig, LineConfig
+
+
+class TestDeepDirectConfig:
+    def test_defaults_match_paper(self):
+        config = DeepDirectConfig()
+        assert config.dimensions == 128  # Sec. 6.1: l = 128
+        assert config.n_negative == 5    # Sec. 6.1: λ = 5
+        assert config.epochs == 10.0     # Sec. 6.1: τ = 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimensions": 0},
+            {"alpha": -1.0},
+            {"beta": -0.5},
+            {"n_negative": 0},
+            {"gamma": 0},
+            {"epochs": 0.0},
+            {"degree_threshold": 1.5},
+            {"learning_rate": 0.0},
+            {"batch_size": 0},
+            {"grad_clip": 0.0},
+            {"max_pairs": 0},
+            {"pairs_per_tie": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeepDirectConfig(**kwargs)
+
+    def test_frozen(self):
+        config = DeepDirectConfig()
+        with pytest.raises(Exception):
+            config.alpha = 3.0
+
+
+class TestLineConfig:
+    def test_default_dimension_is_half_of_deepdirect(self):
+        assert LineConfig().dimensions == 64  # Sec. 6.1 convention
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimensions": 1},
+            {"dimensions": 7},  # must be even
+            {"n_negative": 0},
+            {"epochs": 0.0},
+            {"learning_rate": -1.0},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LineConfig(**kwargs)

@@ -1,0 +1,98 @@
+"""Unit tests for the DeepDirect E-Step trainer."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import DeepDirectConfig, DeepDirectEmbedding, embed
+
+
+@pytest.fixture(scope="module")
+def trained(discovery_task, fast_config):
+    return DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=0)
+
+
+class TestShapes:
+    def test_embedding_matrix(self, trained, discovery_task):
+        net = discovery_task.network
+        assert trained.embeddings.shape == (net.n_ties, 16)
+        assert trained.contexts.shape == (net.n_ties, 16)
+        assert trained.classifier_weights.shape == (16,)
+        assert trained.dimensions == 16
+
+    def test_finite(self, trained):
+        assert np.all(np.isfinite(trained.embeddings))
+        assert np.all(np.isfinite(trained.contexts))
+        assert np.isfinite(trained.classifier_bias)
+
+    def test_tie_scores_are_probabilities(self, trained):
+        scores = trained.tie_scores()
+        assert np.all(scores >= 0) and np.all(scores <= 1)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        history = trained.loss_history
+        assert len(history) >= 2
+        first, last = history[0][1], history[-1][1]
+        assert last < first
+
+    def test_deterministic(self, discovery_task, fast_config):
+        a = DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=4)
+        b = DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=4)
+        assert np.array_equal(a.embeddings, b.embeddings)
+        assert a.classifier_bias == b.classifier_bias
+
+    def test_seeds_matter(self, discovery_task, fast_config):
+        a = DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=1)
+        b = DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=2)
+        assert not np.array_equal(a.embeddings, b.embeddings)
+
+    def test_max_pairs_cap(self, discovery_task):
+        config = DeepDirectConfig(
+            dimensions=8, epochs=100.0, max_pairs=10_000, batch_size=256
+        )
+        result = DeepDirectEmbedding(config).fit(discovery_task.network, seed=0)
+        # rounded up to whole batches
+        assert result.n_pairs_trained <= 10_000 + 256
+
+    def test_pairs_per_tie_cap(self, discovery_task):
+        net = discovery_task.network
+        config = DeepDirectConfig(
+            dimensions=8, epochs=100.0, pairs_per_tie=2.0, batch_size=256
+        )
+        result = DeepDirectEmbedding(config).fit(net, seed=0)
+        assert result.n_pairs_trained <= 2 * net.n_ties + 256
+
+    def test_supervision_improves_discovery(self, discovery_task):
+        """The Fig. 4 effect in miniature: α > 0 beats α = 0."""
+        net = discovery_task.network
+
+        def accuracy(alpha):
+            config = DeepDirectConfig(
+                dimensions=16, epochs=2.0, alpha=alpha, beta=0.0,
+                max_pairs=120_000,
+            )
+            result = DeepDirectEmbedding(config).fit(net, seed=0)
+            scores = result.tie_scores()
+            correct = 0
+            for u, v in discovery_task.true_sources:
+                u, v = int(u), int(v)
+                a, b = (u, v) if u < v else (v, u)
+                forward = scores[net.tie_id(a, b)] >= scores[net.tie_id(b, a)]
+                predicted = (a, b) if forward else (b, a)
+                correct += predicted == (u, v)
+            return correct / len(discovery_task.true_sources)
+
+        assert accuracy(5.0) > accuracy(0.0)
+
+    def test_beta_zero_skips_pattern_machinery(self, discovery_task):
+        config = DeepDirectConfig(
+            dimensions=8, epochs=1.0, beta=0.0, max_pairs=30_000
+        )
+        result = DeepDirectEmbedding(config).fit(discovery_task.network, seed=0)
+        assert np.all(np.isfinite(result.embeddings))
+
+
+def test_embed_convenience(discovery_task, fast_config):
+    result = embed(discovery_task.network, fast_config, seed=0)
+    assert result.embeddings.shape[0] == discovery_task.network.n_ties

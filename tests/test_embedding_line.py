@@ -1,0 +1,65 @@
+"""Unit tests for the LINE baseline embedding."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import LineConfig, LineEmbedding
+
+
+@pytest.fixture(scope="module")
+def trained(discovery_task):
+    config = LineConfig(dimensions=16, epochs=200.0, max_samples=500_000)
+    return LineEmbedding(config).fit(discovery_task.network, seed=0)
+
+
+def test_node_embedding_shape(trained, discovery_task):
+    assert trained.node_embeddings.shape == (
+        discovery_task.network.n_nodes,
+        16,
+    )
+    assert np.all(np.isfinite(trained.node_embeddings))
+
+
+def test_tie_features_are_endpoint_concat(trained, discovery_task):
+    net = discovery_task.network
+    features = trained.tie_features(net)
+    assert features.shape == (net.n_ties, 32)
+    e = 3
+    u, v = int(net.tie_src[e]), int(net.tie_dst[e])
+    assert np.array_equal(features[e, :16], trained.node_embeddings[u])
+    assert np.array_equal(features[e, 16:], trained.node_embeddings[v])
+
+
+def test_tie_features_subset(trained, discovery_task):
+    net = discovery_task.network
+    subset = trained.tie_features(net, np.array([0, 2]))
+    full = trained.tie_features(net)
+    assert np.array_equal(subset, full[[0, 2]])
+
+
+def test_loss_decreases(trained):
+    losses = [loss for _, loss in trained.loss_history]
+    assert min(losses[1:]) < losses[0]
+
+
+def test_deterministic(discovery_task):
+    config = LineConfig(dimensions=8, epochs=1.0, max_samples=20_000)
+    a = LineEmbedding(config).fit(discovery_task.network, seed=3)
+    b = LineEmbedding(config).fit(discovery_task.network, seed=3)
+    assert np.array_equal(a.node_embeddings, b.node_embeddings)
+
+
+def test_connected_nodes_closer_than_random(trained, discovery_task):
+    """First-order proximity: embeddings of adjacent nodes correlate."""
+    net = discovery_task.network
+    emb = trained.node_embeddings
+    emb = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+    rng = np.random.default_rng(0)
+    e = rng.integers(0, net.n_ties, size=400)
+    adjacent = np.einsum(
+        "ij,ij->i", emb[net.tie_src[e]], emb[net.tie_dst[e]]
+    ).mean()
+    u = rng.integers(0, net.n_nodes, size=400)
+    v = rng.integers(0, net.n_nodes, size=400)
+    random_pairs = np.einsum("ij,ij->i", emb[u], emb[v]).mean()
+    assert adjacent > random_pairs

@@ -1,0 +1,97 @@
+"""Unit tests for the node2vec baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discovery_accuracy
+from repro.embedding import Node2VecConfig, Node2VecEmbedding, generate_walks
+from repro.models import Node2VecModel
+from repro.utils import ensure_rng
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimensions": 0},
+            {"walk_length": 1},
+            {"walks_per_node": 0},
+            {"window": 0},
+            {"p": 0.0},
+            {"q": -1.0},
+            {"n_negative": 0},
+            {"epochs": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Node2VecConfig(**kwargs)
+
+
+class TestWalks:
+    def test_walks_follow_edges(self, small_dataset):
+        config = Node2VecConfig(walk_length=10, walks_per_node=1)
+        walks = generate_walks(small_dataset, config, ensure_rng(0))
+        assert walks
+        neighbor_sets = [
+            set(int(x) for x in small_dataset.neighbors(n))
+            for n in range(small_dataset.n_nodes)
+        ]
+        for walk in walks[:30]:
+            for a, b in zip(walk, walk[1:]):
+                assert b in neighbor_sets[a]
+
+    def test_walk_length_respected(self, small_dataset):
+        config = Node2VecConfig(walk_length=7, walks_per_node=1)
+        walks = generate_walks(small_dataset, config, ensure_rng(0))
+        assert max(len(w) for w in walks) <= 7
+
+    def test_low_q_explores_farther(self, small_dataset):
+        """Low q (DFS-like) walks reach more distinct nodes than high q."""
+
+        def mean_distinct(q):
+            config = Node2VecConfig(
+                walk_length=20, walks_per_node=1, p=4.0, q=q
+            )
+            walks = generate_walks(small_dataset, config, ensure_rng(1))
+            return np.mean([len(set(w)) for w in walks])
+
+        assert mean_distinct(0.25) > mean_distinct(4.0)
+
+
+class TestEmbedding:
+    @pytest.fixture(scope="class")
+    def trained(self, discovery_task):
+        config = Node2VecConfig(
+            dimensions=16, walks_per_node=2, walk_length=20, epochs=2.0
+        )
+        return Node2VecEmbedding(config).fit(discovery_task.network, seed=0)
+
+    def test_shapes(self, trained, discovery_task):
+        assert trained.node_embeddings.shape == (
+            discovery_task.network.n_nodes,
+            16,
+        )
+        assert trained.n_walks > 0
+        assert np.all(np.isfinite(trained.node_embeddings))
+
+    def test_tie_features_concat(self, trained, discovery_task):
+        net = discovery_task.network
+        features = trained.tie_features(net, np.array([0]))
+        u, v = int(net.tie_src[0]), int(net.tie_dst[0])
+        assert np.array_equal(features[0, :16], trained.node_embeddings[u])
+        assert np.array_equal(features[0, 16:], trained.node_embeddings[v])
+
+    def test_deterministic(self, discovery_task):
+        config = Node2VecConfig(dimensions=8, walks_per_node=1, epochs=1.0)
+        a = Node2VecEmbedding(config).fit(discovery_task.network, seed=3)
+        b = Node2VecEmbedding(config).fit(discovery_task.network, seed=3)
+        assert np.array_equal(a.node_embeddings, b.node_embeddings)
+
+
+def test_model_beats_chance(discovery_task):
+    model = Node2VecModel(
+        Node2VecConfig(dimensions=16, walks_per_node=3, epochs=2.0)
+    )
+    model.fit(discovery_task.network, seed=0)
+    assert discovery_accuracy(model, discovery_task) > 0.55

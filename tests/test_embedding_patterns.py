@@ -1,0 +1,113 @@
+"""Unit tests for the directionality-pattern pseudo-labels (Eqs. 14-15)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    build_triad_neighborhoods,
+    degree_pseudo_labels,
+    triad_pseudo_labels,
+)
+from repro.graph import MixedSocialNetwork, TieKind
+
+
+class TestDegreePseudoLabels:
+    def test_points_at_higher_degree(self):
+        """Definition 5: the pseudo-label favours the high-degree target."""
+        # hub 2 with three ties; leaf 0 with one
+        net = MixedSocialNetwork(
+            4, [(2, 3), (2, 1)], undirected_ties=[(0, 2)]
+        )
+        labels = degree_pseudo_labels(net)
+        forward = labels[net.tie_id(0, 2)]  # toward the hub
+        backward = labels[net.tie_id(2, 0)]
+        assert forward > 0.5 > backward
+        assert forward + backward == pytest.approx(1.0)
+
+    def test_antisymmetric(self, small_dataset):
+        labels = degree_pseudo_labels(small_dataset)
+        rev = small_dataset.reverse_of
+        assert np.allclose(labels + labels[rev], 1.0)
+
+    def test_range(self, small_dataset):
+        labels = degree_pseudo_labels(small_dataset)
+        assert np.all(labels >= 0) and np.all(labels <= 1)
+
+
+class TestTriadNeighborhoods:
+    def test_witness_ties_exist(self, discovery_task):
+        net = discovery_task.network
+        triads = build_triad_neighborhoods(net, gamma=4, seed=0)
+        mask = triads.uw_ids >= 0
+        assert np.array_equal(mask, triads.vw_ids >= 0)
+        assert triads.gamma == 4
+        # counts agree with padding
+        assert np.array_equal(triads.counts, mask.sum(axis=1))
+
+    def test_witnesses_are_common_neighbors(self, discovery_task):
+        net = discovery_task.network
+        triads = build_triad_neighborhoods(net, gamma=4, seed=0)
+        undirected = net.ties_of_kind(TieKind.UNDIRECTED)[:20]
+        for e in undirected:
+            u, v = int(net.tie_src[e]), int(net.tie_dst[e])
+            common = set(net.common_neighbors(u, v))
+            for slot in range(triads.gamma):
+                uw = triads.uw_ids[e, slot]
+                if uw < 0:
+                    continue
+                w = int(net.tie_dst[uw])
+                assert int(net.tie_src[uw]) == u
+                assert w in common
+                vw = triads.vw_ids[e, slot]
+                assert int(net.tie_src[vw]) == v
+                assert int(net.tie_dst[vw]) == w
+
+    def test_reverse_orientation_swaps_roles(self, discovery_task):
+        net = discovery_task.network
+        triads = build_triad_neighborhoods(net, gamma=4, seed=0)
+        undirected = net.ties_of_kind(TieKind.UNDIRECTED)
+        for e in undirected[:10]:
+            r = int(net.reverse_of[e])
+            assert np.array_equal(triads.uw_ids[e], triads.vw_ids[r])
+            assert np.array_equal(triads.vw_ids[e], triads.uw_ids[r])
+
+    def test_gamma_respected(self, discovery_task):
+        net = discovery_task.network
+        triads = build_triad_neighborhoods(net, gamma=2, seed=0)
+        assert triads.counts.max() <= 2
+
+
+class TestTriadPseudoLabels:
+    def test_eq15_single_witness(self):
+        """Hand-computed Eq. 15 on a 3-node triangle with one witness."""
+        net = MixedSocialNetwork(
+            3, [(0, 2)], bidirectional_ties=[(1, 2)], undirected_ties=[(0, 1)]
+        )
+        triads = build_triad_neighborhoods(net, gamma=3, seed=0)
+        predictions = np.zeros(net.n_ties)
+        predictions[net.tie_id(0, 2)] = 0.9   # ȳ_uw with w = 2
+        predictions[net.tie_id(1, 2)] = 0.3   # ȳ_vw
+        e = np.array([net.tie_id(0, 1)])
+        labels, valid = triad_pseudo_labels(triads, e, predictions)
+        assert valid[0]
+        assert labels[0] == pytest.approx(0.9 / (0.9 + 0.3))
+
+    def test_no_witnesses_invalid(self):
+        net = MixedSocialNetwork(4, [(0, 1)], undirected_ties=[(2, 3)])
+        triads = build_triad_neighborhoods(net, gamma=3, seed=0)
+        e = np.array([net.tie_id(2, 3)])
+        labels, valid = triad_pseudo_labels(triads, e, np.zeros(net.n_ties))
+        assert not valid[0]
+        assert labels[0] == pytest.approx(0.5)
+
+    def test_antisymmetric_votes(self, discovery_task, rng):
+        net = discovery_task.network
+        triads = build_triad_neighborhoods(net, gamma=5, seed=0)
+        predictions = rng.random(net.n_ties)
+        undirected = net.ties_of_kind(TieKind.UNDIRECTED)
+        reverse = net.reverse_of[undirected]
+        fwd, valid_f = triad_pseudo_labels(triads, undirected, predictions)
+        bwd, valid_b = triad_pseudo_labels(triads, reverse, predictions)
+        assert np.array_equal(valid_f, valid_b)
+        mask = valid_f
+        assert np.allclose(fwd[mask] + bwd[mask], 1.0)

@@ -1,0 +1,43 @@
+"""Unit tests for embedding persistence."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    DeepDirectEmbedding,
+    load_embedding,
+    save_embedding,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(discovery_task, fast_config):
+    return DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=0)
+
+
+def test_roundtrip(trained, tmp_path):
+    path = tmp_path / "emb.npz"
+    save_embedding(trained, path)
+    restored = load_embedding(path)
+    assert np.array_equal(restored.embeddings, trained.embeddings)
+    assert np.array_equal(restored.contexts, trained.contexts)
+    assert np.array_equal(
+        restored.classifier_weights, trained.classifier_weights
+    )
+    assert restored.classifier_bias == trained.classifier_bias
+    assert restored.loss_history == trained.loss_history
+    assert restored.n_pairs_trained == trained.n_pairs_trained
+
+
+def test_scores_survive_roundtrip(trained, tmp_path):
+    path = tmp_path / "emb.npz"
+    save_embedding(trained, path)
+    restored = load_embedding(path)
+    assert np.allclose(restored.tie_scores(), trained.tie_scores())
+
+
+def test_wrong_file_rejected(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, something=np.zeros(3))
+    with pytest.raises(ValueError, match="not a saved embedding"):
+        load_embedding(path)

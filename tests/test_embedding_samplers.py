@@ -1,0 +1,102 @@
+"""Unit tests for the alias and connected-pair samplers."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    AliasSampler,
+    ConnectedPairSampler,
+    sample_common_neighbors,
+)
+from repro.graph import MixedSocialNetwork
+
+
+class TestAliasSampler:
+    def test_matches_target_distribution(self, rng):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(200_000, rng)
+        observed = np.bincount(draws, minlength=4) / 200_000
+        expected = weights / weights.sum()
+        assert np.allclose(observed, expected, atol=0.01)
+
+    def test_zero_weights_never_drawn(self, rng):
+        sampler = AliasSampler(np.array([0.0, 1.0, 0.0, 1.0]))
+        draws = sampler.sample(10_000, rng)
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_single_element(self, rng):
+        sampler = AliasSampler(np.array([3.0]))
+        assert np.all(sampler.sample(100, rng) == 0)
+
+    def test_shape(self, rng):
+        sampler = AliasSampler(np.ones(5))
+        assert sampler.sample((3, 7), rng).shape == (3, 7)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([]))
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([np.inf, 1.0]))
+
+    def test_skewed_distribution(self, rng):
+        weights = np.array([1.0, 1000.0])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(50_000, rng)
+        assert np.mean(draws == 1) > 0.99
+
+
+class TestConnectedPairSampler:
+    def test_pairs_are_connected(self, tiny_network, rng):
+        sampler = ConnectedPairSampler(tiny_network)
+        e, successor = sampler.sample_pairs(500, rng)
+        assert np.all(tiny_network.tie_dst[e] == tiny_network.tie_src[successor])
+        # Definition 4: the successor never returns to the source.
+        assert np.all(tiny_network.tie_src[e] != tiny_network.tie_dst[successor])
+
+    def test_source_distribution_proportional_to_tie_degree(
+        self, tiny_network, rng
+    ):
+        sampler = ConnectedPairSampler(tiny_network)
+        e, _ = sampler.sample_pairs(100_000, rng)
+        observed = np.bincount(e, minlength=tiny_network.n_ties) / 100_000
+        degrees = tiny_network.tie_degrees().astype(float)
+        expected = degrees / degrees.sum()
+        assert np.allclose(observed, expected, atol=0.01)
+
+    def test_negatives_shape_and_range(self, tiny_network, rng):
+        sampler = ConnectedPairSampler(tiny_network)
+        negs = sampler.sample_negatives(64, 5, rng)
+        assert negs.shape == (64, 5)
+        assert negs.min() >= 0 and negs.max() < tiny_network.n_ties
+
+    def test_negative_distribution_power(self, tiny_network, rng):
+        sampler = ConnectedPairSampler(tiny_network)
+        negs = sampler.sample_negatives(40_000, 5, rng).ravel()
+        observed = np.bincount(negs, minlength=tiny_network.n_ties) / len(negs)
+        weights = tiny_network.tie_degrees().astype(float) ** 0.75
+        expected = weights / weights.sum()
+        assert np.allclose(observed, expected, atol=0.01)
+
+    def test_degenerate_network_rejected(self):
+        # A single directed tie has no connected pairs at all.
+        net = MixedSocialNetwork(2, [(0, 1)])
+        with pytest.raises(ValueError, match="no connected tie pairs"):
+            ConnectedPairSampler(net)
+
+
+class TestCommonNeighborSampling:
+    def test_caps_at_gamma(self, small_dataset, rng):
+        hubs = np.argsort(small_dataset.degrees())[::-1][:2]
+        u, v = int(hubs[0]), int(hubs[1])
+        witnesses = sample_common_neighbors(small_dataset, u, v, 3, rng)
+        assert len(witnesses) <= 3
+
+    def test_subset_of_common_neighbors(self, tiny_network, rng):
+        witnesses = sample_common_neighbors(tiny_network, 1, 3, 5, rng)
+        common = set(tiny_network.common_neighbors(1, 3))
+        assert set(int(w) for w in witnesses) <= common

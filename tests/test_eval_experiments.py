@@ -1,0 +1,77 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    METHOD_NAMES,
+    deepdirect_factory,
+    deepdirect_grid_factory,
+    default_methods,
+    format_table,
+    run_discovery,
+    run_discovery_on_task,
+    run_link_prediction,
+)
+
+FAST = dict(dimensions=8, epochs=1.0, pairs_per_tie=None, max_pairs=30_000)
+
+
+def test_default_methods_cover_the_paper(small_dataset):
+    methods = default_methods()
+    assert set(methods) == set(METHOD_NAMES)
+
+
+def test_run_discovery(small_dataset):
+    methods = {
+        "DeepDirect": deepdirect_factory(dimensions=8, epochs=1.0,
+                                         max_pairs=30_000),
+    }
+    runs = run_discovery(small_dataset, 0.4, methods, seed=0)
+    assert len(runs) == 1
+    run = runs[0]
+    assert run.method == "DeepDirect"
+    assert 0.0 <= run.accuracy <= 1.0
+    assert run.fit_seconds > 0
+    assert abs(run.directed_fraction - 0.4) < 0.05
+
+
+def test_run_discovery_on_task_all_methods(discovery_task):
+    methods = default_methods(**FAST)
+    runs = run_discovery_on_task(discovery_task, methods, seed=0)
+    assert [r.method for r in runs] == list(methods)
+    assert all(0.0 <= r.accuracy <= 1.0 for r in runs)
+
+
+def test_grid_factory_builds(discovery_task):
+    factory = deepdirect_grid_factory(
+        dimensions=8, epochs=1.0, selection_epochs=0.5,
+        grid=((5.0, 0.0),), pairs_per_tie=None, max_pairs=20_000,
+    )
+    model = factory().fit(discovery_task.network, seed=0)
+    assert model.best_params_ == (5.0, 0.0)
+
+
+def test_run_link_prediction(small_dataset):
+    methods = {
+        "DeepDirect": deepdirect_factory(dimensions=8, epochs=1.0,
+                                         max_pairs=30_000),
+    }
+    runs = run_link_prediction(
+        small_dataset, methods, max_pairs=3000, seed=0
+    )
+    assert [r.method for r in runs] == ["Adjacency", "DeepDirect"]
+    assert all(0.0 <= r.auc <= 1.0 for r in runs)
+    assert runs[0].n_candidates == runs[1].n_candidates
+
+
+def test_format_table():
+    rows = [
+        {"dataset": "twitter", "acc": 0.9},
+        {"dataset": "livejournal", "acc": 0.8},
+    ]
+    text = format_table(rows, ["dataset", "acc"])
+    lines = text.splitlines()
+    assert lines[0].startswith("dataset")
+    assert "twitter" in lines[2]
+    assert len(lines) == 4

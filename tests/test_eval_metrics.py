@@ -1,0 +1,91 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    accuracy,
+    nearest_neighbor_separability,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_chance(self, rng):
+        labels = rng.integers(0, 2, size=2000).astype(float)
+        scores = rng.random(2000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+    def test_ties_midranked(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.random.rand(5))
+
+    def test_matches_trapezoid_integration(self, rng):
+        labels = rng.integers(0, 2, size=500).astype(float)
+        scores = rng.random(500)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        fpr = np.concatenate([[0.0], fpr])
+        tpr = np.concatenate([[0.0], tpr])
+        area = np.trapezoid(tpr, fpr)
+        assert roc_auc(labels, scores) == pytest.approx(area, abs=1e-9)
+
+
+class TestRocCurve:
+    def test_monotone(self, rng):
+        labels = rng.integers(0, 2, size=300).astype(float)
+        scores = rng.random(300)
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert np.all(np.diff(thresholds) <= 0)
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+
+class TestSeparability:
+    def test_separated_clusters(self, rng):
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(5, 0.1, size=(50, 2)) + 10
+        points = np.vstack([a, b])
+        labels = np.array([0] * 50 + [1] * 50)
+        assert nearest_neighbor_separability(points, labels) == 1.0
+
+    def test_mixed_points(self, rng):
+        points = rng.normal(size=(400, 2))
+        labels = rng.integers(0, 2, size=400)
+        score = nearest_neighbor_separability(points, labels)
+        assert 0.35 < score < 0.65
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_separability(np.zeros((1, 2)), np.zeros(1))

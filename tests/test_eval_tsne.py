@@ -1,0 +1,48 @@
+"""Unit tests for the exact t-SNE implementation (Fig. 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import nearest_neighbor_separability, tsne
+
+
+def test_output_shape(rng):
+    points = rng.normal(size=(60, 10))
+    embedding = tsne(points, n_iter=100, seed=0)
+    assert embedding.shape == (60, 2)
+    assert np.all(np.isfinite(embedding))
+
+
+def test_preserves_cluster_structure(rng):
+    """Two well-separated 10-D clusters stay separable in 2-D."""
+    a = rng.normal(0.0, 0.3, size=(40, 10))
+    b = rng.normal(4.0, 0.3, size=(40, 10))
+    points = np.vstack([a, b])
+    labels = np.array([0] * 40 + [1] * 40)
+    embedding = tsne(points, perplexity=15, n_iter=250, seed=0)
+    assert nearest_neighbor_separability(embedding, labels) > 0.9
+
+
+def test_deterministic(rng):
+    points = rng.normal(size=(30, 5))
+    a = tsne(points, n_iter=50, seed=7)
+    b = tsne(points, n_iter=50, seed=7)
+    assert np.array_equal(a, b)
+
+
+def test_centered_output(rng):
+    points = rng.normal(size=(40, 5))
+    embedding = tsne(points, n_iter=60, seed=0)
+    assert np.allclose(embedding.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_too_few_points(rng):
+    with pytest.raises(ValueError):
+        tsne(rng.normal(size=(3, 4)))
+
+
+def test_perplexity_clamped(rng):
+    # perplexity larger than (n-1)/3 must not crash
+    points = rng.normal(size=(12, 4))
+    embedding = tsne(points, perplexity=500.0, n_iter=50, seed=0)
+    assert embedding.shape == (12, 2)

@@ -1,0 +1,42 @@
+"""Unit tests for degree features (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.features import DEGREE_FEATURE_NAMES, degree_features
+from repro.graph import MixedSocialNetwork
+
+
+def test_feature_names():
+    assert DEGREE_FEATURE_NAMES == (
+        "deg_out_u",
+        "deg_out_v",
+        "deg_in_u",
+        "deg_in_v",
+    )
+
+
+def test_values_match_network_degrees(tiny_network):
+    pairs = np.array([[3, 0], [1, 5]])
+    block = degree_features(tiny_network, pairs)
+    out_deg = tiny_network.out_degrees()
+    in_deg = tiny_network.in_degrees()
+    assert block[0, 0] == out_deg[3]
+    assert block[0, 1] == out_deg[0]
+    assert block[0, 2] == in_deg[3]
+    assert block[0, 3] == in_deg[0]
+    assert block[1, 0] == out_deg[1]
+
+
+def test_reverse_pair_swaps_columns(tiny_network):
+    forward = degree_features(tiny_network, np.array([[3, 0]]))[0]
+    backward = degree_features(tiny_network, np.array([[0, 3]]))[0]
+    assert forward[0] == backward[1]  # deg_out_u <-> deg_out_v
+    assert forward[2] == backward[3]  # deg_in_u <-> deg_in_v
+
+
+def test_undirected_half_contribution():
+    net = MixedSocialNetwork(3, [(0, 1)], undirected_ties=[(1, 2)])
+    block = degree_features(net, np.array([[1, 2]]))[0]
+    assert block[0] == pytest.approx(0.5)   # deg_out(1): only the half tie
+    assert block[2] == pytest.approx(1.5)   # deg_in(1): (0,1) + half

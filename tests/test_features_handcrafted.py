@@ -1,0 +1,73 @@
+"""Unit tests for the assembled handcrafted feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    HandcraftedFeatureExtractor,
+    standardize,
+)
+
+
+def test_24_features():
+    assert N_FEATURES == 24
+    assert len(FEATURE_NAMES) == 24
+    assert FEATURE_NAMES[0] == "deg_out_u"
+    assert FEATURE_NAMES[-1] == "ee_16"
+
+
+class TestExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self, small_dataset):
+        return HandcraftedFeatureExtractor(
+            small_dataset, centrality_pivots=None, seed=0
+        )
+
+    def test_all_tie_features_shape(self, extractor, small_dataset):
+        matrix = extractor.all_tie_features()
+        assert matrix.shape == (small_dataset.n_ties, N_FEATURES)
+        assert np.all(np.isfinite(matrix))
+
+    def test_features_for_ties_aligned(self, extractor, small_dataset):
+        all_features = extractor.all_tie_features()
+        subset = extractor.features_for_ties(np.array([0, 5, 10]))
+        assert np.array_equal(subset, all_features[[0, 5, 10]])
+
+    def test_pairs_and_ties_agree(self, extractor, small_dataset):
+        e = 7
+        pair = np.array(
+            [[small_dataset.tie_src[e], small_dataset.tie_dst[e]]]
+        )
+        assert np.array_equal(
+            extractor.features_for_pairs(pair),
+            extractor.features_for_ties(np.array([e])),
+        )
+
+    def test_orientation_matters(self, extractor, small_dataset):
+        """x_(u,v) differs from x_(v,u) (Sec. 3.1)."""
+        e = int(small_dataset.ties_of_kind()[0]) if False else 0
+        r = int(small_dataset.reverse_of[0])
+        features = extractor.features_for_ties(np.array([0, r]))
+        assert not np.array_equal(features[0], features[1])
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = standardize(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        x = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        z = standardize(x)
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_reference_statistics(self, rng):
+        train = rng.normal(size=(100, 3))
+        test = rng.normal(size=(20, 3))
+        z = standardize(test, reference=train)
+        expected = (test - train.mean(axis=0)) / train.std(axis=0)
+        assert np.allclose(z, expected)

@@ -1,0 +1,69 @@
+"""Unit tests for the 16-type directed triad counts."""
+
+import numpy as np
+
+from repro.features import (
+    N_TRIAD_TYPES,
+    reverse_triad_counts,
+    triad_counts_for_tie,
+    triad_features,
+)
+from repro.graph import MixedSocialNetwork, TieKind
+
+
+def test_no_common_neighbors_zero_counts(triangle_network):
+    # ties (0,1): common neighbour of 0 and 1 is 2
+    counts = triad_counts_for_tie(triangle_network, 0, 1)
+    assert counts.sum() == 1
+
+
+def test_total_equals_common_neighbor_count(tiny_network):
+    for u, v in [(1, 5), (3, 5), (7, 8)]:
+        counts = triad_counts_for_tie(tiny_network, u, v)
+        assert counts.sum() == len(tiny_network.common_neighbors(u, v))
+
+
+def test_type_classification():
+    # w=0; ties: 0->1 directed, 0-2 bidirectional, and target tie (1,2).
+    net = MixedSocialNetwork(
+        3, [(0, 1)], bidirectional_ties=[(0, 2)], undirected_ties=[(1, 2)]
+    )
+    counts = triad_counts_for_tie(net, 1, 2)
+    # (w,u) = (0,1): directed 0->1 => type 0; (w,v) = (0,2): bidirectional => 2
+    assert counts[0 * 4 + 2] == 1
+    assert counts.sum() == 1
+
+
+def test_reverse_is_transpose():
+    rng = np.random.default_rng(0)
+    counts = rng.integers(0, 5, size=N_TRIAD_TYPES)
+    reversed_counts = reverse_triad_counts(counts)
+    grid = counts.reshape(4, 4)
+    assert np.array_equal(reversed_counts.reshape(4, 4), grid.T)
+
+
+def test_reverse_consistent_with_direct_computation(tiny_network):
+    forward = triad_counts_for_tie(tiny_network, 1, 5)
+    backward = triad_counts_for_tie(tiny_network, 5, 1)
+    assert np.array_equal(reverse_triad_counts(forward), backward)
+
+
+def test_triad_features_batch(tiny_network):
+    pairs = np.array([[1, 5], [5, 1], [3, 5]])
+    block = triad_features(tiny_network, pairs)
+    assert block.shape == (3, N_TRIAD_TYPES)
+    assert np.array_equal(block[0], triad_counts_for_tie(tiny_network, 1, 5))
+    assert np.array_equal(block[1], reverse_triad_counts(block[0]))
+
+
+def test_directionality_of_target_tie_ignored():
+    """Eq.-independent check: the counts of (u, v) do not depend on whether
+    (u, v) itself is directed or undirected."""
+    directed = MixedSocialNetwork(3, [(1, 2), (0, 1)], bidirectional_ties=[(0, 2)])
+    undirected = MixedSocialNetwork(
+        3, [(0, 1)], bidirectional_ties=[(0, 2)], undirected_ties=[(1, 2)]
+    )
+    assert np.array_equal(
+        triad_counts_for_tie(directed, 1, 2),
+        triad_counts_for_tie(undirected, 1, 2),
+    )

@@ -1,0 +1,83 @@
+"""Unit tests for graph constructors."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    GraphValidationError,
+    TieKind,
+    from_directed_edges,
+    from_networkx,
+    from_tie_arrays,
+)
+
+
+class TestFromDirectedEdges:
+    def test_reciprocal_becomes_bidirectional(self):
+        net = from_directed_edges([(0, 1), (1, 0), (1, 2)])
+        assert net.n_bidirectional == 1
+        assert net.n_directed == 1
+        assert net.has_oriented_tie(1, 2)
+
+    def test_reciprocal_as_directed_when_disabled(self):
+        net = from_directed_edges(
+            [(0, 1), (1, 0), (1, 2)], reciprocal_as_bidirectional=False
+        )
+        assert net.n_bidirectional == 0
+        assert net.n_directed == 2
+
+    def test_self_loops_and_duplicates_dropped(self):
+        net = from_directed_edges([(0, 0), (0, 1), (0, 1), (1, 2)])
+        assert net.n_directed == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphValidationError, match="empty"):
+            from_directed_edges([(2, 2)])
+
+    def test_n_nodes_inferred(self):
+        assert from_directed_edges([(0, 7)]).n_nodes == 8
+
+    def test_n_nodes_explicit(self):
+        assert from_directed_edges([(0, 1)], n_nodes=10).n_nodes == 10
+
+
+class TestFromNetworkx:
+    def test_plain_digraph(self):
+        g = nx.DiGraph([(0, 1), (1, 2), (2, 1)])
+        net = from_networkx(g)
+        assert net.n_directed == 1
+        assert net.n_bidirectional == 1
+
+    def test_kind_attributes(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", kind="directed")
+        g.add_edge("b", "c", kind="undirected")
+        g.add_edge("c", "b", kind="undirected")
+        net = from_networkx(g)
+        assert net.n_directed == 1
+        assert net.n_undirected == 1
+
+    def test_unknown_kind_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, kind="mystery")
+        with pytest.raises(GraphValidationError, match="unknown tie kind"):
+            from_networkx(g)
+
+    def test_roundtrip_through_networkx(self, tiny_network):
+        back = from_networkx(tiny_network.to_networkx())
+        assert back.n_directed == tiny_network.n_directed
+        assert back.n_bidirectional == tiny_network.n_bidirectional
+        assert back.n_undirected == tiny_network.n_undirected
+
+
+class TestFromTieArrays:
+    def test_roundtrip(self, tiny_network):
+        net = tiny_network
+        back = from_tie_arrays(
+            net.n_nodes, net.tie_src, net.tie_dst, net.tie_kind
+        )
+        assert back.n_social_ties == net.n_social_ties
+        for kind in (TieKind.DIRECTED, TieKind.BIDIRECTIONAL, TieKind.UNDIRECTED):
+            a = {tuple(p) for p in net.social_ties(kind)}
+            b = {tuple(p) for p in back.social_ties(kind)}
+            assert a == b

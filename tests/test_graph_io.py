@@ -1,0 +1,49 @@
+"""Unit tests for tie-list persistence."""
+
+import pytest
+
+from repro.graph import (
+    GraphValidationError,
+    TieKind,
+    read_tie_list,
+    write_tie_list,
+)
+
+
+def test_roundtrip(tiny_network, tmp_path):
+    path = tmp_path / "net.tsv"
+    write_tie_list(tiny_network, path)
+    back = read_tie_list(path)
+    assert back.n_nodes == tiny_network.n_nodes
+    for kind in (TieKind.DIRECTED, TieKind.BIDIRECTIONAL, TieKind.UNDIRECTED):
+        original = {tuple(p) for p in tiny_network.social_ties(kind)}
+        restored = {tuple(p) for p in back.social_ties(kind)}
+        assert original == restored
+
+
+def test_missing_header(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("0\t1\td\n")
+    with pytest.raises(GraphValidationError, match="nodes="):
+        read_tie_list(path)
+
+
+def test_bad_kind(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("# nodes=3\n0\t1\tx\n")
+    with pytest.raises(GraphValidationError, match="unknown tie kind"):
+        read_tie_list(path)
+
+
+def test_bad_column_count(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("# nodes=3\n0\t1\n")
+    with pytest.raises(GraphValidationError, match="expected"):
+        read_tie_list(path)
+
+
+def test_blank_lines_and_comments_skipped(tmp_path):
+    path = tmp_path / "net.tsv"
+    path.write_text("# nodes=3\n\n# a comment\n0\t1\td\n")
+    net = read_tie_list(path)
+    assert net.n_directed == 1

@@ -1,0 +1,57 @@
+"""Unit tests for line-graph construction."""
+
+import numpy as np
+
+from repro.graph import (
+    MixedSocialNetwork,
+    line_graph_edges,
+    line_graph_size,
+    to_networkx_line_graph,
+)
+
+
+def test_line_graph_matches_connected_pairs(tiny_network):
+    edges = line_graph_edges(tiny_network, exclude_back_ties=True)
+    assert len(edges) == tiny_network.connected_pair_count()
+    for e1, e2 in edges:
+        assert tiny_network.tie_dst[e1] == tiny_network.tie_src[e2]
+        assert tiny_network.tie_src[e1] != tiny_network.tie_dst[e2]
+
+
+def test_line_graph_with_back_ties_is_larger(tiny_network):
+    with_back = line_graph_edges(tiny_network, exclude_back_ties=False)
+    without = line_graph_edges(tiny_network, exclude_back_ties=True)
+    # Every oriented tie has exactly one back-tie continuation.
+    assert len(with_back) == len(without) + tiny_network.n_ties
+
+
+def test_line_graph_size(tiny_network):
+    n_nodes, n_edges = line_graph_size(tiny_network)
+    assert n_nodes == tiny_network.n_ties
+    assert n_edges == tiny_network.connected_pair_count()
+
+
+def test_line_graph_blowup_demonstration():
+    """The Sec. 4 argument: line graphs are much larger than originals."""
+    # A star: hub 0 with 20 directed spokes in both roles.
+    ties = [(0, i) for i in range(1, 11)] + [(i, 0) for i in range(11, 21)]
+    net = MixedSocialNetwork(21, ties)
+    n_line_nodes, n_line_edges = line_graph_size(net)
+    assert n_line_nodes == net.n_ties
+    assert n_line_edges > net.n_ties  # quadratic blow-up at the hub
+
+
+def test_to_networkx_line_graph(triangle_network):
+    g = to_networkx_line_graph(triangle_network)
+    assert g.number_of_nodes() == triangle_network.n_ties
+    assert g.number_of_edges() == triangle_network.connected_pair_count()
+    for e1, e2 in g.edges():
+        assert triangle_network.tie_dst[e1] == triangle_network.tie_src[e2]
+
+
+def test_line_graph_empty_case():
+    net = MixedSocialNetwork(2, [(0, 1)])
+    edges = line_graph_edges(net)
+    # (0,1)'s only continuation is the back tie (1,0): excluded.
+    assert edges.shape == (0, 2)
+    assert np.issubdtype(edges.dtype, np.integer)

@@ -1,0 +1,86 @@
+"""Unit tests for BFS/top-degree sub-network sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_sample_nodes,
+    bfs_sample_ties,
+    top_degree_subgraph,
+)
+
+
+class TestBfsSampleNodes:
+    def test_exact_node_count(self, small_dataset):
+        sub = bfs_sample_nodes(small_dataset, 50, seed=0)
+        assert sub.n_nodes == 50
+
+    def test_target_larger_than_graph(self, small_dataset):
+        sub = bfs_sample_nodes(small_dataset, 10_000, seed=0)
+        assert sub.n_nodes == small_dataset.n_nodes
+        assert sub.n_social_ties == small_dataset.n_social_ties
+
+    def test_deterministic(self, small_dataset):
+        a = bfs_sample_nodes(small_dataset, 60, seed=5)
+        b = bfs_sample_nodes(small_dataset, 60, seed=5)
+        assert a.n_social_ties == b.n_social_ties
+        assert np.array_equal(a.tie_src, b.tie_src)
+
+    def test_different_seeds_differ(self, small_dataset):
+        a = bfs_sample_nodes(small_dataset, 60, seed=1)
+        b = bfs_sample_nodes(small_dataset, 60, seed=2)
+        # Extremely unlikely to coincide on a 200-node graph.
+        assert a.n_social_ties != b.n_social_ties or not np.array_equal(
+            a.tie_src, b.tie_src
+        )
+
+    def test_bfs_connectivity(self, small_dataset):
+        """A BFS sample of a connected graph is denser than random nodes."""
+        sub = bfs_sample_nodes(small_dataset, 50, seed=0)
+        assert sub.n_social_ties > 25  # ties concentrate inside the ball
+
+    def test_tie_classes_preserved(self, tiny_network):
+        sub = bfs_sample_nodes(tiny_network, 10, seed=0)
+        assert sub.n_directed == tiny_network.n_directed
+        assert sub.n_bidirectional == tiny_network.n_bidirectional
+        assert sub.n_undirected == tiny_network.n_undirected
+
+
+class TestBfsSampleTies:
+    def test_reaches_tie_target(self, small_dataset):
+        sub = bfs_sample_ties(small_dataset, 100, seed=0)
+        assert sub.n_social_ties >= 100
+
+    def test_does_not_grossly_overshoot(self, small_dataset):
+        sub = bfs_sample_ties(small_dataset, 100, seed=0)
+        # Overshoot is bounded by one node's degree.
+        max_deg = int(small_dataset.degrees().max())
+        assert sub.n_social_ties <= 100 + max_deg
+
+    def test_whole_graph_when_target_huge(self, small_dataset):
+        sub = bfs_sample_ties(small_dataset, 10**9, seed=0)
+        assert sub.n_nodes == small_dataset.n_nodes
+
+
+class TestTopDegreeSubgraph:
+    def test_node_count(self, small_dataset):
+        sub = top_degree_subgraph(small_dataset, 0.1)
+        assert sub.n_nodes == round(small_dataset.n_nodes * 0.1)
+
+    def test_keeps_highest_degrees(self, small_dataset):
+        degrees = small_dataset.degrees()
+        k = round(small_dataset.n_nodes * 0.1)
+        threshold = np.sort(degrees)[::-1][k - 1]
+        sub = top_degree_subgraph(small_dataset, 0.1)
+        # The selected sub-network is denser per node than the original.
+        assert (
+            sub.n_social_ties / sub.n_nodes
+            >= 0.5 * small_dataset.n_social_ties / small_dataset.n_nodes
+        )
+        assert threshold >= np.median(degrees)
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            top_degree_subgraph(small_dataset, 0.0)
+        with pytest.raises(ValueError):
+            top_degree_subgraph(small_dataset, 1.5)

@@ -1,0 +1,115 @@
+"""Unit tests for the five tie-direction models (shared behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discovery_accuracy
+from repro.embedding import DeepDirectConfig, LineConfig
+from repro.models import (
+    DeepDirectModel,
+    HFModel,
+    LineModel,
+    ReDirectNSM,
+    ReDirectTSM,
+)
+
+FAST_FACTORIES = {
+    "hf": lambda: HFModel(centrality_pivots=24),
+    "deepdirect": lambda: DeepDirectModel(
+        DeepDirectConfig(dimensions=16, epochs=2.0, max_pairs=120_000)
+    ),
+    "line": lambda: LineModel(
+        LineConfig(dimensions=16, epochs=300.0, max_samples=800_000)
+    ),
+    "redirect_n": lambda: ReDirectNSM(dimensions=16, rounds=4),
+    "redirect_t": lambda: ReDirectTSM(max_sweeps=20),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FAST_FACTORIES))
+def fitted(request, discovery_task):
+    model = FAST_FACTORIES[request.param]()
+    return model.fit(discovery_task.network, seed=0), request.param
+
+
+class TestSharedBehaviour:
+    def test_scores_are_probabilities(self, fitted, discovery_task):
+        model, _name = fitted
+        scores = model.tie_scores()
+        assert scores.shape == (discovery_task.network.n_ties,)
+        assert np.all(scores >= 0) and np.all(scores <= 1)
+
+    def test_beats_chance(self, fitted, discovery_task):
+        model, name = fitted
+        accuracy = discovery_accuracy(model, discovery_task)
+        assert accuracy > 0.55, f"{name} does not beat chance"
+
+    def test_labeled_ties_fit_well(self, fitted, discovery_task):
+        model, name = fitted
+        net = discovery_task.network
+        labels = net.tie_labels()
+        labeled = np.flatnonzero(~np.isnan(labels))
+        train_accuracy = np.mean(
+            (model.tie_scores()[labeled] >= 0.5) == labels[labeled]
+        )
+        assert train_accuracy > 0.6, name
+
+    def test_directionality_accessor(self, fitted, discovery_task):
+        model, _name = fitted
+        net = discovery_task.network
+        u, v = int(net.tie_src[0]), int(net.tie_dst[0])
+        value = model.directionality(u, v)
+        assert value == pytest.approx(float(model.tie_scores()[0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            HFModel().tie_scores()
+
+
+class TestReDirectSpecifics:
+    def test_tsm_clamps_labels(self, discovery_task):
+        model = ReDirectTSM(max_sweeps=10).fit(discovery_task.network, seed=0)
+        net = discovery_task.network
+        labels = net.tie_labels()
+        labeled = np.flatnonzero(~np.isnan(labels))
+        assert np.allclose(model.tie_scores()[labeled], labels[labeled])
+
+    def test_tsm_antisymmetric_on_unlabeled(self, discovery_task):
+        model = ReDirectTSM(max_sweeps=10).fit(discovery_task.network, seed=0)
+        net = discovery_task.network
+        scores = model.tie_scores()
+        labels = net.tie_labels()
+        unlabeled = np.flatnonzero(np.isnan(labels))
+        rev = net.reverse_of[unlabeled]
+        assert np.allclose(scores[unlabeled] + scores[rev], 1.0, atol=1e-6)
+
+    def test_tsm_converges(self, discovery_task):
+        model = ReDirectTSM(max_sweeps=100, tol=1e-4)
+        model.fit(discovery_task.network, seed=0)
+        assert model.n_sweeps_ < 100
+
+    def test_tsm_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            ReDirectTSM(momentum=0.0)
+
+    def test_nsm_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ReDirectNSM(dimensions=0)
+
+
+class TestDeepDirectSpecifics:
+    def test_embedding_exposed(self, discovery_task, fast_config):
+        model = DeepDirectModel(fast_config).fit(discovery_task.network, seed=0)
+        assert model.tie_embeddings.shape == (
+            discovery_task.network.n_ties,
+            fast_config.dimensions,
+        )
+
+    def test_embedding_before_fit_raises(self, fast_config):
+        with pytest.raises(RuntimeError):
+            DeepDirectModel(fast_config).tie_embeddings
+
+    def test_warm_start_off(self, discovery_task, fast_config):
+        model = DeepDirectModel(fast_config, warm_start=False)
+        model.fit(discovery_task.network, seed=0)
+        assert np.all(np.isfinite(model.tie_scores()))

@@ -1,0 +1,55 @@
+"""Unit tests for grid-searched DeepDirect (the Sec. 6.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import DeepDirectConfig
+from repro.models import DeepDirectGridSearch
+
+
+@pytest.fixture(scope="module")
+def fitted(discovery_task):
+    base = DeepDirectConfig(dimensions=16, epochs=2.0, max_pairs=80_000)
+    model = DeepDirectGridSearch(
+        base, grid=((5.0, 0.0), (5.0, 1.0)), selection_epochs=1.0
+    )
+    return model.fit(discovery_task.network, seed=0)
+
+
+def test_selects_from_grid(fitted):
+    assert fitted.best_params_ in {(5.0, 0.0), (5.0, 1.0)}
+    assert set(fitted.validation_scores_) == {(5.0, 0.0), (5.0, 1.0)}
+
+
+def test_picks_argmax(fitted):
+    best = max(fitted.validation_scores_.values())
+    assert fitted.validation_scores_[fitted.best_params_] == best
+
+
+def test_final_model_uses_best_params(fitted):
+    alpha, beta = fitted.best_params_
+    assert fitted.best_model_.config.alpha == alpha
+    assert fitted.best_model_.config.beta == beta
+    # The final refit uses the full epoch budget, not selection_epochs.
+    assert fitted.best_model_.config.epochs == 2.0
+
+
+def test_scores_shape(fitted, discovery_task):
+    scores = fitted.tie_scores()
+    assert scores.shape == (discovery_task.network.n_ties,)
+    assert np.all((scores >= 0) & (scores <= 1))
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError, match="grid"):
+        DeepDirectGridSearch(grid=())
+
+
+def test_bad_validation_fraction():
+    with pytest.raises(ValueError, match="validation_fraction"):
+        DeepDirectGridSearch(validation_fraction=0.0)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        DeepDirectGridSearch().tie_scores()

@@ -1,0 +1,101 @@
+"""Unit tests for the L2 logistic regression (D-Step learner)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LogisticRegression
+
+
+@pytest.fixture
+def separable_data(rng):
+    x = rng.normal(size=(300, 4))
+    w_true = np.array([2.0, -1.0, 0.5, 0.0])
+    y = (x @ w_true + 0.1 * rng.normal(size=300) > 0).astype(float)
+    return x, y, w_true
+
+
+class TestFit:
+    def test_learns_separable_data(self, separable_data):
+        x, y, _ = separable_data
+        model = LogisticRegression(l2=1e-4).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_recovers_weight_direction(self, separable_data):
+        x, y, w_true = separable_data
+        model = LogisticRegression(l2=1e-3).fit(x, y)
+        cosine = (model.weights_ @ w_true) / (
+            np.linalg.norm(model.weights_) * np.linalg.norm(w_true)
+        )
+        assert cosine > 0.95
+
+    def test_soft_targets(self, rng):
+        x = rng.normal(size=(200, 2))
+        targets = 1.0 / (1.0 + np.exp(-(x[:, 0] - x[:, 1])))
+        model = LogisticRegression(l2=1e-6).fit(x, targets)
+        predictions = model.predict_proba(x)
+        assert np.mean(np.abs(predictions - targets)) < 0.05
+
+    def test_sample_weights(self, rng):
+        x = rng.normal(size=(200, 1))
+        y = (x[:, 0] > 0).astype(float)
+        # Flip a block of labels but give them negligible weight.
+        y_corrupted = y.copy()
+        y_corrupted[:50] = 1 - y_corrupted[:50]
+        weights = np.ones(200)
+        weights[:50] = 1e-6
+        model = LogisticRegression(l2=1e-6).fit(
+            x, y_corrupted, sample_weight=weights
+        )
+        assert np.mean(model.predict(x[50:]) == y[50:]) > 0.95
+
+    def test_warm_start_accepted(self, separable_data):
+        x, y, w_true = separable_data
+        model = LogisticRegression(l2=1e-3).fit(
+            x, y, warm_start=(w_true, 0.0)
+        )
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_l2_shrinks_weights(self, separable_data):
+        x, y, _ = separable_data
+        weak = LogisticRegression(l2=1e-6).fit(x, y)
+        strong = LogisticRegression(l2=10.0).fit(x, y)
+        assert np.linalg.norm(strong.weights_) < np.linalg.norm(weak.weights_)
+
+
+class TestValidation:
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(rng.normal(size=(5, 2)), np.ones(4))
+
+    def test_targets_out_of_range(self, rng):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            LogisticRegression().fit(
+                rng.normal(size=(5, 2)), np.array([0, 1, 2, 0, 1.0])
+            )
+
+    def test_nonfinite_features(self):
+        x = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="non-finite"):
+            LogisticRegression().fit(x, np.array([1.0]))
+
+    def test_bad_sample_weight_length(self, rng):
+        with pytest.raises(ValueError, match="sample_weight"):
+            LogisticRegression().fit(
+                rng.normal(size=(5, 2)), np.ones(5), sample_weight=np.ones(3)
+            )
+
+    def test_bad_warm_start(self, rng):
+        with pytest.raises(ValueError, match="warm_start"):
+            LogisticRegression().fit(
+                rng.normal(size=(5, 2)), np.ones(5),
+                warm_start=(np.zeros(5), 0.0),
+            )
+
+    def test_negative_l2(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_unfitted_raises(self, rng):
+        model = LogisticRegression()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict_proba(rng.normal(size=(3, 2)))

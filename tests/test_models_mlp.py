@@ -1,0 +1,80 @@
+"""Unit tests for the MLP classifier and the non-linear D-Step."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discovery_accuracy
+from repro.embedding import DeepDirectConfig
+from repro.models import DeepDirectModel, MLPClassifier
+
+
+class TestMLPClassifier:
+    def test_learns_linear_data(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = (x[:, 0] - x[:, 1] > 0).astype(float)
+        model = MLPClassifier(hidden=8, l2=1e-5, seed=0).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_learns_xor(self, rng):
+        """The non-linearity the logistic D-Step cannot express."""
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+        mlp = MLPClassifier(hidden=16, l2=1e-6, seed=0).fit(x, y)
+        assert np.mean(mlp.predict(x) == y) > 0.9
+
+        from repro.models import LogisticRegression
+
+        linear = LogisticRegression(l2=1e-6).fit(x, y)
+        assert np.mean(linear.predict(x) == y) < 0.7  # linear cannot
+
+    def test_probabilities_in_range(self, rng):
+        x = rng.normal(size=(50, 4))
+        y = rng.integers(0, 2, size=50).astype(float)
+        model = MLPClassifier(hidden=4, seed=0).fit(x, y)
+        p = model.predict_proba(x)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_sample_weights(self, rng):
+        x = rng.normal(size=(200, 1))
+        y = (x[:, 0] > 0).astype(float)
+        y_corrupted = y.copy()
+        y_corrupted[:50] = 1 - y_corrupted[:50]
+        weights = np.ones(200)
+        weights[:50] = 1e-6
+        model = MLPClassifier(hidden=4, l2=1e-6, seed=0).fit(
+            x, y_corrupted, sample_weight=weights
+        )
+        assert np.mean(model.predict(x[50:]) == y[50:]) > 0.9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden=0)
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(rng.normal(size=(5, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(
+                rng.normal(size=(5, 2)), np.array([0, 1, 2, 0, 1.0])
+            )
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(rng.normal(size=(3, 2)))
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        a = MLPClassifier(hidden=8, seed=5).fit(x, y).predict_proba(x)
+        b = MLPClassifier(hidden=8, seed=5).fit(x, y).predict_proba(x)
+        assert np.array_equal(a, b)
+
+
+class TestMLPDStep:
+    def test_dstep_mlp_end_to_end(self, discovery_task, fast_config):
+        model = DeepDirectModel(fast_config, dstep="mlp", mlp_hidden=16)
+        model.fit(discovery_task.network, seed=0)
+        accuracy = discovery_accuracy(model, discovery_task)
+        assert accuracy > 0.55
+
+    def test_invalid_dstep_rejected(self):
+        with pytest.raises(ValueError, match="dstep"):
+            DeepDirectModel(DeepDirectConfig(dimensions=8), dstep="svm")

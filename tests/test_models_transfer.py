@@ -1,0 +1,79 @@
+"""Unit tests for transfer learning (Sec. 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import discovery_accuracy
+from repro.datasets import GeneratorConfig, generate_social_network, hide_directions
+from repro.models import HFModel, TransferHFModel
+
+
+@pytest.fixture(scope="module")
+def source_network():
+    """A fully labeled source network from the same regime."""
+    config = GeneratorConfig(
+        n_nodes=220,
+        ties_per_node=6,
+        triad_closure=0.4,
+        reciprocity=0.3,
+        status_degree_weight=0.5,
+        status_sharpness=4.0,
+        n_communities=8,
+        community_weight=0.7,
+        homophily=0.85,
+    )
+    return generate_social_network(config, seed=42)
+
+
+@pytest.fixture(scope="module")
+def scarce_target(small_dataset):
+    """Target network where only 3 % of directions are labeled."""
+    return hide_directions(small_dataset, 0.03, seed=5)
+
+
+def test_transfer_beats_chance(source_network, scarce_target):
+    model = TransferHFModel(source_network, centrality_pivots=24)
+    model.fit(scarce_target.network, seed=0)
+    assert discovery_accuracy(model, scarce_target) > 0.6
+
+
+def test_transfer_helps_in_scarce_regime(source_network, scarce_target):
+    """With 3 % labels, source knowledge should beat target-only HF."""
+    transfer = TransferHFModel(
+        source_network, transfer_strength=1.0, centrality_pivots=24
+    ).fit(scarce_target.network, seed=0)
+    plain = HFModel(centrality_pivots=24).fit(scarce_target.network, seed=0)
+    assert discovery_accuracy(transfer, scarce_target) >= discovery_accuracy(
+        plain, scarce_target
+    ) - 0.02
+
+
+def test_zero_strength_matches_plain_hf_closely(source_network, scarce_target):
+    transfer = TransferHFModel(
+        source_network, transfer_strength=0.0, centrality_pivots=24
+    ).fit(scarce_target.network, seed=0)
+    plain = HFModel(centrality_pivots=24).fit(scarce_target.network, seed=0)
+    # Same family, same data; small numerical differences allowed.
+    a = discovery_accuracy(transfer, scarce_target)
+    b = discovery_accuracy(plain, scarce_target)
+    assert abs(a - b) < 0.1
+
+
+def test_source_params_exposed(source_network, scarce_target):
+    model = TransferHFModel(source_network, centrality_pivots=24)
+    model.fit(scarce_target.network, seed=0)
+    assert model.source_params_ is not None
+    assert np.all(np.isfinite(model.source_params_))
+    assert len(model.source_params_) == 25  # 24 features + bias
+
+
+def test_negative_strength_rejected(source_network):
+    with pytest.raises(ValueError):
+        TransferHFModel(source_network, transfer_strength=-1.0)
+
+
+def test_scores_are_probabilities(source_network, scarce_target):
+    model = TransferHFModel(source_network, centrality_pivots=24)
+    model.fit(scarce_target.network, seed=0)
+    scores = model.tie_scores()
+    assert np.all((scores >= 0) & (scores <= 1))

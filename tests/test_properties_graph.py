@@ -1,0 +1,107 @@
+"""Property-based tests on the graph substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import MixedSocialNetwork, TieKind
+
+
+@st.composite
+def mixed_networks(draw):
+    """Random valid mixed social networks (up to 12 nodes)."""
+    n_nodes = draw(st.integers(min_value=3, max_value=12))
+    pairs = [
+        (u, v) for u in range(n_nodes) for v in range(u + 1, n_nodes)
+    ]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs), min_size=1, max_size=len(pairs), unique=True
+        )
+    )
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["d", "d_rev", "b", "u"]),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    directed, bidirectional, undirected = [], [], []
+    for (u, v), kind in zip(chosen, kinds):
+        if kind == "d":
+            directed.append((u, v))
+        elif kind == "d_rev":
+            directed.append((v, u))
+        elif kind == "b":
+            bidirectional.append((u, v))
+        else:
+            undirected.append((u, v))
+    if not directed:
+        directed.append(bidirectional.pop() if bidirectional else undirected.pop())
+    return MixedSocialNetwork(n_nodes, directed, bidirectional, undirected)
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_reverse_is_involution(net):
+    rev = net.reverse_of
+    assert np.array_equal(rev[rev], np.arange(net.n_ties))
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_oriented_tie_count_is_twice_social(net):
+    assert net.n_ties == 2 * net.n_social_ties
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_tie_degree_equals_connected_count(net):
+    degrees = net.tie_degrees()
+    for e in range(net.n_ties):
+        assert degrees[e] == len(net.connected_ties(e))
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_connected_ties_satisfy_definition4(net):
+    for e in range(net.n_ties):
+        for successor in net.connected_ties(e):
+            assert net.tie_dst[e] == net.tie_src[successor]
+            assert net.tie_src[e] != net.tie_dst[successor]
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_degrees_non_negative_and_consistent(net):
+    out_deg, in_deg = net.out_degrees(), net.in_degrees()
+    assert np.all(out_deg >= 0) and np.all(in_deg >= 0)
+    # out- and in-degree totals balance: every oriented contribution has
+    # a source and a target.
+    assert out_deg.sum() == in_deg.sum()
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_labels_partition(net):
+    labels = net.tie_labels()
+    n_labeled = np.sum(~np.isnan(labels))
+    assert n_labeled == 2 * net.n_directed
+    assert np.nansum(labels) == net.n_directed  # one '1' per directed tie
+
+
+@given(mixed_networks())
+@settings(max_examples=60, deadline=None)
+def test_neighbor_symmetry(net):
+    for u in range(net.n_nodes):
+        for v in net.neighbors(u):
+            assert u in net.neighbors(int(v))
+
+
+@given(mixed_networks())
+@settings(max_examples=40, deadline=None)
+def test_adjacency_matches_oriented_ties(net):
+    dense = net.adjacency_matrix().toarray()
+    for u in range(net.n_nodes):
+        for v in range(net.n_nodes):
+            assert (dense[u, v] != 0) == net.has_oriented_tie(u, v)

@@ -1,0 +1,55 @@
+"""Property-based tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval import roc_auc
+
+
+def _scores(n):
+    # Scores on a 0.01 grid: coarse enough that affine transforms cannot
+    # merge distinct values through float rounding.
+    return arrays(
+        dtype=float,
+        shape=n,
+        elements=st.integers(min_value=0, max_value=100).map(lambda k: k / 100),
+    )
+
+
+@given(
+    labels=arrays(dtype=np.int64, shape=30, elements=st.integers(0, 1)),
+    scores=_scores(30),
+)
+@settings(max_examples=60, deadline=None)
+def test_auc_bounds_and_complement(labels, scores):
+    assume(0 < labels.sum() < len(labels))
+    auc = roc_auc(labels.astype(float), scores)
+    assert 0.0 <= auc <= 1.0
+    # Negating scores inverts the ranking (ties stay ties under negation).
+    assert roc_auc(labels.astype(float), -scores) == pytest.approx(1.0 - auc)
+
+
+@given(
+    labels=arrays(dtype=np.int64, shape=30, elements=st.integers(0, 1)),
+    scores=_scores(30),
+    shift=st.integers(min_value=-5, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_auc_invariant_under_monotone_transform(labels, scores, shift):
+    assume(0 < labels.sum() < len(labels))
+    base = roc_auc(labels.astype(float), scores)
+    shifted = roc_auc(labels.astype(float), scores * 3.0 + shift)
+    assert shifted == pytest.approx(base)
+
+
+@given(
+    labels=arrays(dtype=np.int64, shape=30, elements=st.integers(0, 1)),
+)
+@settings(max_examples=60, deadline=None)
+def test_auc_perfect_ranking(labels):
+    assume(0 < labels.sum() < len(labels))
+    scores = labels.astype(float) + np.linspace(0, 0.49, len(labels))
+    assert roc_auc(labels.astype(float), scores) == 1.0

@@ -1,0 +1,61 @@
+"""Property-based tests for samplers and pseudo-labels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.embedding import AliasSampler, degree_pseudo_labels
+from repro.datasets import random_mixed_network
+
+
+@given(
+    weights=arrays(
+        dtype=float,
+        shape=st.integers(min_value=1, max_value=30),
+        elements=st.floats(min_value=0.0, max_value=100.0),
+    ).filter(lambda w: w.sum() > 0)
+)
+@settings(max_examples=50, deadline=None)
+def test_alias_sampler_support(weights):
+    """Samples only land on positive-weight indices."""
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(0)
+    draws = sampler.sample(500, rng)
+    assert np.all(weights[draws] > 0)
+
+
+@given(
+    weights=arrays(
+        dtype=float,
+        shape=st.integers(min_value=2, max_value=8),
+        elements=st.floats(min_value=0.1, max_value=10.0),
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_alias_sampler_distribution(weights):
+    """Empirical frequencies converge to the normalised weights."""
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(1)
+    draws = sampler.sample(60_000, rng)
+    observed = np.bincount(draws, minlength=len(weights)) / 60_000
+    expected = weights / weights.sum()
+    assert np.allclose(observed, expected, atol=0.02)
+
+
+@given(
+    n_nodes=st.integers(min_value=5, max_value=25),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_degree_pseudo_labels_antisymmetric(n_nodes, seed):
+    max_ties = n_nodes * (n_nodes - 1) // 2
+    net = random_mixed_network(
+        n_nodes,
+        n_directed=min(max(1, n_nodes), max_ties - 2),
+        n_undirected=2,
+        seed=seed,
+    )
+    labels = degree_pseudo_labels(net)
+    assert np.all((labels >= 0) & (labels <= 1))
+    assert np.allclose(labels + labels[net.reverse_of], 1.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_finite_array,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    ensure_rng,
+    spawn,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.random() == b.random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_independent(self):
+        rng = np.random.default_rng(0)
+        children = spawn(rng, 3)
+        assert len(children) == 3
+        draws = {c.random() for c in children}
+        assert len(draws) == 3
+
+
+class TestValidation:
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError, match="p"):
+            check_probability(1.1, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_positive(self):
+        assert check_positive(2, "x") == 2
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+    def test_finite_array(self):
+        arr = np.ones(3)
+        assert check_finite_array(arr, "a") is arr
+        with pytest.raises(ValueError, match="a"):
+            check_finite_array(np.array([1.0, np.inf]), "a")
