@@ -17,6 +17,10 @@ Environment knobs:
     the sensitivity figures as noted per module).
 ``REPRO_BENCH_SEED``
     Base seed (default 0).
+``REPRO_BENCH_TELEMETRY``
+    Set to ``0`` to disable the per-run JSONL training telemetry that
+    every harness writes to ``benchmarks/results/telemetry/<name>.jsonl``
+    (default on).
 
 Each harness prints the regenerated rows/series and also writes them to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference a
@@ -29,8 +33,10 @@ import os
 import pathlib
 
 from repro.eval import format_table
+from repro.obs import JsonlSink, TrainerCallback
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TELEMETRY_DIR = RESULTS_DIR / "telemetry"
 
 #: DeepDirect speed profile shared by all harnesses.
 BENCH_DIMENSIONS = 64
@@ -45,6 +51,25 @@ def get_scale() -> float:
 
 def get_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def telemetry_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "1") != "0"
+
+
+def bench_callbacks(name: str) -> list[TrainerCallback]:
+    """Telemetry sinks for one harness run.
+
+    Returns a JSONL sink writing the full training trajectory (per-batch
+    loss components, learning rate, throughput) of every fit the harness
+    performs to ``results/telemetry/<name>.jsonl``, or ``[]`` when
+    ``REPRO_BENCH_TELEMETRY=0``.  Pass the result to a model factory's
+    ``callbacks`` argument.
+    """
+    if not telemetry_enabled():
+        return []
+    TELEMETRY_DIR.mkdir(parents=True, exist_ok=True)
+    return [JsonlSink(TELEMETRY_DIR / f"{name}.jsonl")]
 
 
 def get_datasets(default: tuple[str, ...]) -> tuple[str, ...]:

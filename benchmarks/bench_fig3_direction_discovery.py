@@ -21,6 +21,7 @@ from _common import (
     BENCH_DIMENSIONS,
     BENCH_MAX_PAIRS,
     BENCH_PAIRS_PER_TIE,
+    bench_callbacks,
     get_datasets,
     get_scale,
     get_seed,
@@ -41,6 +42,7 @@ def _run() -> list[dict[str, object]]:
         dimensions=BENCH_DIMENSIONS,
         pairs_per_tie=BENCH_PAIRS_PER_TIE,
         max_pairs=BENCH_MAX_PAIRS,
+        callbacks=bench_callbacks("fig3_direction_discovery"),
     )
     for dataset in get_datasets(ALL):
         network = load_dataset(dataset, scale=get_scale(), seed=get_seed())

@@ -18,6 +18,7 @@ from _common import (
     BENCH_DIMENSIONS,
     BENCH_MAX_PAIRS,
     BENCH_PAIRS_PER_TIE,
+    bench_callbacks,
     get_datasets,
     get_scale,
     get_seed,
@@ -34,6 +35,7 @@ def _fractions() -> tuple[float, ...]:
 
 def _run() -> list[dict[str, object]]:
     rows = []
+    telemetry = bench_callbacks("fig4_alpha")
     for dataset in get_datasets(("twitter", "tencent")):
         network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
         for fraction in _fractions():
@@ -45,6 +47,7 @@ def _run() -> list[dict[str, object]]:
                     beta=0.0,
                     pairs_per_tie=BENCH_PAIRS_PER_TIE,
                     max_pairs=BENCH_MAX_PAIRS,
+                    callbacks=telemetry,
                 )
                 model = factory().fit(task.network, seed=get_seed())
                 rows.append(

@@ -15,6 +15,7 @@ from repro.eval import deepdirect_factory
 from _common import (
     BENCH_MAX_PAIRS,
     BENCH_PAIRS_PER_TIE,
+    bench_callbacks,
     get_datasets,
     get_scale,
     get_seed,
@@ -25,6 +26,8 @@ DIMENSIONS = (16, 32, 64, 128)
 NEGATIVES = (1, 3, 5, 10)
 DIRECTED_FRACTION = 0.2
 
+TELEMETRY = bench_callbacks("fig6_sensitivity")
+
 
 def _accuracy(dataset: str, dimensions: int, n_negative: int) -> float:
     network = load_dataset(dataset, scale=get_scale(), seed=get_seed())
@@ -34,6 +37,7 @@ def _accuracy(dataset: str, dimensions: int, n_negative: int) -> float:
         n_negative=n_negative,
         pairs_per_tie=BENCH_PAIRS_PER_TIE,
         max_pairs=BENCH_MAX_PAIRS,
+        callbacks=TELEMETRY,
     )
     model = factory().fit(task.network, seed=get_seed())
     return discovery_accuracy(model, task)

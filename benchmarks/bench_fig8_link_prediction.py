@@ -17,6 +17,7 @@ from _common import (
     BENCH_DIMENSIONS,
     BENCH_MAX_PAIRS,
     BENCH_PAIRS_PER_TIE,
+    bench_callbacks,
     get_datasets,
     get_scale,
     get_seed,
@@ -32,6 +33,7 @@ def _run() -> list[dict[str, object]]:
         dimensions=BENCH_DIMENSIONS,
         pairs_per_tie=BENCH_PAIRS_PER_TIE,
         max_pairs=BENCH_MAX_PAIRS,
+        callbacks=bench_callbacks("fig8_link_prediction"),
     )
     rows = []
     for dataset in get_datasets(FIG8_DATASETS):

@@ -17,7 +17,9 @@ from repro.datasets import hide_directions, load_dataset
 from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
 from repro.graph import bfs_sample_ties
 
-from _common import get_scale, get_seed, record
+from _common import bench_callbacks, get_scale, get_seed, record
+
+TELEMETRY = bench_callbacks("fig9_scalability")
 
 #: Tie-count targets for the sweep, as fractions of the full network.
 SIZE_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
@@ -40,7 +42,9 @@ def _prepare():
 def _train(network) -> float:
     config = DeepDirectConfig(dimensions=32, epochs=EPOCHS, batch_size=256)
     start = time.perf_counter()
-    DeepDirectEmbedding(config).fit(network, seed=get_seed())
+    DeepDirectEmbedding(config).fit(
+        network, seed=get_seed(), callbacks=TELEMETRY
+    )
     return time.perf_counter() - start
 
 

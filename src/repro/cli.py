@@ -36,6 +36,7 @@ from .datasets import (
 from .embedding import DeepDirectConfig, LineConfig, Node2VecConfig
 from .eval import format_table
 from .graph import read_tie_list, write_tie_list
+from .obs import CallbackList, ConsoleReporter, JsonlSink, TrainerCallback
 from .models import (
     DeepDirectModel,
     HFModel,
@@ -56,7 +57,26 @@ METHOD_CHOICES = (
 )
 
 
-def _build_model(args: argparse.Namespace) -> TieDirectionModel:
+def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
+    """Sinks requested on the command line (may be empty).
+
+    ``--telemetry`` streams every training event to a JSONL file and,
+    like ``--progress``, also mirrors the trainer's ``log_every``
+    checkpoints to the console through a :class:`ConsoleReporter`.
+    """
+    callbacks: list[TrainerCallback] = []
+    if getattr(args, "telemetry", None):
+        callbacks.append(JsonlSink(args.telemetry))
+    if callbacks or getattr(args, "progress", False):
+        callbacks.append(ConsoleReporter(every=args.log_every))
+    return callbacks
+
+
+def _build_model(
+    args: argparse.Namespace,
+    callbacks: list[TrainerCallback] | None = None,
+) -> TieDirectionModel:
+    callbacks = callbacks or []
     if args.method == "deepdirect":
         return DeepDirectModel(
             DeepDirectConfig(
@@ -66,16 +86,19 @@ def _build_model(args: argparse.Namespace) -> TieDirectionModel:
                 pairs_per_tie=args.pairs_per_tie,
             ),
             dstep=args.dstep,
+            callbacks=callbacks,
         )
     if args.method == "hf":
         return HFModel()
     if args.method == "line":
         return LineModel(
-            LineConfig(dimensions=max(2, args.dimensions // 2))
+            LineConfig(dimensions=max(2, args.dimensions // 2)),
+            callbacks=callbacks,
         )
     if args.method == "node2vec":
         return Node2VecModel(
-            Node2VecConfig(dimensions=max(2, args.dimensions // 2))
+            Node2VecConfig(dimensions=max(2, args.dimensions // 2)),
+            callbacks=callbacks,
         )
     if args.method == "redirect-n":
         return ReDirectNSM()
@@ -117,20 +140,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     network = read_tie_list(args.input)
-    if args.hide is not None:
-        task = hide_directions(network, args.hide, seed=args.seed)
-        model = _build_model(args).fit(task.network, seed=args.seed)
-        accuracy = discovery_accuracy(model, task)
-        print(
-            f"method={args.method} hidden={len(task.true_sources)} "
-            f"accuracy={accuracy:.4f}"
-        )
-        return 0
-    if network.n_undirected == 0:
-        print("network has no undirected ties; nothing to discover",
-              file=sys.stderr)
-        return 1
-    model = _build_model(args).fit(network, seed=args.seed)
+    callbacks = _telemetry_callbacks(args)
+    try:
+        if args.hide is not None:
+            task = hide_directions(network, args.hide, seed=args.seed)
+            model = _build_model(args, callbacks).fit(
+                task.network, seed=args.seed
+            )
+            accuracy = discovery_accuracy(model, task)
+            print(
+                f"method={args.method} hidden={len(task.true_sources)} "
+                f"accuracy={accuracy:.4f}"
+            )
+            return 0
+        if network.n_undirected == 0:
+            print("network has no undirected ties; nothing to discover",
+                  file=sys.stderr)
+            return 1
+        model = _build_model(args, callbacks).fit(network, seed=args.seed)
+    finally:
+        CallbackList(callbacks).close()
     completed = discover_and_apply(model)
     if args.output:
         write_tie_list(completed, args.output)
@@ -145,7 +174,11 @@ def _cmd_quantify(args: argparse.Namespace) -> int:
     if network.n_bidirectional == 0:
         print("network has no bidirectional ties", file=sys.stderr)
         return 1
-    model = _build_model(args).fit(network, seed=args.seed)
+    callbacks = _telemetry_callbacks(args)
+    try:
+        model = _build_model(args, callbacks).fit(network, seed=args.seed)
+    finally:
+        CallbackList(callbacks).close()
     table = quantify_bidirectional_ties(model)
     rows = [
         {
@@ -160,6 +193,15 @@ def _cmd_quantify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--method", choices=METHOD_CHOICES, default="deepdirect"
@@ -171,6 +213,26 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="pairs_per_tie")
     parser.add_argument(
         "--dstep", choices=("logistic", "mlp"), default="logistic"
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH.jsonl",
+        default=None,
+        help="stream per-batch training telemetry (loss components, "
+        "learning rate, throughput) to a JSONL file; embedding methods "
+        "only",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print training progress lines at the log-every cadence",
+    )
+    parser.add_argument(
+        "--log-every",
+        type=_positive_int,
+        default=200,
+        dest="log_every",
+        help="batch cadence of progress lines and loss checkpoints",
     )
 
 

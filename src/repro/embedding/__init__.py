@@ -1,7 +1,13 @@
 """Edge-based network embedding (the paper's core contribution, Sec. 4)."""
 
 from .config import DeepDirectConfig
-from .deepdirect import DeepDirectEmbedding, EmbeddingResult, embed
+from .deepdirect import (
+    BatchLoss,
+    DeepDirectEmbedding,
+    DeepDirectTrainer,
+    EmbeddingResult,
+    embed,
+)
 from .line import LineConfig, LineEmbedding, LineResult
 from .node2vec import (
     Node2VecConfig,
@@ -20,9 +26,11 @@ from .samplers import AliasSampler, ConnectedPairSampler, sample_common_neighbor
 
 __all__ = [
     "AliasSampler",
+    "BatchLoss",
     "ConnectedPairSampler",
     "DeepDirectConfig",
     "DeepDirectEmbedding",
+    "DeepDirectTrainer",
     "EmbeddingResult",
     "LineConfig",
     "LineEmbedding",

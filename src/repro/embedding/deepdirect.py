@@ -27,11 +27,15 @@ Implementation notes
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple
 
 import numpy as np
 
 from ..graph import MixedSocialNetwork, TieKind
+from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
 from .patterns import (
@@ -48,6 +52,21 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 def _safe_log(x: np.ndarray) -> np.ndarray:
     return np.log(np.maximum(x, 1e-12))
+
+
+class BatchLoss(NamedTuple):
+    """Per-batch mean loss, split into the Eq. 18 components.
+
+    ``total == topo + label + pattern`` (the α/β weights are already
+    applied to the component means); ``b_prime`` is the updated joint
+    bias, returned because a python float cannot mutate in place.
+    """
+
+    total: float
+    topo: float
+    label: float
+    pattern: float
+    b_prime: float
 
 
 @dataclass
@@ -112,11 +131,25 @@ class DeepDirectEmbedding:
         network: MixedSocialNetwork,
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> EmbeddingResult:
-        """Run the E-Step on ``network`` and return the embedding."""
+        """Run the E-Step on ``network`` and return the embedding.
+
+        Parameters
+        ----------
+        callbacks:
+            Optional :class:`repro.obs.TrainerCallback` instances.  Each
+            batch emits ``on_batch_end`` with the Eq. 18 loss components
+            (``L``, ``L_topo``, ``L_label``, ``L_pattern``), the current
+            learning rate and throughput.  Callbacks are passive: an
+            instrumented run is byte-identical to a bare one under the
+            same seed.
+        """
         cfg = self.config
         rng = ensure_rng(seed)
         n_ties, l = network.n_ties, cfg.dimensions
+        cb = CallbackList(callbacks)
+        metrics = MetricsRegistry()
 
         sampler = ConnectedPairSampler(network)
         labels = network.tie_labels()
@@ -146,16 +179,77 @@ class DeepDirectEmbedding:
         total_pairs = max(total_pairs, cfg.batch_size)
         n_batches = -(-total_pairs // cfg.batch_size)
 
+        run = RunInfo(
+            trainer="deepdirect",
+            total_batches=n_batches,
+            batch_size=cfg.batch_size,
+            config=dataclasses.asdict(cfg),
+        )
+        pairs_per_epoch = network.connected_pair_count()
+        loss_ema = metrics.ema("L", alpha=0.05)
+        fit_start = time.perf_counter()
+        if cb:
+            cb.on_fit_begin(
+                run,
+                {
+                    "n_ties": n_ties,
+                    "n_labeled": int(labeled_mask.sum()),
+                    "use_patterns": bool(use_patterns),
+                    "pairs_per_epoch": pairs_per_epoch,
+                    "sampler_setup_s": sampler.setup_seconds,
+                },
+            )
+
         loss_history: list[tuple[int, float]] = []
+        epoch = 0
         for batch_idx in range(n_batches):
             lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
             loss = self._train_batch(
                 network, sampler, triads, labels, labeled_mask,
                 undirected_mask, y_degree, M, N, w_prime, b_prime, lr, rng,
             )
-            b_prime = loss[1]
+            b_prime = loss.b_prime
             if batch_idx % log_every == 0:
-                loss_history.append((batch_idx * cfg.batch_size, loss[0]))
+                loss_history.append((batch_idx * cfg.batch_size, loss.total))
+            if cb:
+                pairs_done = (batch_idx + 1) * cfg.batch_size
+                elapsed = time.perf_counter() - fit_start
+                cb.on_batch_end(
+                    run,
+                    batch_idx,
+                    {
+                        "L": loss.total,
+                        "L_ema": loss_ema.update(loss.total),
+                        "L_topo": loss.topo,
+                        "L_label": loss.label,
+                        "L_pattern": loss.pattern,
+                        "lr": lr,
+                        "pairs": pairs_done,
+                        "pairs_per_sec": pairs_done / max(elapsed, 1e-9),
+                    },
+                )
+                new_epoch = pairs_done // pairs_per_epoch
+                if new_epoch > epoch:
+                    epoch = new_epoch
+                    cb.on_epoch_end(
+                        run,
+                        epoch,
+                        {"pairs": pairs_done, "L_ema": loss_ema.value},
+                    )
+
+        if cb:
+            duration = time.perf_counter() - fit_start
+            pairs_trained = n_batches * cfg.batch_size
+            cb.on_fit_end(
+                run,
+                {
+                    "n_pairs_trained": pairs_trained,
+                    "L_ema": loss_ema.value,
+                    **sampler.stats(),
+                    "duration_s": duration,
+                    "pairs_per_sec": pairs_trained / max(duration, 1e-9),
+                },
+            )
 
         return EmbeddingResult(
             embeddings=M,
@@ -183,11 +277,11 @@ class DeepDirectEmbedding:
         b_prime: float,
         lr: float,
         rng: np.random.Generator,
-    ) -> tuple[float, float]:
+    ) -> BatchLoss:
         """One vectorised SGD step; mutates M, N, w_prime in place.
 
-        Returns ``(mean batch loss, new b_prime)`` — the bias is a python
-        float and cannot be mutated in place.
+        Returns the batch-mean loss split into its Eq. 18 components
+        plus the updated bias ``b_prime``.
         """
         cfg = self.config
         batch = cfg.batch_size
@@ -207,7 +301,9 @@ class DeepDirectEmbedding:
         grad_n_pos = (pos_score - 1.0)[:, None] * m
         grad_n_neg = neg_score[:, :, None] * m[:, None, :]
 
-        loss = -_safe_log(pos_score) - _safe_log(1.0 - neg_score).sum(axis=1)
+        loss_topo = -_safe_log(pos_score) - _safe_log(1.0 - neg_score).sum(axis=1)
+        loss_label = np.zeros(batch)
+        loss_pattern = np.zeros(batch)
 
         # ---- supervised error scalar (Eq. 21) ----
         prediction = _sigmoid(m @ w_prime + b_prime)
@@ -220,7 +316,7 @@ class DeepDirectEmbedding:
             y = labels[e]
             ce = -(y * _safe_log(prediction)
                    + (1 - y) * _safe_log(1 - prediction))
-            loss += cfg.alpha * np.where(batch_labeled, ce, 0.0)
+            loss_label += cfg.alpha * np.where(batch_labeled, ce, 0.0)
 
         batch_undirected = undirected_mask[e]
         if cfg.beta > 0 and triads is not None and np.any(batch_undirected):
@@ -232,7 +328,7 @@ class DeepDirectEmbedding:
             )
             ce_d = -(y_d * _safe_log(prediction)
                      + (1 - y_d) * _safe_log(1 - prediction))
-            loss += cfg.beta * np.where(degree_term, ce_d, 0.0)
+            loss_pattern += cfg.beta * np.where(degree_term, ce_d, 0.0)
 
             # Triad-pattern term with dynamic pseudo-labels (Eq. 15).
             y_t, valid = self._batch_triad_labels(
@@ -242,7 +338,7 @@ class DeepDirectEmbedding:
             error += cfg.beta * np.where(triad_term, prediction - y_t, 0.0)
             ce_t = -(y_t * _safe_log(prediction)
                      + (1 - y_t) * _safe_log(1 - prediction))
-            loss += cfg.beta * np.where(triad_term, ce_t, 0.0)
+            loss_pattern += cfg.beta * np.where(triad_term, ce_t, 0.0)
 
         np.clip(error, -cfg.grad_clip, cfg.grad_clip, out=error)
         grad_m += error[:, None] * w_prime[None, :]
@@ -258,7 +354,16 @@ class DeepDirectEmbedding:
             -lr * grad_n_neg.reshape(-1, grad_n_neg.shape[-1]),
         )
         w_prime -= lr * grad_w
-        return float(loss.mean()), b_prime - lr * grad_b
+        topo = float(loss_topo.mean())
+        label = float(loss_label.mean())
+        pattern = float(loss_pattern.mean())
+        return BatchLoss(
+            total=topo + label + pattern,
+            topo=topo,
+            label=label,
+            pattern=pattern,
+            b_prime=b_prime - lr * grad_b,
+        )
 
     @staticmethod
     def _batch_triad_labels(
@@ -286,10 +391,17 @@ class DeepDirectEmbedding:
         return labels, valid
 
 
+#: Trainer-centric alias for :class:`DeepDirectEmbedding`.
+DeepDirectTrainer = DeepDirectEmbedding
+
+
 def embed(
     network: MixedSocialNetwork,
     config: DeepDirectConfig | None = None,
     seed: int | np.random.Generator = 0,
+    callbacks: Iterable[TrainerCallback] | None = None,
 ) -> EmbeddingResult:
     """One-call convenience wrapper around :class:`DeepDirectEmbedding`."""
-    return DeepDirectEmbedding(config).fit(network, seed=seed)
+    return DeepDirectEmbedding(config).fit(
+        network, seed=seed, callbacks=callbacks
+    )

@@ -14,11 +14,15 @@ the concatenated tie feature is 128-dimensional, matching DeepDirect.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from ..graph import MixedSocialNetwork
+from ..obs import CallbackList, RunInfo, TrainerCallback
 from ..utils import check_positive, ensure_rng
 from .samplers import AliasSampler
 
@@ -87,9 +91,11 @@ class LineEmbedding:
         network: MixedSocialNetwork,
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> LineResult:
         """Train on the oriented tie list of ``network``."""
         cfg = self.config
+        cb = CallbackList(callbacks)
         rng = ensure_rng(seed)
         n_nodes = network.n_nodes
         half = cfg.dimensions // 2
@@ -116,6 +122,18 @@ class LineEmbedding:
         total = max(total, cfg.batch_size)
         n_batches = -(-total // cfg.batch_size)
 
+        run = RunInfo(
+            trainer="line",
+            total_batches=n_batches,
+            batch_size=cfg.batch_size,
+            config=dataclasses.asdict(cfg),
+        )
+        fit_start = time.perf_counter()
+        if cb:
+            cb.on_fit_begin(
+                run, {"n_nodes": n_nodes, "n_edges": n_edges}
+            )
+
         history: list[tuple[int, float]] = []
         for batch_idx in range(n_batches):
             lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
@@ -128,6 +146,30 @@ class LineEmbedding:
             loss += self._second_order_step(second, context, u, v, negs, lr)
             if batch_idx % log_every == 0:
                 history.append((batch_idx * cfg.batch_size, loss / 2.0))
+            if cb:
+                samples = (batch_idx + 1) * cfg.batch_size
+                elapsed = time.perf_counter() - fit_start
+                cb.on_batch_end(
+                    run,
+                    batch_idx,
+                    {
+                        "L": loss / 2.0,
+                        "lr": lr,
+                        "pairs": samples,
+                        "pairs_per_sec": samples / max(elapsed, 1e-9),
+                    },
+                )
+
+        if cb:
+            duration = time.perf_counter() - fit_start
+            cb.on_fit_end(
+                run,
+                {
+                    "n_samples_trained": n_batches * cfg.batch_size,
+                    "negative_draws": node_sampler.n_draws,
+                    "duration_s": duration,
+                },
+            )
 
         return LineResult(
             node_embeddings=np.hstack([first, second]),

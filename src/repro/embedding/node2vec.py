@@ -14,11 +14,15 @@ the BFS/DFS interpolation.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from ..graph import MixedSocialNetwork
+from ..obs import CallbackList, RunInfo, TrainerCallback
 from ..utils import check_positive, ensure_rng
 from .samplers import AliasSampler
 
@@ -164,12 +168,16 @@ class Node2VecEmbedding:
         network: MixedSocialNetwork,
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> Node2VecResult:
         cfg = self.config
         rng = ensure_rng(seed)
+        cb = CallbackList(callbacks)
 
+        walk_start = time.perf_counter()
         walks = generate_walks(network, cfg, rng)
         centers, contexts = _corpus_pairs(walks, cfg.window)
+        walk_seconds = time.perf_counter() - walk_start
         if len(centers) == 0:
             raise ValueError("walk corpus is empty; network too sparse")
 
@@ -188,6 +196,24 @@ class Node2VecEmbedding:
 
         total = int(cfg.epochs * len(centers))
         n_batches = max(1, -(-total // cfg.batch_size))
+
+        run = RunInfo(
+            trainer="node2vec",
+            total_batches=n_batches,
+            batch_size=cfg.batch_size,
+            config=dataclasses.asdict(cfg),
+        )
+        fit_start = time.perf_counter()
+        if cb:
+            cb.on_fit_begin(
+                run,
+                {
+                    "n_walks": len(walks),
+                    "n_corpus_pairs": len(centers),
+                    "walk_setup_s": walk_seconds,
+                },
+            )
+
         history: list[tuple[int, float]] = []
         for batch_idx in range(n_batches):
             lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
@@ -206,10 +232,37 @@ class Node2VecEmbedding:
             np.add.at(ctx, v, -lr * grad_cv)
             np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
 
-            if batch_idx % log_every == 0:
+            # The loss is not a by-product of the update here, so it is
+            # only computed when a consumer wants it.
+            if cb or batch_idx % log_every == 0:
                 loss = -np.log(np.maximum(pos, 1e-12)).mean()
                 loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-                history.append((batch_idx * cfg.batch_size, float(loss)))
+                if batch_idx % log_every == 0:
+                    history.append((batch_idx * cfg.batch_size, float(loss)))
+                if cb:
+                    samples = (batch_idx + 1) * cfg.batch_size
+                    elapsed = time.perf_counter() - fit_start
+                    cb.on_batch_end(
+                        run,
+                        batch_idx,
+                        {
+                            "L": float(loss),
+                            "lr": lr,
+                            "pairs": samples,
+                            "pairs_per_sec": samples / max(elapsed, 1e-9),
+                        },
+                    )
+
+        if cb:
+            duration = time.perf_counter() - fit_start
+            cb.on_fit_end(
+                run,
+                {
+                    "n_samples_trained": n_batches * cfg.batch_size,
+                    "negative_draws": sampler.n_draws,
+                    "duration_s": duration,
+                },
+            )
 
         return Node2VecResult(
             node_embeddings=emb, n_walks=len(walks), loss_history=history

@@ -12,15 +12,22 @@ O(n) setup — the same approach as the word2vec reference implementation.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..graph import MixedSocialNetwork
 
 
 class AliasSampler:
-    """O(1) weighted sampling via Walker's alias method."""
+    """O(1) weighted sampling via Walker's alias method.
+
+    Telemetry attributes: ``n_draws`` counts samples drawn over the
+    sampler's lifetime, ``setup_seconds`` is the alias-table build time.
+    """
 
     def __init__(self, weights: np.ndarray) -> None:
+        setup_start = time.perf_counter()
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 1 or len(weights) == 0:
             raise ValueError("weights must be a non-empty 1-D array")
@@ -31,7 +38,10 @@ class AliasSampler:
             raise ValueError("at least one weight must be positive")
 
         n = len(weights)
-        prob = weights * (n / total)
+        # Normalise before scaling: each ratio lies in [0, 1], so this
+        # cannot overflow even when ``total`` is subnormal (a raw
+        # ``n / total`` turns infinite and poisons the table with NaNs).
+        prob = (weights / total) * n
         self._prob = np.ones(n)
         self._alias = np.arange(n)
 
@@ -46,11 +56,14 @@ class AliasSampler:
         # Leftovers are 1.0 up to float error.
         for i in small + large:
             self._prob[i] = 1.0
+        self.n_draws = 0
+        self.setup_seconds = time.perf_counter() - setup_start
 
     def sample(
         self, size: int | tuple[int, ...], rng: np.random.Generator
     ) -> np.ndarray:
         """Draw indices with the configured weights."""
+        self.n_draws += int(np.prod(size))
         idx = rng.integers(0, len(self._prob), size=size)
         coin = rng.random(size=size)
         return np.where(coin < self._prob[idx], idx, self._alias[idx])
@@ -66,6 +79,7 @@ class ConnectedPairSampler:
     """
 
     def __init__(self, network: MixedSocialNetwork) -> None:
+        setup_start = time.perf_counter()
         self.network = network
         self._tie_degrees = network.tie_degrees()
         if self._tie_degrees.sum() == 0:
@@ -78,6 +92,8 @@ class ConnectedPairSampler:
             noise = np.ones_like(noise)
         self._noise_sampler = AliasSampler(noise)
         self._offsets, self._out_tie_ids = network._ensure_out_csr()  # noqa: SLF001
+        self.n_rejection_redraws = 0
+        self.setup_seconds = time.perf_counter() - setup_start
 
     def sample_pairs(
         self, batch: int, rng: np.random.Generator
@@ -96,6 +112,7 @@ class ConnectedPairSampler:
         bad = self.network.tie_dst[successor] == src
         while np.any(bad):
             redo = np.flatnonzero(bad)
+            self.n_rejection_redraws += len(redo)
             successor[redo] = self._out_tie_ids[
                 lo[redo]
                 + rng.integers(0, np.maximum(span[redo], 1), size=len(redo))
@@ -108,6 +125,19 @@ class ConnectedPairSampler:
     ) -> np.ndarray:
         """Draw a ``(batch, n_negative)`` block of negative tie ids."""
         return self._noise_sampler.sample((batch, n_negative), rng)
+
+    def stats(self) -> dict[str, float | int]:
+        """Lifetime telemetry: draw counts and setup wall-clock time.
+
+        Keys ending in ``_s`` are wall-clock fields (volatile across
+        runs); the draw counts are deterministic under a fixed seed.
+        """
+        return {
+            "pair_draws": self._source_sampler.n_draws,
+            "negative_draws": self._noise_sampler.n_draws,
+            "rejection_redraws": self.n_rejection_redraws,
+            "sampler_setup_s": self.setup_seconds,
+        }
 
 
 def sample_common_neighbors(

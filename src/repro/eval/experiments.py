@@ -50,9 +50,14 @@ def deepdirect_factory(
     n_negative: int = 5,
     pairs_per_tie: float | None = 150.0,
     max_pairs: int | None = 6_000_000,
+    callbacks: list | None = None,
     **kwargs,
 ) -> MethodFactory:
-    """Factory for DeepDirect with a given hyper-parameter profile."""
+    """Factory for DeepDirect with a given hyper-parameter profile.
+
+    ``callbacks`` (``repro.obs`` sinks) are attached to every model the
+    factory builds, so a whole experiment grid streams into one sink.
+    """
 
     def build() -> DeepDirectModel:
         return DeepDirectModel(
@@ -65,7 +70,8 @@ def deepdirect_factory(
                 pairs_per_tie=pairs_per_tie,
                 max_pairs=max_pairs,
                 **kwargs,
-            )
+            ),
+            callbacks=callbacks,
         )
 
     return build
@@ -102,13 +108,15 @@ def default_methods(
     pairs_per_tie: float | None = 150.0,
     max_pairs: int | None = 6_000_000,
     centrality_pivots: int = 48,
+    callbacks: list | None = None,
 ) -> dict[str, MethodFactory]:
     """The five methods of Sec. 6.1 with a common speed profile.
 
     ``dimensions`` is DeepDirect's tie-embedding size; LINE's node size
     is half of it so its concatenated tie feature matches (the paper's
     128-vs-64 convention).  ``pairs_per_tie`` normalises the SGD budget
-    across graphs of different density.
+    across graphs of different density.  ``callbacks`` (``repro.obs``
+    sinks) reach the embedding trainers (LINE, DeepDirect).
     """
     # LINE counts epochs over edges the way DeepDirect counts pairs per
     # tie, so give it the same per-tie sample budget.
@@ -120,7 +128,8 @@ def default_methods(
                 dimensions=max(2, dimensions // 2),
                 epochs=line_epochs,
                 max_samples=max_pairs,
-            )
+            ),
+            callbacks=callbacks,
         )
 
     return {
@@ -133,6 +142,7 @@ def default_methods(
             epochs=epochs,
             pairs_per_tie=pairs_per_tie,
             max_pairs=max_pairs,
+            callbacks=callbacks,
         ),
     }
 

@@ -8,10 +8,15 @@ joint head, optionally weighting samples by tie degree (mirroring the
 
 from __future__ import annotations
 
+import math
+import time
+from typing import Iterable
+
 import numpy as np
 
 from ..embedding import DeepDirectConfig, DeepDirectEmbedding, EmbeddingResult
 from ..graph import MixedSocialNetwork
+from ..obs import CallbackList, RunInfo, TrainerCallback
 from ..utils import ensure_rng
 from .base import TieDirectionModel
 from .logistic import LogisticRegression
@@ -39,6 +44,10 @@ class DeepDirectModel(TieDirectionModel):
         Sec. 8, realised by :class:`repro.models.MLPClassifier`.
     mlp_hidden:
         Hidden width of the MLP D-Step (ignored for ``"logistic"``).
+    callbacks:
+        Optional :class:`repro.obs.TrainerCallback` instances forwarded
+        to the E-Step trainer; the D-Step additionally emits one
+        ``"dstep"`` event with its convergence report.
     """
 
     def __init__(
@@ -49,6 +58,7 @@ class DeepDirectModel(TieDirectionModel):
         degree_weighted_dstep: bool = False,
         dstep: str = "logistic",
         mlp_hidden: int = 32,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> None:
         if dstep not in ("logistic", "mlp"):
             raise ValueError("dstep must be 'logistic' or 'mlp'")
@@ -58,6 +68,7 @@ class DeepDirectModel(TieDirectionModel):
         self.degree_weighted_dstep = degree_weighted_dstep
         self.dstep = dstep
         self.mlp_hidden = mlp_hidden
+        self.callbacks = list(callbacks or [])
         self.network: MixedSocialNetwork | None = None
         self.embedding_: EmbeddingResult | None = None
         self._classifier: LogisticRegression | None = None
@@ -67,9 +78,12 @@ class DeepDirectModel(TieDirectionModel):
         self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
     ) -> "DeepDirectModel":
         rng = ensure_rng(seed)
+        cb = CallbackList(self.callbacks)
 
         # E-Step: learn the tie embedding matrix M.
-        embedding = DeepDirectEmbedding(self.config).fit(network, seed=rng)
+        embedding = DeepDirectEmbedding(self.config).fit(
+            network, seed=rng, callbacks=self.callbacks
+        )
 
         # D-Step: classifier on the labeled tie embeddings.
         labels = network.tie_labels()
@@ -99,12 +113,33 @@ class DeepDirectModel(TieDirectionModel):
                 if self.warm_start
                 else None
             )
+            dstep_start = time.perf_counter()
             classifier.fit(
                 embedding.embeddings[labeled],
                 labels[labeled],
                 sample_weight=sample_weight,
                 warm_start=warm,
             )
+            if cb:
+                # At the cold start (all-zero parameters) every
+                # prediction is 0.5, so the unregularised objective is
+                # exactly log 2 — the warm-start delta costs nothing.
+                cold_initial = math.log(2.0)
+                cb.on_event(
+                    RunInfo(trainer="deepdirect"),
+                    "dstep",
+                    {
+                        "n_labeled": int(len(labeled)),
+                        "n_iter": classifier.n_iter_,
+                        "warm_start": self.warm_start,
+                        "initial_loss": classifier.initial_loss_,
+                        "final_loss": classifier.final_loss_,
+                        "cold_start_initial_loss": cold_initial,
+                        "warm_start_delta":
+                            cold_initial - classifier.initial_loss_,
+                        "duration_s": time.perf_counter() - dstep_start,
+                    },
+                )
 
         self.network = network
         self.embedding_ = embedding

@@ -8,10 +8,13 @@ the indirect edge representation the paper argues against.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..embedding import LineConfig, LineEmbedding, LineResult
 from ..graph import MixedSocialNetwork
+from ..obs import TrainerCallback
 from ..utils import ensure_rng
 from .base import TieDirectionModel
 from .logistic import LogisticRegression
@@ -21,10 +24,14 @@ class LineModel(TieDirectionModel):
     """LINE node embedding + endpoint concatenation + logistic regression."""
 
     def __init__(
-        self, config: LineConfig | None = None, l2: float = 1e-3
+        self,
+        config: LineConfig | None = None,
+        l2: float = 1e-3,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> None:
         self.config = config or LineConfig()
         self.l2 = l2
+        self.callbacks = list(callbacks or [])
         self.network: MixedSocialNetwork | None = None
         self.embedding_: LineResult | None = None
         self._scores: np.ndarray | None = None
@@ -33,7 +40,9 @@ class LineModel(TieDirectionModel):
         self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
     ) -> "LineModel":
         rng = ensure_rng(seed)
-        embedding = LineEmbedding(self.config).fit(network, seed=rng)
+        embedding = LineEmbedding(self.config).fit(
+            network, seed=rng, callbacks=self.callbacks
+        )
         features = embedding.tie_features(network)
 
         labels = network.tie_labels()

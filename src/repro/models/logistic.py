@@ -32,6 +32,12 @@ class LogisticRegression:
     ----------
     weights_, bias_:
         Learned parameters, available after :meth:`fit`.
+    n_iter_:
+        L-BFGS iterations the last :meth:`fit` took to converge.
+    initial_loss_, final_loss_:
+        Objective value at the starting point (zeros or the warm start)
+        and at the solution — together they quantify how much work the
+        warm start saved the optimiser.
     """
 
     def __init__(self, l2: float = 1e-3, max_iter: int = 500) -> None:
@@ -40,6 +46,9 @@ class LogisticRegression:
         self.max_iter = max_iter
         self.weights_: np.ndarray | None = None
         self.bias_: float | None = None
+        self.n_iter_: int | None = None
+        self.initial_loss_: float | None = None
+        self.final_loss_: float | None = None
 
     def fit(
         self,
@@ -103,6 +112,7 @@ class LogisticRegression:
             grad_b = residual.sum()
             return loss, np.concatenate([grad_w, [grad_b]])
 
+        self.initial_loss_ = float(objective(x0)[0])
         result = optimize.minimize(
             objective,
             x0,
@@ -112,6 +122,8 @@ class LogisticRegression:
         )
         self.weights_ = result.x[:d]
         self.bias_ = float(result.x[d])
+        self.n_iter_ = int(result.nit)
+        self.final_loss_ = float(result.fun)
         return self
 
     def _check_fitted(self) -> None:

@@ -7,10 +7,13 @@ next to LINE.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..embedding.node2vec import Node2VecConfig, Node2VecEmbedding, Node2VecResult
 from ..graph import MixedSocialNetwork
+from ..obs import TrainerCallback
 from ..utils import ensure_rng
 from .base import TieDirectionModel
 from .logistic import LogisticRegression
@@ -20,10 +23,14 @@ class Node2VecModel(TieDirectionModel):
     """node2vec node embedding with a logistic-regression D-Step."""
 
     def __init__(
-        self, config: Node2VecConfig | None = None, l2: float = 1e-3
+        self,
+        config: Node2VecConfig | None = None,
+        l2: float = 1e-3,
+        callbacks: Iterable[TrainerCallback] | None = None,
     ) -> None:
         self.config = config or Node2VecConfig()
         self.l2 = l2
+        self.callbacks = list(callbacks or [])
         self.network: MixedSocialNetwork | None = None
         self.embedding_: Node2VecResult | None = None
         self._scores: np.ndarray | None = None
@@ -32,7 +39,9 @@ class Node2VecModel(TieDirectionModel):
         self, network: MixedSocialNetwork, seed: int | np.random.Generator = 0
     ) -> "Node2VecModel":
         rng = ensure_rng(seed)
-        embedding = Node2VecEmbedding(self.config).fit(network, seed=rng)
+        embedding = Node2VecEmbedding(self.config).fit(
+            network, seed=rng, callbacks=self.callbacks
+        )
         features = embedding.tie_features(network)
 
         labels = network.tie_labels()

@@ -1,0 +1,43 @@
+"""Training telemetry: metrics, trainer callbacks, and event sinks.
+
+The observability layer behind every trainer in :mod:`repro.embedding`
+and the ``--telemetry`` CLI flag.  See :mod:`repro.obs.callbacks` for
+the hook protocol and ``docs/paper_mapping.md`` ("Instrumentation") for
+the metric-name → paper-equation map.
+"""
+
+from .callbacks import CallbackList, RunInfo, TrainerCallback
+from .metrics import Counter, EMATracker, Gauge, MetricsRegistry, Timer
+from .sinks import (
+    ConsoleReporter,
+    EventSink,
+    InMemorySink,
+    JsonlSink,
+    VOLATILE_FIELDS,
+    VOLATILE_SUFFIXES,
+    is_volatile,
+    iter_batch_events,
+    read_jsonl,
+    strip_volatile,
+)
+
+__all__ = [
+    "CallbackList",
+    "ConsoleReporter",
+    "Counter",
+    "EMATracker",
+    "EventSink",
+    "Gauge",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RunInfo",
+    "Timer",
+    "TrainerCallback",
+    "VOLATILE_FIELDS",
+    "VOLATILE_SUFFIXES",
+    "is_volatile",
+    "iter_batch_events",
+    "read_jsonl",
+    "strip_volatile",
+]

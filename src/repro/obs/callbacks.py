@@ -1,0 +1,115 @@
+"""The trainer callback protocol and its dispatcher.
+
+Every trainer in :mod:`repro.embedding` drives the same five hooks:
+
+``on_fit_begin(run, logs)``
+    Once, before the first batch; ``logs`` carries setup facts (sampler
+    preparation time, corpus sizes, ...).
+``on_batch_end(run, step, logs)``
+    After every SGD batch; ``logs`` carries the loss components
+    (``L``, ``L_topo``, ``L_label``, ``L_pattern``), the learning rate
+    and throughput fields.
+``on_epoch_end(run, epoch, logs)``
+    Whenever the consumed-pair count crosses a multiple of the
+    per-epoch budget (``|C(G)|`` for DeepDirect).
+``on_event(run, name, logs)``
+    One-off, out-of-loop facts — e.g. the D-Step's convergence report.
+``on_fit_end(run, logs)``
+    Once, after the last batch; ``logs`` carries run totals.
+
+Callbacks must be *passive*: they may read ``logs`` and ``run`` but
+never consume the trainer's RNG or mutate its state — instrumented and
+bare runs are required to be byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Immutable facts about one training run, shared with every hook."""
+
+    trainer: str
+    total_batches: int = 0
+    batch_size: int = 0
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+
+class TrainerCallback:
+    """Base class (and de-facto protocol) with no-op default hooks.
+
+    Subclass and override only the hooks you need; unimplemented hooks
+    cost one no-op call.
+    """
+
+    def on_fit_begin(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        """Called once before training starts."""
+
+    def on_batch_end(
+        self, run: RunInfo, step: int, logs: Mapping[str, Any]
+    ) -> None:
+        """Called after every batch; ``step`` is the 0-based batch index."""
+
+    def on_epoch_end(
+        self, run: RunInfo, epoch: int, logs: Mapping[str, Any]
+    ) -> None:
+        """Called when training crosses an epoch boundary."""
+
+    def on_event(
+        self, run: RunInfo, name: str, logs: Mapping[str, Any]
+    ) -> None:
+        """Called for one-off named events (e.g. ``"dstep"``)."""
+
+    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        """Called once after the last batch."""
+
+    def close(self) -> None:
+        """Release any held resources (files, handles); idempotent."""
+
+
+class CallbackList(TrainerCallback):
+    """Dispatches every hook to its callbacks in registration order."""
+
+    def __init__(
+        self, callbacks: Iterable[TrainerCallback] | None = None
+    ) -> None:
+        self.callbacks: list[TrainerCallback] = list(callbacks or [])
+
+    def __bool__(self) -> bool:
+        return bool(self.callbacks)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def on_fit_begin(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_begin(run, logs)
+
+    def on_batch_end(
+        self, run: RunInfo, step: int, logs: Mapping[str, Any]
+    ) -> None:
+        for callback in self.callbacks:
+            callback.on_batch_end(run, step, logs)
+
+    def on_epoch_end(
+        self, run: RunInfo, epoch: int, logs: Mapping[str, Any]
+    ) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_end(run, epoch, logs)
+
+    def on_event(
+        self, run: RunInfo, name: str, logs: Mapping[str, Any]
+    ) -> None:
+        for callback in self.callbacks:
+            callback.on_event(run, name, logs)
+
+    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        for callback in self.callbacks:
+            callback.on_fit_end(run, logs)
+
+    def close(self) -> None:
+        for callback in self.callbacks:
+            callback.close()

@@ -1,0 +1,149 @@
+"""Telemetry primitives: counters, gauges, EMA trackers and timers.
+
+A :class:`MetricsRegistry` is a flat, name-addressed collection of the
+four primitive kinds.  Trainers create (or receive) one registry per
+``fit`` call and update it from the hot loop; sinks and reports read a
+:meth:`MetricsRegistry.snapshot` — a plain ``dict`` safe to serialise.
+
+Naming convention: every wall-clock-derived field ends in ``_s`` (total
+seconds) or ``_per_sec`` (rates).  :func:`repro.obs.strip_volatile`
+relies on this to compare telemetry streams across runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class EMATracker:
+    """Exponential moving average ``v ← (1-α)·v + α·x``.
+
+    The first update seeds the average with the raw sample, so the
+    tracker is unbiased from the start (no zero-initialisation warm-up).
+    """
+
+    __slots__ = ("alpha", "value", "n_updates")
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = alpha
+        self.value: float | None = None
+        self.n_updates = 0
+
+    def update(self, sample: float) -> float:
+        sample = float(sample)
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = (1.0 - self.alpha) * self.value + self.alpha * sample
+        self.n_updates += 1
+        return self.value
+
+
+class Timer:
+    """Accumulating wall-clock timer, usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.n_calls
+    1
+    """
+
+    __slots__ = ("total_seconds", "last_seconds", "n_calls", "_start")
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.last_seconds = 0.0
+        self.n_calls = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.last_seconds = time.perf_counter() - self._start
+        self.total_seconds += self.last_seconds
+        self.n_calls += 1
+        self._start = None
+
+
+class MetricsRegistry:
+    """Flat get-or-create registry of telemetry primitives.
+
+    Each name maps to exactly one primitive; asking for an existing name
+    with a different kind is an error (it would silently fork state).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | EMATracker | Timer] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def ema(self, name: str, alpha: float = 0.05) -> EMATracker:
+        return self._get_or_create(name, EMATracker, lambda: EMATracker(alpha))
+
+    def timer(self, name: str) -> Timer:
+        return self._get_or_create(name, Timer, Timer)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """All current values as one flat, JSON-ready dict.
+
+        Timers expand into ``<name>_s`` (total seconds, volatile) and
+        ``<name>_calls``; the other kinds contribute their value under
+        their own name.
+        """
+        out: dict[str, float | int | None] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Timer):
+                out[f"{name}_s"] = metric.total_seconds
+                out[f"{name}_calls"] = metric.n_calls
+            else:
+                out[name] = metric.value
+        return out

@@ -1,0 +1,229 @@
+"""Pluggable telemetry sinks.
+
+Sinks are :class:`~repro.obs.callbacks.TrainerCallback` subclasses that
+turn the hook stream into a flat *event* stream, one dict per hook call:
+
+``{"event": "fit_begin" | "batch" | "epoch" | "fit_end" | <name>,
+   "trainer": ..., "step"/"epoch": ..., **logs}``
+
+Three sinks cover the common consumers:
+
+* :class:`InMemorySink` — keeps events in a list; for tests and notebooks.
+* :class:`JsonlSink` — appends one JSON object per line; for benchmark
+  artefacts and offline analysis.
+* :class:`ConsoleReporter` — human-readable checkpoint lines; replaces
+  the trainers' historic ad-hoc ``log_every`` prints.
+
+Wall-clock-derived fields end in ``_s`` or ``_per_sec`` by convention
+(see :mod:`repro.obs.metrics`); :func:`strip_volatile` removes them so
+two same-seed runs can be compared for exact equality.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, IO, Iterator, Mapping
+
+from .callbacks import RunInfo, TrainerCallback
+
+#: Key suffixes that mark wall-clock-derived (non-deterministic) fields.
+VOLATILE_SUFFIXES = ("_s", "_per_sec")
+
+#: Exact keys that are wall-clock-derived regardless of suffix.
+VOLATILE_FIELDS = frozenset({"wall_time"})
+
+
+def is_volatile(key: str) -> bool:
+    """True when ``key`` names a wall-clock-derived event field."""
+    return key in VOLATILE_FIELDS or key.endswith(VOLATILE_SUFFIXES)
+
+
+def strip_volatile(event: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop timer/throughput fields, keeping the deterministic payload."""
+    return {k: v for k, v in event.items() if not is_volatile(k)}
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse a JSONL telemetry file back into its event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class EventSink(TrainerCallback):
+    """Shared hook→event conversion; subclasses implement :meth:`emit`."""
+
+    def emit(self, event: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    # -- hook plumbing --------------------------------------------------
+
+    def on_fit_begin(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        self.emit(
+            {
+                "event": "fit_begin",
+                "trainer": run.trainer,
+                "total_batches": run.total_batches,
+                "batch_size": run.batch_size,
+                "config": dict(run.config),
+                **logs,
+            }
+        )
+
+    def on_batch_end(
+        self, run: RunInfo, step: int, logs: Mapping[str, Any]
+    ) -> None:
+        self.emit(
+            {"event": "batch", "trainer": run.trainer, "step": step, **logs}
+        )
+
+    def on_epoch_end(
+        self, run: RunInfo, epoch: int, logs: Mapping[str, Any]
+    ) -> None:
+        self.emit(
+            {"event": "epoch", "trainer": run.trainer, "epoch": epoch, **logs}
+        )
+
+    def on_event(
+        self, run: RunInfo, name: str, logs: Mapping[str, Any]
+    ) -> None:
+        self.emit({"event": name, "trainer": run.trainer, **logs})
+
+    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        self.emit({"event": "fit_end", "trainer": run.trainer, **logs})
+
+
+class InMemorySink(EventSink):
+    """Collects events in :attr:`events`; the test/benchmark sink."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """Events whose ``"event"`` field equals ``kind``."""
+        return [e for e in self.events if e.get("event") == kind]
+
+    def series(self, field: str, kind: str = "batch") -> list[Any]:
+        """One field across all ``kind`` events, in emission order."""
+        return [e[field] for e in self.of_kind(kind) if field in e]
+
+
+class JsonlSink(EventSink):
+    """Writes one JSON object per event line to ``path``.
+
+    The file is truncated on first write of each sink instance, flushed
+    at every ``fit_end``, and closed by :meth:`close` (or garbage
+    collection).  One sink can span multiple ``fit`` calls — e.g. an
+    E-Step run followed by a D-Step event — and all events land in the
+    same file.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: IO[str] | None = None
+        self.n_events = 0
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        return self._handle
+
+    def emit(self, event: dict[str, Any]) -> None:
+        json.dump(event, self._file(), separators=(",", ":"))
+        self._file().write("\n")
+        self.n_events += 1
+
+    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        super().on_fit_end(run, logs)
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+
+class ConsoleReporter(TrainerCallback):
+    """Human-readable progress lines at a fixed batch cadence.
+
+    Prints one line every ``every`` batches (matching the trainers'
+    historic ``log_every`` checkpoints), plus begin/end summaries::
+
+        [deepdirect] batch 200/1172 L=2.841 L_topo=2.618 ... lr=0.0207
+    """
+
+    #: Batch-log fields shown, in order, when present.
+    BATCH_FIELDS = ("L", "L_ema", "L_topo", "L_label", "L_pattern", "lr",
+                    "pairs", "pairs_per_sec")
+
+    def __init__(self, every: int = 200, stream: IO[str] | None = None) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.every = every
+        self.stream = stream
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stream if self.stream is not None else sys.stdout)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def on_fit_begin(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        self._print(
+            f"[{run.trainer}] fit: {run.total_batches} batches "
+            f"x {run.batch_size}"
+        )
+
+    def on_batch_end(
+        self, run: RunInfo, step: int, logs: Mapping[str, Any]
+    ) -> None:
+        if step % self.every:
+            return
+        fields = " ".join(
+            f"{name}={self._fmt(logs[name])}"
+            for name in self.BATCH_FIELDS
+            if name in logs
+        )
+        self._print(
+            f"[{run.trainer}] batch {step}/{run.total_batches} {fields}"
+        )
+
+    def on_event(
+        self, run: RunInfo, name: str, logs: Mapping[str, Any]
+    ) -> None:
+        fields = " ".join(f"{k}={self._fmt(v)}" for k, v in logs.items())
+        self._print(f"[{run.trainer}] {name}: {fields}")
+
+    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
+        fields = " ".join(f"{k}={self._fmt(v)}" for k, v in logs.items())
+        self._print(f"[{run.trainer}] done: {fields}")
+
+
+def iter_batch_events(
+    events: list[dict[str, Any]]
+) -> Iterator[dict[str, Any]]:
+    """Convenience filter over parsed JSONL events."""
+    return (e for e in events if e.get("event") == "batch")

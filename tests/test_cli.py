@@ -115,6 +115,63 @@ def test_discover_with_deepdirect_mlp(tmp_path, capsys):
     assert "accuracy=" in capsys.readouterr().out
 
 
+def test_discover_with_telemetry(tmp_path, capsys):
+    from repro.datasets import load_dataset
+    from repro.obs import read_jsonl
+
+    network = load_dataset("twitter", scale=0.003, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    telemetry = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "discover", str(path),
+            "--hide", "0.3",
+            "--method", "deepdirect",
+            "--dimensions", "8",
+            "--pairs-per-tie", "20",
+            "--telemetry", str(telemetry),
+            "--log-every", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # The final accuracy line survives alongside the console reporter.
+    assert "accuracy=" in out
+    assert "[deepdirect]" in out
+    events = read_jsonl(telemetry)
+    batches = [e for e in events if e["event"] == "batch"]
+    assert batches
+    for event in batches:
+        for field in ("L_topo", "L_label", "L_pattern", "lr"):
+            assert field in event
+    assert any(e["event"] == "dstep" for e in events)
+
+
+def test_log_every_rejects_non_positive(tie_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["discover", tie_file, "--progress", "--log-every", "0"])
+    assert "positive integer" in capsys.readouterr().err
+
+
+def test_quantify_with_telemetry(tie_file, tmp_path, capsys):
+    from repro.obs import read_jsonl
+
+    telemetry = tmp_path / "quantify.jsonl"
+    code = main(
+        [
+            "quantify", tie_file,
+            "--method", "line",
+            "--limit", "3",
+            "--telemetry", str(telemetry),
+        ]
+    )
+    assert code == 0
+    events = read_jsonl(telemetry)
+    assert any(e["event"] == "batch" for e in events)
+    assert events[0]["trainer"] == "line"
+
+
 def test_quantify_with_node2vec(tmp_path, capsys):
     from repro.datasets import load_dataset
 

@@ -93,6 +93,37 @@ class TestTraining:
         assert np.all(np.isfinite(result.embeddings))
 
 
+class TestNumericalStability:
+    """Regression tests for the clipped sigmoid / floored log pair."""
+
+    def test_extreme_logits_finite_and_warning_free(self):
+        import warnings
+
+        from repro.embedding.deepdirect import _safe_log, _sigmoid
+
+        logits = np.array([-1e3, -30.0, -1.0, 0.0, 1.0, 30.0, 1e3])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            scores = _sigmoid(logits)
+            # Cross-entropy on both branches: -log σ and -log(1 - σ).
+            loss_pos = -_safe_log(scores)
+            loss_neg = -_safe_log(1.0 - scores)
+            # SGD error signal for a positive and a negative target.
+            grad_pos = scores - 1.0
+            grad_neg = scores
+        assert np.all((scores > 0.0) & (scores < 1.0))
+        for values in (scores, loss_pos, loss_neg, grad_pos, grad_neg):
+            assert np.all(np.isfinite(values))
+        assert np.all(loss_pos >= 0.0) and np.all(loss_neg >= 0.0)
+
+    def test_safe_log_floors_zero(self):
+        from repro.embedding.deepdirect import _safe_log
+
+        out = _safe_log(np.array([0.0, 1e-300, 1.0]))
+        assert np.all(np.isfinite(out))
+        assert out[2] == 0.0
+
+
 def test_embed_convenience(discovery_task, fast_config):
     result = embed(discovery_task.network, fast_config, seed=0)
     assert result.embeddings.shape[0] == discovery_task.network.n_ties

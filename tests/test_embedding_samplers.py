@@ -89,6 +89,26 @@ class TestConnectedPairSampler:
             ConnectedPairSampler(net)
 
 
+class TestSamplerTelemetry:
+    def test_alias_sampler_counts_draws(self, rng):
+        sampler = AliasSampler(np.ones(4))
+        assert sampler.n_draws == 0
+        sampler.sample(10, rng)
+        sampler.sample((3, 7), rng)
+        assert sampler.n_draws == 31
+        assert sampler.setup_seconds >= 0.0
+
+    def test_pair_sampler_stats(self, tiny_network, rng):
+        sampler = ConnectedPairSampler(tiny_network)
+        sampler.sample_pairs(500, rng)
+        sampler.sample_negatives(64, 5, rng)
+        stats = sampler.stats()
+        assert stats["pair_draws"] == 500
+        assert stats["negative_draws"] == 64 * 5
+        assert stats["rejection_redraws"] >= 0
+        assert stats["sampler_setup_s"] >= 0.0
+
+
 class TestCommonNeighborSampling:
     def test_caps_at_gamma(self, small_dataset, rng):
         hubs = np.argsort(small_dataset.degrees())[::-1][:2]

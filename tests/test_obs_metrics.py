@@ -1,0 +1,92 @@
+"""Unit tests for the telemetry primitives in ``repro.obs.metrics``."""
+
+import time
+
+import pytest
+
+from repro.obs import Counter, EMATracker, Gauge, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(-1.0)
+        assert g.value == -1.0
+
+
+class TestEMATracker:
+    def test_hand_computed_sequence(self):
+        # v1 = 1; v2 = 0.5*1 + 0.5*2 = 1.5; v3 = 0.5*1.5 + 0.5*3 = 2.25
+        ema = EMATracker(alpha=0.5)
+        assert ema.update(1.0) == 1.0
+        assert ema.update(2.0) == 1.5
+        assert ema.update(3.0) == 2.25
+        assert ema.n_updates == 3
+
+    def test_first_update_seeds_value(self):
+        ema = EMATracker(alpha=0.01)
+        assert ema.value is None
+        assert ema.update(100.0) == 100.0
+
+    def test_constant_stream_is_fixed_point(self):
+        ema = EMATracker(alpha=0.1)
+        for _ in range(50):
+            ema.update(7.0)
+        assert ema.value == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            EMATracker(alpha=alpha)
+
+
+class TestTimer:
+    def test_accumulates_across_calls(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        first = t.total_seconds
+        with t:
+            pass
+        assert t.n_calls == 2
+        assert first >= 0.002
+        assert t.total_seconds >= first
+        assert t.last_seconds <= t.total_seconds
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("draws") is reg.counter("draws")
+        assert reg.ema("L") is reg.ema("L")
+        assert "draws" in reg and "missing" not in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_flattens_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("draws").inc(5)
+        reg.gauge("lr").set(0.025)
+        reg.ema("L").update(2.0)
+        with reg.timer("batch"):
+            pass
+        snap = reg.snapshot()
+        assert snap["draws"] == 5
+        assert snap["lr"] == 0.025
+        assert snap["L"] == 2.0
+        assert snap["batch_calls"] == 1
+        assert snap["batch_s"] >= 0.0

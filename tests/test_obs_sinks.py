@@ -1,0 +1,166 @@
+"""Unit tests for the callback dispatcher and event sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    CallbackList,
+    ConsoleReporter,
+    InMemorySink,
+    JsonlSink,
+    RunInfo,
+    TrainerCallback,
+    is_volatile,
+    iter_batch_events,
+    read_jsonl,
+    strip_volatile,
+)
+
+RUN = RunInfo(trainer="t", total_batches=4, batch_size=2, config={"a": 1})
+
+
+def drive(cb: TrainerCallback) -> None:
+    """One canonical hook sequence: begin, 2 batches, epoch, event, end."""
+    cb.on_fit_begin(RUN, {"n_ties": 3})
+    cb.on_batch_end(RUN, 0, {"L": 1.0, "lr": 0.1})
+    cb.on_batch_end(RUN, 1, {"L": 0.5, "lr": 0.05, "duration_s": 9.0})
+    cb.on_epoch_end(RUN, 1, {"pairs": 4})
+    cb.on_event(RUN, "dstep", {"n_iter": 7})
+    cb.on_fit_end(RUN, {"total": 4})
+
+
+class Recorder(TrainerCallback):
+    """Records (owner-tag, hook-name) tuples into a shared journal."""
+
+    def __init__(self, tag, journal):
+        self.tag = tag
+        self.journal = journal
+
+    def on_fit_begin(self, run, logs):
+        self.journal.append((self.tag, "fit_begin"))
+
+    def on_batch_end(self, run, step, logs):
+        self.journal.append((self.tag, f"batch{step}"))
+
+    def on_epoch_end(self, run, epoch, logs):
+        self.journal.append((self.tag, f"epoch{epoch}"))
+
+    def on_event(self, run, name, logs):
+        self.journal.append((self.tag, name))
+
+    def on_fit_end(self, run, logs):
+        self.journal.append((self.tag, "fit_end"))
+
+
+class TestCallbackList:
+    def test_dispatch_preserves_hook_and_registration_order(self):
+        journal = []
+        cb = CallbackList([Recorder("a", journal), Recorder("b", journal)])
+        drive(cb)
+        hooks = ["fit_begin", "batch0", "batch1", "epoch1", "dstep", "fit_end"]
+        assert journal == [
+            (tag, hook) for hook in hooks for tag in ("a", "b")
+        ]
+
+    def test_empty_list_is_falsy_and_noop(self):
+        cb = CallbackList()
+        assert not cb
+        drive(cb)  # must not raise
+
+    def test_partial_callbacks_tolerated(self):
+        class OnlyBatches(TrainerCallback):
+            def __init__(self):
+                self.steps = []
+
+            def on_batch_end(self, run, step, logs):
+                self.steps.append(step)
+
+        only = OnlyBatches()
+        drive(CallbackList([only]))
+        assert only.steps == [0, 1]
+
+
+class TestInMemorySink:
+    def test_event_kinds_and_series(self):
+        sink = InMemorySink()
+        drive(sink)
+        assert [e["event"] for e in sink.events] == [
+            "fit_begin", "batch", "batch", "epoch", "dstep", "fit_end"
+        ]
+        assert sink.series("L") == [1.0, 0.5]
+        assert sink.of_kind("dstep")[0]["n_iter"] == 7
+
+    def test_fit_begin_carries_run_facts(self):
+        sink = InMemorySink()
+        drive(sink)
+        begin = sink.of_kind("fit_begin")[0]
+        assert begin["trainer"] == "t"
+        assert begin["total_batches"] == 4
+        assert begin["config"] == {"a": 1}
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        mem = InMemorySink()
+        with JsonlSink(path) as sink:
+            drive(sink)
+            drive(mem)
+        parsed = read_jsonl(path)
+        assert parsed == mem.events
+        assert len(list(iter_batch_events(parsed))) == 2
+
+    def test_lines_are_independent_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            drive(sink)
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink.on_batch_end(RUN, 0, {"L": 1.0})
+        assert read_jsonl(path)[0]["L"] == 1.0
+
+    def test_truncates_on_reuse_of_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            drive(sink)
+        with JsonlSink(path) as sink:
+            sink.on_fit_end(RUN, {})
+        assert len(read_jsonl(path)) == 1
+
+
+class TestConsoleReporter:
+    def test_prints_at_cadence(self):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(every=2, stream=stream)
+        drive(reporter)
+        out = stream.getvalue()
+        assert "[t] fit: 4 batches x 2" in out
+        assert "batch 0/4" in out
+        assert "batch 1/4" not in out  # off-cadence
+        assert "L=1" in out and "lr=0.1" in out
+        assert "dstep: n_iter=7" in out
+        assert "[t] done: total=4" in out
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            ConsoleReporter(every=0)
+
+
+class TestVolatileFields:
+    def test_is_volatile_convention(self):
+        assert is_volatile("duration_s")
+        assert is_volatile("pairs_per_sec")
+        assert is_volatile("wall_time")
+        assert not is_volatile("L_topo")
+        assert not is_volatile("pairs")
+
+    def test_strip_volatile(self):
+        event = {"event": "batch", "L": 1.0, "duration_s": 2.0,
+                 "pairs_per_sec": 3.0}
+        assert strip_volatile(event) == {"event": "batch", "L": 1.0}

@@ -1,0 +1,186 @@
+"""Integration tests: telemetry emitted by the trainers and models.
+
+Covers the ISSUE-2 acceptance criteria: all three Eq. 18 loss
+components stream per batch, instrumentation never perturbs training,
+and same-seed runs produce identical telemetry modulo wall-clock fields.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import (
+    DeepDirectConfig,
+    DeepDirectEmbedding,
+    DeepDirectTrainer,
+    LineConfig,
+    LineEmbedding,
+    Node2VecConfig,
+    Node2VecEmbedding,
+)
+from repro.models import DeepDirectModel
+from repro.obs import InMemorySink, JsonlSink, read_jsonl, strip_volatile
+
+
+@pytest.fixture(scope="module")
+def tiny_task():
+    network = load_dataset("twitter", scale=0.004, seed=0)
+    return hide_directions(network, 0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return DeepDirectConfig(
+        dimensions=8, epochs=2.0, alpha=5.0, beta=0.5, max_pairs=15_000
+    )
+
+
+def test_trainer_alias_is_the_embedding_class():
+    assert DeepDirectTrainer is DeepDirectEmbedding
+
+
+class TestDeepDirectEmission:
+    def test_all_loss_components_emitted_and_finite(self, tiny_task, tiny_config):
+        sink = InMemorySink()
+        DeepDirectTrainer(tiny_config).fit(
+            tiny_task.network, seed=0, callbacks=[sink]
+        )
+        batches = sink.of_kind("batch")
+        assert len(batches) >= 2
+        for event in batches:
+            for component in ("L", "L_topo", "L_label", "L_pattern", "lr"):
+                assert component in event
+                assert math.isfinite(event[component])
+            # The components decompose the total exactly.
+            assert event["L"] == pytest.approx(
+                event["L_topo"] + event["L_label"] + event["L_pattern"]
+            )
+        assert len(sink.of_kind("fit_begin")) == 1
+        assert len(sink.of_kind("fit_end")) == 1
+        assert sink.of_kind("fit_end")[0]["pair_draws"] > 0
+
+    def test_learning_rate_decays(self, tiny_task, tiny_config):
+        sink = InMemorySink()
+        DeepDirectTrainer(tiny_config).fit(
+            tiny_task.network, seed=0, callbacks=[sink]
+        )
+        lrs = sink.series("lr")
+        assert lrs[0] == tiny_config.learning_rate
+        assert lrs[-1] < lrs[0]
+
+    def test_epoch_events_fire_on_multi_epoch_runs(self, tiny_task):
+        config = DeepDirectConfig(
+            dimensions=4, epochs=2.0, batch_size=64, alpha=0.0, beta=0.0
+        )
+        sink = InMemorySink()
+        DeepDirectTrainer(config).fit(
+            tiny_task.network, seed=0, callbacks=[sink]
+        )
+        epochs = [e["epoch"] for e in sink.of_kind("epoch")]
+        assert epochs and epochs == sorted(epochs)
+
+    def test_callbacks_do_not_perturb_training(self, tiny_task, tiny_config):
+        bare = DeepDirectTrainer(tiny_config).fit(tiny_task.network, seed=3)
+        instrumented = DeepDirectTrainer(tiny_config).fit(
+            tiny_task.network, seed=3, callbacks=[InMemorySink()]
+        )
+        assert np.array_equal(bare.embeddings, instrumented.embeddings)
+        assert np.array_equal(bare.contexts, instrumented.contexts)
+        assert bare.classifier_bias == instrumented.classifier_bias
+        assert bare.loss_history == instrumented.loss_history
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_embeddings_and_telemetry(
+        self, tiny_task, tiny_config, tmp_path
+    ):
+        results, streams = [], []
+        for run in range(2):
+            path = tmp_path / f"run{run}.jsonl"
+            with JsonlSink(path) as sink:
+                results.append(
+                    DeepDirectTrainer(tiny_config).fit(
+                        tiny_task.network, seed=11, callbacks=[sink]
+                    )
+                )
+            streams.append(
+                [strip_volatile(e) for e in read_jsonl(path)]
+            )
+        assert np.array_equal(results[0].embeddings, results[1].embeddings)
+        assert streams[0] == streams[1]
+
+    def test_different_seeds_different_telemetry(self, tiny_task, tiny_config):
+        streams = []
+        for seed in (0, 1):
+            sink = InMemorySink()
+            DeepDirectTrainer(tiny_config).fit(
+                tiny_task.network, seed=seed, callbacks=[sink]
+            )
+            streams.append([strip_volatile(e) for e in sink.events])
+        assert streams[0] != streams[1]
+
+
+class TestBaselineEmission:
+    def test_line_emits_batches(self, tiny_task):
+        sink = InMemorySink()
+        LineEmbedding(LineConfig(dimensions=4, epochs=2.0)).fit(
+            tiny_task.network, seed=0, callbacks=[sink]
+        )
+        assert sink.of_kind("fit_begin")[0]["trainer"] == "line"
+        batches = sink.of_kind("batch")
+        assert batches and all(math.isfinite(e["L"]) for e in batches)
+
+    def test_node2vec_emits_batches(self, tiny_task):
+        sink = InMemorySink()
+        config = Node2VecConfig(
+            dimensions=4, walk_length=5, walks_per_node=1, epochs=0.2
+        )
+        Node2VecEmbedding(config).fit(
+            tiny_task.network, seed=0, callbacks=[sink]
+        )
+        begin = sink.of_kind("fit_begin")[0]
+        assert begin["trainer"] == "node2vec"
+        assert begin["n_walks"] > 0
+        assert sink.of_kind("batch")
+
+    def test_node2vec_loss_history_unchanged_by_callbacks(self, tiny_task):
+        config = Node2VecConfig(
+            dimensions=4, walk_length=5, walks_per_node=1, epochs=0.2
+        )
+        bare = Node2VecEmbedding(config).fit(tiny_task.network, seed=0)
+        instrumented = Node2VecEmbedding(config).fit(
+            tiny_task.network, seed=0, callbacks=[InMemorySink()]
+        )
+        assert np.array_equal(
+            bare.node_embeddings, instrumented.node_embeddings
+        )
+        assert bare.loss_history == instrumented.loss_history
+
+
+class TestDStepEvent:
+    def test_warm_start_convergence_report(self, tiny_task, tiny_config):
+        sink = InMemorySink()
+        DeepDirectModel(tiny_config, callbacks=[sink]).fit(
+            tiny_task.network, seed=0
+        )
+        (event,) = sink.of_kind("dstep")
+        assert event["warm_start"] is True
+        assert event["n_iter"] >= 1
+        assert event["cold_start_initial_loss"] == pytest.approx(math.log(2))
+        # The E-Step head must start the D-Step below the cold-start loss.
+        assert event["initial_loss"] < event["cold_start_initial_loss"]
+        assert event["warm_start_delta"] == pytest.approx(
+            math.log(2) - event["initial_loss"]
+        )
+        assert event["final_loss"] <= event["initial_loss"] + 1e-9
+
+    def test_model_results_identical_with_and_without_callbacks(
+        self, tiny_task, tiny_config
+    ):
+        bare = DeepDirectModel(tiny_config).fit(tiny_task.network, seed=0)
+        instrumented = DeepDirectModel(
+            tiny_config, callbacks=[InMemorySink()]
+        ).fit(tiny_task.network, seed=0)
+        assert np.array_equal(bare.tie_scores(), instrumented.tie_scores())

@@ -1,5 +1,7 @@
 """Property-based tests for samplers and pseudo-labels."""
 
+import warnings
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -41,6 +43,58 @@ def test_alias_sampler_distribution(weights):
     observed = np.bincount(draws, minlength=len(weights)) / 60_000
     expected = weights / weights.sum()
     assert np.allclose(observed, expected, atol=0.02)
+
+
+@given(
+    weights=arrays(
+        dtype=float,
+        shape=st.integers(min_value=2, max_value=12),
+        elements=st.floats(min_value=0.05, max_value=50.0),
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_alias_sampler_empirical_frequencies_within_tolerance(weights):
+    """Over 10^5 draws every index stays within 5σ of its weight share."""
+    n = 100_000
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(2)
+    observed = np.bincount(sampler.sample(n, rng), minlength=len(weights)) / n
+    expected = weights / weights.sum()
+    sigma = np.sqrt(expected * (1.0 - expected) / n)
+    assert np.all(np.abs(observed - expected) <= 5.0 * sigma + 1e-9)
+
+
+def test_alias_sampler_single_weight_degenerate():
+    """A one-entry weight vector always yields index 0."""
+    sampler = AliasSampler(np.array([0.37]))
+    rng = np.random.default_rng(3)
+    assert np.all(sampler.sample(100_000, rng) == 0)
+
+
+def test_alias_sampler_zero_weight_among_many():
+    """A zero weight gets exactly zero mass; the rest split it 5σ-exactly."""
+    weights = np.array([2.0, 0.0, 1.0, 1.0])
+    n = 100_000
+    sampler = AliasSampler(weights)
+    rng = np.random.default_rng(4)
+    counts = np.bincount(sampler.sample(n, rng), minlength=4)
+    assert counts[1] == 0
+    expected = weights / weights.sum()
+    sigma = np.sqrt(expected * (1.0 - expected) / n)
+    assert np.all(np.abs(counts / n - expected) <= 5.0 * sigma)
+
+
+def test_alias_sampler_subnormal_total_regression():
+    # Regression: when the weights sum to a subnormal float, computing
+    # n / total overflows to inf and poisons the alias table with nan,
+    # so zero-weight indices could be drawn.  The table build must stay
+    # warning-free and keep all mass on the positive-weight index.
+    weights = np.array([5e-324, 0.0])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        sampler = AliasSampler(weights)
+    rng = np.random.default_rng(5)
+    assert np.all(sampler.sample(1_000, rng) == 0)
 
 
 @given(
