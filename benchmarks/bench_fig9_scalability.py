@@ -25,6 +25,8 @@ TELEMETRY = bench_callbacks("fig9_scalability")
 SIZE_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
 #: Fixed passes over |C(G)| so runtime tracks the Sec. 4.6 bound.
 EPOCHS = 2.0
+#: HOGWILD worker counts for the parallel-scaling sweep.
+WORKER_COUNTS = (1, 2, 4)
 
 
 def _prepare():
@@ -77,3 +79,51 @@ def bench_fig9(benchmark):
     assert ss_tot > 0
     assert 1.0 - ss_res / ss_tot > 0.9
     assert slope > 0
+
+
+def bench_fig9_worker_scaling(benchmark):
+    """HOGWILD speedup curve: E-Step pairs/sec by worker count.
+
+    Runs the largest network of the Fig. 9 sweep at each worker count and
+    records the speedup over the sequential path.  No strict speedup
+    assertion — on a single-core host the workers time-slice one CPU, so
+    the curve is informational (the CI perf-smoke job enforces the
+    multi-core threshold via ``benchmarks/perf --check-speedup``).
+    """
+
+    def _run():
+        network = _prepare()[-1]
+        rows = []
+        baseline = None
+        for workers in WORKER_COUNTS:
+            config = DeepDirectConfig(
+                dimensions=32,
+                epochs=EPOCHS,
+                batch_size=256,
+                workers=workers,
+            )
+            start = time.perf_counter()
+            result = DeepDirectEmbedding(config).fit(
+                network, seed=get_seed(), callbacks=TELEMETRY
+            )
+            seconds = time.perf_counter() - start
+            rate = result.n_pairs_trained / max(seconds, 1e-9)
+            if baseline is None:
+                baseline = rate
+            rows.append(
+                {
+                    "workers": workers,
+                    "pairs": result.n_pairs_trained,
+                    "pairs_per_sec": f"{rate:,.0f}",
+                    "speedup": f"{rate / baseline:.2f}",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    record(
+        "fig9_worker_scaling",
+        rows,
+        ["workers", "pairs", "pairs_per_sec", "speedup"],
+    )
+    assert all(float(r["pairs"]) > 0 for r in rows)

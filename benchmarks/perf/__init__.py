@@ -1,0 +1,278 @@
+"""Perf regression harness for the E-Step hot paths.
+
+Times the three costs that dominate DeepDirect wall-clock — alias-table
+construction, ``ConnectedPairSampler`` setup, and centrality — plus
+end-to-end E-Step throughput (pairs/sec) by worker count, on synthetic
+graphs of three sizes.  Emits a machine-readable ``BENCH_estep.json``
+so future PRs have a perf trajectory to compare against::
+
+    python -m benchmarks.perf --sizes small --workers 1 2
+
+``--check-speedup T`` exits non-zero when multi-worker throughput drops
+below ``T ×`` the single-worker rate on any size; the check auto-skips
+(with a notice) on single-core machines, where HOGWILD workers only add
+process overhead.  See ``docs/performance.md`` for how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+SCHEMA = "bench_estep/v1"
+
+#: Synthetic-graph node counts per size tier.
+SIZE_TIERS: dict[str, int] = {"small": 300, "medium": 1200, "large": 4000}
+#: Alias-table weight counts per size tier (the acceptance target is the
+#: 10^6 build, exercised by the medium tier).
+ALIAS_WEIGHTS: dict[str, int] = {
+    "small": 100_000,
+    "medium": 1_000_000,
+    "large": 2_000_000,
+}
+#: E-Step pair budget per size tier (kept small: throughput stabilises
+#: within a few thousand batches).
+ESTEP_PAIRS: dict[str, int] = {
+    "small": 60_000,
+    "medium": 150_000,
+    "large": 300_000,
+}
+
+
+def _build_network(n_nodes: int, seed: int):
+    from repro.datasets import (
+        GeneratorConfig,
+        generate_social_network,
+        hide_directions,
+    )
+
+    network = generate_social_network(
+        GeneratorConfig(n_nodes=n_nodes), seed=seed
+    )
+    return hide_directions(network, 0.3, seed=seed).network
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock over ``repeats`` calls (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_alias(n_weights: int, repeats: int, seed: int) -> dict:
+    from repro.embedding.samplers import AliasSampler
+
+    weights = np.random.default_rng(seed).random(n_weights)
+    seconds = _best_of(repeats, lambda: AliasSampler(weights))
+    return {"n_weights": n_weights, "seconds": seconds}
+
+
+def _bench_sampler_setup(network, repeats: int) -> float:
+    from repro.embedding.samplers import ConnectedPairSampler
+
+    def build() -> None:
+        # The network caches its CSR/degree arrays, so after the first
+        # build this times exactly the sampler's own alias setup.
+        ConnectedPairSampler(network)
+
+    return _best_of(repeats, build)
+
+
+def _bench_centrality(network, repeats: int, seed: int) -> float:
+    from repro.features.centrality import (
+        betweenness_centrality,
+        closeness_centrality,
+    )
+
+    pivots = min(64, network.n_nodes)
+
+    def run() -> None:
+        closeness_centrality(network, n_pivots=pivots, seed=seed)
+        betweenness_centrality(network, n_pivots=pivots, seed=seed)
+
+    return _best_of(repeats, run)
+
+
+def _bench_estep(network, workers: int, max_pairs: int, seed: int) -> dict:
+    from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+
+    config = DeepDirectConfig(
+        dimensions=32,
+        epochs=1000.0,  # the pair cap is the binding budget
+        max_pairs=max_pairs,
+        batch_size=256,
+        workers=workers,
+    )
+    start = time.perf_counter()
+    result = DeepDirectEmbedding(config).fit(network, seed=seed)
+    seconds = time.perf_counter() - start
+    return {
+        "workers": workers,
+        "pairs": int(result.n_pairs_trained),
+        "seconds": seconds,
+        "pairs_per_sec": result.n_pairs_trained / max(seconds, 1e-9),
+    }
+
+
+def run_benchmarks(
+    sizes: Sequence[str],
+    workers: Sequence[int],
+    repeats: int,
+    seed: int,
+    estep_pairs: int | None = None,
+) -> dict:
+    """Execute the full suite and return the report dict."""
+    report: dict = {
+        "schema": SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seed": seed,
+        "repeats": repeats,
+        "sizes": {},
+    }
+    for size in sizes:
+        n_nodes = SIZE_TIERS[size]
+        print(f"[{size}] generating {n_nodes}-node network ...", flush=True)
+        network = _build_network(n_nodes, seed)
+        entry: dict = {
+            "n_nodes": network.n_nodes,
+            "n_ties": int(network.n_social_ties),
+            "connected_pairs": int(network.connected_pair_count()),
+            "alias_setup": _bench_alias(ALIAS_WEIGHTS[size], repeats, seed),
+            "sampler_setup_s": _bench_sampler_setup(network, repeats),
+            "centrality_s": _bench_centrality(network, repeats, seed),
+            "estep": {},
+        }
+        pair_budget = estep_pairs or ESTEP_PAIRS[size]
+        for n_workers in workers:
+            print(
+                f"[{size}] e-step workers={n_workers} "
+                f"({pair_budget} pairs) ...",
+                flush=True,
+            )
+            entry["estep"][str(n_workers)] = _bench_estep(
+                network, n_workers, pair_budget, seed
+            )
+        base = entry["estep"].get("1")
+        if base is not None:
+            for key, stats in entry["estep"].items():
+                stats["speedup_vs_1"] = stats["pairs_per_sec"] / max(
+                    base["pairs_per_sec"], 1e-9
+                )
+        report["sizes"][size] = entry
+    return report
+
+
+def check_speedup(report: dict, threshold: float) -> int:
+    """Fail (return 1) when multi-worker throughput regresses.
+
+    On single-core machines HOGWILD workers time-slice one CPU, so the
+    check is meaningless and auto-skips with a notice.
+    """
+    cpu_count = report.get("cpu_count") or 1
+    if cpu_count < 2:
+        print(
+            f"check-speedup: skipped (cpu_count={cpu_count}; "
+            "multi-worker speedups need >1 core)"
+        )
+        return 0
+    failures = []
+    for size, entry in report["sizes"].items():
+        base = entry["estep"].get("1")
+        if base is None:
+            continue
+        for key, stats in entry["estep"].items():
+            if key == "1":
+                continue
+            ratio = stats["pairs_per_sec"] / max(base["pairs_per_sec"], 1e-9)
+            if ratio < threshold:
+                failures.append(
+                    f"{size}: workers={key} at {ratio:.2f}x of workers=1 "
+                    f"(threshold {threshold:.2f}x)"
+                )
+    for failure in failures:
+        print(f"check-speedup: FAIL {failure}")
+    if not failures:
+        print(f"check-speedup: ok (all ratios >= {threshold:.2f}x)")
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf", description=__doc__
+    )
+    parser.add_argument(
+        "--sizes",
+        nargs="+",
+        choices=tuple(SIZE_TIERS),
+        default=list(SIZE_TIERS),
+    )
+    parser.add_argument(
+        "--workers", nargs="+", type=int, default=[1, 2, 4]
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--estep-pairs",
+        type=int,
+        default=None,
+        help="override the per-size E-Step pair budget (smoke runs)",
+    )
+    parser.add_argument("--output", default="BENCH_estep.json")
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero if any workers>1 tier falls below RATIO x "
+        "the workers=1 pairs/sec (auto-skips on single-core hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    if any(w < 1 for w in args.workers):
+        parser.error("--workers entries must be positive")
+
+    report = run_benchmarks(
+        args.sizes, args.workers, args.repeats, args.seed, args.estep_pairs
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    for size, entry in report["sizes"].items():
+        alias = entry["alias_setup"]
+        print(
+            f"[{size}] alias {alias['n_weights']} weights: "
+            f"{alias['seconds'] * 1e3:.1f} ms | sampler setup "
+            f"{entry['sampler_setup_s'] * 1e3:.1f} ms | centrality "
+            f"{entry['centrality_s'] * 1e3:.1f} ms"
+        )
+        for key in sorted(entry["estep"], key=int):
+            stats = entry["estep"][key]
+            print(
+                f"[{size}] workers={key}: "
+                f"{stats['pairs_per_sec']:,.0f} pairs/sec "
+                f"({stats['speedup_vs_1']:.2f}x)"
+            )
+
+    if args.check_speedup is not None:
+        return check_speedup(report, args.check_speedup)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

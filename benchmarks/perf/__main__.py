@@ -1,0 +1,10 @@
+"""Entry point: ``python -m benchmarks.perf``."""
+
+from __future__ import annotations
+
+import sys
+
+from benchmarks.perf import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,7 @@ def _build_model(
                 alpha=args.alpha,
                 beta=args.beta,
                 pairs_per_tie=args.pairs_per_tie,
+                workers=args.workers,
             ),
             dstep=args.dstep,
             callbacks=callbacks,
@@ -92,12 +93,18 @@ def _build_model(
         return HFModel()
     if args.method == "line":
         return LineModel(
-            LineConfig(dimensions=max(2, args.dimensions // 2)),
+            LineConfig(
+                dimensions=max(2, args.dimensions // 2),
+                workers=args.workers,
+            ),
             callbacks=callbacks,
         )
     if args.method == "node2vec":
         return Node2VecModel(
-            Node2VecConfig(dimensions=max(2, args.dimensions // 2)),
+            Node2VecConfig(
+                dimensions=max(2, args.dimensions // 2),
+                workers=args.workers,
+            ),
             callbacks=callbacks,
         )
     if args.method == "redirect-n":
@@ -213,6 +220,15 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="pairs_per_tie")
     parser.add_argument(
         "--dstep", choices=("logistic", "mlp"), default="logistic"
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="HOGWILD SGD worker processes for the embedding E-Step; "
+        "1 (default) is the bit-identical sequential path, >1 trades "
+        "bit-level reproducibility for throughput (see "
+        "docs/performance.md)",
     )
     parser.add_argument(
         "--telemetry",

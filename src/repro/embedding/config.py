@@ -54,6 +54,15 @@ class DeepDirectConfig:
         to sparse ones; this keeps per-tie training effort comparable
         across datasets.  The effective budget is the minimum of all
         three limits.
+    workers:
+        Number of lock-free HOGWILD SGD processes sharing the ``M``/``N``
+        buffers through ``multiprocessing.shared_memory``.  ``1`` (the
+        default) keeps the sequential path, which is bit-identical under
+        a fixed seed; ``>1`` trades bit-level run-to-run reproducibility
+        for throughput (each worker owns a disjoint slice of the batch
+        schedule and a spawned child RNG, so runs remain seeded but
+        scatter-add interleaving is scheduler-dependent).  See
+        ``docs/performance.md``.
     """
 
     dimensions: int = 128
@@ -68,6 +77,7 @@ class DeepDirectConfig:
     grad_clip: float = 5.0
     max_pairs: int | None = None
     pairs_per_tie: float | None = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.dimensions < 1:
@@ -88,3 +98,5 @@ class DeepDirectConfig:
             raise ValueError("max_pairs must be at least 1 when set")
         if self.pairs_per_tie is not None and self.pairs_per_tie <= 0:
             raise ValueError("pairs_per_tie must be positive when set")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")

@@ -35,9 +35,16 @@ from typing import Iterable, NamedTuple
 import numpy as np
 
 from ..graph import MixedSocialNetwork, TieKind
-from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback
+from ..obs import (
+    CallbackList,
+    MetricsRegistry,
+    RunInfo,
+    TrainerCallback,
+    record_worker_stats,
+)
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
+from .hogwild import run_hogwild
 from .patterns import (
     TriadNeighborhood,
     build_triad_neighborhoods,
@@ -197,7 +204,16 @@ class DeepDirectEmbedding:
                     "use_patterns": bool(use_patterns),
                     "pairs_per_epoch": pairs_per_epoch,
                     "sampler_setup_s": sampler.setup_seconds,
+                    "workers": cfg.workers,
                 },
+            )
+
+        if cfg.workers > 1:
+            return self._fit_parallel(
+                network, sampler, triads, labels, labeled_mask,
+                undirected_mask, y_degree, M, N, w_prime, b_prime,
+                n_batches, pairs_per_epoch, rng, cb, run, metrics,
+                log_every, fit_start,
             )
 
         loss_history: list[tuple[int, float]] = []
@@ -258,6 +274,89 @@ class DeepDirectEmbedding:
             classifier_bias=b_prime,
             loss_history=loss_history,
             n_pairs_trained=n_batches * cfg.batch_size,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fit_parallel(
+        self,
+        network: MixedSocialNetwork,
+        sampler: ConnectedPairSampler,
+        triads: TriadNeighborhood | None,
+        labels: np.ndarray,
+        labeled_mask: np.ndarray,
+        undirected_mask: np.ndarray,
+        y_degree: np.ndarray,
+        M: np.ndarray,
+        N: np.ndarray,
+        w_prime: np.ndarray,
+        b_prime: float,
+        n_batches: int,
+        pairs_per_epoch: int,
+        rng: np.random.Generator,
+        cb: CallbackList,
+        run: RunInfo,
+        metrics: MetricsRegistry,
+        log_every: int,
+        fit_start: float,
+    ) -> EmbeddingResult:
+        """HOGWILD E-Step: ``cfg.workers`` lock-free processes share M/N.
+
+        The sequential semantics carry over exactly except for update
+        interleaving: the batch schedule, the learning-rate decay and
+        the total pair budget are identical, and every worker draws from
+        a child generator spawned off the caller's seeded ``rng``.
+        """
+        cfg = self.config
+        task = _HogwildEStepTask(
+            config=cfg,
+            network=network,
+            sampler=sampler,
+            triads=triads,
+            labels=labels,
+            labeled_mask=labeled_mask,
+            undirected_mask=undirected_mask,
+            y_degree=y_degree,
+        )
+        counter_names = ("pair_draws", "negative_draws", "rejection_redraws")
+        hog = run_hogwild(
+            task,
+            {"M": M, "N": N, "w_prime": w_prime,
+             "b_prime": np.array([b_prime])},
+            n_batches=n_batches,
+            batch_size=cfg.batch_size,
+            workers=cfg.workers,
+            rng=rng,
+            lr0=cfg.learning_rate,
+            counter_names=counter_names,
+            callbacks=cb,
+            run=run,
+            log_every=log_every,
+            pairs_per_epoch=pairs_per_epoch,
+        )
+        if cb:
+            duration = time.perf_counter() - fit_start
+            worker_logs = record_worker_stats(
+                metrics, hog.worker_stats, counter_names
+            )
+            cb.on_fit_end(
+                run,
+                {
+                    "n_pairs_trained": hog.pairs_trained,
+                    **worker_logs,
+                    "sampler_setup_s": sampler.setup_seconds,
+                    "duration_s": duration,
+                    "pairs_per_sec": hog.pairs_trained / max(duration, 1e-9),
+                    "workers": cfg.workers,
+                },
+            )
+        return EmbeddingResult(
+            embeddings=hog.arrays["M"],
+            contexts=hog.arrays["N"],
+            classifier_weights=hog.arrays["w_prime"],
+            classifier_bias=float(hog.arrays["b_prime"][0]),
+            loss_history=hog.loss_history,
+            n_pairs_trained=hog.pairs_trained,
         )
 
     # ------------------------------------------------------------------
@@ -389,6 +488,55 @@ class DeepDirectEmbedding:
         valid = counts > 0
         labels = np.where(valid, votes.sum(axis=1) / np.maximum(counts, 1), 0.5)
         return labels, valid
+
+
+@dataclass
+class _HogwildEStepTask:
+    """Picklable E-Step payload for :func:`repro.embedding.hogwild.run_hogwild`.
+
+    Carries everything a worker needs to run :meth:`_train_batch`
+    against the shared ``M``/``N``/``w'``/``b'`` buffers.  Sampler draw
+    counters accumulate per process and are merged by the runner.
+    """
+
+    config: DeepDirectConfig
+    network: MixedSocialNetwork
+    sampler: ConnectedPairSampler
+    triads: TriadNeighborhood | None
+    labels: np.ndarray
+    labeled_mask: np.ndarray
+    undirected_mask: np.ndarray
+    y_degree: np.ndarray
+
+    def setup(
+        self, arrays: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> DeepDirectEmbedding:
+        return DeepDirectEmbedding(self.config)
+
+    def step(
+        self,
+        state: DeepDirectEmbedding,
+        arrays: dict[str, np.ndarray],
+        batch_idx: int,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        loss = state._train_batch(  # noqa: SLF001 - trainer-owned payload
+            self.network, self.sampler, self.triads, self.labels,
+            self.labeled_mask, self.undirected_mask, self.y_degree,
+            arrays["M"], arrays["N"], arrays["w_prime"],
+            float(arrays["b_prime"][0]), lr, rng,
+        )
+        arrays["b_prime"][0] = loss.b_prime
+        return loss.total
+
+    def counters(self, state: DeepDirectEmbedding) -> tuple[int, ...]:
+        stats = self.sampler.stats()
+        return (
+            int(stats["pair_draws"]),
+            int(stats["negative_draws"]),
+            int(stats["rejection_redraws"]),
+        )
 
 
 #: Trainer-centric alias for :class:`DeepDirectEmbedding`.

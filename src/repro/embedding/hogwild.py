@@ -1,0 +1,360 @@
+"""Shared-memory HOGWILD training backend (lock-free parallel SGD).
+
+Every trainer in :mod:`repro.embedding` vectorises the paper's per-sample
+SGD into minibatches whose reads are stale by at most one batch — the
+standard approximation of practical skip-gram implementations.  This
+module extends that approximation across processes, the HOGWILD recipe
+(Niu et al., 2011) used by the word2vec lineage the E-Step builds on:
+
+* the model matrices live in one ``multiprocessing.shared_memory``
+  segment; workers update them concurrently without locks,
+* each worker owns a **disjoint slice of the batch schedule** (worker
+  ``w`` runs global batches ``w, w + W, w + 2W, ...``) so the learning
+  rate decay and the total pair budget are exactly those of the
+  sequential run,
+* each worker draws from its own child generator (``rng.spawn``), so a
+  run is seeded end-to-end; bit-level reproducibility across runs is
+  intentionally traded for throughput (scatter-adds interleave freely).
+
+The parent process never touches the hot loop: it polls a small shared
+stats block and forwards merged progress (plus per-worker
+``pairs_per_sec`` gauges) through the :mod:`repro.obs` callback layer.
+
+``workers=1`` never enters this module — the trainers keep their
+sequential, bit-identical seeded path for that case.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..obs import CallbackList, RunInfo
+
+# Per-worker slots in the shared stats block.  Aligned float64 writes
+# are effectively atomic on every platform we target; the block is
+# advisory telemetry, so even a torn read would only skew one progress
+# snapshot, never the model.
+_BATCHES, _PAIRS, _LOSS_SUM, _LAST_LOSS, _ELAPSED = range(5)
+_N_FIXED = 5
+_STATS = "_stats"
+_POLL_SECONDS = 0.02
+
+
+class HogwildTask(Protocol):
+    """What a trainer must provide to run under :func:`run_hogwild`.
+
+    Implementations must be picklable (plain dataclasses of arrays and
+    configs) so the backend also works under the ``spawn`` start method.
+    """
+
+    def setup(
+        self, arrays: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> Any:
+        """Build per-worker state (runs once, inside the worker)."""
+
+    def step(
+        self,
+        state: Any,
+        arrays: dict[str, np.ndarray],
+        batch_idx: int,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Run one SGD batch against the shared arrays; return its loss."""
+
+    def counters(self, state: Any) -> tuple[int, ...]:
+        """Final deterministic counter values, in ``counter_names`` order."""
+
+
+@dataclass
+class HogwildResult:
+    """Merged outcome of one parallel training run."""
+
+    arrays: dict[str, np.ndarray]
+    loss_history: list[tuple[int, float]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    worker_stats: list[dict[str, float]] = field(default_factory=list)
+    duration_s: float = 0.0
+    pairs_trained: int = 0
+
+
+def _build_layout(
+    shapes: Mapping[str, tuple[int, ...]],
+) -> tuple[tuple[tuple[str, tuple[int, ...], int], ...], int]:
+    """(name, shape, byte offset) entries plus the total byte size."""
+    layout = []
+    offset = 0
+    for name, shape in shapes.items():
+        layout.append((name, tuple(int(d) for d in shape), offset))
+        offset += int(np.prod(shape, dtype=np.int64)) * 8
+    return tuple(layout), max(offset, 8)
+
+
+def _open_views(
+    shm: shared_memory.SharedMemory,
+    layout: tuple[tuple[str, tuple[int, ...], int], ...],
+) -> dict[str, np.ndarray]:
+    views = {}
+    for name, shape, offset in layout:
+        count = int(np.prod(shape, dtype=np.int64))
+        flat = np.frombuffer(shm.buf, dtype=np.float64, count=count,
+                             offset=offset)
+        views[name] = flat.reshape(shape)
+    return views
+
+
+def _attach(name: str, untrack: bool) -> shared_memory.SharedMemory:
+    """Attach to an existing segment, owned (and unlinked) by the parent.
+
+    Attaching registers the segment with the resource tracker again
+    (python/cpython#82300).  Under ``fork`` the tracker process is
+    shared with the parent, so the duplicate registration is a set
+    no-op and must be left alone; under ``spawn`` the worker gets its
+    *own* tracker, which would unlink the live segment when the worker
+    exits — there we untrack (``track=False`` on 3.13+, manual
+    ``unregister`` before that).
+    """
+    if not untrack:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - best-effort cleanup shim
+        pass
+    return shm
+
+
+def _worker_main(
+    worker_id: int,
+    shm_name: str,
+    layout: tuple[tuple[str, tuple[int, ...], int], ...],
+    task: HogwildTask,
+    rng: np.random.Generator,
+    n_batches: int,
+    workers: int,
+    batch_size: int,
+    lr0: float,
+    lr_floor: float,
+    n_counters: int,
+    untrack_shm: bool,
+) -> None:
+    """Worker entry point: run this worker's slice of the batch schedule."""
+    shm = _attach(shm_name, untrack_shm)
+    try:
+        views = _open_views(shm, layout)
+        stats = views.pop(_STATS)
+        row = stats[worker_id]
+        state = task.setup(views, rng)
+        start = time.perf_counter()
+        for batch_idx in range(worker_id, n_batches, workers):
+            lr = lr0 * max(1.0 - batch_idx / n_batches, lr_floor)
+            loss = float(task.step(state, views, batch_idx, lr, rng))
+            row[_LAST_LOSS] = loss
+            row[_LOSS_SUM] += loss
+            row[_PAIRS] += batch_size
+            row[_ELAPSED] = time.perf_counter() - start
+            row[_BATCHES] += 1
+        for slot, value in enumerate(task.counters(state)[:n_counters]):
+            row[_N_FIXED + slot] = float(value)
+        row[_ELAPSED] = time.perf_counter() - start
+    finally:
+        # Views into shm.buf must be gone before close(); the process is
+        # exiting anyway, so a lingering export is harmless.
+        try:
+            del views, stats, row, state
+            shm.close()
+        except (BufferError, UnboundLocalError):  # pragma: no cover
+            pass
+
+
+def _context() -> mp.context.BaseContext:
+    """Prefer fork (cheap, COW-shares the task payload) over spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_hogwild(
+    task: HogwildTask,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    n_batches: int,
+    batch_size: int,
+    workers: int,
+    rng: np.random.Generator,
+    lr0: float,
+    lr_floor: float = 0.01,
+    counter_names: Sequence[str] = (),
+    callbacks: CallbackList | None = None,
+    run: RunInfo | None = None,
+    log_every: int = 200,
+    pairs_per_epoch: int | None = None,
+) -> HogwildResult:
+    """Train ``task`` with ``workers`` lock-free processes.
+
+    ``arrays`` are copied into one shared-memory segment, mutated in
+    place by every worker, and returned (as ordinary process-private
+    copies) in :attr:`HogwildResult.arrays`.  Progress callbacks fire
+    from the parent at a polling cadence: ``on_batch_end`` carries the
+    merged pair counts, the loss averaged over the workers' latest
+    batches and per-worker ``worker<i>_pairs_per_sec`` gauges.
+    """
+    if workers < 2:
+        raise ValueError("run_hogwild needs workers >= 2; "
+                         "use the sequential path for workers=1")
+    counter_names = tuple(counter_names)
+    sources = {
+        name: np.ascontiguousarray(a, dtype=np.float64)
+        for name, a in arrays.items()
+    }
+    if _STATS in sources:
+        raise ValueError(f"array name {_STATS!r} is reserved")
+    shapes: dict[str, tuple[int, ...]] = {
+        name: a.shape for name, a in sources.items()
+    }
+    shapes[_STATS] = (workers, _N_FIXED + len(counter_names))
+    layout, total_bytes = _build_layout(shapes)
+
+    cb = callbacks if isinstance(callbacks, CallbackList) else CallbackList(
+        callbacks
+    )
+    ctx = _context()
+    shm = shared_memory.SharedMemory(create=True, size=total_bytes)
+    procs: list[mp.process.BaseProcess] = []
+    loss_history: list[tuple[int, float]] = []
+    views: dict[str, np.ndarray] | None = None
+    stats = snap = None
+    try:
+        views = _open_views(shm, layout)
+        for name, source in sources.items():
+            views[name][...] = source
+        stats = views[_STATS]
+        stats[...] = 0.0
+
+        child_rngs = rng.spawn(workers)
+        untrack_shm = ctx.get_start_method() != "fork"
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id, shm.name, layout, task, child_rngs[worker_id],
+                    n_batches, workers, batch_size, lr0, lr_floor,
+                    len(counter_names), untrack_shm,
+                ),
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+        start = time.perf_counter()
+        for proc in procs:
+            proc.start()
+
+        last_batches = 0
+        next_log = 0
+        epoch = 0
+
+        def emit_progress(snap: np.ndarray) -> None:
+            nonlocal last_batches, next_log, epoch
+            merged_batches = int(snap[:, _BATCHES].sum())
+            if merged_batches <= last_batches:
+                return
+            pairs_done = int(snap[:, _PAIRS].sum())
+            active = snap[:, _BATCHES] > 0
+            mean_loss = float(snap[active, _LAST_LOSS].mean())
+            if merged_batches >= next_log:
+                loss_history.append((pairs_done, mean_loss))
+                next_log = merged_batches - merged_batches % log_every
+                next_log += log_every
+            if cb and run is not None:
+                elapsed = time.perf_counter() - start
+                logs: dict[str, Any] = {
+                    "L": mean_loss,
+                    "lr": lr0 * max(1.0 - merged_batches / n_batches,
+                                    lr_floor),
+                    "pairs": pairs_done,
+                    "pairs_per_sec": pairs_done / max(elapsed, 1e-9),
+                    "workers": workers,
+                }
+                for i in range(workers):
+                    logs[f"worker{i}_pairs_per_sec"] = float(
+                        snap[i, _PAIRS] / max(snap[i, _ELAPSED], 1e-9)
+                    )
+                cb.on_batch_end(run, merged_batches - 1, logs)
+                if pairs_per_epoch:
+                    new_epoch = pairs_done // pairs_per_epoch
+                    if new_epoch > epoch:
+                        epoch = int(new_epoch)
+                        cb.on_epoch_end(
+                            run, epoch,
+                            {"pairs": pairs_done, "L": mean_loss},
+                        )
+            last_batches = merged_batches
+
+        while any(proc.is_alive() for proc in procs):
+            failed = [
+                proc for proc in procs
+                if not proc.is_alive() and proc.exitcode not in (0, None)
+            ]
+            if failed:
+                raise RuntimeError(
+                    f"HOGWILD worker exited with code {failed[0].exitcode}"
+                )
+            emit_progress(stats.copy())
+            time.sleep(_POLL_SECONDS)
+        for proc in procs:
+            proc.join()
+        if any(proc.exitcode for proc in procs):
+            codes = [proc.exitcode for proc in procs]
+            raise RuntimeError(f"HOGWILD workers failed: exit codes {codes}")
+
+        duration = time.perf_counter() - start
+        snap = stats.copy()
+        emit_progress(snap)
+        if not loss_history:
+            loss_history.append((int(snap[:, _PAIRS].sum()), 0.0))
+
+        worker_stats = []
+        for i in range(workers):
+            per_worker: dict[str, float] = {
+                "batches": int(snap[i, _BATCHES]),
+                "pairs": int(snap[i, _PAIRS]),
+                "elapsed_s": float(snap[i, _ELAPSED]),
+                "pairs_per_sec": float(
+                    snap[i, _PAIRS] / max(snap[i, _ELAPSED], 1e-9)
+                ),
+            }
+            for j, name in enumerate(counter_names):
+                per_worker[name] = int(snap[i, _N_FIXED + j])
+            worker_stats.append(per_worker)
+        merged_counters = {
+            name: sum(int(w[name]) for w in worker_stats)
+            for name in counter_names
+        }
+        result = HogwildResult(
+            arrays={name: views[name].copy() for name in sources},
+            loss_history=loss_history,
+            counters=merged_counters,
+            worker_stats=worker_stats,
+            duration_s=duration,
+            pairs_trained=int(snap[:, _PAIRS].sum()),
+        )
+        return result
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        views = stats = snap = None  # release buffer exports
+        shm.close()
+        shm.unlink()

@@ -22,8 +22,9 @@ from typing import Iterable
 import numpy as np
 
 from ..graph import MixedSocialNetwork
-from ..obs import CallbackList, RunInfo, TrainerCallback
+from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback, record_worker_stats
 from ..utils import check_positive, ensure_rng
+from .hogwild import run_hogwild
 from .samplers import AliasSampler
 
 
@@ -38,6 +39,9 @@ class LineConfig:
     ``dimensions`` is the node embedding size; it is split evenly between
     the first-order and second-order components.  ``epochs`` counts
     passes over the oriented tie list, mirroring DeepDirect's ``τ``.
+    ``workers > 1`` trains with that many lock-free HOGWILD processes
+    over shared-memory embedding buffers (see ``docs/performance.md``);
+    ``workers=1`` keeps the bit-identical sequential seeded path.
     """
 
     dimensions: int = 64
@@ -46,6 +50,7 @@ class LineConfig:
     learning_rate: float = 0.025
     batch_size: int = 256
     max_samples: int | None = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.dimensions < 2:
@@ -58,6 +63,8 @@ class LineConfig:
         check_positive(self.learning_rate, "learning_rate")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
 
 @dataclass
@@ -131,7 +138,47 @@ class LineEmbedding:
         fit_start = time.perf_counter()
         if cb:
             cb.on_fit_begin(
-                run, {"n_nodes": n_nodes, "n_edges": n_edges}
+                run,
+                {"n_nodes": n_nodes, "n_edges": n_edges,
+                 "workers": cfg.workers},
+            )
+
+        if cfg.workers > 1:
+            task = _HogwildLineTask(
+                config=cfg, src=src, dst=dst, sampler=node_sampler
+            )
+            hog = run_hogwild(
+                task,
+                {"first": first, "second": second, "context": context},
+                n_batches=n_batches,
+                batch_size=cfg.batch_size,
+                workers=cfg.workers,
+                rng=rng,
+                lr0=cfg.learning_rate,
+                counter_names=("negative_draws",),
+                callbacks=cb,
+                run=run,
+                log_every=log_every,
+            )
+            if cb:
+                duration = time.perf_counter() - fit_start
+                worker_logs = record_worker_stats(
+                    MetricsRegistry(), hog.worker_stats, ("negative_draws",)
+                )
+                cb.on_fit_end(
+                    run,
+                    {
+                        "n_samples_trained": hog.pairs_trained,
+                        **worker_logs,
+                        "duration_s": duration,
+                        "workers": cfg.workers,
+                    },
+                )
+            return LineResult(
+                node_embeddings=np.hstack(
+                    [hog.arrays["first"], hog.arrays["second"]]
+                ),
+                loss_history=hog.loss_history,
             )
 
         history: list[tuple[int, float]] = []
@@ -222,3 +269,41 @@ class LineEmbedding:
         loss = -np.log(np.maximum(pos, 1e-12)).mean()
         loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
         return float(loss)
+
+
+@dataclass
+class _HogwildLineTask:
+    """Picklable LINE payload for the shared-memory HOGWILD backend."""
+
+    config: LineConfig
+    src: np.ndarray
+    dst: np.ndarray
+    sampler: AliasSampler
+
+    def setup(
+        self, arrays: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> None:
+        return None
+
+    def step(
+        self,
+        state: None,
+        arrays: dict[str, np.ndarray],
+        batch_idx: int,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        cfg = self.config
+        edge_ids = rng.integers(0, len(self.src), size=cfg.batch_size)
+        u, v = self.src[edge_ids], self.dst[edge_ids]
+        negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+        loss = LineEmbedding._first_order_step(
+            arrays["first"], u, v, negs, lr
+        )
+        loss += LineEmbedding._second_order_step(
+            arrays["second"], arrays["context"], u, v, negs, lr
+        )
+        return loss / 2.0
+
+    def counters(self, state: None) -> tuple[int, ...]:
+        return (int(self.sampler.n_draws),)

@@ -22,8 +22,9 @@ from typing import Iterable
 import numpy as np
 
 from ..graph import MixedSocialNetwork
-from ..obs import CallbackList, RunInfo, TrainerCallback
+from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback, record_worker_stats
 from ..utils import check_positive, ensure_rng
+from .hogwild import run_hogwild
 from .samplers import AliasSampler
 
 
@@ -37,7 +38,11 @@ class Node2VecConfig:
 
     Defaults follow the original paper's typical settings; ``dimensions``
     is halved relative to DeepDirect for the same reason as LINE's
-    (endpoint concatenation doubles the tie-feature size).
+    (endpoint concatenation doubles the tie-feature size).  Walk
+    generation is always sequential; ``workers > 1`` parallelises only
+    the skip-gram SGD over shared-memory buffers (HOGWILD, see
+    ``docs/performance.md``), while ``workers=1`` keeps the bit-identical
+    sequential seeded path.
     """
 
     dimensions: int = 64
@@ -50,6 +55,7 @@ class Node2VecConfig:
     learning_rate: float = 0.025
     batch_size: int = 256
     epochs: float = 2.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.dimensions < 1:
@@ -66,6 +72,8 @@ class Node2VecConfig:
             raise ValueError("n_negative must be at least 1")
         check_positive(self.learning_rate, "learning_rate")
         check_positive(self.epochs, "epochs")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
 
 def generate_walks(
@@ -211,7 +219,48 @@ class Node2VecEmbedding:
                     "n_walks": len(walks),
                     "n_corpus_pairs": len(centers),
                     "walk_setup_s": walk_seconds,
+                    "workers": cfg.workers,
                 },
+            )
+
+        if cfg.workers > 1:
+            task = _HogwildNode2VecTask(
+                config=cfg,
+                centers=centers,
+                contexts=contexts,
+                sampler=sampler,
+            )
+            hog = run_hogwild(
+                task,
+                {"emb": emb, "ctx": ctx},
+                n_batches=n_batches,
+                batch_size=cfg.batch_size,
+                workers=cfg.workers,
+                rng=rng,
+                lr0=cfg.learning_rate,
+                counter_names=("negative_draws",),
+                callbacks=cb,
+                run=run,
+                log_every=log_every,
+            )
+            if cb:
+                duration = time.perf_counter() - fit_start
+                worker_logs = record_worker_stats(
+                    MetricsRegistry(), hog.worker_stats, ("negative_draws",)
+                )
+                cb.on_fit_end(
+                    run,
+                    {
+                        "n_samples_trained": hog.pairs_trained,
+                        **worker_logs,
+                        "duration_s": duration,
+                        "workers": cfg.workers,
+                    },
+                )
+            return Node2VecResult(
+                node_embeddings=hog.arrays["emb"],
+                n_walks=len(walks),
+                loss_history=hog.loss_history,
             )
 
         history: list[tuple[int, float]] = []
@@ -267,3 +316,55 @@ class Node2VecEmbedding:
         return Node2VecResult(
             node_embeddings=emb, n_walks=len(walks), loss_history=history
         )
+
+
+@dataclass
+class _HogwildNode2VecTask:
+    """Picklable skip-gram payload for the shared-memory backend.
+
+    Walks were already generated sequentially in the parent; workers
+    only resample (center, context) pairs from the fixed corpus.
+    """
+
+    config: Node2VecConfig
+    centers: np.ndarray
+    contexts: np.ndarray
+    sampler: AliasSampler
+
+    def setup(
+        self, arrays: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> None:
+        return None
+
+    def step(
+        self,
+        state: None,
+        arrays: dict[str, np.ndarray],
+        batch_idx: int,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        cfg = self.config
+        emb, ctx = arrays["emb"], arrays["ctx"]
+        half = emb.shape[1]
+        picks = rng.integers(0, len(self.centers), size=cfg.batch_size)
+        u, v = self.centers[picks], self.contexts[picks]
+        negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+
+        eu, cv, cn = emb[u], ctx[v], ctx[negs]
+        pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
+        neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
+        grad_u = (pos - 1.0)[:, None] * cv
+        grad_u += np.einsum("bk,bkl->bl", neg, cn)
+        grad_cv = (pos - 1.0)[:, None] * eu
+        grad_cn = neg[:, :, None] * eu[:, None, :]
+        np.add.at(emb, u, -lr * grad_u)
+        np.add.at(ctx, v, -lr * grad_cv)
+        np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
+
+        loss = -np.log(np.maximum(pos, 1e-12)).mean()
+        loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
+        return float(loss)
+
+    def counters(self, state: None) -> tuple[int, ...]:
+        return (int(self.sampler.n_draws),)

@@ -32,7 +32,6 @@ import numpy as np
 
 from ..graph import MixedSocialNetwork, TieKind
 from ..utils import ensure_rng
-from .samplers import sample_common_neighbors
 
 
 def degree_pseudo_labels(network: MixedSocialNetwork) -> np.ndarray:
@@ -71,6 +70,28 @@ class TriadNeighborhood:
         return self.uw_ids.shape[1]
 
 
+def _ragged_csr_rows(
+    offsets: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR positions of every entry in ``rows``, plus row-of-entry.
+
+    Returns ``(positions, row_index)``: ``positions`` indexes into the
+    CSR data array; ``row_index[j]`` tells which element of ``rows`` the
+    ``j``-th position belongs to.
+    """
+    starts = offsets[rows]
+    counts = offsets[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    ends = np.cumsum(counts)
+    positions = np.arange(total) + np.repeat(starts - (ends - counts), counts)
+    return positions, np.repeat(np.arange(len(rows)), counts)
+
+
 def build_triad_neighborhoods(
     network: MixedSocialNetwork,
     gamma: int,
@@ -81,6 +102,13 @@ def build_triad_neighborhoods(
 
     This is the preprocessing of Algorithm 1 lines 6-9; sampling happens
     once, the classifier scores are read live during training.
+
+    The build is fully vectorised: one canonical orientation per tie is
+    selected with ``np.unique`` over ``min(e, reverse_of[e])`` keys, the
+    common-neighbour intersection of every pair happens in a single
+    lexsort over the concatenated (tagged) neighbour lists, and the
+    per-pair down-sampling to ``gamma`` witnesses uses random sort keys
+    (equivalent to a uniform draw without replacement).
     """
     rng = ensure_rng(seed)
     n = network.n_ties
@@ -91,27 +119,75 @@ def build_triad_neighborhoods(
     vw = np.full((n, gamma), -1, dtype=np.int64)
     counts = np.zeros(n, dtype=np.int64)
 
-    done: set[int] = set()
-    for e in tie_ids:
-        e = int(e)
-        if e in done:
-            continue
-        rev = int(network.reverse_of[e])
-        u, v = int(network.tie_src[e]), int(network.tie_dst[e])
-        witnesses = sample_common_neighbors(network, u, v, gamma, rng)
-        k = len(witnesses)
-        for slot, w in enumerate(witnesses):
-            uw_id = network.tie_id(u, int(w))
-            vw_id = network.tie_id(v, int(w))
-            uw[e, slot] = uw_id
-            vw[e, slot] = vw_id
-            # The reverse orientation (v, u) swaps the roles of u and v.
-            uw[rev, slot] = vw_id
-            vw[rev, slot] = uw_id
-        counts[e] = k
-        counts[rev] = k
-        done.add(e)
-        done.add(rev)
+    tie_ids = np.asarray(tie_ids, dtype=np.int64)
+    if tie_ids.size == 0:
+        return TriadNeighborhood(uw_ids=uw, vw_ids=vw, counts=counts)
+
+    # One canonical tie per {e, reverse_of[e]} orbit, keeping the first
+    # orientation encountered (matching the sequential done-set walk).
+    orbit = np.minimum(tie_ids, network.reverse_of[tie_ids])
+    _, first = np.unique(orbit, return_index=True)
+    canon = tie_ids[np.sort(first)]
+    rev = network.reverse_of[canon]
+    u_nodes = network.tie_src[canon]
+    v_nodes = network.tie_dst[canon]
+
+    # The undirected CSR stores neighbours in lexsort((tie_dst, tie_src))
+    # order, so CSR position p *is* oriented tie order[p]: recovering the
+    # (u, w) and (v, w) tie ids needs no hash lookups.
+    offsets, targets = network._ensure_und_csr()  # noqa: SLF001
+    csr_tie_ids = np.lexsort((network.tie_dst, network.tie_src))
+
+    pos_u, grp_u = _ragged_csr_rows(offsets, u_nodes)
+    pos_v, grp_v = _ragged_csr_rows(offsets, v_nodes)
+    grp = np.concatenate([grp_u, grp_v])
+    nbr = np.concatenate([targets[pos_u], targets[pos_v]])
+    side = np.concatenate(
+        [np.zeros(len(pos_u), dtype=np.int8), np.ones(len(pos_v), dtype=np.int8)]
+    )
+    tids = csr_tie_ids[np.concatenate([pos_u, pos_v])]
+
+    # Neighbour lists are per-node unique, so within one pair a node
+    # appears at most once per side; after sorting by (pair, neighbour,
+    # side), every common neighbour is exactly one adjacent (u-side,
+    # v-side) duo.
+    order = np.lexsort((side, nbr, grp))
+    grp_s, nbr_s, side_s = grp[order], nbr[order], side[order]
+    tids_s = tids[order]
+    is_pair = (
+        (grp_s[:-1] == grp_s[1:])
+        & (nbr_s[:-1] == nbr_s[1:])
+        & (side_s[:-1] == 0)
+        & (side_s[1:] == 1)
+    )
+    hit = np.flatnonzero(is_pair)
+    if hit.size:
+        m_grp = grp_s[hit]
+        m_uw = tids_s[hit]
+        m_vw = tids_s[hit + 1]
+        # Uniform sample without replacement: keep the gamma smallest
+        # random keys within each pair's witness group.
+        keys = rng.random(hit.size)
+        order2 = np.lexsort((keys, m_grp))
+        g = m_grp[order2]
+        group_start = np.flatnonzero(
+            np.concatenate([[True], g[1:] != g[:-1]])
+        )
+        group_len = np.diff(np.concatenate([group_start, [len(g)]]))
+        slot = np.arange(len(g)) - np.repeat(group_start, group_len)
+        keep = slot < gamma
+        pair_k, slot_k = g[keep], slot[keep]
+        uw_k, vw_k = m_uw[order2][keep], m_vw[order2][keep]
+
+        e_k, r_k = canon[pair_k], rev[pair_k]
+        uw[e_k, slot_k] = uw_k
+        vw[e_k, slot_k] = vw_k
+        # The reverse orientation (v, u) swaps the roles of u and v.
+        uw[r_k, slot_k] = vw_k
+        vw[r_k, slot_k] = uw_k
+        kept_counts = np.bincount(pair_k, minlength=len(canon))
+        counts[canon] = kept_counts
+        counts[rev] = kept_counts
     return TriadNeighborhood(uw_ids=uw, vw_ids=vw, counts=counts)
 
 

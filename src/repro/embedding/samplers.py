@@ -45,25 +45,63 @@ class AliasSampler:
         self._prob = np.ones(n)
         self._alias = np.arange(n)
 
-        small = [i for i in range(n) if prob[i] < 1.0]
-        large = [i for i in range(n) if prob[i] >= 1.0]
-        while small and large:
-            s, l = small.pop(), large.pop()
+        # Round-based vectorised pairing: each round matches the first
+        # ``k = min(|small|, |large|)`` entries of the two worklists
+        # one-to-one, donates mass, and reclassifies the donors.  Every
+        # index appears in at most one list at a time, so the fancy-index
+        # writes within a round never collide.  Typical weight vectors
+        # finish in a handful of rounds; heavily skewed ones (one huge
+        # weight absorbing thousands of smalls one round at a time) fall
+        # back to the sequential stack loop after a bounded number of
+        # rounds so setup stays O(n) in the worst case.
+        small = np.flatnonzero(prob < 1.0)
+        large = np.flatnonzero(prob >= 1.0)
+        for _round in range(64):
+            if not (small.size and large.size):
+                break
+            k = min(small.size, large.size)
+            s, l = small[:k], large[:k]
             self._prob[s] = prob[s]
             self._alias[s] = l
-            prob[l] = prob[l] + prob[s] - 1.0
-            (small if prob[l] < 1.0 else large).append(l)
+            prob[l] += prob[s] - 1.0
+            still_small = prob[l] < 1.0
+            small = np.concatenate([small[k:], l[still_small]])
+            large = np.concatenate([large[k:], l[~still_small]])
+        if small.size and large.size:
+            small_list, large_list = small.tolist(), large.tolist()
+            while small_list and large_list:
+                s_i, l_i = small_list.pop(), large_list.pop()
+                self._prob[s_i] = prob[s_i]
+                self._alias[s_i] = l_i
+                prob[l_i] = prob[l_i] + prob[s_i] - 1.0
+                (small_list if prob[l_i] < 1.0 else large_list).append(l_i)
+            small = np.asarray(small_list, dtype=np.int64)
+            large = np.asarray(large_list, dtype=np.int64)
         # Leftovers are 1.0 up to float error.
-        for i in small + large:
-            self._prob[i] = 1.0
+        self._prob[small] = 1.0
+        self._prob[large] = 1.0
         self.n_draws = 0
         self.setup_seconds = time.perf_counter() - setup_start
 
     def sample(
         self, size: int | tuple[int, ...], rng: np.random.Generator
     ) -> np.ndarray:
-        """Draw indices with the configured weights."""
-        self.n_draws += int(np.prod(size))
+        """Draw indices with the configured weights.
+
+        ``size`` must describe at least one draw: a positive int, or a
+        non-empty tuple of positive dims.  Empty requests are almost
+        always an upstream bug (a zero batch size or an empty schedule),
+        so they raise instead of silently returning an empty array.
+        """
+        if isinstance(size, tuple):
+            if len(size) == 0 or any(int(d) < 1 for d in size):
+                raise ValueError(
+                    "size must be a non-empty tuple of positive dims, "
+                    f"got {size!r}"
+                )
+        elif int(size) < 1:
+            raise ValueError(f"size must be positive, got {size!r}")
+        self.n_draws += int(np.prod(size, dtype=np.int64))
         idx = rng.integers(0, len(self._prob), size=size)
         coin = rng.random(size=size)
         return np.where(coin < self._prob[idx], idx, self._alias[idx])
@@ -76,6 +114,12 @@ class ConnectedPairSampler:
     uniform inner draw picks from all out-ties of ``dst(e)`` and rejects
     the single back-tie ``(dst, src)``, which is a uniform draw over
     ``c(e)`` because exactly one out-tie is excluded by Definition 4.
+
+    Ties with ``deg_tie(e) = 0`` (the only out-tie of ``dst(e)`` is the
+    back-tie, so ``c(e)`` is empty) are excluded from the source
+    distribution up front: they carry zero probability mass anyway, and
+    letting the rejection loop draw them would spin forever since every
+    redraw lands on the back-tie.
     """
 
     def __init__(self, network: MixedSocialNetwork) -> None:
@@ -86,7 +130,12 @@ class ConnectedPairSampler:
             raise ValueError(
                 "network has no connected tie pairs; nothing to embed"
             )
-        self._source_sampler = AliasSampler(self._tie_degrees.astype(float))
+        # When every degree is positive (the common case) this subset is
+        # the identity map, so the sampling stream is unchanged.
+        self._sampleable_ids = np.flatnonzero(self._tie_degrees > 0)
+        self._source_sampler = AliasSampler(
+            self._tie_degrees[self._sampleable_ids].astype(float)
+        )
         noise = self._tie_degrees.astype(float) ** 0.75
         if noise.sum() == 0:
             noise = np.ones_like(noise)
@@ -99,7 +148,7 @@ class ConnectedPairSampler:
         self, batch: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``batch`` pairs ``(e, e')``; both arrays have length ``batch``."""
-        e = self._source_sampler.sample(batch, rng)
+        e = self._sampleable_ids[self._source_sampler.sample(batch, rng)]
         dst = self.network.tie_dst[e]
         src = self.network.tie_src[e]
         lo, hi = self._offsets[dst], self._offsets[dst + 1]

@@ -26,23 +26,49 @@ def _undirected_csr(network: MixedSocialNetwork) -> tuple[np.ndarray, np.ndarray
     return offsets, targets
 
 
+def _expand_frontier(
+    offsets: np.ndarray, targets: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All CSR neighbours of ``frontier`` at once, with their sources.
+
+    Returns ``(sources, neighbours)`` — parallel arrays, one entry per
+    (frontier node, neighbour) incidence.  The gather builds a ragged
+    concatenation of the frontier rows without a Python-level loop:
+    ``arange`` over the total incidence count, shifted per row so each
+    segment restarts at that row's CSR start.
+    """
+    starts = offsets[frontier]
+    counts = offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=targets.dtype)
+        return empty, empty
+    ends = np.cumsum(counts)
+    idx = np.arange(total) + np.repeat(starts - (ends - counts), counts)
+    return np.repeat(frontier, counts), targets[idx]
+
+
 def _bfs_distances(
     offsets: np.ndarray, targets: np.ndarray, source: int, n: int
 ) -> np.ndarray:
-    """Unweighted single-source distances; unreachable nodes get -1."""
+    """Unweighted single-source distances; unreachable nodes get -1.
+
+    Level-synchronous BFS with whole-frontier CSR expansion: each level
+    gathers every neighbour of the current frontier in one vectorised
+    step instead of iterating nodes in Python.
+    """
     dist = np.full(n, -1, dtype=np.int64)
     dist[source] = 0
-    frontier = [source]
+    frontier = np.array([source], dtype=np.int64)
     level = 0
-    while frontier:
+    while frontier.size:
         level += 1
-        next_frontier: list[int] = []
-        for node in frontier:
-            for nb in targets[offsets[node] : offsets[node + 1]]:
-                if dist[nb] < 0:
-                    dist[nb] = level
-                    next_frontier.append(int(nb))
-        frontier = next_frontier
+        _, neighbors = _expand_frontier(offsets, targets, frontier)
+        fresh = neighbors[dist[neighbors] < 0]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        dist[frontier] = level
     return dist
 
 
@@ -106,35 +132,42 @@ def betweenness_centrality(
     delta = np.zeros(n)
     for source in pivots:
         source = int(source)
-        # -- forward BFS pass: shortest-path counts and a stack in
-        #    non-decreasing distance order.
+        # -- forward pass, one whole BFS level at a time: path counts
+        #    flow across every (level-1 → level) edge in a single
+        #    scatter-add, and the per-level frontiers double as the
+        #    distance-ordered "stack" for the backward pass.
         sigma[:] = 0.0
         sigma[source] = 1.0
         dist[:] = -1
         dist[source] = 0
-        stack: list[int] = []
-        predecessors: list[list[int]] = [[] for _ in range(n)]
-        frontier = [source]
-        while frontier:
-            next_frontier: list[int] = []
-            for node in frontier:
-                stack.append(node)
-                for nb in targets[offsets[node] : offsets[node + 1]]:
-                    nb = int(nb)
-                    if dist[nb] < 0:
-                        dist[nb] = dist[node] + 1
-                        next_frontier.append(nb)
-                    if dist[nb] == dist[node] + 1:
-                        sigma[nb] += sigma[node]
-                        predecessors[nb].append(node)
-            frontier = next_frontier
-        # -- backward pass: dependency accumulation.
+        frontiers: list[np.ndarray] = [np.array([source], dtype=np.int64)]
+        level = 0
+        while frontiers[-1].size:
+            level += 1
+            srcs, nbrs = _expand_frontier(offsets, targets, frontiers[-1])
+            fresh = nbrs[dist[nbrs] < 0]
+            next_frontier = np.unique(fresh)
+            # Label the new level BEFORE masking sigma flow: edges into
+            # just-discovered nodes are exactly the shortest-path edges.
+            dist[next_frontier] = level
+            on_level = dist[nbrs] == level
+            np.add.at(sigma, nbrs[on_level], sigma[srcs[on_level]])
+            frontiers.append(next_frontier)
+        frontiers.pop()  # trailing empty frontier
+        # -- backward pass: accumulate dependencies level by level,
+        #    deepest first.  A node's predecessors are precisely its
+        #    neighbours one level closer to the source, so the same
+        #    frontier expansion recovers them without predecessor lists.
         delta[:] = 0.0
-        for node in reversed(stack):
-            for pred in predecessors[node]:
-                delta[pred] += sigma[pred] / sigma[node] * (1.0 + delta[node])
-            if node != source:
-                centrality[node] += delta[node]
+        for lvl in range(len(frontiers) - 1, 0, -1):
+            frontier = frontiers[lvl]
+            ws, nbrs = _expand_frontier(offsets, targets, frontier)
+            toward_source = dist[nbrs] == lvl - 1
+            preds, ws = nbrs[toward_source], ws[toward_source]
+            np.add.at(
+                delta, preds, sigma[preds] / sigma[ws] * (1.0 + delta[ws])
+            )
+            centrality[frontier] += delta[frontier]
     centrality *= n / len(pivots)
     # Each undirected pair was (or would be, under exhaustive pivots)
     # counted from both endpoints.

@@ -7,7 +7,14 @@ the metric-name → paper-equation map.
 """
 
 from .callbacks import CallbackList, RunInfo, TrainerCallback
-from .metrics import Counter, EMATracker, Gauge, MetricsRegistry, Timer
+from .metrics import (
+    Counter,
+    EMATracker,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    record_worker_stats,
+)
 from .sinks import (
     ConsoleReporter,
     EventSink,
@@ -39,5 +46,6 @@ __all__ = [
     "is_volatile",
     "iter_batch_events",
     "read_jsonl",
+    "record_worker_stats",
     "strip_volatile",
 ]

@@ -1,0 +1,74 @@
+"""The perf regression harness produces a well-formed BENCH report."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.perf import check_speedup, main
+
+
+def test_harness_writes_machine_readable_report(tmp_path):
+    output = tmp_path / "BENCH_estep.json"
+    code = main(
+        [
+            "--sizes",
+            "small",
+            "--workers",
+            "1",
+            "2",
+            "--repeats",
+            "1",
+            "--estep-pairs",
+            "4000",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == "bench_estep/v1"
+    assert report["cpu_count"] >= 1
+    small = report["sizes"]["small"]
+    assert small["n_nodes"] == 300
+    assert small["alias_setup"]["seconds"] > 0
+    assert small["sampler_setup_s"] > 0
+    assert small["centrality_s"] > 0
+    for key in ("1", "2"):
+        stats = small["estep"][key]
+        assert stats["pairs"] > 0
+        assert stats["pairs_per_sec"] > 0
+        assert stats["speedup_vs_1"] > 0
+    assert small["estep"]["1"]["speedup_vs_1"] == 1.0
+
+
+def test_check_speedup_skips_on_single_core(capsys):
+    report = {
+        "cpu_count": 1,
+        "sizes": {
+            "small": {
+                "estep": {
+                    "1": {"pairs_per_sec": 100.0},
+                    "2": {"pairs_per_sec": 10.0},
+                }
+            }
+        },
+    }
+    assert check_speedup(report, 1.0) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_check_speedup_fails_on_regression(capsys):
+    report = {
+        "cpu_count": 8,
+        "sizes": {
+            "small": {
+                "estep": {
+                    "1": {"pairs_per_sec": 100.0},
+                    "2": {"pairs_per_sec": 50.0},
+                }
+            }
+        },
+    }
+    assert check_speedup(report, 1.0) == 1
+    assert "FAIL" in capsys.readouterr().out
+    assert check_speedup(report, 0.25) == 0

@@ -1,0 +1,181 @@
+"""Parallel (HOGWILD shared-memory) E-Step training.
+
+Determinism contract: ``workers=1`` is the untouched sequential path and
+must match the default-config output byte-for-byte; ``workers>1`` is a
+seeded HOGWILD approximation whose *quality* (D-Step AUC) must stay
+within tolerance of the sequential run, but whose bits may differ
+(scatter-add interleaving is scheduler-dependent).  No wall-clock
+assertions anywhere — throughput is the perf harness's job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    DeepDirectConfig,
+    DeepDirectEmbedding,
+    LineConfig,
+    LineEmbedding,
+)
+from repro.embedding.hogwild import run_hogwild
+from repro.embedding.node2vec import Node2VecConfig, Node2VecEmbedding
+from repro.eval import roc_auc
+from repro.graph import TieKind
+from repro.obs import TrainerCallback
+
+
+class _Recorder(TrainerCallback):
+    def __init__(self) -> None:
+        self.fit_begin: dict | None = None
+        self.fit_end: dict | None = None
+        self.batch_logs: list[dict] = []
+
+    def on_fit_begin(self, run, logs) -> None:
+        self.fit_begin = dict(logs)
+
+    def on_batch_end(self, run, step, logs) -> None:
+        self.batch_logs.append(dict(logs))
+
+    def on_fit_end(self, run, logs) -> None:
+        self.fit_end = dict(logs)
+
+
+PARALLEL_CONFIG = DeepDirectConfig(
+    dimensions=16, epochs=2.0, alpha=5.0, beta=0.1, max_pairs=40_000
+)
+
+
+def _labeled_auc(result, network) -> float:
+    """D-Step-style AUC of the E-Step classifier on the directed ties."""
+    directed = network.ties_of_kind(TieKind.DIRECTED)
+    reverse = network.ties_of_kind(TieKind.DIRECTED_REVERSE)
+    ids = np.concatenate([directed, reverse])
+    labels = np.concatenate(
+        [np.ones(len(directed)), np.zeros(len(reverse))]
+    )
+    logits = (
+        result.embeddings[ids] @ result.classifier_weights
+        + result.classifier_bias
+    )
+    return roc_auc(labels, 1.0 / (1.0 + np.exp(-logits)))
+
+
+def test_workers_one_is_bit_identical(discovery_task):
+    base = DeepDirectEmbedding(PARALLEL_CONFIG).fit(
+        discovery_task.network, seed=11
+    )
+    explicit = DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, workers=1)
+    ).fit(discovery_task.network, seed=11)
+    assert np.array_equal(base.embeddings, explicit.embeddings)
+    assert np.array_equal(base.contexts, explicit.contexts)
+    assert np.array_equal(
+        base.classifier_weights, explicit.classifier_weights
+    )
+    assert base.classifier_bias == explicit.classifier_bias
+
+
+def test_parallel_deepdirect_trains(discovery_task):
+    network = discovery_task.network
+    sequential = DeepDirectEmbedding(PARALLEL_CONFIG).fit(network, seed=5)
+    parallel = DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, workers=2)
+    ).fit(network, seed=5)
+    assert parallel.embeddings.shape == sequential.embeddings.shape
+    assert parallel.contexts.shape == sequential.contexts.shape
+    assert np.all(np.isfinite(parallel.embeddings))
+    assert np.all(np.isfinite(parallel.classifier_weights))
+    # Both paths honour the same pair budget.
+    assert parallel.n_pairs_trained == sequential.n_pairs_trained
+    assert len(parallel.loss_history) > 0
+
+
+def test_parallel_auc_within_tolerance_of_sequential(discovery_task):
+    network = discovery_task.network
+    sequential = DeepDirectEmbedding(PARALLEL_CONFIG).fit(network, seed=5)
+    parallel = DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, workers=4)
+    ).fit(network, seed=5)
+    auc_seq = _labeled_auc(sequential, network)
+    auc_par = _labeled_auc(parallel, network)
+    assert auc_seq > 0.6  # the sequential baseline actually learns
+    assert auc_par > auc_seq - 0.1
+
+
+def test_parallel_callbacks_report_worker_stats(discovery_task):
+    recorder = _Recorder()
+    DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, workers=2)
+    ).fit(discovery_task.network, seed=5, callbacks=[recorder])
+    assert recorder.fit_begin is not None
+    assert recorder.fit_begin["workers"] == 2
+    assert recorder.fit_end is not None
+    # Merged counters from both workers plus per-worker rate gauges.
+    assert recorder.fit_end["pair_draws"] > 0
+    assert "worker0_pairs_per_sec" in recorder.fit_end
+    assert "worker1_pairs_per_sec" in recorder.fit_end
+    assert recorder.fit_end["workers"] == 2
+    assert any("pairs_per_sec" in logs for logs in recorder.batch_logs)
+
+
+def test_line_parallel_smoke(small_dataset):
+    config = LineConfig(dimensions=8, epochs=2.0, workers=2)
+    result = LineEmbedding(config).fit(small_dataset, seed=2)
+    assert result.node_embeddings.shape == (small_dataset.n_nodes, 8)
+    assert np.all(np.isfinite(result.node_embeddings))
+
+    base = LineEmbedding(LineConfig(dimensions=8, epochs=2.0)).fit(
+        small_dataset, seed=2
+    )
+    explicit = LineEmbedding(
+        LineConfig(dimensions=8, epochs=2.0, workers=1)
+    ).fit(small_dataset, seed=2)
+    assert np.array_equal(base.node_embeddings, explicit.node_embeddings)
+
+
+def test_node2vec_parallel_smoke(small_dataset):
+    config = Node2VecConfig(
+        dimensions=8,
+        epochs=0.5,
+        walk_length=10,
+        walks_per_node=2,
+        workers=2,
+    )
+    result = Node2VecEmbedding(config).fit(small_dataset, seed=2)
+    assert result.node_embeddings.shape == (small_dataset.n_nodes, 8)
+    assert np.all(np.isfinite(result.node_embeddings))
+
+
+@pytest.mark.parametrize(
+    "config_cls", [DeepDirectConfig, LineConfig, Node2VecConfig]
+)
+def test_workers_must_be_positive(config_cls):
+    with pytest.raises(ValueError, match="workers"):
+        config_cls(workers=0)
+
+
+def test_run_hogwild_rejects_single_worker():
+    class _Task:
+        def setup(self, arrays, rng):
+            return None
+
+        def step(self, state, arrays, batch_idx, lr, rng):
+            return 0.0
+
+        def counters(self, state):
+            return ()
+
+    with pytest.raises(ValueError, match="workers"):
+        run_hogwild(
+            _Task(),
+            {"x": np.zeros(4)},
+            n_batches=1,
+            batch_size=1,
+            workers=1,
+            rng=np.random.default_rng(0),
+            lr0=0.1,
+        )

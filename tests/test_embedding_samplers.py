@@ -120,3 +120,65 @@ class TestCommonNeighborSampling:
         witnesses = sample_common_neighbors(tiny_network, 1, 3, 5, rng)
         common = set(tiny_network.common_neighbors(1, 3))
         assert set(int(w) for w in witnesses) <= common
+
+
+class TestSampleSizeValidation:
+    def test_rejects_non_positive_int(self, rng):
+        sampler = AliasSampler(np.ones(4))
+        with pytest.raises(ValueError, match="size"):
+            sampler.sample(0, rng)
+        with pytest.raises(ValueError, match="size"):
+            sampler.sample(-3, rng)
+
+    def test_rejects_empty_or_degenerate_tuple(self, rng):
+        sampler = AliasSampler(np.ones(4))
+        with pytest.raises(ValueError, match="size"):
+            sampler.sample((), rng)
+        with pytest.raises(ValueError, match="size"):
+            sampler.sample((0,), rng)
+        with pytest.raises(ValueError, match="size"):
+            sampler.sample((3, 0), rng)
+
+    def test_draw_count_uses_wide_accumulator(self, rng):
+        # n_draws must go through an int64 product, so counting never
+        # wraps on platforms where the default int is 32-bit.
+        sampler = AliasSampler(np.ones(4))
+        sampler.sample((2, 3), rng)
+        assert sampler.n_draws == 6
+        assert isinstance(sampler.n_draws, int)
+
+
+class TestZeroDegreeTies:
+    def test_two_node_bidirectional_graph_rejected(self):
+        # Both orientations of the single tie have an empty c(e): the
+        # only out-tie of each dst is the back-tie.  Before the source
+        # distribution excluded such ties this setup could spin the
+        # rejection loop forever; now it fails fast.
+        net = MixedSocialNetwork(
+            2, [], bidirectional_ties=[(0, 1)], validate=False
+        )
+        with pytest.raises(ValueError, match="no connected tie pairs"):
+            ConnectedPairSampler(net)
+
+    def test_zero_degree_ties_never_sampled(self, rng):
+        # Ties (1, 0) and (1, 2) have deg_tie = 0 (their dst's only
+        # out-tie is the back-tie); only (0, 1) and (2, 1) may be drawn.
+        net = MixedSocialNetwork(
+            3, directed_ties=[(0, 1)], undirected_ties=[(1, 2)]
+        )
+        sampler = ConnectedPairSampler(net)
+        degrees = net.tie_degrees()
+        e, successor = sampler.sample_pairs(2_000, rng)
+        assert np.all(degrees[e] > 0)
+        assert np.all(net.tie_dst[e] == net.tie_src[successor])
+        assert np.all(net.tie_src[e] != net.tie_dst[successor])
+
+    def test_sampleable_subset_is_positive_degree_set(self, tiny_network):
+        # The source distribution covers exactly the ties with a
+        # non-empty c(e); tiny_network has two empty ones (ids 0, 16).
+        sampler = ConnectedPairSampler(tiny_network)
+        degrees = tiny_network.tie_degrees()
+        assert np.array_equal(
+            sampler._sampleable_ids, np.flatnonzero(degrees > 0)
+        )
+        assert np.all(degrees[sampler._sampleable_ids] > 0)

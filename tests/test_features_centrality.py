@@ -82,3 +82,27 @@ def test_centrality_features_block(tiny_network):
     # reversing the pair swaps the (u, v) columns
     assert block[0, 0] == block[1, 1]
     assert block[0, 2] == block[1, 3]
+
+
+class TestDisconnectedGraphs:
+    def test_isolated_nodes_survive_vectorized_bfs(self):
+        # Nodes 3 and 4 have no ties at all: the frontier expansion must
+        # handle empty neighbour gathers, and both centralities must stay
+        # finite with the disconnected-distance surrogate.
+        net = MixedSocialNetwork(5, directed_ties=[(0, 1), (1, 2)])
+        cc = closeness_centrality(net)
+        bc = betweenness_centrality(net, n_pivots=None)
+        assert np.all(np.isfinite(cc)) and np.all(cc > 0)
+        assert np.all(np.isfinite(bc)) and np.all(bc >= 0)
+        # Only the middle node of the 0-1-2 path lies between others.
+        assert bc[1] > 0
+        assert bc[3] == 0 and bc[4] == 0
+
+    def test_two_components_match_networkx(self):
+        net = MixedSocialNetwork(
+            6, directed_ties=[(0, 1), (1, 2), (3, 4), (4, 5)]
+        )
+        mine = betweenness_centrality(net, n_pivots=None)
+        reference = nx.betweenness_centrality(_undirected_nx(net))
+        ref = np.array([reference[i] for i in range(net.n_nodes)])
+        assert np.allclose(mine, ref, atol=1e-10)
