@@ -13,6 +13,14 @@ below ``T ×`` the single-worker rate on any size; the check auto-skips
 (with a notice) on single-core machines, where HOGWILD workers only add
 process overhead.  See ``docs/performance.md`` for how to read the
 output.
+
+The report also carries a top-level ``phases`` key — per-phase span
+timings from one traced workers=1 E-Step run (``repro.obs.trace``), so
+``repro report --diff manifest.json BENCH_estep.json`` can compare a
+fresh run against the committed baseline — and a ``trace_overhead``
+block measuring the disabled-tracing fast path.  ``--check-trace-
+overhead F`` exits non-zero when disabled tracing would cost more than
+fraction ``F`` of a batch (the <5% budget gated in CI).
 """
 
 from __future__ import annotations
@@ -125,6 +133,66 @@ def _bench_estep(network, workers: int, max_pairs: int, seed: int) -> dict:
     }
 
 
+#: Spans entered per E-Step batch on the hot path (sample, L_topo,
+#: L_label, L_pattern, update) plus headroom for per-batch attrs.
+SPANS_PER_BATCH = 6
+
+
+def _bench_traced_phases(network, max_pairs: int, seed: int) -> dict:
+    """Per-phase span totals from one traced workers=1 E-Step run."""
+    from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+    from repro.obs import Tracer, activate, deactivate, phase_totals
+
+    config = DeepDirectConfig(
+        dimensions=32,
+        epochs=1000.0,
+        max_pairs=max_pairs,
+        batch_size=256,
+        workers=1,
+    )
+    tracer = Tracer()
+    token = activate(tracer)
+    try:
+        DeepDirectEmbedding(config).fit(network, seed=seed)
+    finally:
+        deactivate(token)
+    return phase_totals(tracer.snapshot())
+
+
+def _bench_trace_overhead(report: dict, n_calls: int = 200_000) -> dict:
+    """Cost of the disabled-tracing fast path, relative to a batch.
+
+    With no tracer active every ``span()`` call returns the shared
+    no-op span, so the per-call cost times :data:`SPANS_PER_BATCH`
+    against the measured per-batch E-Step seconds bounds the overhead
+    an *untraced* run pays for the instrumentation being present.
+    """
+    from repro.obs import span
+
+    start = time.perf_counter()
+    for _ in range(n_calls):
+        with span("noop"):
+            pass
+    per_span = (time.perf_counter() - start) / n_calls
+
+    batch_s = None
+    for entry in report["sizes"].values():
+        stats = entry["estep"].get("1")
+        if stats and stats["pairs"]:
+            batches = max(1.0, stats["pairs"] / 256.0)
+            candidate = stats["seconds"] / batches
+            batch_s = candidate if batch_s is None else min(batch_s, candidate)
+    fraction = (
+        per_span * SPANS_PER_BATCH / batch_s if batch_s else None
+    )
+    return {
+        "noop_span_s": per_span,
+        "spans_per_batch": SPANS_PER_BATCH,
+        "batch_s": batch_s,
+        "disabled_overhead_fraction": fraction,
+    }
+
+
 def run_benchmarks(
     sizes: Sequence[str],
     workers: Sequence[int],
@@ -173,6 +241,16 @@ def run_benchmarks(
                     base["pairs_per_sec"], 1e-9
                 )
         report["sizes"][size] = entry
+        if "phases" not in report:
+            # One traced workers=1 run on the first (smallest) tier,
+            # outside the timed loops, gives the per-phase baseline
+            # that ``repro report --diff`` compares against.
+            print(f"[{size}] traced phase baseline ...", flush=True)
+            report["phases"] = _bench_traced_phases(
+                network, min(pair_budget, 20_000), seed
+            )
+    if report["sizes"]:
+        report["trace_overhead"] = _bench_trace_overhead(report)
     return report
 
 
@@ -210,6 +288,26 @@ def check_speedup(report: dict, threshold: float) -> int:
     return 1 if failures else 0
 
 
+def check_trace_overhead(report: dict, limit: float) -> int:
+    """Fail (return 1) when the disabled-tracing cost exceeds ``limit``."""
+    info = report.get("trace_overhead") or {}
+    fraction = info.get("disabled_overhead_fraction")
+    if fraction is None:
+        print("check-trace-overhead: skipped (no measurement in report)")
+        return 0
+    if fraction > limit:
+        print(
+            f"check-trace-overhead: FAIL disabled-tracing overhead "
+            f"{fraction:.3%} of a batch > {limit:.0%} budget"
+        )
+        return 1
+    print(
+        f"check-trace-overhead: ok ({fraction:.3%} of a batch "
+        f"<= {limit:.0%} budget)"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf", description=__doc__
@@ -240,6 +338,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="exit non-zero if any workers>1 tier falls below RATIO x "
         "the workers=1 pairs/sec (auto-skips on single-core hosts)",
     )
+    parser.add_argument(
+        "--check-trace-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero if the disabled-tracing fast path costs "
+        "more than FRACTION of a batch (CI gates at 0.05)",
+    )
     args = parser.parse_args(argv)
 
     if any(w < 1 for w in args.workers):
@@ -269,9 +375,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"({stats['speedup_vs_1']:.2f}x)"
             )
 
+    status = 0
     if args.check_speedup is not None:
-        return check_speedup(report, args.check_speedup)
-    return 0
+        status |= check_speedup(report, args.check_speedup)
+    if args.check_trace_overhead is not None:
+        status |= check_trace_overhead(report, args.check_trace_overhead)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

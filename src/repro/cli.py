@@ -12,6 +12,13 @@ Commands
 ``quantify``
     Learn a directionality function and print the bidirectional-tie
     quantification table.
+``report``
+    Render the phase breakdown of a run artefact (manifest, trace, or
+    perf report), or diff two runs and flag phase regressions.
+
+``discover`` and ``quantify`` accept ``--trace PATH`` (Chrome-trace or
+JSONL span timeline, see ``docs/observability.md``) and
+``--manifest PATH`` (a ``repro_manifest/v1`` run manifest).
 
 Every command takes ``--seed`` and is deterministic.
 """
@@ -36,7 +43,24 @@ from .datasets import (
 from .embedding import DeepDirectConfig, LineConfig, Node2VecConfig
 from .eval import format_table
 from .graph import read_tie_list, write_tie_list
-from .obs import CallbackList, ConsoleReporter, JsonlSink, TrainerCallback
+from .obs import (
+    CallbackList,
+    ConsoleReporter,
+    JsonlSink,
+    TrainerCallback,
+    Tracer,
+    activate,
+    build_manifest,
+    deactivate,
+    load_run,
+    network_fingerprint,
+    phase_totals,
+    render_diff,
+    render_report,
+    rss_bytes,
+    span,
+    write_manifest,
+)
 from .models import (
     DeepDirectModel,
     HFModel,
@@ -70,6 +94,80 @@ def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
     if callbacks or getattr(args, "progress", False):
         callbacks.append(ConsoleReporter(every=args.log_every))
     return callbacks
+
+
+#: Model arguments copied into the manifest's ``config`` block.
+_CONFIG_KEYS = (
+    "method", "dimensions", "alpha", "beta", "pairs_per_tie", "dstep",
+    "workers", "hide",
+)
+
+
+class _ObsSession:
+    """Optional tracer + manifest lifecycle for one CLI command.
+
+    Activated when ``--trace`` or ``--manifest`` was requested;
+    otherwise every method is a cheap no-op and the command runs on the
+    disabled-tracing fast path.  On exit the trace and manifest
+    artefacts are written even when the command failed mid-run, so a
+    crashed run still leaves its timeline behind.
+    """
+
+    def __init__(self, args: argparse.Namespace, command: str) -> None:
+        self.args = args
+        self.command = command
+        trace = getattr(args, "trace", None)
+        manifest = getattr(args, "manifest", None)
+        self.enabled = bool(trace or manifest)
+        self.tracer = Tracer() if self.enabled else None
+        self._token = None
+        self.dataset: dict = {}
+        self.metrics: dict = {}
+
+    def __enter__(self) -> "_ObsSession":
+        if self.tracer is not None:
+            self._token = activate(self.tracer)
+        return self
+
+    def set_network(self, network) -> None:
+        """Record the dataset fingerprint for the manifest."""
+        if self.enabled:
+            self.dataset = network_fingerprint(network)
+
+    def add_metrics(self, **metrics) -> None:
+        """Merge final run metrics into the manifest."""
+        if self.enabled:
+            self.metrics.update(metrics)
+
+    def __exit__(self, *exc: object) -> bool:
+        if self.tracer is None:
+            return False
+        deactivate(self._token)
+        if getattr(self.args, "trace", None):
+            self.tracer.write(self.args.trace)
+            print(f"wrote trace to {self.args.trace}", file=sys.stderr)
+        if getattr(self.args, "manifest", None):
+            self.metrics.setdefault(
+                "rss_mb", round(rss_bytes() / 2**20, 2)
+            )
+            config = {
+                key: getattr(self.args, key)
+                for key in _CONFIG_KEYS
+                if getattr(self.args, key, None) is not None
+            }
+            manifest = build_manifest(
+                command=self.command,
+                seed=self.args.seed,
+                config=config,
+                dataset=self.dataset,
+                phases=phase_totals(self.tracer.snapshot()),
+                metrics=self.metrics,
+            )
+            write_manifest(manifest, self.args.manifest)
+            print(
+                f"wrote manifest to {self.args.manifest}", file=sys.stderr
+            )
+        return False
 
 
 def _build_model(
@@ -146,47 +244,65 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
-    network = read_tie_list(args.input)
-    callbacks = _telemetry_callbacks(args)
-    try:
-        if args.hide is not None:
-            task = hide_directions(network, args.hide, seed=args.seed)
+    with _ObsSession(args, "discover") as obs:
+        network = read_tie_list(args.input)
+        obs.set_network(network)
+        callbacks = _telemetry_callbacks(args)
+        try:
+            if args.hide is not None:
+                with span("eval.discovery", hide=args.hide) as eval_sp:
+                    task = hide_directions(network, args.hide, seed=args.seed)
+                    model = _build_model(args, callbacks).fit(
+                        task.network, seed=args.seed
+                    )
+                    with span("eval.score", method=args.method):
+                        accuracy = discovery_accuracy(model, task)
+                    eval_sp.set(accuracy=accuracy)
+                obs.add_metrics(
+                    accuracy=accuracy, n_hidden=len(task.true_sources)
+                )
+                print(
+                    f"method={args.method} hidden={len(task.true_sources)} "
+                    f"accuracy={accuracy:.4f}"
+                )
+                return 0
+            if network.n_undirected == 0:
+                print("network has no undirected ties; nothing to discover",
+                      file=sys.stderr)
+                return 1
             model = _build_model(args, callbacks).fit(
-                task.network, seed=args.seed
+                network, seed=args.seed
             )
-            accuracy = discovery_accuracy(model, task)
-            print(
-                f"method={args.method} hidden={len(task.true_sources)} "
-                f"accuracy={accuracy:.4f}"
-            )
-            return 0
-        if network.n_undirected == 0:
-            print("network has no undirected ties; nothing to discover",
-                  file=sys.stderr)
-            return 1
-        model = _build_model(args, callbacks).fit(network, seed=args.seed)
-    finally:
-        CallbackList(callbacks).close()
-    completed = discover_and_apply(model)
-    if args.output:
-        write_tie_list(completed, args.output)
-        print(f"wrote completed network to {args.output}")
-    else:
-        print(f"completed network: {completed}")
-    return 0
+        finally:
+            CallbackList(callbacks).close()
+        with span("eval.apply"):
+            completed = discover_and_apply(model)
+        obs.add_metrics(n_discovered=network.n_undirected)
+        if args.output:
+            write_tie_list(completed, args.output)
+            print(f"wrote completed network to {args.output}")
+        else:
+            print(f"completed network: {completed}")
+        return 0
 
 
 def _cmd_quantify(args: argparse.Namespace) -> int:
-    network = read_tie_list(args.input)
-    if network.n_bidirectional == 0:
-        print("network has no bidirectional ties", file=sys.stderr)
-        return 1
-    callbacks = _telemetry_callbacks(args)
-    try:
-        model = _build_model(args, callbacks).fit(network, seed=args.seed)
-    finally:
-        CallbackList(callbacks).close()
-    table = quantify_bidirectional_ties(model)
+    with _ObsSession(args, "quantify") as obs:
+        network = read_tie_list(args.input)
+        if network.n_bidirectional == 0:
+            print("network has no bidirectional ties", file=sys.stderr)
+            return 1
+        obs.set_network(network)
+        callbacks = _telemetry_callbacks(args)
+        try:
+            model = _build_model(args, callbacks).fit(
+                network, seed=args.seed
+            )
+        finally:
+            CallbackList(callbacks).close()
+        with span("eval.quantify"):
+            table = quantify_bidirectional_ties(model)
+        obs.add_metrics(n_bidirectional=network.n_bidirectional)
     rows = [
         {
             "u": int(u),
@@ -197,6 +313,24 @@ def _cmd_quantify(args: argparse.Namespace) -> int:
         for u, v, duv, dvu in table[: args.limit]
     ]
     print(format_table(rows, ["u", "v", "d_uv", "d_vu"]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if (args.run is None) == (args.diff is None):
+        print("report: pass exactly one of RUN or --diff A B",
+              file=sys.stderr)
+        return 2
+    try:
+        runs = [load_run(p) for p in (args.diff or [args.run])]
+    except (ValueError, OSError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.diff is not None:
+        text, flagged = render_diff(*runs, threshold=args.threshold)
+        print(text)
+        return 1 if (flagged and args.strict) else 0
+    print(render_report(runs[0]))
     return 0
 
 
@@ -250,6 +384,22 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         dest="log_every",
         help="batch cadence of progress lines and loss checkpoints",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a span timeline of the whole run: Chrome trace JSON "
+        "(load in Perfetto / chrome://tracing) or compact JSONL when "
+        "the path ends in .jsonl; see docs/observability.md",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH.json",
+        default=None,
+        help="write a repro_manifest/v1 run manifest (config, seed, "
+        "dataset fingerprint, package versions, per-phase timings, "
+        "final metrics); render it with 'repro report'",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,6 +447,39 @@ def build_parser() -> argparse.ArgumentParser:
     quantify.add_argument("--limit", type=int, default=20)
     _add_model_arguments(quantify)
     quantify.set_defaults(handler=_cmd_quantify)
+
+    report = commands.add_parser(
+        "report",
+        help="render a run artefact (manifest/trace/perf report) or "
+        "diff two runs",
+    )
+    report.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="run artefact to render: a --manifest file, a --trace "
+        "file, or a perf report with a 'phases' key (BENCH_estep.json)",
+    )
+    report.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        default=None,
+        help="compare two run artefacts phase by phase",
+    )
+    report.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown beyond which a phase is flagged as a "
+        "regression in --diff mode (default 0.25 = 25%%)",
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when --diff flags any phase regression",
+    )
+    report.set_defaults(handler=_cmd_report)
     return parser
 
 

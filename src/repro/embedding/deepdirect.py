@@ -41,6 +41,7 @@ from ..obs import (
     RunInfo,
     TrainerCallback,
     record_worker_stats,
+    span,
 )
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
@@ -158,19 +159,22 @@ class DeepDirectEmbedding:
         cb = CallbackList(callbacks)
         metrics = MetricsRegistry()
 
-        sampler = ConnectedPairSampler(network)
-        labels = network.tie_labels()
-        labeled_mask = ~np.isnan(labels)
-        labels = np.where(labeled_mask, labels, 0.0)
+        with span("estep.setup", n_ties=n_ties, workers=cfg.workers) as setup_sp:
+            sampler = ConnectedPairSampler(network)
+            labels = network.tie_labels()
+            labeled_mask = ~np.isnan(labels)
+            labels = np.where(labeled_mask, labels, 0.0)
 
-        use_patterns = cfg.beta > 0 and network.n_undirected > 0
-        undirected_mask = network.tie_kind == int(TieKind.UNDIRECTED)
-        if use_patterns:
-            y_degree = degree_pseudo_labels(network)
-            triads = build_triad_neighborhoods(network, cfg.gamma, rng)
-        else:
-            y_degree = np.zeros(n_ties)
-            triads = None
+            use_patterns = cfg.beta > 0 and network.n_undirected > 0
+            undirected_mask = network.tie_kind == int(TieKind.UNDIRECTED)
+            if use_patterns:
+                y_degree = degree_pseudo_labels(network)
+                with span("estep.triad_neighborhoods", gamma=cfg.gamma):
+                    triads = build_triad_neighborhoods(network, cfg.gamma, rng)
+            else:
+                y_degree = np.zeros(n_ties)
+                triads = None
+            setup_sp.set(use_patterns=bool(use_patterns))
 
         # word2vec-style init: small uniform rows for M, zero contexts.
         M = (rng.random((n_ties, l)) - 0.5) / l
@@ -218,40 +222,44 @@ class DeepDirectEmbedding:
 
         loss_history: list[tuple[int, float]] = []
         epoch = 0
-        for batch_idx in range(n_batches):
-            lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
-            loss = self._train_batch(
-                network, sampler, triads, labels, labeled_mask,
-                undirected_mask, y_degree, M, N, w_prime, b_prime, lr, rng,
-            )
-            b_prime = loss.b_prime
-            if batch_idx % log_every == 0:
-                loss_history.append((batch_idx * cfg.batch_size, loss.total))
-            if cb:
-                pairs_done = (batch_idx + 1) * cfg.batch_size
-                elapsed = time.perf_counter() - fit_start
-                cb.on_batch_end(
-                    run,
-                    batch_idx,
-                    {
-                        "L": loss.total,
-                        "L_ema": loss_ema.update(loss.total),
-                        "L_topo": loss.topo,
-                        "L_label": loss.label,
-                        "L_pattern": loss.pattern,
-                        "lr": lr,
-                        "pairs": pairs_done,
-                        "pairs_per_sec": pairs_done / max(elapsed, 1e-9),
-                    },
+        with span("estep.train", n_batches=n_batches,
+                  batch_size=cfg.batch_size) as train_sp:
+            for batch_idx in range(n_batches):
+                lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
+                loss = self._train_batch(
+                    network, sampler, triads, labels, labeled_mask,
+                    undirected_mask, y_degree, M, N, w_prime, b_prime, lr, rng,
                 )
-                new_epoch = pairs_done // pairs_per_epoch
-                if new_epoch > epoch:
-                    epoch = new_epoch
-                    cb.on_epoch_end(
+                b_prime = loss.b_prime
+                if batch_idx % log_every == 0:
+                    loss_history.append((batch_idx * cfg.batch_size, loss.total))
+                if cb:
+                    pairs_done = (batch_idx + 1) * cfg.batch_size
+                    elapsed = time.perf_counter() - fit_start
+                    cb.on_batch_end(
                         run,
-                        epoch,
-                        {"pairs": pairs_done, "L_ema": loss_ema.value},
+                        batch_idx,
+                        {
+                            "L": loss.total,
+                            "L_ema": loss_ema.update(loss.total),
+                            "L_topo": loss.topo,
+                            "L_label": loss.label,
+                            "L_pattern": loss.pattern,
+                            "lr": lr,
+                            "pairs": pairs_done,
+                            "pairs_per_sec": pairs_done / max(elapsed, 1e-9),
+                        },
                     )
+                    new_epoch = pairs_done // pairs_per_epoch
+                    if new_epoch > epoch:
+                        epoch = new_epoch
+                        cb.on_epoch_end(
+                            run,
+                            epoch,
+                            {"pairs": pairs_done, "L_ema": loss_ema.value},
+                        )
+            train_sp.set(pairs=n_batches * cfg.batch_size,
+                         L_ema=loss_ema.value)
 
         if cb:
             duration = time.perf_counter() - fit_start
@@ -319,21 +327,24 @@ class DeepDirectEmbedding:
             y_degree=y_degree,
         )
         counter_names = ("pair_draws", "negative_draws", "rejection_redraws")
-        hog = run_hogwild(
-            task,
-            {"M": M, "N": N, "w_prime": w_prime,
-             "b_prime": np.array([b_prime])},
-            n_batches=n_batches,
-            batch_size=cfg.batch_size,
-            workers=cfg.workers,
-            rng=rng,
-            lr0=cfg.learning_rate,
-            counter_names=counter_names,
-            callbacks=cb,
-            run=run,
-            log_every=log_every,
-            pairs_per_epoch=pairs_per_epoch,
-        )
+        with span("estep.hogwild", workers=cfg.workers,
+                  n_batches=n_batches) as hog_sp:
+            hog = run_hogwild(
+                task,
+                {"M": M, "N": N, "w_prime": w_prime,
+                 "b_prime": np.array([b_prime])},
+                n_batches=n_batches,
+                batch_size=cfg.batch_size,
+                workers=cfg.workers,
+                rng=rng,
+                lr0=cfg.learning_rate,
+                counter_names=counter_names,
+                callbacks=cb,
+                run=run,
+                log_every=log_every,
+                pairs_per_epoch=pairs_per_epoch,
+            )
+            hog_sp.set(pairs=hog.pairs_trained)
         if cb:
             duration = time.perf_counter() - fit_start
             worker_logs = record_worker_stats(
@@ -385,22 +396,26 @@ class DeepDirectEmbedding:
         cfg = self.config
         batch = cfg.batch_size
 
-        e, successor = sampler.sample_pairs(batch, rng)
-        negatives = sampler.sample_negatives(batch, cfg.n_negative, rng)
+        with span("estep.sample", pairs=batch, n_negative=cfg.n_negative):
+            e, successor = sampler.sample_pairs(batch, rng)
+            negatives = sampler.sample_negatives(batch, cfg.n_negative, rng)
 
         m = M[e]                                   # (B, l)
         n_pos = N[successor]                       # (B, l)
         n_neg = N[negatives]                       # (B, λ, l)
 
         # ---- L_topo gradients (Eqs. 23-25) ----
-        pos_score = _sigmoid(np.einsum("bl,bl->b", m, n_pos))
-        neg_score = _sigmoid(np.einsum("bl,bkl->bk", m, n_neg))
-        grad_m = (pos_score - 1.0)[:, None] * n_pos
-        grad_m += np.einsum("bk,bkl->bl", neg_score, n_neg)
-        grad_n_pos = (pos_score - 1.0)[:, None] * m
-        grad_n_neg = neg_score[:, :, None] * m[:, None, :]
+        with span("estep.L_topo", pairs=batch) as topo_sp:
+            pos_score = _sigmoid(np.einsum("bl,bl->b", m, n_pos))
+            neg_score = _sigmoid(np.einsum("bl,bkl->bk", m, n_neg))
+            grad_m = (pos_score - 1.0)[:, None] * n_pos
+            grad_m += np.einsum("bk,bkl->bl", neg_score, n_neg)
+            grad_n_pos = (pos_score - 1.0)[:, None] * m
+            grad_n_neg = neg_score[:, :, None] * m[:, None, :]
 
-        loss_topo = -_safe_log(pos_score) - _safe_log(1.0 - neg_score).sum(axis=1)
+            loss_topo = (-_safe_log(pos_score)
+                         - _safe_log(1.0 - neg_score).sum(axis=1))
+            topo_sp.set(loss=float(loss_topo.mean()))
         loss_label = np.zeros(batch)
         loss_pattern = np.zeros(batch)
 
@@ -410,49 +425,56 @@ class DeepDirectEmbedding:
 
         batch_labeled = labeled_mask[e]
         if cfg.alpha > 0 and np.any(batch_labeled):
-            delta = np.where(batch_labeled, prediction - labels[e], 0.0)
-            error += cfg.alpha * delta
-            y = labels[e]
-            ce = -(y * _safe_log(prediction)
-                   + (1 - y) * _safe_log(1 - prediction))
-            loss_label += cfg.alpha * np.where(batch_labeled, ce, 0.0)
+            with span("estep.L_label",
+                      labeled=int(batch_labeled.sum())) as label_sp:
+                delta = np.where(batch_labeled, prediction - labels[e], 0.0)
+                error += cfg.alpha * delta
+                y = labels[e]
+                ce = -(y * _safe_log(prediction)
+                       + (1 - y) * _safe_log(1 - prediction))
+                loss_label += cfg.alpha * np.where(batch_labeled, ce, 0.0)
+                label_sp.set(loss=float(loss_label.mean()))
 
         batch_undirected = undirected_mask[e]
         if cfg.beta > 0 and triads is not None and np.any(batch_undirected):
-            # Degree-pattern term, gated by the threshold T (Eq. 16).
-            y_d = y_degree[e]
-            degree_term = batch_undirected & (y_d > cfg.degree_threshold)
-            error += cfg.beta * np.where(
-                degree_term, prediction - y_d, 0.0
+            with span("estep.L_pattern",
+                      undirected=int(batch_undirected.sum())) as pattern_sp:
+                # Degree-pattern term, gated by the threshold T (Eq. 16).
+                y_d = y_degree[e]
+                degree_term = batch_undirected & (y_d > cfg.degree_threshold)
+                error += cfg.beta * np.where(
+                    degree_term, prediction - y_d, 0.0
+                )
+                ce_d = -(y_d * _safe_log(prediction)
+                         + (1 - y_d) * _safe_log(1 - prediction))
+                loss_pattern += cfg.beta * np.where(degree_term, ce_d, 0.0)
+
+                # Triad-pattern term with dynamic pseudo-labels (Eq. 15).
+                y_t, valid = self._batch_triad_labels(
+                    triads, e, M, w_prime, b_prime
+                )
+                triad_term = batch_undirected & valid
+                error += cfg.beta * np.where(triad_term, prediction - y_t, 0.0)
+                ce_t = -(y_t * _safe_log(prediction)
+                         + (1 - y_t) * _safe_log(1 - prediction))
+                loss_pattern += cfg.beta * np.where(triad_term, ce_t, 0.0)
+                pattern_sp.set(loss=float(loss_pattern.mean()))
+
+        with span("estep.update", pairs=batch):
+            np.clip(error, -cfg.grad_clip, cfg.grad_clip, out=error)
+            grad_m += error[:, None] * w_prime[None, :]
+            grad_w = m.T @ error
+            grad_b = float(error.sum())
+
+            # ---- apply updates (scatter-add handles repeated rows) ----
+            np.add.at(M, e, -lr * grad_m)
+            np.add.at(N, successor, -lr * grad_n_pos)
+            np.add.at(
+                N,
+                negatives.ravel(),
+                -lr * grad_n_neg.reshape(-1, grad_n_neg.shape[-1]),
             )
-            ce_d = -(y_d * _safe_log(prediction)
-                     + (1 - y_d) * _safe_log(1 - prediction))
-            loss_pattern += cfg.beta * np.where(degree_term, ce_d, 0.0)
-
-            # Triad-pattern term with dynamic pseudo-labels (Eq. 15).
-            y_t, valid = self._batch_triad_labels(
-                triads, e, M, w_prime, b_prime
-            )
-            triad_term = batch_undirected & valid
-            error += cfg.beta * np.where(triad_term, prediction - y_t, 0.0)
-            ce_t = -(y_t * _safe_log(prediction)
-                     + (1 - y_t) * _safe_log(1 - prediction))
-            loss_pattern += cfg.beta * np.where(triad_term, ce_t, 0.0)
-
-        np.clip(error, -cfg.grad_clip, cfg.grad_clip, out=error)
-        grad_m += error[:, None] * w_prime[None, :]
-        grad_w = m.T @ error
-        grad_b = float(error.sum())
-
-        # ---- apply updates (scatter-add handles repeated rows) ----
-        np.add.at(M, e, -lr * grad_m)
-        np.add.at(N, successor, -lr * grad_n_pos)
-        np.add.at(
-            N,
-            negatives.ravel(),
-            -lr * grad_n_neg.reshape(-1, grad_n_neg.shape[-1]),
-        )
-        w_prime -= lr * grad_w
+            w_prime -= lr * grad_w
         topo = float(loss_topo.mean())
         label = float(loss_label.mean())
         pattern = float(loss_pattern.mean())

@@ -27,6 +27,9 @@ sequential, bit-identical seeded path for that case.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
@@ -35,6 +38,7 @@ from typing import Any, Mapping, Protocol, Sequence
 import numpy as np
 
 from ..obs import CallbackList, RunInfo
+from ..obs.trace import Tracer, activate, current_tracer, span
 
 # Per-worker slots in the shared stats block.  Aligned float64 writes
 # are effectively atomic on every platform we target; the block is
@@ -149,26 +153,46 @@ def _worker_main(
     lr_floor: float,
     n_counters: int,
     untrack_shm: bool,
+    trace_path: str | None = None,
 ) -> None:
-    """Worker entry point: run this worker's slice of the batch schedule."""
+    """Worker entry point: run this worker's slice of the batch schedule.
+
+    When the parent traces the run, ``trace_path`` names a spill file:
+    the worker records its own span tree (under its real ``pid``, which
+    becomes its lane) with a fresh :class:`Tracer` and writes the
+    records there for the parent to merge at join.  The tracer is
+    installed as the worker's *active* tracer, replacing any parent
+    tracer inherited through ``fork`` — the parent object would absorb
+    spans invisibly and they would die with the process.
+    """
+    tracer = Tracer() if trace_path is not None else None
+    activate(tracer)
     shm = _attach(shm_name, untrack_shm)
     try:
-        views = _open_views(shm, layout)
-        stats = views.pop(_STATS)
-        row = stats[worker_id]
-        state = task.setup(views, rng)
-        start = time.perf_counter()
-        for batch_idx in range(worker_id, n_batches, workers):
-            lr = lr0 * max(1.0 - batch_idx / n_batches, lr_floor)
-            loss = float(task.step(state, views, batch_idx, lr, rng))
-            row[_LAST_LOSS] = loss
-            row[_LOSS_SUM] += loss
-            row[_PAIRS] += batch_size
+        with span("hogwild.worker", worker_id=worker_id) as worker_sp:
+            views = _open_views(shm, layout)
+            stats = views.pop(_STATS)
+            row = stats[worker_id]
+            with span("hogwild.worker_setup", worker_id=worker_id):
+                state = task.setup(views, rng)
+            start = time.perf_counter()
+            with span("hogwild.worker_train", worker_id=worker_id) as train_sp:
+                for batch_idx in range(worker_id, n_batches, workers):
+                    lr = lr0 * max(1.0 - batch_idx / n_batches, lr_floor)
+                    loss = float(task.step(state, views, batch_idx, lr, rng))
+                    row[_LAST_LOSS] = loss
+                    row[_LOSS_SUM] += loss
+                    row[_PAIRS] += batch_size
+                    row[_ELAPSED] = time.perf_counter() - start
+                    row[_BATCHES] += 1
+                train_sp.set(batches=int(row[_BATCHES]),
+                             pairs=int(row[_PAIRS]))
+            for slot, value in enumerate(task.counters(state)[:n_counters]):
+                row[_N_FIXED + slot] = float(value)
             row[_ELAPSED] = time.perf_counter() - start
-            row[_BATCHES] += 1
-        for slot, value in enumerate(task.counters(state)[:n_counters]):
-            row[_N_FIXED + slot] = float(value)
-        row[_ELAPSED] = time.perf_counter() - start
+            worker_sp.set(batches=int(row[_BATCHES]))
+        if tracer is not None:
+            tracer.write_jsonl(trace_path)
     finally:
         # Views into shm.buf must be gone before close(); the process is
         # exiting anyway, so a lingering export is harmless.
@@ -235,6 +259,7 @@ def run_hogwild(
     loss_history: list[tuple[int, float]] = []
     views: dict[str, np.ndarray] | None = None
     stats = snap = None
+    trace_dir: str | None = None
     try:
         views = _open_views(shm, layout)
         for name, source in sources.items():
@@ -244,13 +269,23 @@ def run_hogwild(
 
         child_rngs = rng.spawn(workers)
         untrack_shm = ctx.get_start_method() != "fork"
+        tracer = current_tracer()
+        if tracer is not None and tracer.enabled:
+            trace_dir = tempfile.mkdtemp(prefix="repro-hogwild-trace-")
+            trace_paths = [
+                os.path.join(trace_dir, f"worker{worker_id}.jsonl")
+                for worker_id in range(workers)
+            ]
+        else:
+            trace_dir = None
+            trace_paths = [None] * workers
         procs = [
             ctx.Process(
                 target=_worker_main,
                 args=(
                     worker_id, shm.name, layout, task, child_rngs[worker_id],
                     n_batches, workers, batch_size, lr0, lr_floor,
-                    len(counter_names), untrack_shm,
+                    len(counter_names), untrack_shm, trace_paths[worker_id],
                 ),
                 daemon=True,
             )
@@ -318,6 +353,13 @@ def run_hogwild(
             codes = [proc.exitcode for proc in procs]
             raise RuntimeError(f"HOGWILD workers failed: exit codes {codes}")
 
+        if tracer is not None and trace_dir is not None:
+            from ..obs.trace import read_trace
+
+            for path in trace_paths:
+                if path is not None and os.path.exists(path):
+                    tracer.merge(read_trace(path))
+
         duration = time.perf_counter() - start
         snap = stats.copy()
         emit_progress(snap)
@@ -355,6 +397,8 @@ def run_hogwild(
             if proc.is_alive():
                 proc.terminate()
                 proc.join()
+        if trace_dir is not None:
+            shutil.rmtree(trace_dir, ignore_errors=True)
         views = stats = snap = None  # release buffer exports
         shm.close()
         shm.unlink()

@@ -22,7 +22,14 @@ from typing import Iterable
 import numpy as np
 
 from ..graph import MixedSocialNetwork
-from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback, record_worker_stats
+from ..obs import (
+    CallbackList,
+    MetricsRegistry,
+    RunInfo,
+    TrainerCallback,
+    record_worker_stats,
+    span,
+)
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild
 from .samplers import AliasSampler
@@ -113,11 +120,12 @@ class LineEmbedding:
         src, dst = network.tie_src, network.tie_dst
         n_edges = len(src)
 
-        node_degree = np.bincount(src, minlength=n_nodes).astype(float)
-        noise = node_degree**0.75
-        if noise.sum() == 0:
-            noise = np.ones(n_nodes)
-        node_sampler = AliasSampler(noise)
+        with span("line.setup", n_nodes=n_nodes, n_edges=n_edges):
+            node_degree = np.bincount(src, minlength=n_nodes).astype(float)
+            noise = node_degree**0.75
+            if noise.sum() == 0:
+                noise = np.ones(n_nodes)
+            node_sampler = AliasSampler(noise)
 
         first = (rng.random((n_nodes, half)) - 0.5) / half
         second = (rng.random((n_nodes, half)) - 0.5) / half
@@ -147,19 +155,20 @@ class LineEmbedding:
             task = _HogwildLineTask(
                 config=cfg, src=src, dst=dst, sampler=node_sampler
             )
-            hog = run_hogwild(
-                task,
-                {"first": first, "second": second, "context": context},
-                n_batches=n_batches,
-                batch_size=cfg.batch_size,
-                workers=cfg.workers,
-                rng=rng,
-                lr0=cfg.learning_rate,
-                counter_names=("negative_draws",),
-                callbacks=cb,
-                run=run,
-                log_every=log_every,
-            )
+            with span("line.hogwild", workers=cfg.workers):
+                hog = run_hogwild(
+                    task,
+                    {"first": first, "second": second, "context": context},
+                    n_batches=n_batches,
+                    batch_size=cfg.batch_size,
+                    workers=cfg.workers,
+                    rng=rng,
+                    lr0=cfg.learning_rate,
+                    counter_names=("negative_draws",),
+                    callbacks=cb,
+                    run=run,
+                    log_every=log_every,
+                )
             if cb:
                 duration = time.perf_counter() - fit_start
                 worker_logs = record_worker_stats(
@@ -182,30 +191,32 @@ class LineEmbedding:
             )
 
         history: list[tuple[int, float]] = []
-        for batch_idx in range(n_batches):
-            lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
-            edge_ids = rng.integers(0, n_edges, size=cfg.batch_size)
-            u, v = src[edge_ids], dst[edge_ids]
-            negs = node_sampler.sample(
-                (cfg.batch_size, cfg.n_negative), rng
-            )
-            loss = self._first_order_step(first, u, v, negs, lr)
-            loss += self._second_order_step(second, context, u, v, negs, lr)
-            if batch_idx % log_every == 0:
-                history.append((batch_idx * cfg.batch_size, loss / 2.0))
-            if cb:
-                samples = (batch_idx + 1) * cfg.batch_size
-                elapsed = time.perf_counter() - fit_start
-                cb.on_batch_end(
-                    run,
-                    batch_idx,
-                    {
-                        "L": loss / 2.0,
-                        "lr": lr,
-                        "pairs": samples,
-                        "pairs_per_sec": samples / max(elapsed, 1e-9),
-                    },
+        with span("line.train", n_batches=n_batches,
+                  batch_size=cfg.batch_size):
+            for batch_idx in range(n_batches):
+                lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
+                edge_ids = rng.integers(0, n_edges, size=cfg.batch_size)
+                u, v = src[edge_ids], dst[edge_ids]
+                negs = node_sampler.sample(
+                    (cfg.batch_size, cfg.n_negative), rng
                 )
+                loss = self._first_order_step(first, u, v, negs, lr)
+                loss += self._second_order_step(second, context, u, v, negs, lr)
+                if batch_idx % log_every == 0:
+                    history.append((batch_idx * cfg.batch_size, loss / 2.0))
+                if cb:
+                    samples = (batch_idx + 1) * cfg.batch_size
+                    elapsed = time.perf_counter() - fit_start
+                    cb.on_batch_end(
+                        run,
+                        batch_idx,
+                        {
+                            "L": loss / 2.0,
+                            "lr": lr,
+                            "pairs": samples,
+                            "pairs_per_sec": samples / max(elapsed, 1e-9),
+                        },
+                    )
 
         if cb:
             duration = time.perf_counter() - fit_start

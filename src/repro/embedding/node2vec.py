@@ -22,7 +22,14 @@ from typing import Iterable
 import numpy as np
 
 from ..graph import MixedSocialNetwork
-from ..obs import CallbackList, MetricsRegistry, RunInfo, TrainerCallback, record_worker_stats
+from ..obs import (
+    CallbackList,
+    MetricsRegistry,
+    RunInfo,
+    TrainerCallback,
+    record_worker_stats,
+    span,
+)
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild
 from .samplers import AliasSampler
@@ -183,8 +190,14 @@ class Node2VecEmbedding:
         cb = CallbackList(callbacks)
 
         walk_start = time.perf_counter()
-        walks = generate_walks(network, cfg, rng)
-        centers, contexts = _corpus_pairs(walks, cfg.window)
+        with span(
+            "node2vec.walks",
+            walk_length=cfg.walk_length,
+            walks_per_node=cfg.walks_per_node,
+        ) as walk_sp:
+            walks = generate_walks(network, cfg, rng)
+            centers, contexts = _corpus_pairs(walks, cfg.window)
+            walk_sp.set(n_walks=len(walks), n_corpus_pairs=len(centers))
         walk_seconds = time.perf_counter() - walk_start
         if len(centers) == 0:
             raise ValueError("walk corpus is empty; network too sparse")
@@ -230,19 +243,20 @@ class Node2VecEmbedding:
                 contexts=contexts,
                 sampler=sampler,
             )
-            hog = run_hogwild(
-                task,
-                {"emb": emb, "ctx": ctx},
-                n_batches=n_batches,
-                batch_size=cfg.batch_size,
-                workers=cfg.workers,
-                rng=rng,
-                lr0=cfg.learning_rate,
-                counter_names=("negative_draws",),
-                callbacks=cb,
-                run=run,
-                log_every=log_every,
-            )
+            with span("node2vec.hogwild", workers=cfg.workers):
+                hog = run_hogwild(
+                    task,
+                    {"emb": emb, "ctx": ctx},
+                    n_batches=n_batches,
+                    batch_size=cfg.batch_size,
+                    workers=cfg.workers,
+                    rng=rng,
+                    lr0=cfg.learning_rate,
+                    counter_names=("negative_draws",),
+                    callbacks=cb,
+                    run=run,
+                    log_every=log_every,
+                )
             if cb:
                 duration = time.perf_counter() - fit_start
                 worker_logs = record_worker_stats(
@@ -264,43 +278,51 @@ class Node2VecEmbedding:
             )
 
         history: list[tuple[int, float]] = []
-        for batch_idx in range(n_batches):
-            lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
-            picks = rng.integers(0, len(centers), size=cfg.batch_size)
-            u, v = centers[picks], contexts[picks]
-            negs = sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+        with span("node2vec.train", n_batches=n_batches,
+                  batch_size=cfg.batch_size):
+            for batch_idx in range(n_batches):
+                lr = cfg.learning_rate * max(
+                    1.0 - batch_idx / n_batches, 0.01
+                )
+                picks = rng.integers(0, len(centers), size=cfg.batch_size)
+                u, v = centers[picks], contexts[picks]
+                negs = sampler.sample((cfg.batch_size, cfg.n_negative), rng)
 
-            eu, cv, cn = emb[u], ctx[v], ctx[negs]
-            pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
-            neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
-            grad_u = (pos - 1.0)[:, None] * cv
-            grad_u += np.einsum("bk,bkl->bl", neg, cn)
-            grad_cv = (pos - 1.0)[:, None] * eu
-            grad_cn = neg[:, :, None] * eu[:, None, :]
-            np.add.at(emb, u, -lr * grad_u)
-            np.add.at(ctx, v, -lr * grad_cv)
-            np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
+                eu, cv, cn = emb[u], ctx[v], ctx[negs]
+                pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
+                neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
+                grad_u = (pos - 1.0)[:, None] * cv
+                grad_u += np.einsum("bk,bkl->bl", neg, cn)
+                grad_cv = (pos - 1.0)[:, None] * eu
+                grad_cn = neg[:, :, None] * eu[:, None, :]
+                np.add.at(emb, u, -lr * grad_u)
+                np.add.at(ctx, v, -lr * grad_cv)
+                np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
 
-            # The loss is not a by-product of the update here, so it is
-            # only computed when a consumer wants it.
-            if cb or batch_idx % log_every == 0:
-                loss = -np.log(np.maximum(pos, 1e-12)).mean()
-                loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-                if batch_idx % log_every == 0:
-                    history.append((batch_idx * cfg.batch_size, float(loss)))
-                if cb:
-                    samples = (batch_idx + 1) * cfg.batch_size
-                    elapsed = time.perf_counter() - fit_start
-                    cb.on_batch_end(
-                        run,
-                        batch_idx,
-                        {
-                            "L": float(loss),
-                            "lr": lr,
-                            "pairs": samples,
-                            "pairs_per_sec": samples / max(elapsed, 1e-9),
-                        },
+                # The loss is not a by-product of the update here, so it
+                # is only computed when a consumer wants it.
+                if cb or batch_idx % log_every == 0:
+                    loss = -np.log(np.maximum(pos, 1e-12)).mean()
+                    loss += (
+                        -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
                     )
+                    if batch_idx % log_every == 0:
+                        history.append(
+                            (batch_idx * cfg.batch_size, float(loss))
+                        )
+                    if cb:
+                        samples = (batch_idx + 1) * cfg.batch_size
+                        elapsed = time.perf_counter() - fit_start
+                        cb.on_batch_end(
+                            run,
+                            batch_idx,
+                            {
+                                "L": float(loss),
+                                "lr": lr,
+                                "pairs": samples,
+                                "pairs_per_sec": samples / max(elapsed, 1e-9),
+                            },
+                        )
 
         if cb:
             duration = time.perf_counter() - fit_start

@@ -17,6 +17,7 @@ import time
 import numpy as np
 
 from ..graph import MixedSocialNetwork
+from ..obs.trace import span as trace_span
 
 
 class AliasSampler:
@@ -124,24 +125,27 @@ class ConnectedPairSampler:
 
     def __init__(self, network: MixedSocialNetwork) -> None:
         setup_start = time.perf_counter()
-        self.network = network
-        self._tie_degrees = network.tie_degrees()
-        if self._tie_degrees.sum() == 0:
-            raise ValueError(
-                "network has no connected tie pairs; nothing to embed"
+        with trace_span("sampler.setup", n_ties=network.n_ties):
+            self.network = network
+            self._tie_degrees = network.tie_degrees()
+            if self._tie_degrees.sum() == 0:
+                raise ValueError(
+                    "network has no connected tie pairs; nothing to embed"
+                )
+            # When every degree is positive (the common case) this subset
+            # is the identity map, so the sampling stream is unchanged.
+            self._sampleable_ids = np.flatnonzero(self._tie_degrees > 0)
+            self._source_sampler = AliasSampler(
+                self._tie_degrees[self._sampleable_ids].astype(float)
             )
-        # When every degree is positive (the common case) this subset is
-        # the identity map, so the sampling stream is unchanged.
-        self._sampleable_ids = np.flatnonzero(self._tie_degrees > 0)
-        self._source_sampler = AliasSampler(
-            self._tie_degrees[self._sampleable_ids].astype(float)
-        )
-        noise = self._tie_degrees.astype(float) ** 0.75
-        if noise.sum() == 0:
-            noise = np.ones_like(noise)
-        self._noise_sampler = AliasSampler(noise)
-        self._offsets, self._out_tie_ids = network._ensure_out_csr()  # noqa: SLF001
-        self.n_rejection_redraws = 0
+            noise = self._tie_degrees.astype(float) ** 0.75
+            if noise.sum() == 0:
+                noise = np.ones_like(noise)
+            self._noise_sampler = AliasSampler(noise)
+            self._offsets, self._out_tie_ids = (
+                network._ensure_out_csr()  # noqa: SLF001
+            )
+            self.n_rejection_redraws = 0
         self.setup_seconds = time.perf_counter() - setup_start
 
     def sample_pairs(

@@ -35,6 +35,7 @@ from ..models import (
     ReDirectTSM,
     TieDirectionModel,
 )
+from ..obs import span
 
 MethodFactory = Callable[[], TieDirectionModel]
 
@@ -164,7 +165,8 @@ def run_discovery(
     seed: int = 0,
 ) -> list[DiscoveryRun]:
     """Hide directions, fit every method, and score discovery accuracy."""
-    task = hide_directions(network, directed_fraction, seed=seed)
+    with span("eval.hide_directions", directed_fraction=directed_fraction):
+        task = hide_directions(network, directed_fraction, seed=seed)
     return run_discovery_on_task(task, methods, seed=seed)
 
 
@@ -176,14 +178,19 @@ def run_discovery_on_task(
     """Fit every method on an existing hidden-direction task."""
     results = []
     for name, factory in methods.items():
-        start = time.perf_counter()
-        model = factory().fit(task.network, seed=seed)
-        elapsed = time.perf_counter() - start
+        with span("eval.method", method=name) as method_sp:
+            start = time.perf_counter()
+            with span("eval.fit", method=name):
+                model = factory().fit(task.network, seed=seed)
+            elapsed = time.perf_counter() - start
+            with span("eval.score", method=name):
+                accuracy = discovery_accuracy(model, task)
+            method_sp.set(accuracy=accuracy, fit_seconds=elapsed)
         results.append(
             DiscoveryRun(
                 method=name,
                 directed_fraction=task.directed_fraction,
-                accuracy=discovery_accuracy(model, task),
+                accuracy=accuracy,
                 fit_seconds=elapsed,
             )
         )

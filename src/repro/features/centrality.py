@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import MixedSocialNetwork
+from ..obs.trace import span
 from ..utils import ensure_rng
 
 
@@ -97,12 +98,13 @@ def closeness_centrality(
     rng = ensure_rng(seed)
     pivots = _pick_pivots(n, n_pivots, rng)
 
-    dist_sums = np.zeros(n)
-    for source in pivots:
-        dist = _bfs_distances(offsets, targets, int(source), n)
-        dist = np.where(dist < 0, n, dist).astype(float)
-        dist_sums += dist  # dis(u, source) == dis(source, u): undirected
-    dist_sums *= n / len(pivots)
+    with span("features.closeness", n_nodes=n, n_pivots=len(pivots)):
+        dist_sums = np.zeros(n)
+        for source in pivots:
+            dist = _bfs_distances(offsets, targets, int(source), n)
+            dist = np.where(dist < 0, n, dist).astype(float)
+            dist_sums += dist  # dis(u, src) == dis(src, u): undirected
+        dist_sums *= n / len(pivots)
     # Every node is at distance 0 from itself; avoid zero division for
     # isolated single-node cases by flooring at 1.
     return 1.0 / np.maximum(dist_sums, 1.0)
@@ -130,44 +132,52 @@ def betweenness_centrality(
     sigma = np.zeros(n)
     dist = np.zeros(n, dtype=np.int64)
     delta = np.zeros(n)
-    for source in pivots:
-        source = int(source)
-        # -- forward pass, one whole BFS level at a time: path counts
-        #    flow across every (level-1 → level) edge in a single
-        #    scatter-add, and the per-level frontiers double as the
-        #    distance-ordered "stack" for the backward pass.
-        sigma[:] = 0.0
-        sigma[source] = 1.0
-        dist[:] = -1
-        dist[source] = 0
-        frontiers: list[np.ndarray] = [np.array([source], dtype=np.int64)]
-        level = 0
-        while frontiers[-1].size:
-            level += 1
-            srcs, nbrs = _expand_frontier(offsets, targets, frontiers[-1])
-            fresh = nbrs[dist[nbrs] < 0]
-            next_frontier = np.unique(fresh)
-            # Label the new level BEFORE masking sigma flow: edges into
-            # just-discovered nodes are exactly the shortest-path edges.
-            dist[next_frontier] = level
-            on_level = dist[nbrs] == level
-            np.add.at(sigma, nbrs[on_level], sigma[srcs[on_level]])
-            frontiers.append(next_frontier)
-        frontiers.pop()  # trailing empty frontier
-        # -- backward pass: accumulate dependencies level by level,
-        #    deepest first.  A node's predecessors are precisely its
-        #    neighbours one level closer to the source, so the same
-        #    frontier expansion recovers them without predecessor lists.
-        delta[:] = 0.0
-        for lvl in range(len(frontiers) - 1, 0, -1):
-            frontier = frontiers[lvl]
-            ws, nbrs = _expand_frontier(offsets, targets, frontier)
-            toward_source = dist[nbrs] == lvl - 1
-            preds, ws = nbrs[toward_source], ws[toward_source]
-            np.add.at(
-                delta, preds, sigma[preds] / sigma[ws] * (1.0 + delta[ws])
-            )
-            centrality[frontier] += delta[frontier]
+    with span("features.betweenness", n_nodes=n, n_pivots=len(pivots)):
+        for source in pivots:
+            source = int(source)
+            # -- forward pass, one whole BFS level at a time: path counts
+            #    flow across every (level-1 → level) edge in a single
+            #    scatter-add, and the per-level frontiers double as the
+            #    distance-ordered "stack" for the backward pass.
+            sigma[:] = 0.0
+            sigma[source] = 1.0
+            dist[:] = -1
+            dist[source] = 0
+            frontiers: list[np.ndarray] = [
+                np.array([source], dtype=np.int64)
+            ]
+            level = 0
+            while frontiers[-1].size:
+                level += 1
+                srcs, nbrs = _expand_frontier(
+                    offsets, targets, frontiers[-1]
+                )
+                fresh = nbrs[dist[nbrs] < 0]
+                next_frontier = np.unique(fresh)
+                # Label the new level BEFORE masking sigma flow: edges
+                # into just-discovered nodes are exactly the
+                # shortest-path edges.
+                dist[next_frontier] = level
+                on_level = dist[nbrs] == level
+                np.add.at(sigma, nbrs[on_level], sigma[srcs[on_level]])
+                frontiers.append(next_frontier)
+            frontiers.pop()  # trailing empty frontier
+            # -- backward pass: accumulate dependencies level by level,
+            #    deepest first.  A node's predecessors are precisely its
+            #    neighbours one level closer to the source, so the same
+            #    frontier expansion recovers them without predecessor
+            #    lists.
+            delta[:] = 0.0
+            for lvl in range(len(frontiers) - 1, 0, -1):
+                frontier = frontiers[lvl]
+                ws, nbrs = _expand_frontier(offsets, targets, frontier)
+                toward_source = dist[nbrs] == lvl - 1
+                preds, ws = nbrs[toward_source], ws[toward_source]
+                np.add.at(
+                    delta, preds,
+                    sigma[preds] / sigma[ws] * (1.0 + delta[ws]),
+                )
+                centrality[frontier] += delta[frontier]
     centrality *= n / len(pivots)
     # Each undirected pair was (or would be, under exhaustive pivots)
     # counted from both endpoints.

@@ -6,6 +6,7 @@ from typing import Hashable, Iterable, Mapping
 
 import numpy as np
 
+from ..obs.trace import span
 from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
 
 
@@ -28,32 +29,35 @@ def from_directed_edges(
     n_nodes:
         Node count; inferred as ``max id + 1`` when omitted.
     """
-    seen: set[tuple[int, int]] = set()
-    for u, v in edges:
-        u, v = int(u), int(v)
-        if u != v:
-            seen.add((u, v))
-    if not seen:
-        raise GraphValidationError("edge list is empty after cleaning")
+    with span("graph.build", source="directed_edges") as sp:
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u != v:
+                seen.add((u, v))
+        if not seen:
+            raise GraphValidationError("edge list is empty after cleaning")
 
-    if n_nodes is None:
-        n_nodes = 1 + max(max(u, v) for u, v in seen)
+        if n_nodes is None:
+            n_nodes = 1 + max(max(u, v) for u, v in seen)
 
-    directed: list[tuple[int, int]] = []
-    bidirectional: list[tuple[int, int]] = []
-    for u, v in seen:
-        if (v, u) in seen:
-            if reciprocal_as_bidirectional:
-                if u < v:
-                    bidirectional.append((u, v))
-            elif u < v:
-                # Treat the reciprocated pair as a single directed tie in
-                # the canonical orientation; used by tests that need pure
-                # E_d graphs.
+        directed: list[tuple[int, int]] = []
+        bidirectional: list[tuple[int, int]] = []
+        for u, v in seen:
+            if (v, u) in seen:
+                if reciprocal_as_bidirectional:
+                    if u < v:
+                        bidirectional.append((u, v))
+                elif u < v:
+                    # Treat the reciprocated pair as a single directed
+                    # tie in the canonical orientation; used by tests
+                    # that need pure E_d graphs.
+                    directed.append((u, v))
+            else:
                 directed.append((u, v))
-        else:
-            directed.append((u, v))
-    return MixedSocialNetwork(n_nodes, directed, bidirectional)
+        sp.set(n_nodes=int(n_nodes), n_directed=len(directed),
+               n_bidirectional=len(bidirectional))
+        return MixedSocialNetwork(n_nodes, directed, bidirectional)
 
 
 def from_networkx(graph) -> MixedSocialNetwork:

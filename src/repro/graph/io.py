@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 from typing import TextIO
 
+from ..obs.trace import span
 from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
 
 _KIND_CODES = {
@@ -35,8 +36,11 @@ def _write(network: MixedSocialNetwork, handle: TextIO) -> None:
 
 def read_tie_list(path: str | os.PathLike) -> MixedSocialNetwork:
     """Read a network previously written by :func:`write_tie_list`."""
-    with open(path) as handle:
-        return _read(handle)
+    with span("graph.build", source=str(path)) as sp:
+        with open(path) as handle:
+            network = _read(handle)
+        sp.set(n_nodes=network.n_nodes, n_ties=network.n_ties)
+        return network
 
 
 def _read(handle: TextIO) -> MixedSocialNetwork:

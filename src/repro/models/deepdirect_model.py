@@ -16,7 +16,7 @@ import numpy as np
 
 from ..embedding import DeepDirectConfig, DeepDirectEmbedding, EmbeddingResult
 from ..graph import MixedSocialNetwork
-from ..obs import CallbackList, RunInfo, TrainerCallback
+from ..obs import CallbackList, RunInfo, TrainerCallback, span
 from ..utils import ensure_rng
 from .base import TieDirectionModel
 from .logistic import LogisticRegression
@@ -81,9 +81,10 @@ class DeepDirectModel(TieDirectionModel):
         cb = CallbackList(self.callbacks)
 
         # E-Step: learn the tie embedding matrix M.
-        embedding = DeepDirectEmbedding(self.config).fit(
-            network, seed=rng, callbacks=self.callbacks
-        )
+        with span("estep", workers=self.config.workers):
+            embedding = DeepDirectEmbedding(self.config).fit(
+                network, seed=rng, callbacks=self.callbacks
+            )
 
         # D-Step: classifier on the labeled tie embeddings.
         labels = network.tie_labels()
@@ -101,11 +102,12 @@ class DeepDirectModel(TieDirectionModel):
             classifier = MLPClassifier(
                 hidden=self.mlp_hidden, l2=self.l2, seed=rng
             )
-            classifier.fit(
-                embedding.embeddings[labeled],
-                labels[labeled],
-                sample_weight=sample_weight,
-            )
+            with span("dstep.fit", dstep="mlp", n_labeled=int(len(labeled))):
+                classifier.fit(
+                    embedding.embeddings[labeled],
+                    labels[labeled],
+                    sample_weight=sample_weight,
+                )
         else:
             classifier = LogisticRegression(l2=self.l2)
             warm = (
@@ -114,12 +116,19 @@ class DeepDirectModel(TieDirectionModel):
                 else None
             )
             dstep_start = time.perf_counter()
-            classifier.fit(
-                embedding.embeddings[labeled],
-                labels[labeled],
-                sample_weight=sample_weight,
-                warm_start=warm,
-            )
+            with span(
+                "dstep.fit",
+                dstep="logistic",
+                warm_start=self.warm_start,
+                n_labeled=int(len(labeled)),
+            ) as dstep_sp:
+                classifier.fit(
+                    embedding.embeddings[labeled],
+                    labels[labeled],
+                    sample_weight=sample_weight,
+                    warm_start=warm,
+                )
+                dstep_sp.set(n_iter=classifier.n_iter_)
             if cb:
                 # At the cold start (all-zero parameters) every
                 # prediction is 0.5, so the unregularised objective is

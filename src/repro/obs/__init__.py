@@ -1,12 +1,23 @@
-"""Training telemetry: metrics, trainer callbacks, and event sinks.
+"""Training telemetry: metrics, callbacks, sinks, traces and manifests.
 
 The observability layer behind every trainer in :mod:`repro.embedding`
-and the ``--telemetry`` CLI flag.  See :mod:`repro.obs.callbacks` for
-the hook protocol and ``docs/paper_mapping.md`` ("Instrumentation") for
-the metric-name → paper-equation map.
+and the ``--telemetry`` / ``--trace`` / ``--manifest`` CLI flags.  See
+:mod:`repro.obs.callbacks` for the hook protocol,
+:mod:`repro.obs.trace` for span-based pipeline tracing,
+:mod:`repro.obs.profile` for phase memory profiling,
+:mod:`repro.obs.manifest` for run manifests, and
+``docs/observability.md`` / ``docs/paper_mapping.md``
+("Instrumentation") for the name → paper-equation maps.
 """
 
 from .callbacks import CallbackList, RunInfo, TrainerCallback
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    network_fingerprint,
+    read_manifest,
+    write_manifest,
+)
 from .metrics import (
     Counter,
     EMATracker,
@@ -15,6 +26,8 @@ from .metrics import (
     Timer,
     record_worker_stats,
 )
+from .profile import MemoryProfiler, RssSampler, rss_bytes
+from .report import diff_phases, load_run, render_diff, render_report
 from .sinks import (
     ConsoleReporter,
     EventSink,
@@ -27,6 +40,18 @@ from .sinks import (
     read_jsonl,
     strip_volatile,
 )
+from .trace import (
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    phase_totals,
+    read_trace,
+    span,
+    use_tracer,
+)
 
 __all__ = [
     "CallbackList",
@@ -37,15 +62,37 @@ __all__ = [
     "Gauge",
     "InMemorySink",
     "JsonlSink",
+    "MANIFEST_SCHEMA",
+    "MemoryProfiler",
     "MetricsRegistry",
+    "NULL_SPAN",
+    "RssSampler",
     "RunInfo",
+    "TRACE_SCHEMA",
     "Timer",
+    "Tracer",
     "TrainerCallback",
     "VOLATILE_FIELDS",
     "VOLATILE_SUFFIXES",
+    "activate",
+    "build_manifest",
+    "current_tracer",
+    "deactivate",
+    "diff_phases",
     "is_volatile",
     "iter_batch_events",
+    "load_run",
+    "network_fingerprint",
+    "phase_totals",
     "read_jsonl",
+    "read_manifest",
+    "read_trace",
     "record_worker_stats",
+    "render_diff",
+    "render_report",
+    "rss_bytes",
+    "span",
     "strip_volatile",
+    "use_tracer",
+    "write_manifest",
 ]

@@ -1,0 +1,186 @@
+"""Phase-scoped memory profiling (the ``--manifest``/``--trace`` runs).
+
+Two complementary measurements per named phase:
+
+* **RSS** — the process resident set read from ``/proc/self/statm``
+  (cheap: one small read), answering "how much memory does the run
+  hold right now", allocator caches and numpy buffers included.
+* **tracemalloc peak** — the peak *Python-allocated* bytes inside the
+  phase, answering "how much did this phase itself allocate".  Opt-in
+  per profiler because tracemalloc slows allocation-heavy code.
+
+Gauges land in a :class:`~repro.obs.metrics.MetricsRegistry` under
+``<phase>_rss_mb`` / ``<phase>_rss_delta_mb`` / ``<phase>_py_peak_mb``
+— the ``_mb`` suffix marks them volatile (see
+:func:`repro.obs.is_volatile`), so memory numbers never break
+same-seed telemetry comparisons.
+
+For long phases, :class:`RssSampler` additionally samples RSS on a
+background thread at a fixed interval — the low-overhead mode for
+watching a whole training run instead of bracketing one phase.
+
+A profiler built with ``enabled=False`` (the default path when no
+observability flag is set) hands out the shared no-op context manager,
+so dormant instrumentation costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+from .trace import NULL_SPAN, span as _trace_span
+
+_MB = 1024.0 * 1024.0
+
+
+def rss_bytes() -> int | None:
+    """Current resident-set size, or ``None`` where unsupported.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to
+    ``resource.getrusage`` peak RSS elsewhere (a peak, not a point
+    value, but monotone — still useful for budget checks).
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(peak) * (1 if peak > 1 << 30 else 1024)
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+
+
+class MemoryProfiler:
+    """Bracket pipeline phases and record their memory cost as gauges.
+
+    >>> profiler = MemoryProfiler()
+    >>> with profiler.phase("estep"):
+    ...     data = list(range(1000))
+    >>> profiler.metrics.gauge("estep_rss_mb").value >= 0.0
+    True
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        enabled: bool = True,
+        use_tracemalloc: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.use_tracemalloc = use_tracemalloc
+        self._depth = 0
+        self._started_tracemalloc = False
+
+    def phase(self, name: str):
+        """Context manager measuring one phase; no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self._measure(name)
+
+    @contextmanager
+    def _measure(self, name: str) -> Iterator[None]:
+        before = rss_bytes()
+        if self.use_tracemalloc:
+            if self._depth == 0 and not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        self._depth += 1
+        # Mirror the phase into the active trace (if any), so memory
+        # phases and timing spans line up in one view.
+        with _trace_span(f"profile.{name}"):
+            try:
+                yield
+            finally:
+                self._depth -= 1
+                after = rss_bytes()
+                if after is not None:
+                    self.metrics.gauge(f"{name}_rss_mb").set(after / _MB)
+                    if before is not None:
+                        self.metrics.gauge(f"{name}_rss_delta_mb").set(
+                            (after - before) / _MB
+                        )
+                if self.use_tracemalloc and tracemalloc.is_tracing():
+                    _, peak = tracemalloc.get_traced_memory()
+                    self.metrics.gauge(f"{name}_py_peak_mb").set(peak / _MB)
+                    if self._depth == 0 and self._started_tracemalloc:
+                        tracemalloc.stop()
+                        self._started_tracemalloc = False
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """All recorded gauges as one flat dict (manifest-ready)."""
+        return self.metrics.snapshot()
+
+
+class RssSampler:
+    """Background-thread RSS sampling: the low-overhead watch mode.
+
+    Samples ``(seconds_since_start, rss_mb)`` pairs every ``interval``
+    seconds until stopped.  Sampling reads one proc file per tick, so
+    even a 10 ms interval stays far below measurable training overhead.
+
+    Usable as a context manager::
+
+        with RssSampler(interval=0.05) as sampler:
+            train()
+        peak = sampler.peak_mb
+    """
+
+    def __init__(self, interval: float = 0.05) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.samples: list[tuple[float, float]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._start_time = 0.0
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            rss = rss_bytes()
+            if rss is not None:
+                self.samples.append(
+                    (time.perf_counter() - self._start_time, rss / _MB)
+                )
+            self._stop.wait(self.interval)
+
+    def start(self) -> "RssSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._start_time = time.perf_counter()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> list[tuple[float, float]]:
+        """Stop sampling (idempotent) and return the collected samples."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        return self.samples
+
+    @property
+    def peak_mb(self) -> float:
+        """Largest sampled RSS (0.0 before any sample lands)."""
+        return max((rss for _, rss in self.samples), default=0.0)
+
+    def __enter__(self) -> "RssSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,234 @@
+"""Rendering for ``repro report``: phase breakdowns and run diffs.
+
+:func:`load_run` normalises any of the run artefacts this repo emits
+into one shape — ``{"label", "phases", "metrics"}`` with ``phases`` as
+``{name: {"total_s", "self_s", "count"}}`` — accepting
+
+* a run manifest (``repro_manifest/v1``, the ``--manifest`` output),
+* a Chrome trace or compact JSONL trace (the ``--trace`` output),
+* a perf-harness report (``bench_estep/v1`` with its ``phases`` key,
+  e.g. the committed ``BENCH_estep.json``).
+
+:func:`render_report` prints the phase/loss-term breakdown of one run;
+:func:`render_diff` compares two runs phase by phase and flags
+regressions beyond a relative threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+from .manifest import MANIFEST_SCHEMA
+from .trace import TRACE_SCHEMA, phase_totals, read_trace
+
+#: Span-name prefixes that are per-loss-term measurements (Eq. 18).
+LOSS_TERM_SPANS = ("estep.L_topo", "estep.L_label", "estep.L_pattern")
+
+
+def _normalise_phases(
+    phases: Mapping[str, Any],
+) -> dict[str, dict[str, float]]:
+    """Accept both rich (dict) and bare (seconds) phase values."""
+    out: dict[str, dict[str, float]] = {}
+    for name, value in phases.items():
+        if isinstance(value, Mapping):
+            out[name] = {
+                "total_s": float(value.get("total_s", 0.0)),
+                "self_s": float(value.get("self_s", value.get("total_s", 0.0))),
+                "count": int(value.get("count", 1)),
+            }
+        else:
+            out[name] = {
+                "total_s": float(value), "self_s": float(value), "count": 1
+            }
+    return out
+
+
+def load_run(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load any supported run artefact into the canonical run shape."""
+    path = pathlib.Path(path)
+    text_head = ""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text_head = handle.read(1)
+    except OSError as exc:
+        raise ValueError(f"cannot read run file {path}: {exc}") from exc
+
+    if text_head == "{" and not str(path).endswith(".jsonl"):
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        schema = data.get("schema") or data.get("otherData", {}).get("schema")
+        if schema == MANIFEST_SCHEMA:
+            return {
+                "label": str(path),
+                "kind": "manifest",
+                "phases": _normalise_phases(data.get("phases", {})),
+                "metrics": dict(data.get("metrics", {})),
+                "manifest": data,
+            }
+        if "traceEvents" in data:
+            return {
+                "label": str(path),
+                "kind": "trace",
+                "phases": phase_totals(read_trace(path)),
+                "metrics": {},
+            }
+        if "phases" in data:  # bench_estep/v1 and friends
+            return {
+                "label": str(path),
+                "kind": str(schema or "report"),
+                "phases": _normalise_phases(data["phases"]),
+                "metrics": {},
+            }
+        raise ValueError(
+            f"{path}: unrecognised run file (schema={schema!r}; expected a "
+            f"manifest, a trace, or a report with a 'phases' key)"
+        )
+    # JSONL trace (header line carries the schema, but tolerate raw lines).
+    records = read_trace(path)
+    if not records:
+        raise ValueError(f"{path}: no span records found ({TRACE_SCHEMA})")
+    return {
+        "label": str(path),
+        "kind": "trace",
+        "phases": phase_totals(records),
+        "metrics": {},
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def render_report(run: Mapping[str, Any]) -> str:
+    """Human-readable phase / loss-term / metric breakdown of one run."""
+    phases = run["phases"]
+    lines = [f"run: {run['label']}", ""]
+    if not phases:
+        lines.append("(no phase timings recorded)")
+        return "\n".join(lines)
+    total = sum(entry["self_s"] for entry in phases.values())
+    width = max(len(name) for name in phases)
+    lines.append(
+        f"{'phase':<{width}}  {'total':>9}  {'self':>9}  {'count':>6}  share"
+    )
+    ordered = sorted(
+        phases.items(), key=lambda item: item[1]["total_s"], reverse=True
+    )
+    for name, entry in ordered:
+        share = entry["self_s"] / total if total > 0 else 0.0
+        lines.append(
+            f"{name:<{width}}  {_fmt_seconds(entry['total_s'])}  "
+            f"{_fmt_seconds(entry['self_s'])}  {entry['count']:>6d}  "
+            f"{share:6.1%}"
+        )
+    loss_terms = [
+        (name, phases[name]) for name in LOSS_TERM_SPANS if name in phases
+    ]
+    if loss_terms:
+        term_total = sum(entry["total_s"] for _, entry in loss_terms)
+        lines.append("")
+        lines.append("loss-term breakdown (Eq. 18):")
+        for name, entry in loss_terms:
+            share = entry["total_s"] / term_total if term_total > 0 else 0.0
+            lines.append(
+                f"  {name.split('.', 1)[1]:<10} "
+                f"{_fmt_seconds(entry['total_s'])}  {share:6.1%}"
+            )
+    metrics = run.get("metrics") or {}
+    if metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for key in sorted(metrics):
+            value = metrics[key]
+            shown = f"{value:.6g}" if isinstance(value, float) else value
+            lines.append(f"  {key} = {shown}")
+    return "\n".join(lines)
+
+
+def diff_phases(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    threshold: float = 0.25,
+) -> list[dict[str, Any]]:
+    """Phase-by-phase comparison rows of run ``b`` against baseline ``a``.
+
+    Each row carries ``ratio = b/a`` on total seconds and a
+    ``regression`` flag set when ``b`` is more than ``threshold``
+    (relative) slower.  Phases present in only one run get a ``None``
+    ratio and are never flagged (there is nothing to compare).
+    """
+    phases_a, phases_b = a["phases"], b["phases"]
+    rows = []
+    for name in sorted(set(phases_a) | set(phases_b)):
+        in_a, in_b = name in phases_a, name in phases_b
+        sec_a = phases_a[name]["total_s"] if in_a else None
+        sec_b = phases_b[name]["total_s"] if in_b else None
+        ratio = None
+        regression = False
+        if in_a and in_b and sec_a > 0:
+            ratio = sec_b / sec_a
+            regression = ratio > 1.0 + threshold
+        rows.append(
+            {
+                "phase": name,
+                "a_s": sec_a,
+                "b_s": sec_b,
+                "ratio": ratio,
+                "regression": regression,
+            }
+        )
+    return rows
+
+
+def render_diff(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    threshold: float = 0.25,
+) -> tuple[str, list[str]]:
+    """Render the diff table; returns ``(text, flagged phase names)``."""
+    rows = diff_phases(a, b, threshold)
+    lines = [
+        f"baseline A: {a['label']}",
+        f"candidate B: {b['label']}",
+        "",
+    ]
+    if not rows:
+        lines.append("(no phases in either run)")
+        return "\n".join(lines), []
+    width = max(len(row["phase"]) for row in rows)
+    lines.append(
+        f"{'phase':<{width}}  {'A':>9}  {'B':>9}  {'B/A':>6}  flag"
+    )
+    flagged = []
+    for row in rows:
+        a_s = _fmt_seconds(row["a_s"]) if row["a_s"] is not None else "      --"
+        b_s = _fmt_seconds(row["b_s"]) if row["b_s"] is not None else "      --"
+        if row["ratio"] is None:
+            ratio = "    --"
+            flag = "only-A" if row["b_s"] is None else "only-B"
+        else:
+            ratio = f"{row['ratio']:5.2f}x"
+            flag = f"REGRESSION (> {threshold:.0%})" if row["regression"] else ""
+            if row["regression"]:
+                flagged.append(row["phase"])
+        lines.append(f"{row['phase']:<{width}}  {a_s}  {b_s}  {ratio}  {flag}")
+    metrics_a = a.get("metrics") or {}
+    metrics_b = b.get("metrics") or {}
+    common = sorted(set(metrics_a) & set(metrics_b))
+    if common:
+        lines.append("")
+        lines.append("metrics (A -> B):")
+        for key in common:
+            lines.append(f"  {key}: {metrics_a[key]} -> {metrics_b[key]}")
+    if flagged:
+        lines.append("")
+        lines.append(
+            f"{len(flagged)} phase(s) regressed beyond {threshold:.0%}: "
+            + ", ".join(flagged)
+        )
+    return "\n".join(lines), flagged

@@ -22,14 +22,17 @@ two same-seed runs can be compared for exact equality.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 from typing import Any, IO, Iterator, Mapping
 
 from .callbacks import RunInfo, TrainerCallback
 
-#: Key suffixes that mark wall-clock-derived (non-deterministic) fields.
-VOLATILE_SUFFIXES = ("_s", "_per_sec")
+#: Key suffixes that mark non-deterministic fields: wall-clock-derived
+#: (``_s``, ``_per_sec``) and memory-derived (``_mb``, from
+#: :mod:`repro.obs.profile` gauges).
+VOLATILE_SUFFIXES = ("_s", "_per_sec", "_mb")
 
 #: Exact keys that are wall-clock-derived regardless of suffix.
 VOLATILE_FIELDS = frozenset({"wall_time"})
@@ -120,11 +123,14 @@ class InMemorySink(EventSink):
 class JsonlSink(EventSink):
     """Writes one JSON object per event line to ``path``.
 
-    The file is truncated on first write of each sink instance, flushed
-    at every ``fit_end``, and closed by :meth:`close` (or garbage
-    collection).  One sink can span multiple ``fit`` calls — e.g. an
-    E-Step run followed by a D-Step event — and all events land in the
-    same file.
+    Crash safety: the file is truncated on first write of each sink
+    instance and **flushed after every event**, so a run that dies
+    mid-training leaves a readable prefix of whole lines — never a
+    torn line that silently truncates :func:`read_jsonl` output.
+    :meth:`close` additionally fsyncs before closing, making the
+    artefact durable against power loss, and is idempotent.  One sink
+    can span multiple ``fit`` calls — e.g. an E-Step run followed by a
+    D-Step event — and all events land in the same file.
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
@@ -139,17 +145,19 @@ class JsonlSink(EventSink):
         return self._handle
 
     def emit(self, event: dict[str, Any]) -> None:
-        json.dump(event, self._file(), separators=(",", ":"))
-        self._file().write("\n")
+        handle = self._file()
+        json.dump(event, handle, separators=(",", ":"))
+        handle.write("\n")
+        handle.flush()
         self.n_events += 1
-
-    def on_fit_end(self, run: RunInfo, logs: Mapping[str, Any]) -> None:
-        super().on_fit_end(run, logs)
-        if self._handle is not None:
-            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - e.g. pipes/pseudo-files
+                pass
             self._handle.close()
             self._handle = None
 
@@ -170,6 +178,12 @@ class ConsoleReporter(TrainerCallback):
     historic ``log_every`` checkpoints), plus begin/end summaries::
 
         [deepdirect] batch 200/1172 L=2.841 L_topo=2.618 ... lr=0.0207
+
+    Progress is telemetry, not output: lines go to ``sys.stderr`` by
+    default (resolved at call time, so test capture works), keeping
+    stdout clean for machine-readable command results — ``repro
+    discover --progress`` output stays pipeable.  Pass ``stream`` to
+    redirect.
     """
 
     #: Batch-log fields shown, in order, when present.
@@ -183,7 +197,7 @@ class ConsoleReporter(TrainerCallback):
         self.stream = stream
 
     def _print(self, text: str) -> None:
-        print(text, file=self.stream if self.stream is not None else sys.stdout)
+        print(text, file=self.stream if self.stream is not None else sys.stderr)
 
     @staticmethod
     def _fmt(value: Any) -> str:

@@ -1,0 +1,367 @@
+"""Span-based pipeline tracing (the ``--trace`` CLI flag).
+
+A :class:`Tracer` records a tree of nestable *spans* — named wall-clock
+intervals with attributes — across the whole pipeline: graph build,
+feature extraction, connected-pair sampling, the E-Step loss terms
+(Eqs. 7-16), the D-Step (Eq. 26) and evaluation.  Traces serialise to
+
+* **Chrome trace-event JSON** (:meth:`Tracer.write_chrome`) — load the
+  file in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` to
+  see one lane per process, and
+* **compact JSONL** (:meth:`Tracer.write_jsonl`) — one span record per
+  line, for offline aggregation (:func:`phase_totals`).
+
+Instrumented library code never threads a tracer through call
+signatures; it calls the module-level :func:`span` context manager,
+which resolves the *active* tracer (a :mod:`contextvars` variable, see
+:func:`use_tracer`).  When no tracer is active — the default — ``span``
+returns a shared no-op object, so the disabled fast path costs one
+context-variable read per call (the ``benchmarks/perf``
+``--check-trace-overhead`` gate keeps it under the 5 % budget).
+
+HOGWILD worker processes get their own tracer whose spans are written
+to a per-worker spill file and merged back into the parent tracer at
+join (:meth:`Tracer.merge`); each worker keeps its real ``pid``, so the
+Chrome view shows one lane per worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterable, Iterator, Mapping
+
+#: Schema tag written into every serialised trace.
+TRACE_SCHEMA = "repro_trace/v1"
+
+#: Span-record keys required by both serialisation formats.
+RECORD_FIELDS = ("name", "ts", "dur", "pid", "tid", "id", "parent")
+
+
+class _NullSpan:
+    """Shared, reentrant no-op stand-in used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (matching :meth:`Span.set`)."""
+
+
+NULL_SPAN = _NullSpan()
+
+_ACTIVE: ContextVar["Tracer | None"] = ContextVar("repro_tracer", default=None)
+
+
+def current_tracer() -> "Tracer | None":
+    """The tracer spans are currently recorded into, if any."""
+    return _ACTIVE.get()
+
+
+def span(name: str, **attrs: Any) -> "Span | _NullSpan":
+    """Open a span on the active tracer (no-op when tracing is off).
+
+    >>> with span("estep.L_topo", pairs=256) as sp:
+    ...     sp.set(loss=0.5)   # attributes may be added before exit
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN
+    return Span(tracer, name, attrs)
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | None") -> Iterator["Tracer | None"]:
+    """Make ``tracer`` the active tracer for the enclosed block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def activate(tracer: "Tracer | None"):
+    """Set the active tracer; returns a token for :func:`deactivate`."""
+    return _ACTIVE.set(tracer)
+
+
+def deactivate(token) -> None:
+    """Restore the active tracer saved by :func:`activate`."""
+    _ACTIVE.reset(token)
+
+
+class Span:
+    """One live span; created by :func:`span`, closed by ``with``.
+
+    Entering records the start time and links the span under the
+    innermost open span of the same thread; exiting appends a plain
+    *span record* dict to the tracer.  A span that exits through an
+    exception is still recorded, with an ``error`` attribute.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        end = time.perf_counter()
+        if exc_val is not None:
+            self.attrs["error"] = repr(exc_val)
+        self.tracer._pop(self, end)
+        return False
+
+
+class Tracer:
+    """Collects span records; safe for use from multiple threads.
+
+    Each thread keeps its own open-span stack, so spans opened on one
+    thread nest under that thread's innermost span only.  Records are
+    plain dicts with the :data:`RECORD_FIELDS` keys plus ``attrs``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[dict[str, Any]] = []
+        self.pid = os.getpid()
+        # Map perf_counter readings onto the wall clock so traces from
+        # different processes land on one comparable timeline.
+        self.epoch = time.time() - time.perf_counter()
+        self._lock = threading.Lock()
+        self._stacks: dict[int, list[Span]] = {}
+        self._tids: dict[int, int] = {}
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+
+    def _stack(self) -> tuple[list[Span], int]:
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            with self._lock:
+                stack = self._stacks.setdefault(ident, [])
+                self._tids.setdefault(ident, len(self._tids))
+        return stack, self._tids[ident]
+
+    def _new_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _push(self, sp: Span) -> None:
+        stack, _tid = self._stack()
+        sp.parent_id = stack[-1].span_id if stack else None
+        sp.span_id = self._new_id()
+        stack.append(sp)
+
+    def _pop(self, sp: Span, end: float) -> None:
+        stack, tid = self._stack()
+        # Tolerate a mismatched pop (a span closed out of order) by
+        # unwinding to the given span; correctness of the remaining
+        # records matters more than punishing the caller.
+        while stack and stack[-1] is not sp:
+            stack.pop()
+        if stack:
+            stack.pop()
+        record = {
+            "name": sp.name,
+            "ts": self.epoch + sp._start,
+            "dur": max(end - sp._start, 0.0),
+            "pid": self.pid,
+            "tid": tid,
+            "id": sp.span_id,
+            "parent": sp.parent_id,
+            "attrs": dict(sp.attrs),
+        }
+        with self._lock:
+            self.records.append(record)
+
+    # -- merging (HOGWILD worker lanes) ---------------------------------
+
+    def merge(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Adopt foreign span records (e.g. from a worker spill file).
+
+        Span ids are remapped onto this tracer's id space so merged
+        records cannot collide with native ones; ``pid``/``tid`` are
+        preserved, which is what gives each worker its own lane.
+        Returns the number of records merged.
+        """
+        records = [dict(r) for r in records if "name" in r]
+        remap: dict[int, int] = {}
+        for record in records:
+            remap[record["id"]] = self._new_id()
+        merged = []
+        for record in records:
+            record["id"] = remap[record["id"]]
+            parent = record.get("parent")
+            record["parent"] = remap.get(parent) if parent is not None else None
+            merged.append(record)
+        with self._lock:
+            self.records.extend(merged)
+        return len(merged)
+
+    # -- serialisation --------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """A copy of all finished span records."""
+        with self._lock:
+            return [dict(r) for r in self.records]
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Spans become complete (``ph: "X"``) events with microsecond
+        ``ts``/``dur``; one metadata event names each process lane.
+        Load the written file in Perfetto or ``chrome://tracing``.
+        """
+        records = self.snapshot()
+        base = min((r["ts"] for r in records), default=0.0)
+        events: list[dict[str, Any]] = []
+        for pid in sorted({r["pid"] for r in records}):
+            label = "repro" if pid == self.pid else f"worker pid={pid}"
+            events.append(
+                {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                 "args": {"name": label}}
+            )
+        for r in records:
+            events.append(
+                {
+                    "name": r["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (r["ts"] - base) * 1e6,
+                    "dur": r["dur"] * 1e6,
+                    "pid": r["pid"],
+                    "tid": r["tid"],
+                    "args": dict(r["attrs"]),
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA},
+        }
+
+    def write_chrome(self, path: str | pathlib.Path) -> None:
+        """Write the Chrome trace-event JSON form to ``path``."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, separators=(",", ":"))
+            handle.write("\n")
+
+    def write_jsonl(self, path: str | pathlib.Path) -> None:
+        """Write the compact JSONL form: a header line, then one span/line."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema": TRACE_SCHEMA}, handle,
+                      separators=(",", ":"))
+            handle.write("\n")
+            for record in self.snapshot():
+                json.dump(record, handle, separators=(",", ":"))
+                handle.write("\n")
+
+    def write(self, path: str | pathlib.Path) -> None:
+        """Write by extension: ``.jsonl`` → compact, else Chrome JSON."""
+        if str(path).endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)
+
+
+def read_trace(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse either serialised form back into span records.
+
+    Chrome traces lose the parent links (``chrome://tracing`` nests by
+    containment instead), so records read from that form have
+    ``parent=None``; durations and lanes round-trip exactly.
+    """
+    path = pathlib.Path(path)
+    with open(path, encoding="utf-8") as handle:
+        head = handle.read(1)
+        handle.seek(0)
+        if head == "{" and not str(path).endswith(".jsonl"):
+            data = json.load(handle)
+            if "traceEvents" in data:
+                records = []
+                for i, event in enumerate(data["traceEvents"]):
+                    if event.get("ph") != "X":
+                        continue
+                    records.append(
+                        {
+                            "name": event["name"],
+                            "ts": event["ts"] / 1e6,
+                            "dur": event["dur"] / 1e6,
+                            "pid": event.get("pid", 0),
+                            "tid": event.get("tid", 0),
+                            "id": i + 1,
+                            "parent": None,
+                            "attrs": dict(event.get("args", {})),
+                        }
+                    )
+                return records
+            handle.seek(0)
+        records = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "name" in record:
+                records.append(record)
+        return records
+
+
+def phase_totals(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[str, dict[str, float]]:
+    """Aggregate span records into per-name totals.
+
+    Returns ``{name: {"total_s", "self_s", "count"}}`` where ``self_s``
+    excludes time covered by child spans (so a phase whose cost lives
+    entirely in instrumented children reports ``self_s ≈ 0``).  Records
+    without parent links (Chrome round-trips) contribute their full
+    duration to both totals.
+    """
+    records = list(records)
+    child_time: dict[int | None, float] = {}
+    for r in records:
+        parent = r.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + r["dur"]
+    totals: dict[str, dict[str, float]] = {}
+    for r in records:
+        entry = totals.setdefault(
+            r["name"], {"total_s": 0.0, "self_s": 0.0, "count": 0}
+        )
+        entry["total_s"] += r["dur"]
+        entry["self_s"] += max(r["dur"] - child_time.get(r["id"], 0.0), 0.0)
+        entry["count"] += 1
+    return totals

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 
-from benchmarks.perf import check_speedup, main
+from benchmarks.perf import check_speedup, check_trace_overhead, main
 
 
 def test_harness_writes_machine_readable_report(tmp_path):
@@ -39,6 +39,34 @@ def test_harness_writes_machine_readable_report(tmp_path):
         assert stats["pairs_per_sec"] > 0
         assert stats["speedup_vs_1"] > 0
     assert small["estep"]["1"]["speedup_vs_1"] == 1.0
+
+    # Per-phase baseline from the traced workers=1 run: the hot E-Step
+    # spans must be present so `repro report --diff` has a reference.
+    phases = report["phases"]
+    for name in ("estep.train", "estep.L_topo", "estep.sample"):
+        assert phases[name]["total_s"] > 0
+        assert phases[name]["count"] >= 1
+
+    overhead = report["trace_overhead"]
+    assert overhead["noop_span_s"] > 0
+    assert overhead["disabled_overhead_fraction"] is not None
+
+    # The report is a valid `repro report` input (the diff baseline).
+    from repro.obs import load_run
+
+    run = load_run(output)
+    assert "estep.train" in run["phases"]
+
+
+def test_check_trace_overhead(capsys):
+    over = {"trace_overhead": {"disabled_overhead_fraction": 0.2}}
+    under = {"trace_overhead": {"disabled_overhead_fraction": 0.001}}
+    assert check_trace_overhead(over, 0.05) == 1
+    assert "FAIL" in capsys.readouterr().out
+    assert check_trace_overhead(under, 0.05) == 0
+    assert "ok" in capsys.readouterr().out
+    assert check_trace_overhead({}, 0.05) == 0
+    assert "skipped" in capsys.readouterr().out
 
 
 def test_check_speedup_skips_on_single_core(capsys):

@@ -135,10 +135,12 @@ def test_discover_with_telemetry(tmp_path, capsys):
         ]
     )
     assert code == 0
-    out = capsys.readouterr().out
-    # The final accuracy line survives alongside the console reporter.
-    assert "accuracy=" in out
-    assert "[deepdirect]" in out
+    captured = capsys.readouterr()
+    # The accuracy line stays on stdout; progress is telemetry and goes
+    # to stderr so machine-readable output stays pipeable.
+    assert "accuracy=" in captured.out
+    assert "[deepdirect]" not in captured.out
+    assert "[deepdirect]" in captured.err
     events = read_jsonl(telemetry)
     batches = [e for e in events if e["event"] == "batch"]
     assert batches
@@ -170,6 +172,132 @@ def test_quantify_with_telemetry(tie_file, tmp_path, capsys):
     events = read_jsonl(telemetry)
     assert any(e["event"] == "batch" for e in events)
     assert events[0]["trainer"] == "line"
+
+
+def test_discover_with_trace_and_manifest(tmp_path, capsys):
+    from repro.datasets import load_dataset
+    from repro.obs import read_manifest, read_trace
+
+    network = load_dataset("twitter", scale=0.003, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    trace = tmp_path / "trace.json"
+    manifest = tmp_path / "manifest.json"
+    code = main(
+        [
+            "--seed", "3",
+            "discover", str(path),
+            "--hide", "0.3",
+            "--method", "deepdirect",
+            "--dimensions", "8",
+            "--pairs-per-tie", "20",
+            "--trace", str(trace),
+            "--manifest", str(manifest),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "accuracy=" in captured.out
+    assert "wrote trace" in captured.err
+    assert "wrote manifest" in captured.err
+
+    records = read_trace(trace)
+    names = {r["name"] for r in records}
+    # The timeline covers the whole pipeline: graph build, sampling,
+    # the three E-Step loss terms, the D-Step, and evaluation.
+    for expected in (
+        "graph.build", "sampler.setup", "estep", "estep.L_topo",
+        "estep.L_label", "dstep.fit", "eval.discovery",
+    ):
+        assert expected in names, expected
+
+    data = read_manifest(manifest)
+    assert data["command"] == "discover"
+    assert data["seed"] == 3
+    assert data["config"]["method"] == "deepdirect"
+    assert data["dataset"]["fingerprint"].startswith("sha256:")
+    assert data["phases"]["estep"]["count"] == 1
+    assert 0.0 <= data["metrics"]["accuracy"] <= 1.0
+
+
+def test_discover_trace_covers_worker_lanes(tmp_path, capsys):
+    from repro.datasets import load_dataset
+    from repro.obs import read_trace
+
+    network = load_dataset("twitter", scale=0.003, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    trace = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "discover", str(path),
+            "--hide", "0.3",
+            "--method", "deepdirect",
+            "--dimensions", "8",
+            "--pairs-per-tie", "20",
+            "--workers", "2",
+            "--trace", str(trace),
+        ]
+    )
+    assert code == 0
+    records = read_trace(trace)
+    names = {r["name"] for r in records}
+    assert "hogwild.worker" in names
+    assert "estep.hogwild" in names
+    # Parent process plus one lane per HOGWILD worker.
+    assert len({r["pid"] for r in records}) == 3
+
+
+def test_report_renders_manifest(tmp_path, capsys):
+    from repro.obs import build_manifest, write_manifest
+
+    manifest = tmp_path / "manifest.json"
+    write_manifest(
+        build_manifest(
+            command="discover",
+            seed=0,
+            phases={"estep": {"total_s": 1.0, "self_s": 0.5, "count": 1},
+                    "estep.L_topo": 0.4},
+            metrics={"accuracy": 0.9},
+            argv=[],
+        ),
+        manifest,
+    )
+    assert main(["report", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "estep" in out
+    assert "loss-term breakdown" in out
+    assert "accuracy" in out
+
+
+def test_report_diff_flags_regression(tmp_path, capsys):
+    from repro.obs import build_manifest, write_manifest
+
+    def write(path, seconds):
+        write_manifest(
+            build_manifest(
+                command="discover", seed=0,
+                phases={"estep": seconds}, argv=[],
+            ),
+            path,
+        )
+
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write(a, 1.0)
+    write(b, 2.0)
+    assert main(["report", "--diff", str(a), str(b)]) == 0
+    assert "REGRESSION" in capsys.readouterr().out
+    # --strict turns a flagged regression into a non-zero exit.
+    assert main(["report", "--strict", "--diff", str(a), str(b)]) == 1
+    assert main(["report", "--strict", "--diff", str(b), str(a)]) == 0
+
+
+def test_report_requires_run_xor_diff(tmp_path, capsys):
+    assert main(["report"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    missing = tmp_path / "nope.json"
+    assert main(["report", str(missing)]) == 2
+    assert "report:" in capsys.readouterr().err
 
 
 def test_quantify_with_node2vec(tmp_path, capsys):

@@ -1,0 +1,173 @@
+"""Unit tests for run manifests and report rendering (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.datasets import random_mixed_network
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Tracer,
+    build_manifest,
+    diff_phases,
+    load_run,
+    network_fingerprint,
+    read_manifest,
+    render_diff,
+    render_report,
+    span,
+    use_tracer,
+    write_manifest,
+)
+
+
+class TestNetworkFingerprint:
+    def test_same_network_same_fingerprint(self):
+        a = random_mixed_network(30, 40, 10, 5, seed=7)
+        b = random_mixed_network(30, 40, 10, 5, seed=7)
+        fa, fb = network_fingerprint(a), network_fingerprint(b)
+        assert fa == fb
+        assert fa["fingerprint"].startswith("sha256:")
+        assert fa["n_nodes"] == 30
+
+    def test_different_network_different_fingerprint(self):
+        a = random_mixed_network(30, 40, 10, 5, seed=7)
+        b = random_mixed_network(30, 40, 10, 5, seed=8)
+        assert (
+            network_fingerprint(a)["fingerprint"]
+            != network_fingerprint(b)["fingerprint"]
+        )
+
+
+class TestManifestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            command="discover",
+            seed=3,
+            config={"method": "deepdirect"},
+            dataset={"fingerprint": "sha256:abc", "n_nodes": 10},
+            phases={"estep": {"total_s": 1.0, "self_s": 1.0, "count": 1}},
+            metrics={"accuracy": 0.9},
+            argv=["discover", "net.tsv"],
+        )
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        loaded = read_manifest(path)
+        assert loaded == json.loads(json.dumps(manifest, default=str))
+        assert loaded["schema"] == MANIFEST_SCHEMA
+        assert loaded["platform"]["python"]
+        assert loaded["packages"]["numpy"]
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something/else"}')
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+
+class TestLoadRun:
+    def test_loads_manifest(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_manifest(
+            build_manifest(
+                command="discover", seed=0,
+                phases={"estep": 2.0}, metrics={"accuracy": 0.8},
+                argv=[],
+            ),
+            path,
+        )
+        run = load_run(path)
+        assert run["kind"] == "manifest"
+        assert run["phases"]["estep"]["total_s"] == 2.0
+        assert run["metrics"]["accuracy"] == 0.8
+
+    def test_loads_both_trace_forms(self, tmp_path):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("estep"):
+                pass
+        chrome, jsonl = tmp_path / "t.json", tmp_path / "t.jsonl"
+        tracer.write_chrome(chrome)
+        tracer.write_jsonl(jsonl)
+        for path in (chrome, jsonl):
+            run = load_run(path)
+            assert run["kind"] == "trace"
+            assert "estep" in run["phases"]
+
+    def test_loads_bench_report_with_phases(self, tmp_path):
+        path = tmp_path / "BENCH_estep.json"
+        path.write_text(json.dumps({
+            "schema": "bench_estep/v1",
+            "sizes": {},
+            "phases": {"estep.train": {"total_s": 3.0, "self_s": 1.0,
+                                       "count": 1}},
+        }))
+        run = load_run(path)
+        assert run["kind"] == "bench_estep/v1"
+        assert run["phases"]["estep.train"]["self_s"] == 1.0
+
+    def test_rejects_unknown_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_run(path)
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_run(tmp_path / "nope.json")
+
+
+class TestRendering:
+    RUN_A = {
+        "label": "a",
+        "phases": {
+            "estep.train": {"total_s": 2.0, "self_s": 1.0, "count": 1},
+            "estep.L_topo": {"total_s": 0.6, "self_s": 0.6, "count": 10},
+            "estep.L_label": {"total_s": 0.4, "self_s": 0.4, "count": 10},
+        },
+        "metrics": {"accuracy": 0.75},
+    }
+
+    def test_render_report_sections(self):
+        text = render_report(self.RUN_A)
+        assert "estep.train" in text
+        assert "loss-term breakdown" in text
+        assert "L_topo" in text
+        assert "accuracy = 0.75" in text
+
+    def test_render_report_empty_phases(self):
+        text = render_report({"label": "x", "phases": {}, "metrics": {}})
+        assert "no phase timings" in text
+
+    def test_diff_flags_only_regressions_beyond_threshold(self):
+        run_b = {
+            "label": "b",
+            "phases": {
+                "estep.train": {"total_s": 2.2, "self_s": 1.0, "count": 1},
+                "estep.L_topo": {"total_s": 1.2, "self_s": 1.2, "count": 10},
+                "only.b": {"total_s": 9.0, "self_s": 9.0, "count": 1},
+            },
+            "metrics": {"accuracy": 0.74},
+        }
+        rows = {r["phase"]: r for r in diff_phases(self.RUN_A, run_b)}
+        assert not rows["estep.train"]["regression"]  # 1.1x < 1.25x
+        assert rows["estep.L_topo"]["regression"]  # 2.0x
+        assert rows["only.b"]["ratio"] is None
+        assert not rows["only.b"]["regression"]
+
+        text, flagged = render_diff(self.RUN_A, run_b)
+        assert flagged == ["estep.L_topo"]
+        assert "REGRESSION" in text
+        assert "only-B" in text
+        assert "accuracy: 0.75 -> 0.74" in text
+
+    def test_diff_threshold_is_tunable(self):
+        run_b = {
+            "label": "b",
+            "phases": {
+                "estep.train": {"total_s": 2.2, "self_s": 1.0, "count": 1},
+            },
+            "metrics": {},
+        }
+        _, flagged = render_diff(self.RUN_A, run_b, threshold=0.05)
+        assert flagged == ["estep.train"]

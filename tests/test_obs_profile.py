@@ -1,0 +1,123 @@
+"""Unit tests for phase memory profiling (repro.obs.profile)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MemoryProfiler,
+    MetricsRegistry,
+    NULL_SPAN,
+    RssSampler,
+    Tracer,
+    rss_bytes,
+    use_tracer,
+)
+
+
+class TestRssBytes:
+    def test_positive_on_supported_platforms(self):
+        rss = rss_bytes()
+        assert rss is None or rss > 0
+
+    def test_grows_with_allocation(self):
+        before = rss_bytes()
+        if before is None:
+            pytest.skip("RSS unsupported on this platform")
+        block = np.ones(32 * 1024 * 1024 // 8)  # 32 MiB
+        after = rss_bytes()
+        del block
+        # Not exact (allocator slack), but a 32 MiB allocation must be
+        # visible at far smaller granularity.
+        assert after - before > 16 * 1024 * 1024
+
+
+class TestMemoryProfiler:
+    def test_records_gauges_per_phase(self):
+        profiler = MemoryProfiler()
+        with profiler.phase("estep"):
+            data = np.zeros(1024)
+        snapshot = profiler.snapshot()
+        assert snapshot["estep_rss_mb"] > 0.0
+        assert "estep_rss_delta_mb" in snapshot
+        assert snapshot["estep_py_peak_mb"] > 0.0
+        del data
+
+    def test_tracemalloc_peak_sees_phase_allocation(self):
+        profiler = MemoryProfiler()
+        with profiler.phase("big"):
+            block = bytearray(8 * 1024 * 1024)
+        del block
+        # 8 MB of Python allocation must show up in the phase peak.
+        assert profiler.snapshot()["big_py_peak_mb"] >= 7.0
+
+    def test_disabled_profiler_is_noop(self):
+        profiler = MemoryProfiler(enabled=False)
+        assert profiler.phase("x") is NULL_SPAN
+        with profiler.phase("x"):
+            pass
+        assert profiler.snapshot() == {}
+
+    def test_tracemalloc_optional(self):
+        profiler = MemoryProfiler(use_tracemalloc=False)
+        with profiler.phase("lean"):
+            pass
+        snapshot = profiler.snapshot()
+        assert "lean_py_peak_mb" not in snapshot
+
+    def test_uses_supplied_registry(self):
+        registry = MetricsRegistry()
+        profiler = MemoryProfiler(metrics=registry)
+        with profiler.phase("p"):
+            pass
+        assert profiler.metrics is registry
+        assert "p_rss_mb" in registry.snapshot()
+
+    def test_phases_mirror_into_active_trace(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            profiler = MemoryProfiler()
+            with profiler.phase("estep"):
+                pass
+        names = {r["name"] for r in tracer.snapshot()}
+        assert "profile.estep" in names
+
+    def test_nested_phases_each_get_gauges(self):
+        profiler = MemoryProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                pass
+        snapshot = profiler.snapshot()
+        assert "outer_rss_mb" in snapshot
+        assert "inner_rss_mb" in snapshot
+
+
+class TestRssSampler:
+    def test_collects_samples_and_peak(self):
+        with RssSampler(interval=0.005) as sampler:
+            time.sleep(0.05)
+        samples = sampler.samples
+        if rss_bytes() is None:
+            pytest.skip("RSS unsupported on this platform")
+        assert samples
+        assert all(t >= 0.0 and mb > 0.0 for t, mb in samples)
+        assert sampler.peak_mb == max(mb for _, mb in samples)
+
+    def test_stop_is_idempotent(self):
+        sampler = RssSampler(interval=0.01).start()
+        sampler.stop()
+        sampler.stop()
+        assert sampler.peak_mb >= 0.0
+
+    def test_double_start_rejected(self):
+        sampler = RssSampler(interval=0.01).start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RssSampler(interval=0.0)

@@ -133,6 +133,29 @@ class TestJsonlSink:
             sink.on_fit_end(RUN, {})
         assert len(read_jsonl(path)) == 1
 
+    def test_crash_mid_run_leaves_readable_prefix(self, tmp_path):
+        # Crash safety: every event is flushed as it is emitted, so a
+        # training loop that dies mid-run leaves whole lines behind —
+        # without relying on close() running at all.
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(RuntimeError):
+            sink.on_fit_begin(RUN, {"n_ties": 3})
+            sink.on_batch_end(RUN, 0, {"L": 1.0})
+            raise RuntimeError("simulated mid-run crash")
+        # Deliberately no close(): read what the crash left on disk.
+        events = read_jsonl(path)
+        assert [e["event"] for e in events] == ["fit_begin", "batch"]
+        assert events[1]["L"] == 1.0
+
+    def test_close_is_idempotent_and_reopens_cleanly(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.on_fit_end(RUN, {})
+        sink.close()
+        sink.close()  # second close must be a no-op
+        assert len(read_jsonl(path)) == 1
+
 
 class TestConsoleReporter:
     def test_prints_at_cadence(self):
@@ -151,12 +174,28 @@ class TestConsoleReporter:
         with pytest.raises(ValueError):
             ConsoleReporter(every=0)
 
+    def test_defaults_to_stderr(self, capsys):
+        # Progress is telemetry, not command output: with no explicit
+        # stream it must land on stderr, keeping stdout pipeable.
+        drive(ConsoleReporter(every=2))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[t] fit: 4 batches x 2" in captured.err
+
+    def test_explicit_stream_wins(self, capsys):
+        stream = io.StringIO()
+        drive(ConsoleReporter(every=2, stream=stream))
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "[t] done" in stream.getvalue()
+
 
 class TestVolatileFields:
     def test_is_volatile_convention(self):
         assert is_volatile("duration_s")
         assert is_volatile("pairs_per_sec")
         assert is_volatile("wall_time")
+        assert is_volatile("estep_rss_mb")  # memory gauges are volatile
         assert not is_volatile("L_topo")
         assert not is_volatile("pairs")
 

@@ -1,0 +1,287 @@
+"""Unit and property tests for span-based tracing (repro.obs.trace)."""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    NULL_SPAN,
+    TRACE_SCHEMA,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    phase_totals,
+    read_trace,
+    span,
+    use_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    token = activate(t)
+    yield t
+    deactivate(token)
+
+
+class TestSpanBasics:
+    def test_disabled_returns_shared_null_span(self):
+        assert current_tracer() is None
+        sp = span("anything", key=1)
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.set(ignored=True)  # must not raise
+
+    def test_disabled_tracer_also_noops(self):
+        with use_tracer(Tracer(enabled=False)):
+            assert span("x") is NULL_SPAN
+
+    def test_records_name_duration_and_attrs(self, tracer):
+        with span("phase", a=1) as sp:
+            sp.set(b=2)
+        (record,) = tracer.snapshot()
+        assert record["name"] == "phase"
+        assert record["dur"] >= 0.0
+        assert record["attrs"] == {"a": 1, "b": 2}
+        assert record["parent"] is None
+
+    def test_nesting_links_parents(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        records = {r["id"]: r for r in tracer.snapshot()}
+        outer = next(
+            r for r in records.values() if r["name"] == "outer"
+        )
+        inners = [r for r in records.values() if r["name"] == "inner"]
+        assert len(inners) == 2
+        assert all(r["parent"] == outer["id"] for r in inners)
+
+    def test_exception_still_records_span_with_error(self, tracer):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        (record,) = tracer.snapshot()
+        assert record["name"] == "failing"
+        assert "ValueError" in record["attrs"]["error"]
+
+    def test_use_tracer_restores_previous(self):
+        outer = Tracer()
+        with use_tracer(outer):
+            inner = Tracer()
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is None
+
+    def test_threads_get_separate_lanes(self, tracer):
+        # New threads start with a fresh contextvars context, so the
+        # worker re-activates the shared tracer (as HOGWILD workers do).
+        def work():
+            with use_tracer(tracer):
+                with span("thread-span"):
+                    pass
+
+        with span("main-span"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        records = tracer.snapshot()
+        by_name = {r["name"]: r for r in records}
+        assert by_name["main-span"]["tid"] != by_name["thread-span"]["tid"]
+        # The thread's span must NOT be parented under the main thread's
+        # open span: stacks are per-thread.
+        assert by_name["thread-span"]["parent"] is None
+
+
+class TestSerialisation:
+    def test_chrome_round_trip(self, tracer, tmp_path):
+        with span("outer", k="v"):
+            with span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path)
+        data = json.loads(path.read_text())
+        assert data["otherData"]["schema"] == TRACE_SCHEMA
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for event in complete:
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+
+        records = read_trace(path)
+        assert {r["name"] for r in records} == {"outer", "inner"}
+
+    def test_jsonl_round_trip_preserves_parents(self, tracer, tmp_path):
+        with span("outer"):
+            with span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"schema": TRACE_SCHEMA}
+        records = read_trace(path)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+
+    def test_write_picks_format_by_extension(self, tracer, tmp_path):
+        with span("x"):
+            pass
+        chrome, jsonl = tmp_path / "t.json", tmp_path / "t.jsonl"
+        tracer.write(chrome)
+        tracer.write(jsonl)
+        assert "traceEvents" in json.loads(chrome.read_text())
+        assert len(read_trace(jsonl)) == 1
+
+    def test_merge_remaps_ids_and_keeps_lanes(self, tracer):
+        foreign = Tracer()
+        with use_tracer(foreign):
+            with span("worker-outer"):
+                with span("worker-inner"):
+                    pass
+        foreign_records = foreign.snapshot()
+        with span("native"):
+            pass
+        native_id = tracer.snapshot()[0]["id"]
+        # Force an id collision before the merge remaps.
+        assert any(r["id"] == native_id for r in foreign_records)
+        assert tracer.merge(foreign_records) == 2
+
+        records = tracer.snapshot()
+        assert len({r["id"] for r in records}) == 3  # all ids distinct
+        by_name = {r["name"]: r for r in records}
+        assert (
+            by_name["worker-inner"]["parent"]
+            == by_name["worker-outer"]["id"]
+        )
+
+
+class TestPhaseTotals:
+    def test_self_time_excludes_children(self):
+        records = [
+            {"name": "parent", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 0,
+             "id": 1, "parent": None, "attrs": {}},
+            {"name": "child", "ts": 0.1, "dur": 0.4, "pid": 1, "tid": 0,
+             "id": 2, "parent": 1, "attrs": {}},
+            {"name": "child", "ts": 0.6, "dur": 0.3, "pid": 1, "tid": 0,
+             "id": 3, "parent": 1, "attrs": {}},
+        ]
+        totals = phase_totals(records)
+        assert totals["parent"]["total_s"] == pytest.approx(1.0)
+        assert totals["parent"]["self_s"] == pytest.approx(0.3)
+        assert totals["child"]["count"] == 2
+        assert totals["child"]["total_s"] == pytest.approx(0.7)
+
+    def test_self_time_never_negative(self):
+        # A child reporting longer than its parent (clock skew) must
+        # clamp at zero, not go negative.
+        records = [
+            {"name": "p", "ts": 0.0, "dur": 0.1, "pid": 1, "tid": 0,
+             "id": 1, "parent": None, "attrs": {}},
+            {"name": "c", "ts": 0.0, "dur": 0.5, "pid": 1, "tid": 0,
+             "id": 2, "parent": 1, "attrs": {}},
+        ]
+        assert phase_totals(records)["p"]["self_s"] == 0.0
+
+
+# -- property tests: span-tree invariants under random workloads --------
+
+#: A random nested workload: each element is (depth-delta, name-index).
+WORKLOADS = st.lists(
+    st.tuples(st.integers(-1, 1), st.integers(0, 3)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_workload(tracer, workload):
+    """Open/close spans per the workload, always unwinding at the end."""
+    names = ("alpha", "beta", "gamma", "delta")
+    open_spans = []
+    with use_tracer(tracer):
+        for delta, name_ix in workload:
+            if delta >= 0 or not open_spans:
+                sp = span(names[name_ix], step=len(open_spans))
+                sp.__enter__()
+                open_spans.append(sp)
+            else:
+                open_spans.pop().__exit__(None, None, None)
+        while open_spans:
+            open_spans.pop().__exit__(None, None, None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=WORKLOADS)
+def test_property_spans_have_nonnegative_duration(workload):
+    tracer = Tracer()
+    _run_workload(tracer, workload)
+    for record in tracer.snapshot():
+        assert record["dur"] >= 0.0
+        assert record["ts"] > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=WORKLOADS)
+def test_property_children_nest_strictly_inside_parents(workload):
+    tracer = Tracer()
+    _run_workload(tracer, workload)
+    records = {r["id"]: r for r in tracer.snapshot()}
+    eps = 1e-6
+    for record in records.values():
+        parent_id = record["parent"]
+        if parent_id is None:
+            continue
+        parent = records[parent_id]
+        assert parent["ts"] <= record["ts"] + eps
+        assert (
+            record["ts"] + record["dur"]
+            <= parent["ts"] + parent["dur"] + eps
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=WORKLOADS)
+def test_property_no_sibling_overlap_within_lane(workload):
+    # Within one (pid, tid) lane, spans sharing a parent must not
+    # overlap: the workload is sequential, so siblings are disjoint.
+    tracer = Tracer()
+    _run_workload(tracer, workload)
+    records = tracer.snapshot()
+    eps = 1e-6
+    by_parent: dict = {}
+    for r in records:
+        by_parent.setdefault((r["pid"], r["tid"], r["parent"]), []).append(r)
+    for siblings in by_parent.values():
+        siblings.sort(key=lambda r: r["ts"])
+        for earlier, later in zip(siblings, siblings[1:]):
+            assert earlier["ts"] + earlier["dur"] <= later["ts"] + eps
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=WORKLOADS)
+def test_property_chrome_json_round_trips(workload, tmp_path_factory):
+    tracer = Tracer()
+    _run_workload(tracer, workload)
+    path = tmp_path_factory.mktemp("trace") / "trace.json"
+    tracer.write_chrome(path)
+    data = json.loads(path.read_text())
+    complete = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+    assert len(complete) == len(tracer.snapshot())
+    for event in complete:
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+    parsed = read_trace(path)
+    originals = sorted(
+        (r["name"], round(r["dur"] * 1e6)) for r in tracer.snapshot()
+    )
+    round_tripped = sorted(
+        (r["name"], round(r["dur"] * 1e6)) for r in parsed
+    )
+    assert originals == round_tripped
