@@ -21,6 +21,12 @@ fresh run against the committed baseline — and a ``trace_overhead``
 block measuring the disabled-tracing fast path.  ``--check-trace-
 overhead F`` exits non-zero when disabled tracing would cost more than
 fraction ``F`` of a batch (the <5% budget gated in CI).
+
+A ``serving`` section times the ``repro.serve`` path: artifact
+round-trip, then repeated 1,000-pair ``/score`` batches over loopback
+HTTP (p50/p95 latency, pairs/sec, cache hit rate, and a bit-identity
+check against the fitted model).  ``--check-serving P50_MS`` gates both
+the identity and the p50 budget in CI (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -193,6 +199,85 @@ def _bench_trace_overhead(report: dict, n_calls: int = 200_000) -> dict:
     }
 
 
+#: Pairs per serving batch and number of repeated /score rounds.  The
+#: rounds after the first are answered from the LRU cache, so the p50
+#: reflects steady-state serving latency.
+SERVING_PAIRS = 1_000
+SERVING_ROUNDS = 20
+
+
+def _bench_serving(seed: int) -> dict:
+    """Artifact round-trip + live-HTTP batch-scoring latency.
+
+    Fits an :class:`~repro.models.HFModel` on the small tier, freezes it
+    to an artifact bundle, reloads it, and serves ``SERVING_ROUNDS``
+    identical 1,000-pair ``/score`` batches over loopback HTTP —
+    measuring p50/p95 round-trip latency, pair throughput, the cache
+    hit rate, and whether the served scores stay bit-identical to the
+    in-process fitted model (the ``repro serve`` acceptance gate).
+    """
+    import tempfile
+    import urllib.request
+
+    from repro.models import HFModel
+    from repro.serve import (
+        ModelServer,
+        ScoringEngine,
+        load_model_artifact,
+        save_model_artifact,
+    )
+
+    network = _build_network(SIZE_TIERS["small"], seed)
+    fitted = HFModel().fit(network, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = os.path.join(tmp, "artifact")
+        save_model_artifact(fitted, bundle)
+        served = load_model_artifact(bundle)
+
+    engine = ScoringEngine(served)
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, network.n_ties, size=SERVING_PAIRS)
+    pairs = np.column_stack([network.tie_src[ids], network.tie_dst[ids]])
+    expected = fitted.directionality_batch(pairs)
+    body = json.dumps({"pairs": pairs.tolist()}).encode("utf-8")
+
+    latencies_ms = []
+    identical = True
+    with ModelServer(engine, port=0) as server:
+        for _ in range(SERVING_ROUNDS):
+            request = urllib.request.Request(
+                server.url + "/score",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            start = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=60) as response:
+                payload = json.load(response)
+            latencies_ms.append((time.perf_counter() - start) * 1e3)
+            identical = identical and np.array_equal(
+                np.asarray(payload["scores"], dtype=float), expected
+            )
+
+    latencies_ms.sort()
+
+    def _pct(p: float) -> float:
+        index = int(round(p * (len(latencies_ms) - 1)))
+        return latencies_ms[index]
+
+    total_s = sum(latencies_ms) / 1e3
+    info = engine.cache_info()
+    return {
+        "model": "HFModel",
+        "n_pairs": SERVING_PAIRS,
+        "rounds": SERVING_ROUNDS,
+        "identical_to_fitted": bool(identical),
+        "p50_ms": _pct(0.50),
+        "p95_ms": _pct(0.95),
+        "pairs_per_sec": SERVING_PAIRS * SERVING_ROUNDS / max(total_s, 1e-9),
+        "cache_hit_rate": info["cache_hit_rate"],
+    }
+
+
 def run_benchmarks(
     sizes: Sequence[str],
     workers: Sequence[int],
@@ -251,6 +336,9 @@ def run_benchmarks(
             )
     if report["sizes"]:
         report["trace_overhead"] = _bench_trace_overhead(report)
+    print("[serving] artifact round-trip + HTTP batch scoring ...",
+          flush=True)
+    report["serving"] = _bench_serving(seed)
     return report
 
 
@@ -308,6 +396,39 @@ def check_trace_overhead(report: dict, limit: float) -> int:
     return 0
 
 
+def check_serving(report: dict, p50_limit_ms: float) -> int:
+    """Fail (return 1) on slow or non-identical serving.
+
+    Two conditions gate: the served scores must be bit-identical to the
+    in-process fitted model (correctness of the artifact round-trip and
+    the HTTP path), and the p50 ``/score`` round-trip for a
+    ``SERVING_PAIRS``-pair batch must stay under ``p50_limit_ms``.
+    """
+    info = report.get("serving") or {}
+    if not info:
+        print("check-serving: skipped (no serving section in report)")
+        return 0
+    failures = []
+    if not info.get("identical_to_fitted"):
+        failures.append(
+            "served scores are not identical to the fitted model"
+        )
+    if info.get("p50_ms", float("inf")) > p50_limit_ms:
+        failures.append(
+            f"p50 {info['p50_ms']:.1f} ms for {info['n_pairs']} pairs "
+            f"> {p50_limit_ms:.0f} ms budget"
+        )
+    for failure in failures:
+        print(f"check-serving: FAIL {failure}")
+    if not failures:
+        print(
+            f"check-serving: ok (identical, p50 {info['p50_ms']:.1f} ms "
+            f"<= {p50_limit_ms:.0f} ms, "
+            f"{info['pairs_per_sec']:,.0f} pairs/sec)"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf", description=__doc__
@@ -346,6 +467,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="exit non-zero if the disabled-tracing fast path costs "
         "more than FRACTION of a batch (CI gates at 0.05)",
     )
+    parser.add_argument(
+        "--check-serving",
+        type=float,
+        default=None,
+        metavar="P50_MS",
+        help="exit non-zero if the served /score batch is not "
+        "bit-identical to the fitted model or its p50 round-trip "
+        "exceeds P50_MS milliseconds",
+    )
     args = parser.parse_args(argv)
 
     if any(w < 1 for w in args.workers):
@@ -375,11 +505,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"({stats['speedup_vs_1']:.2f}x)"
             )
 
+    serving = report.get("serving")
+    if serving:
+        print(
+            f"[serving] {serving['n_pairs']}-pair /score: "
+            f"p50 {serving['p50_ms']:.1f} ms, p95 {serving['p95_ms']:.1f} "
+            f"ms, {serving['pairs_per_sec']:,.0f} pairs/sec, "
+            f"cache_hit_rate {serving['cache_hit_rate']:.2f}, "
+            f"identical={serving['identical_to_fitted']}"
+        )
+
     status = 0
     if args.check_speedup is not None:
         status |= check_speedup(report, args.check_speedup)
     if args.check_trace_overhead is not None:
         status |= check_trace_overhead(report, args.check_trace_overhead)
+    if args.check_serving is not None:
+        status |= check_serving(report, args.check_serving)
     return status
 
 

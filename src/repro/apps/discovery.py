@@ -37,20 +37,22 @@ def predict_directions(
     network = model._check_fitted()  # noqa: SLF001 - intra-package API
     if pairs is None:
         pairs = network.social_ties(TieKind.UNDIRECTED)
-    scores = model.tie_scores()
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return pairs.reshape(0, 2).copy()
 
-    predictions = np.empty_like(pairs)
-    for i, (u, v) in enumerate(pairs):
-        u, v = int(u), int(v)
-        # Score in canonical orientation so the Eq. 28 '>=' tie-break does
-        # not depend on which orientation the caller happened to pass
-        # (otherwise passing ground-truth pairs would leak the answer
-        # whenever d(u,v) == d(v,u)).
-        a, b = (u, v) if u < v else (v, u)
-        forward = scores[network.tie_id(a, b)]
-        backward = scores[network.tie_id(b, a)]
-        predictions[i] = (a, b) if forward >= backward else (b, a)
-    return predictions
+    # Score in canonical orientation so the Eq. 28 '>=' tie-break does
+    # not depend on which orientation the caller happened to pass
+    # (otherwise passing ground-truth pairs would leak the answer
+    # whenever d(u,v) == d(v,u)).
+    a = np.minimum(pairs[:, 0], pairs[:, 1])
+    b = np.maximum(pairs[:, 0], pairs[:, 1])
+    forward = model.directionality_batch(np.column_stack([a, b]))
+    backward = model.directionality_batch(np.column_stack([b, a]))
+    forward_wins = (forward >= backward)[:, None]
+    return np.where(
+        forward_wins, np.column_stack([a, b]), np.column_stack([b, a])
+    )
 
 
 def discovery_accuracy(

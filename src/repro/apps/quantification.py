@@ -33,15 +33,10 @@ def quantify_bidirectional_ties(model: TieDirectionModel) -> np.ndarray:
     in this relationship".
     """
     network = model._check_fitted()  # noqa: SLF001
-    scores = model.tie_scores()
     pairs = network.social_ties(TieKind.BIDIRECTIONAL)
     rows = np.empty((len(pairs), 4))
-    for i, (u, v) in enumerate(pairs):
-        u, v = int(u), int(v)
-        rows[i] = (
-            u,
-            v,
-            scores[network.tie_id(u, v)],
-            scores[network.tie_id(v, u)],
-        )
+    if len(pairs):
+        rows[:, :2] = pairs
+        rows[:, 2] = model.directionality_batch(pairs)
+        rows[:, 3] = model.directionality_batch(pairs[:, ::-1])
     return rows

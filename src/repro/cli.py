@@ -15,10 +15,18 @@ Commands
 ``report``
     Render the phase breakdown of a run artefact (manifest, trace, or
     perf report), or diff two runs and flag phase regressions.
+``export``
+    Learn a directionality function on a tie-list file and freeze it as
+    a serving artifact bundle (``docs/serving.md``).
+``serve``
+    Load an artifact and answer ``/score`` / ``/discover`` /
+    ``/healthz`` batch queries over JSON/HTTP (``--smoke N`` runs one
+    self-check batch and exits instead of serving forever).
 
-``discover`` and ``quantify`` accept ``--trace PATH`` (Chrome-trace or
-JSONL span timeline, see ``docs/observability.md``) and
-``--manifest PATH`` (a ``repro_manifest/v1`` run manifest).
+``discover``, ``quantify``, ``export`` and ``serve`` accept
+``--trace PATH`` (Chrome-trace or JSONL span timeline, see
+``docs/observability.md``) and ``--manifest PATH`` (a
+``repro_manifest/v1`` run manifest).
 
 Every command takes ``--seed`` and is deterministic.
 """
@@ -26,7 +34,9 @@ Every command takes ``--seed`` and is deterministic.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Sequence
 
 from .apps import (
@@ -99,7 +109,8 @@ def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
 #: Model arguments copied into the manifest's ``config`` block.
 _CONFIG_KEYS = (
     "method", "dimensions", "alpha", "beta", "pairs_per_tie", "dstep",
-    "workers", "hide",
+    "workers", "hide", "artifact", "cache_size", "batch_window_ms",
+    "smoke",
 )
 
 
@@ -334,6 +345,129 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .serve import save_model_artifact
+
+    with _ObsSession(args, "export") as obs:
+        network = read_tie_list(args.input)
+        obs.set_network(network)
+        callbacks = _telemetry_callbacks(args)
+        try:
+            model = _build_model(args, callbacks).fit(
+                network, seed=args.seed
+            )
+        finally:
+            CallbackList(callbacks).close()
+        save_model_artifact(model, args.output)
+        obs.add_metrics(n_ties=network.n_ties)
+        print(
+            f"wrote {type(model).__name__} artifact to {args.output}"
+        )
+        return 0
+
+
+def _serve_smoke(server, engine, model, n_pairs: int, seed: int) -> int:
+    """One self-check batch over live HTTP; 0 on success.
+
+    Samples ``n_pairs`` existing oriented ties, posts them to ``/score``
+    twice (the second pass exercises the LRU cache), and compares the
+    served scores against the in-process model bit for bit.
+    """
+    import urllib.request
+
+    import numpy as np
+
+    network = model.network
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, network.n_ties, size=n_pairs)
+    pairs = np.column_stack(
+        [network.tie_src[ids], network.tie_dst[ids]]
+    )
+    expected = model.directionality_batch(pairs)
+    body = json.dumps({"pairs": pairs.tolist()}).encode("utf-8")
+
+    latencies_ms = []
+    for _ in range(2):
+        request = urllib.request.Request(
+            server.url + "/score",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        start = time.perf_counter()
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.load(response)
+        latencies_ms.append((time.perf_counter() - start) * 1e3)
+        served = np.asarray(payload["scores"], dtype=float)
+        if served.shape != expected.shape or not np.array_equal(
+            served, expected
+        ):
+            print(
+                "serve smoke: FAIL — served scores diverge from the "
+                "in-process model",
+                file=sys.stderr,
+            )
+            return 1
+
+    with urllib.request.urlopen(
+        server.url + "/healthz", timeout=10
+    ) as response:
+        health = json.load(response)
+    if health.get("status") != "ok":
+        print(f"serve smoke: FAIL — /healthz said {health!r}",
+              file=sys.stderr)
+        return 1
+
+    info = engine.cache_info()
+    print(
+        f"serve smoke: ok — {n_pairs} pairs x2 identical to the model, "
+        f"latency {latencies_ms[0]:.1f}ms cold / "
+        f"{latencies_ms[1]:.1f}ms warm, "
+        f"cache_hit_rate={info['cache_hit_rate']:.2f}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ModelServer, ScoringEngine, load_model_artifact
+
+    with _ObsSession(args, "serve") as obs:
+        model = load_model_artifact(args.artifact)
+        obs.set_network(model.network)
+        engine = ScoringEngine(
+            model,
+            cache_size=args.cache_size,
+            batch_window_s=args.batch_window_ms / 1e3,
+        )
+        server = ModelServer(
+            engine, host=args.host, port=args.port, verbose=args.verbose
+        )
+        code = 0
+        try:
+            if args.smoke is not None:
+                server.start()
+                with span("serve.smoke", n_pairs=args.smoke):
+                    code = _serve_smoke(
+                        server, engine, model, args.smoke, seed=args.seed
+                    )
+            else:
+                server.start()
+                print(
+                    f"serving {type(model).__name__} from "
+                    f"{args.artifact} on {server.url} "
+                    "(Ctrl-C to stop)",
+                    file=sys.stderr,
+                )
+                try:
+                    while True:
+                        time.sleep(3600)
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            server.shutdown()
+            obs.add_metrics(**engine.snapshot())
+        return code
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -480,6 +614,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when --diff flags any phase regression",
     )
     report.set_defaults(handler=_cmd_report)
+
+    export = commands.add_parser(
+        "export",
+        help="fit a model and freeze it as a serving artifact bundle",
+    )
+    export.add_argument("input", help="tie-list TSV file")
+    export.add_argument(
+        "output", help="artifact bundle directory to create"
+    )
+    _add_model_arguments(export)
+    export.set_defaults(handler=_cmd_export)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a model artifact over JSON/HTTP "
+        "(/score, /discover, /healthz, /metrics)",
+    )
+    serve.add_argument("artifact", help="artifact bundle directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port to bind (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        dest="cache_size",
+        help="LRU capacity in (u, v) pairs; 0 disables the cache",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        dest="batch_window_ms",
+        help="micro-batching window: how long the leader request waits "
+        "to coalesce concurrent /score callers into one vectorized pass",
+    )
+    serve.add_argument(
+        "--smoke",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="self-test mode: score N sampled pairs twice over live "
+        "HTTP, compare against the in-process model, then exit",
+    )
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a span timeline of the serving run",
+    )
+    serve.add_argument(
+        "--manifest",
+        metavar="PATH.json",
+        default=None,
+        help="write a repro_manifest/v1 run manifest including the "
+        "serving metrics (requests, latency EMA, cache hit rate)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

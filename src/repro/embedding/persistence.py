@@ -6,55 +6,155 @@ experiments, visualisation, or export.
 
 The format is a plain ``.npz`` archive (no pickling), so files are
 portable and safe to load from untrusted sources.
+
+.. deprecated::
+    The bare :func:`save_embedding` / :func:`load_embedding` pair is
+    superseded by the serving-artifact API
+    (:func:`repro.serve.save_embedding_artifact` /
+    :func:`repro.serve.load_embedding_artifact`), which adds a JSON
+    metadata side-car, schema versioning and a dataset fingerprint.
+    Both functions still work but emit :class:`DeprecationWarning`; see
+    ``docs/serving.md`` and the migration notes in
+    ``docs/paper_mapping.md``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
+from typing import Mapping
 
 import numpy as np
 
 from .deepdirect import EmbeddingResult
 
+#: Array names (and the validation contract) of a saved embedding.
+EMBEDDING_ARRAY_NAMES = (
+    "embeddings",
+    "contexts",
+    "classifier_weights",
+    "classifier_bias",
+    "loss_history",
+    "n_pairs_trained",
+)
 
-def save_embedding(result: EmbeddingResult, path: str | os.PathLike) -> None:
-    """Write an :class:`EmbeddingResult` to ``path`` as ``.npz``."""
+
+def embedding_to_arrays(result: EmbeddingResult) -> dict[str, np.ndarray]:
+    """Flatten an :class:`EmbeddingResult` into named plain arrays."""
     history = np.asarray(result.loss_history, dtype=float).reshape(-1, 2)
-    np.savez(
-        path,
-        embeddings=result.embeddings,
-        contexts=result.contexts,
-        classifier_weights=result.classifier_weights,
-        classifier_bias=np.asarray([result.classifier_bias]),
-        loss_history=history,
-        n_pairs_trained=np.asarray([result.n_pairs_trained]),
+    return {
+        "embeddings": np.asarray(result.embeddings, dtype=np.float64),
+        "contexts": np.asarray(result.contexts, dtype=np.float64),
+        "classifier_weights": np.asarray(
+            result.classifier_weights, dtype=np.float64
+        ),
+        "classifier_bias": np.asarray([result.classifier_bias], dtype=float),
+        "loss_history": history,
+        "n_pairs_trained": np.asarray([result.n_pairs_trained], np.int64),
+    }
+
+
+def embedding_from_arrays(
+    arrays: Mapping[str, np.ndarray], source: str = "archive"
+) -> EmbeddingResult:
+    """Rebuild an :class:`EmbeddingResult`, validating every array.
+
+    Raises a :class:`ValueError` naming ``source`` and the offending
+    array whenever a dtype or shape does not match the
+    :func:`embedding_to_arrays` contract — a truncated or hand-edited
+    archive fails here with a clear message instead of surfacing later
+    as a numpy broadcast error.
+    """
+    missing = set(EMBEDDING_ARRAY_NAMES) - set(arrays)
+    if missing:
+        raise ValueError(
+            f"{source} is not a saved embedding (missing {sorted(missing)})"
+        )
+
+    def _bad(name: str, why: str) -> ValueError:
+        arr = np.asarray(arrays[name])
+        return ValueError(
+            f"{source}: array {name!r} {why} "
+            f"(got dtype={arr.dtype}, shape={arr.shape}); the archive is "
+            "truncated or was not written by save_embedding"
+        )
+
+    embeddings = np.asarray(arrays["embeddings"])
+    contexts = np.asarray(arrays["contexts"])
+    weights = np.asarray(arrays["classifier_weights"])
+    bias = np.asarray(arrays["classifier_bias"])
+    history = np.asarray(arrays["loss_history"])
+    n_pairs = np.asarray(arrays["n_pairs_trained"])
+
+    for name, arr in (("embeddings", embeddings), ("contexts", contexts)):
+        if arr.ndim != 2 or not np.issubdtype(arr.dtype, np.floating):
+            raise _bad(name, "must be a 2-D float matrix")
+    if embeddings.shape != contexts.shape:
+        raise ValueError(
+            f"{source}: embeddings {embeddings.shape} and contexts "
+            f"{contexts.shape} must have identical shapes; the archive is "
+            "truncated or mismatched"
+        )
+    if weights.ndim != 1 or not np.issubdtype(weights.dtype, np.floating):
+        raise _bad("classifier_weights", "must be a 1-D float vector")
+    if len(weights) != embeddings.shape[1]:
+        raise ValueError(
+            f"{source}: classifier_weights has {len(weights)} entries but "
+            f"embeddings are {embeddings.shape[1]}-dimensional; the archive "
+            "is truncated or mismatched"
+        )
+    if bias.shape != (1,) or not np.issubdtype(bias.dtype, np.floating):
+        raise _bad("classifier_bias", "must be a single float")
+    if history.size and (
+        history.ndim != 2
+        or history.shape[1] != 2
+        or not np.issubdtype(history.dtype, np.number)
+    ):
+        raise _bad("loss_history", "must be (n, 2) numeric pairs")
+    if n_pairs.shape != (1,) or not np.issubdtype(n_pairs.dtype, np.integer):
+        raise _bad("n_pairs_trained", "must be a single integer")
+
+    return EmbeddingResult(
+        embeddings=embeddings,
+        contexts=contexts,
+        classifier_weights=weights,
+        classifier_bias=float(bias[0]),
+        loss_history=[
+            (int(step), float(loss)) for step, loss in history.reshape(-1, 2)
+        ],
+        n_pairs_trained=int(n_pairs[0]),
     )
 
 
+def save_embedding(result: EmbeddingResult, path: str | os.PathLike) -> None:
+    """Write an :class:`EmbeddingResult` to ``path`` as ``.npz``.
+
+    .. deprecated::
+        Use :func:`repro.serve.save_embedding_artifact`, which writes a
+        versioned bundle with metadata; this shim remains for existing
+        ``.npz`` files.
+    """
+    warnings.warn(
+        "save_embedding is deprecated; use "
+        "repro.serve.save_embedding_artifact (see docs/serving.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    np.savez(path, **embedding_to_arrays(result))
+
+
 def load_embedding(path: str | os.PathLike) -> EmbeddingResult:
-    """Read an :class:`EmbeddingResult` written by :func:`save_embedding`."""
+    """Read an :class:`EmbeddingResult` written by :func:`save_embedding`.
+
+    .. deprecated::
+        Use :func:`repro.serve.load_embedding_artifact` for artifact
+        bundles; this shim remains able to read legacy ``.npz`` files.
+    """
+    warnings.warn(
+        "load_embedding is deprecated; use "
+        "repro.serve.load_embedding_artifact (see docs/serving.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     with np.load(path, allow_pickle=False) as archive:
-        required = {
-            "embeddings",
-            "contexts",
-            "classifier_weights",
-            "classifier_bias",
-            "loss_history",
-            "n_pairs_trained",
-        }
-        missing = required - set(archive.files)
-        if missing:
-            raise ValueError(
-                f"{path} is not a saved embedding (missing {sorted(missing)})"
-            )
-        history = [
-            (int(step), float(loss)) for step, loss in archive["loss_history"]
-        ]
-        return EmbeddingResult(
-            embeddings=archive["embeddings"],
-            contexts=archive["contexts"],
-            classifier_weights=archive["classifier_weights"],
-            classifier_bias=float(archive["classifier_bias"][0]),
-            loss_history=history,
-            n_pairs_trained=int(archive["n_pairs_trained"][0]),
-        )
+        return embedding_from_arrays(dict(archive), source=str(path))

@@ -150,6 +150,7 @@ class MixedSocialNetwork:
         self._out_csr: tuple[np.ndarray, np.ndarray] | None = None
         self._und_csr: tuple[np.ndarray, np.ndarray] | None = None
         self._tie_degrees: np.ndarray | None = None
+        self._tie_key_index: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -225,6 +226,59 @@ class MixedSocialNetwork:
     def has_tie(self, u: int, v: int) -> bool:
         """Whether the oriented tie ``(u, v)`` exists in the expanded set."""
         return (int(u), int(v)) in self._tie_index
+
+    def _ensure_tie_key_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``src * n + dst`` keys + matching tie ids, built lazily."""
+        if self._tie_key_index is None:
+            keys = self.tie_src * np.int64(self._n_nodes) + self.tie_dst
+            order = np.argsort(keys, kind="stable").astype(np.int64)
+            self._tie_key_index = (keys[order], order)
+        return self._tie_key_index
+
+    def tie_ids(
+        self, pairs: np.ndarray, missing: str = "raise"
+    ) -> np.ndarray:
+        """Vectorised :meth:`tie_id` over a ``(k, 2)`` array of pairs.
+
+        Parameters
+        ----------
+        pairs:
+            ``(k, 2)`` integer array of oriented ``(u, v)`` queries.
+        missing:
+            ``"raise"`` (default) raises :class:`KeyError` naming the
+            first absent pair; ``"ignore"`` returns ``-1`` for absent
+            pairs instead.
+
+        Returns
+        -------
+        Length-``k`` ``int64`` array of oriented tie ids, aligned with
+        ``pairs``.
+        """
+        if missing not in ("raise", "ignore"):
+            raise ValueError("missing must be 'raise' or 'ignore'")
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(
+                f"pairs must be a (k, 2) array; got shape {pairs.shape}"
+            )
+        sorted_keys, order = self._ensure_tie_key_index()
+        if len(sorted_keys) == 0:
+            if missing == "raise":
+                u, v = pairs[0]
+                raise KeyError(f"no oriented tie ({int(u)}, {int(v)})")
+            return np.full(len(pairs), -1, dtype=np.int64)
+        in_range = np.all((pairs >= 0) & (pairs < self._n_nodes), axis=1)
+        query = pairs[:, 0] * np.int64(self._n_nodes) + pairs[:, 1]
+        pos = np.searchsorted(sorted_keys, query)
+        pos_safe = np.minimum(pos, len(sorted_keys) - 1)
+        found = in_range & (sorted_keys[pos_safe] == query)
+        if missing == "raise" and not found.all():
+            u, v = pairs[int(np.argmin(found))]
+            raise KeyError(f"no oriented tie ({int(u)}, {int(v)})")
+        ids = np.where(found, order[pos_safe], np.int64(-1))
+        return ids
 
     def has_oriented_tie(self, u: int, v: int) -> bool:
         """Whether the network truly contains a tie in orientation u → v.

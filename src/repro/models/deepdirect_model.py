@@ -160,6 +160,44 @@ class DeepDirectModel(TieDirectionModel):
         self._check_fitted()
         return self._scores
 
+    # -- serving artifacts ---------------------------------------------
+
+    _config_cls = DeepDirectConfig
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        from ..embedding.persistence import embedding_to_arrays
+
+        arrays = super()._artifact_arrays()
+        if self.embedding_ is not None:
+            arrays.update(embedding_to_arrays(self.embedding_))
+        classifier = self._classifier
+        if (
+            isinstance(classifier, LogisticRegression)
+            and classifier.weights_ is not None
+        ):
+            arrays["dstep_weights"] = np.asarray(
+                classifier.weights_, dtype=np.float64
+            )
+            arrays["dstep_bias"] = np.asarray([classifier.bias_], dtype=float)
+        return arrays
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        from ..embedding.persistence import (
+            EMBEDDING_ARRAY_NAMES,
+            embedding_from_arrays,
+        )
+
+        super()._restore_artifact(arrays, params)
+        if all(name in arrays for name in EMBEDDING_ARRAY_NAMES):
+            self.embedding_ = embedding_from_arrays(
+                arrays, source="artifact"
+            )
+        if "dstep_weights" in arrays:
+            classifier = LogisticRegression(l2=self.l2)
+            classifier.weights_ = arrays["dstep_weights"]
+            classifier.bias_ = float(arrays["dstep_bias"][0])
+            self._classifier = classifier
+
     @property
     def tie_embeddings(self) -> np.ndarray:
         """The E-Step embedding matrix ``M`` (rows = oriented tie ids)."""

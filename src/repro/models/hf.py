@@ -61,3 +61,24 @@ class HFModel(TieDirectionModel):
     def tie_scores(self) -> np.ndarray:
         self._check_fitted()
         return self._scores
+
+    # -- serving artifacts ---------------------------------------------
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super()._artifact_arrays()
+        if self._classifier is not None:
+            arrays["classifier_weights"] = np.asarray(
+                self._classifier.weights_, dtype=np.float64
+            )
+            arrays["classifier_bias"] = np.asarray(
+                [self._classifier.bias_], dtype=float
+            )
+        return arrays
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        super()._restore_artifact(arrays, params)
+        if "classifier_weights" in arrays:
+            classifier = LogisticRegression(l2=self.l2)
+            classifier.weights_ = arrays["classifier_weights"]
+            classifier.bias_ = float(arrays["classifier_bias"][0])
+            self._classifier = classifier

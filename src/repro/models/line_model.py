@@ -58,3 +58,22 @@ class LineModel(TieDirectionModel):
     def tie_scores(self) -> np.ndarray:
         self._check_fitted()
         return self._scores
+
+    # -- serving artifacts ---------------------------------------------
+
+    _config_cls = LineConfig
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super()._artifact_arrays()
+        if self.embedding_ is not None:
+            arrays["node_embeddings"] = np.asarray(
+                self.embedding_.node_embeddings, dtype=np.float64
+            )
+        return arrays
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        super()._restore_artifact(arrays, params)
+        if "node_embeddings" in arrays:
+            self.embedding_ = LineResult(
+                node_embeddings=arrays["node_embeddings"]
+            )

@@ -57,3 +57,26 @@ class Node2VecModel(TieDirectionModel):
     def tie_scores(self) -> np.ndarray:
         self._check_fitted()
         return self._scores
+
+    # -- serving artifacts ---------------------------------------------
+
+    _config_cls = Node2VecConfig
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super()._artifact_arrays()
+        if self.embedding_ is not None:
+            arrays["node_embeddings"] = np.asarray(
+                self.embedding_.node_embeddings, dtype=np.float64
+            )
+            arrays["n_walks"] = np.asarray(
+                [self.embedding_.n_walks], dtype=np.int64
+            )
+        return arrays
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        super()._restore_artifact(arrays, params)
+        if "node_embeddings" in arrays:
+            self.embedding_ = Node2VecResult(
+                node_embeddings=arrays["node_embeddings"],
+                n_walks=int(arrays["n_walks"][0]),
+            )

@@ -207,6 +207,20 @@ class ReDirectTSM(TieDirectionModel):
         self._check_fitted()
         return self._values
 
+    # -- serving artifacts ---------------------------------------------
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super()._artifact_arrays()
+        if self.n_sweeps_ is not None:
+            arrays["n_sweeps"] = np.asarray([self.n_sweeps_], dtype=np.int64)
+        return arrays
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        # The propagated values *are* the model state.
+        self._values = arrays["tie_scores"]
+        if "n_sweeps" in arrays:
+            self.n_sweeps_ = int(arrays["n_sweeps"][0])
+
 
 class ReDirectNSM(TieDirectionModel):
     """ReDirect-N/sm: node-centroid latent-vector model.
@@ -299,3 +313,18 @@ class ReDirectNSM(TieDirectionModel):
                 self._h_prime[network.tie_dst],
             )
         )
+
+    # -- serving artifacts ---------------------------------------------
+
+    def _artifact_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "h": np.asarray(self._h, dtype=np.float64),
+            "h_prime": np.asarray(self._h_prime, dtype=np.float64),
+        }
+
+    def _restore_artifact(self, arrays: dict, params: dict) -> None:
+        # tie_scores recomputes σ(h·h') from the restored latent vectors
+        # over the reconstructed tie arrays — deterministic, hence
+        # bit-identical to the fitted model.
+        self._h = arrays["h"]
+        self._h_prime = arrays["h_prime"]

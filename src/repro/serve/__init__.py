@@ -1,0 +1,43 @@
+"""Model serving: artifacts, batch scoring and the HTTP endpoint.
+
+The third pillar next to training (:mod:`repro.embedding`) and
+observability (:mod:`repro.obs`): a fitted
+:class:`~repro.models.TieDirectionModel` is frozen to a no-pickle
+artifact bundle (:mod:`repro.serve.artifact`), reloaded into a
+vectorised, cached, micro-batching :class:`ScoringEngine`
+(:mod:`repro.serve.engine`), and exposed over JSON/HTTP by
+:class:`ModelServer` (:mod:`repro.serve.server`) — the ``repro export``
+and ``repro serve`` CLI commands.  See ``docs/serving.md``.
+"""
+
+from .artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    MODEL_CLASS_NAMES,
+    load_embedding_artifact,
+    load_model_artifact,
+    network_from_arrays,
+    network_to_arrays,
+    read_artifact_meta,
+    save_embedding_artifact,
+    save_model_artifact,
+)
+from .engine import ScoringEngine
+from .server import MAX_BODY_BYTES, SERVE_SCHEMA, ModelServer
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactError",
+    "MAX_BODY_BYTES",
+    "MODEL_CLASS_NAMES",
+    "ModelServer",
+    "SERVE_SCHEMA",
+    "ScoringEngine",
+    "load_embedding_artifact",
+    "load_model_artifact",
+    "network_from_arrays",
+    "network_to_arrays",
+    "read_artifact_meta",
+    "save_embedding_artifact",
+    "save_model_artifact",
+]

@@ -1,0 +1,346 @@
+"""Serving artifacts: a no-pickle on-disk bundle for fitted models.
+
+An artifact freezes everything a scoring process needs — learned
+weights, constructor configuration, the expanded oriented tie set and a
+content fingerprint of the training network — into one directory::
+
+    artifact/
+      artifact.json   # schema, model class, params, dataset fingerprint,
+                      # and a dtype/shape manifest of every array
+      weights.npz     # plain numpy arrays, loaded with allow_pickle=False
+
+Because the bundle stores the canonical tie lists of the training
+network, :func:`load_model_artifact` rebuilds the identical
+:class:`~repro.graph.MixedSocialNetwork` (same oriented tie ids) and
+returns a fitted model whose ``tie_scores()`` match the original
+exactly — verified against the stored dataset fingerprint at load time.
+
+Every array is validated against the JSON manifest before use, so a
+truncated or tampered bundle fails with :class:`ArtifactError` naming
+the offending array rather than a numpy broadcast error downstream.
+
+The same bundle layout (``kind: "embedding"``) generalises
+:mod:`repro.embedding.persistence` for bare E-Step results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..embedding.deepdirect import EmbeddingResult
+from ..embedding.persistence import embedding_from_arrays, embedding_to_arrays
+from ..graph import MixedSocialNetwork, TieKind
+from ..obs import network_fingerprint, span
+
+#: Schema tag written into every ``artifact.json``.
+ARTIFACT_SCHEMA = "repro_artifact/v1"
+
+#: File names inside an artifact bundle directory.
+ARTIFACT_META = "artifact.json"
+ARTIFACT_WEIGHTS = "weights.npz"
+
+#: Model classes an artifact may name (the registry keeps loading
+#: closed-world: nothing outside this set is ever instantiated).
+MODEL_CLASS_NAMES = (
+    "DeepDirectModel",
+    "HFModel",
+    "LineModel",
+    "Node2VecModel",
+    "ReDirectNSM",
+    "ReDirectTSM",
+)
+
+#: ``weights.npz`` names reserved for the network arrays.
+_NETWORK_ARRAYS = ("network_tie_src", "network_tie_dst", "network_tie_kind")
+
+
+class ArtifactError(ValueError):
+    """Raised when an artifact bundle is missing, malformed or tampered."""
+
+
+def _model_class(name: str):
+    if name not in MODEL_CLASS_NAMES:
+        raise ArtifactError(
+            f"unknown model class {name!r}; expected one of "
+            f"{sorted(MODEL_CLASS_NAMES)}"
+        )
+    import repro.models as models
+
+    return getattr(models, name)
+
+
+# ----------------------------------------------------------------------
+# Network round-trip
+# ----------------------------------------------------------------------
+
+
+def network_to_arrays(network: MixedSocialNetwork) -> dict[str, np.ndarray]:
+    """The expanded oriented tie set as plain arrays."""
+    return {
+        "network_tie_src": np.asarray(network.tie_src, dtype=np.int64),
+        "network_tie_dst": np.asarray(network.tie_dst, dtype=np.int64),
+        "network_tie_kind": np.asarray(network.tie_kind, dtype=np.int8),
+    }
+
+
+def network_from_arrays(
+    tie_src: np.ndarray,
+    tie_dst: np.ndarray,
+    tie_kind: np.ndarray,
+    n_nodes: int,
+) -> MixedSocialNetwork:
+    """Rebuild a network with *identical* oriented tie ids.
+
+    The expanded layout is ``[E_d fwd | E_d rev | E_b both | E_u both]``
+    (see :class:`~repro.graph.MixedSocialNetwork`), so slicing the
+    canonical pair lists back out and re-running the constructor is an
+    exact inverse of the expansion.
+    """
+    tie_src = np.asarray(tie_src, dtype=np.int64)
+    tie_dst = np.asarray(tie_dst, dtype=np.int64)
+    tie_kind = np.asarray(tie_kind)
+    pairs = np.column_stack([tie_src, tie_dst])
+    nd = int(np.count_nonzero(tie_kind == int(TieKind.DIRECTED)))
+    nb = int(np.count_nonzero(tie_kind == int(TieKind.BIDIRECTIONAL))) // 2
+    nu = int(np.count_nonzero(tie_kind == int(TieKind.UNDIRECTED))) // 2
+    if len(pairs) != 2 * (nd + nb + nu):
+        raise ArtifactError(
+            f"inconsistent tie arrays: {len(pairs)} oriented ties cannot "
+            f"expand from |E_d|={nd}, |E_b|={nb}, |E_u|={nu}"
+        )
+    e_d = pairs[:nd]
+    e_b = pairs[2 * nd : 2 * nd + nb]
+    e_u = pairs[2 * nd + 2 * nb : 2 * nd + 2 * nb + nu]
+    try:
+        network = MixedSocialNetwork(
+            int(n_nodes), e_d, e_b, e_u, validate=False
+        )
+    except Exception as exc:
+        # Corrupt tie arrays can fail the constructor's structural
+        # invariants (duplicate oriented ties, out-of-range nodes, ...);
+        # surface every such case as a bundle problem.
+        raise ArtifactError(
+            f"stored tie arrays do not form a valid network: {exc}"
+        ) from exc
+    if (
+        not np.array_equal(network.tie_src, tie_src)
+        or not np.array_equal(network.tie_dst, tie_dst)
+        or not np.array_equal(
+            network.tie_kind, tie_kind.astype(network.tie_kind.dtype)
+        )
+    ):
+        raise ArtifactError(
+            "stored tie arrays do not round-trip through the expanded "
+            "layout; the bundle was not written by save_model_artifact"
+        )
+    return network
+
+
+# ----------------------------------------------------------------------
+# Bundle I/O
+# ----------------------------------------------------------------------
+
+
+def _array_manifest(arrays: Mapping[str, np.ndarray]) -> dict[str, Any]:
+    return {
+        name: {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+        for name, arr in arrays.items()
+    }
+
+
+def _write_bundle(
+    path: str | os.PathLike, meta: dict, arrays: dict[str, np.ndarray]
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    meta = dict(meta)
+    meta["arrays"] = _array_manifest(arrays)
+    np.savez(path / ARTIFACT_WEIGHTS, **arrays)
+    with open(path / ARTIFACT_META, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_artifact_meta(path: str | os.PathLike) -> dict[str, Any]:
+    """Read and schema-check the ``artifact.json`` side-car of a bundle."""
+    path = pathlib.Path(path)
+    meta_path = path / ARTIFACT_META
+    if not meta_path.is_file():
+        raise ArtifactError(
+            f"{path} is not an artifact bundle (no {ARTIFACT_META})"
+        )
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{meta_path} is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("schema") != ARTIFACT_SCHEMA:
+        raise ArtifactError(
+            f"{meta_path} has schema "
+            f"{meta.get('schema') if isinstance(meta, dict) else None!r}; "
+            f"expected {ARTIFACT_SCHEMA}"
+        )
+    return meta
+
+
+def _read_bundle(
+    path: str | os.PathLike, kind: str
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    path = pathlib.Path(path)
+    meta = read_artifact_meta(path)
+    if meta.get("kind") != kind:
+        raise ArtifactError(
+            f"{path} holds a {meta.get('kind')!r} artifact, not {kind!r}"
+        )
+    weights_path = path / ARTIFACT_WEIGHTS
+    if not weights_path.is_file():
+        raise ArtifactError(f"{path} is missing {ARTIFACT_WEIGHTS}")
+    with np.load(weights_path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    expected = meta.get("arrays")
+    if not isinstance(expected, dict):
+        raise ArtifactError(f"{path} has no array manifest in its metadata")
+    missing = set(expected) - set(arrays)
+    if missing:
+        raise ArtifactError(
+            f"{path} is truncated: missing arrays {sorted(missing)}"
+        )
+    for name, spec in expected.items():
+        arr = arrays[name]
+        if str(arr.dtype) != spec.get("dtype") or list(arr.shape) != list(
+            spec.get("shape", ())
+        ):
+            raise ArtifactError(
+                f"{path}: array {name!r} has dtype={arr.dtype}, "
+                f"shape={tuple(arr.shape)} but the manifest declares "
+                f"dtype={spec.get('dtype')}, "
+                f"shape={tuple(spec.get('shape', ()))}; the bundle is "
+                "truncated or was modified"
+            )
+    return meta, arrays
+
+
+# ----------------------------------------------------------------------
+# Model artifacts
+# ----------------------------------------------------------------------
+
+
+def save_model_artifact(model, path: str | os.PathLike) -> pathlib.Path:
+    """Write a fitted :class:`~repro.models.TieDirectionModel` bundle.
+
+    Prefer the method form ``model.to_artifact(path)``; this function is
+    the implementation behind it.
+    """
+    network = model._check_fitted()  # noqa: SLF001 - intra-package API
+    class_name = type(model).__name__
+    if class_name not in MODEL_CLASS_NAMES:
+        raise ArtifactError(
+            f"{class_name} is not a registered artifact model class"
+        )
+    with span("serve.save_artifact", model=class_name):
+        arrays = network_to_arrays(network)
+        model_arrays = model._artifact_arrays()  # noqa: SLF001
+        collision = set(model_arrays) & set(arrays)
+        if collision:
+            raise ArtifactError(
+                f"model arrays shadow reserved names {sorted(collision)}"
+            )
+        arrays.update(
+            {name: np.asarray(arr) for name, arr in model_arrays.items()}
+        )
+        meta = {
+            "schema": ARTIFACT_SCHEMA,
+            "kind": "model",
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "model_class": class_name,
+            "params": model._artifact_params(),  # noqa: SLF001
+            "dataset": network_fingerprint(network),
+            "packages": {"numpy": np.__version__},
+        }
+        return _write_bundle(path, meta, arrays)
+
+
+def load_model_artifact(
+    path: str | os.PathLike, expected: type | None = None
+):
+    """Load a model bundle back into a fitted, scoring-ready model.
+
+    Parameters
+    ----------
+    path:
+        Bundle directory written by :func:`save_model_artifact`.
+    expected:
+        Optional model class the bundle must hold (mismatches raise
+        :class:`ArtifactError`).
+
+    The reconstructed network is re-fingerprinted and compared against
+    the stored dataset fingerprint, so id-to-tie alignment of the
+    restored scores is guaranteed, not assumed.
+    """
+    with span("serve.load_artifact"):
+        meta, arrays = _read_bundle(path, kind="model")
+        for name in _NETWORK_ARRAYS:
+            if name not in arrays:
+                raise ArtifactError(f"{path} is missing array {name!r}")
+        dataset = meta.get("dataset") or {}
+        network = network_from_arrays(
+            arrays["network_tie_src"],
+            arrays["network_tie_dst"],
+            arrays["network_tie_kind"],
+            n_nodes=int(dataset.get("n_nodes", 0)),
+        )
+        fingerprint = network_fingerprint(network)["fingerprint"]
+        if dataset.get("fingerprint") != fingerprint:
+            raise ArtifactError(
+                f"{path}: dataset fingerprint mismatch (stored "
+                f"{dataset.get('fingerprint')}, rebuilt {fingerprint})"
+            )
+        cls = _model_class(meta.get("model_class", ""))
+        if expected is not None and not issubclass(cls, expected):
+            raise ArtifactError(
+                f"{path} holds a {cls.__name__}, not a {expected.__name__}"
+            )
+        params = meta.get("params") or {}
+        model = cls._from_artifact_params(params)  # noqa: SLF001
+        model.network = network
+        model._restore_artifact(arrays, params)  # noqa: SLF001
+        return model
+
+
+# ----------------------------------------------------------------------
+# Embedding artifacts (generalising embedding/persistence.py)
+# ----------------------------------------------------------------------
+
+
+def save_embedding_artifact(
+    result: EmbeddingResult,
+    path: str | os.PathLike,
+    network: MixedSocialNetwork | None = None,
+) -> pathlib.Path:
+    """Write a bare E-Step :class:`EmbeddingResult` as an artifact bundle.
+
+    Pass the training ``network`` to stamp its fingerprint into the
+    metadata (recommended — it documents which graph the tie ids of the
+    embedding rows refer to).
+    """
+    meta = {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "embedding",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "dataset": network_fingerprint(network) if network is not None else {},
+        "packages": {"numpy": np.__version__},
+    }
+    return _write_bundle(path, meta, embedding_to_arrays(result))
+
+
+def load_embedding_artifact(path: str | os.PathLike) -> EmbeddingResult:
+    """Read an embedding bundle written by :func:`save_embedding_artifact`."""
+    _meta, arrays = _read_bundle(path, kind="embedding")
+    return embedding_from_arrays(arrays, source=str(path))

@@ -1,0 +1,278 @@
+"""Batch scoring engine: the query-time core of :mod:`repro.serve`.
+
+A :class:`ScoringEngine` wraps one fitted model (usually reloaded from
+an artifact) and answers directionality queries as *batches*:
+
+* :meth:`ScoringEngine.score_pairs` — one vectorised ``d(u, v)`` lookup
+  per ``(k, 2)`` request, through
+  :meth:`~repro.models.TieDirectionModel.directionality_batch`.
+* An **LRU cache** over individual ``(u, v)`` queries, so hot pairs in
+  repeated traffic (the millions-of-users north star) skip even the
+  vectorised path.
+* **Micro-batching** (:meth:`ScoringEngine.score_pairs_coalesced`):
+  concurrent requests arriving within a small window are coalesced into
+  one vectorised scoring call — the server threads pay one lookup for
+  the whole window instead of one each.
+* :meth:`ScoringEngine.discover_pairs` — Eq. 28 direction discovery for
+  undirected pairs, batched.
+
+Every call updates a :class:`repro.obs.MetricsRegistry` (request/pair
+counters, cache hits, latency EMA) and opens ``serve.*`` spans on the
+active tracer, so served traffic lands in the same manifests and traces
+as training runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..obs import MetricsRegistry, span
+
+
+class _Request:
+    """One caller's pairs awaiting a coalesced scoring round."""
+
+    __slots__ = ("pairs", "done", "result", "error")
+
+    def __init__(self, pairs: np.ndarray) -> None:
+        self.pairs = pairs
+        self.done = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class ScoringEngine:
+    """Vectorised, cached, micro-batched scoring over one fitted model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.models.TieDirectionModel` (freshly
+        trained or restored via
+        :func:`repro.serve.load_model_artifact`).
+    cache_size:
+        Maximum ``(u, v)`` entries in the per-pair LRU cache; ``0``
+        disables caching.
+    batch_window_s:
+        How long the leader of a coalescing round waits for concurrent
+        requests to pile up before scoring them together.
+    max_coalesced_pairs:
+        Pair budget of one coalescing round; a round closes early once
+        the pending requests reach it.
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry`; a private
+        one is created by default.  All metric names are prefixed
+        ``serve.``.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        cache_size: int = 4096,
+        batch_window_s: float = 0.002,
+        max_coalesced_pairs: int = 65536,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if max_coalesced_pairs < 1:
+            raise ValueError("max_coalesced_pairs must be positive")
+        self.model = model
+        self.network = model._check_fitted()  # noqa: SLF001
+        self.cache_size = cache_size
+        self.batch_window_s = batch_window_s
+        self.max_coalesced_pairs = max_coalesced_pairs
+        self.metrics = metrics or MetricsRegistry()
+        self._cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._mb_lock = threading.Lock()
+        self._pending: list[_Request] = []
+        self._pending_pairs = 0
+        self._leader_active = False
+        self.started_at = time.time()
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _as_pairs(pairs) -> np.ndarray:
+        arr = np.asarray(pairs, dtype=np.int64)
+        if arr.size == 0:
+            return arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(
+                f"pairs must be a (k, 2) array; got shape {arr.shape}"
+            )
+        return arr
+
+    def _cache_get_many(
+        self, pairs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached values (NaN where absent) and the boolean hit mask."""
+        values = np.full(len(pairs), np.nan)
+        hits = np.zeros(len(pairs), dtype=bool)
+        with self._cache_lock:
+            for i, (u, v) in enumerate(pairs):
+                cached = self._cache.get((int(u), int(v)))
+                if cached is not None:
+                    self._cache.move_to_end((int(u), int(v)))
+                    values[i] = cached
+                    hits[i] = True
+        return values, hits
+
+    def _cache_put_many(self, pairs: np.ndarray, scores: np.ndarray) -> None:
+        with self._cache_lock:
+            for (u, v), score in zip(pairs, scores):
+                self._cache[(int(u), int(v))] = float(score)
+                self._cache.move_to_end((int(u), int(v)))
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # -- scoring --------------------------------------------------------
+
+    def score_pairs(self, pairs, use_cache: bool = True) -> np.ndarray:
+        """``d(u, v)`` for a ``(k, 2)`` batch of oriented-tie pairs.
+
+        Cached pairs are answered from the LRU; the misses go through
+        one vectorised ``directionality_batch`` call.  Raises
+        :class:`KeyError` when a pair is not an oriented tie.
+        """
+        pairs = self._as_pairs(pairs)
+        start = time.perf_counter()
+        # No Timer here: one Timer instance is not safe under concurrent
+        # server threads; the latency EMA plus the request counter carry
+        # the same signal race-free.
+        with span("serve.score", pairs=int(len(pairs))):
+            if not use_cache or self.cache_size == 0:
+                scores = self.model.directionality_batch(pairs)
+                self.metrics.counter("serve.cache_misses").inc(len(pairs))
+            else:
+                scores, hits = self._cache_get_many(pairs)
+                n_miss = int((~hits).sum())
+                self.metrics.counter("serve.cache_hits").inc(
+                    len(pairs) - n_miss
+                )
+                self.metrics.counter("serve.cache_misses").inc(n_miss)
+                if n_miss:
+                    missed = pairs[~hits]
+                    fresh = self.model.directionality_batch(missed)
+                    scores[~hits] = fresh
+                    self._cache_put_many(missed, fresh)
+            self.metrics.counter("serve.requests").inc()
+            self.metrics.counter("serve.pairs").inc(len(pairs))
+            self.metrics.ema("serve.batch_pairs").update(len(pairs))
+            self.metrics.ema("serve.latency_ms").update(
+                (time.perf_counter() - start) * 1e3
+            )
+        return scores
+
+    def score_pairs_coalesced(self, pairs) -> np.ndarray:
+        """Like :meth:`score_pairs`, coalescing concurrent callers.
+
+        The first caller of a round becomes the *leader*: it waits
+        ``batch_window_s`` for other threads to enqueue their pairs,
+        then scores everything pending in one vectorised call and
+        distributes the slices.  Later callers just wait on their slice.
+        With a single caller this degrades to ``score_pairs`` plus one
+        short sleep.
+        """
+        request = _Request(self._as_pairs(pairs))
+        with self._mb_lock:
+            self._pending.append(request)
+            self._pending_pairs += len(request.pairs)
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+        if leader:
+            if self.batch_window_s > 0:
+                deadline = time.perf_counter() + self.batch_window_s
+                while time.perf_counter() < deadline:
+                    with self._mb_lock:
+                        if self._pending_pairs >= self.max_coalesced_pairs:
+                            break
+                    time.sleep(self.batch_window_s / 8)
+            with self._mb_lock:
+                batch = self._pending
+                self._pending = []
+                self._pending_pairs = 0
+                self._leader_active = False
+            self._score_round(batch)
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def _score_round(self, batch: list[_Request]) -> None:
+        """Score one coalesced round, isolating per-request failures."""
+        self.metrics.counter("serve.rounds").inc()
+        self.metrics.ema("serve.coalesced_requests").update(len(batch))
+        try:
+            stacked = np.concatenate([r.pairs for r in batch])
+            scores = self.score_pairs(stacked)
+            offset = 0
+            for request in batch:
+                request.result = scores[offset : offset + len(request.pairs)]
+                offset += len(request.pairs)
+        except Exception:
+            # One bad pair poisons the stacked call; rescore per request
+            # so only the offending caller sees the error.
+            for request in batch:
+                try:
+                    request.result = self.score_pairs(request.pairs)
+                except Exception as exc:  # noqa: BLE001 - handed to caller
+                    request.error = exc
+        finally:
+            for request in batch:
+                request.done.set()
+
+    def discover_pairs(self, pairs) -> np.ndarray:
+        """Predicted ``(source, target)`` per pair (Eq. 28), batched.
+
+        Each row may arrive in either orientation; scoring happens in
+        canonical order so the ``>=`` tie-break is orientation-stable
+        (mirrors :func:`repro.apps.predict_directions`).
+        """
+        pairs = self._as_pairs(pairs)
+        if len(pairs) == 0:
+            return pairs.copy()
+        with span("serve.discover", pairs=int(len(pairs))):
+            a = np.minimum(pairs[:, 0], pairs[:, 1])
+            b = np.maximum(pairs[:, 0], pairs[:, 1])
+            forward = self.score_pairs(np.column_stack([a, b]))
+            backward = self.score_pairs(np.column_stack([b, a]))
+            keep = (forward >= backward)[:, None]
+            self.metrics.counter("serve.discovered").inc(len(pairs))
+            return np.where(
+                keep, np.column_stack([a, b]), np.column_stack([b, a])
+            )
+
+    # -- introspection --------------------------------------------------
+
+    def cache_info(self) -> dict[str, float | int]:
+        """Cache occupancy and hit-rate snapshot."""
+        hits = self.metrics.counter("serve.cache_hits").value
+        misses = self.metrics.counter("serve.cache_misses").value
+        total = hits + misses
+        with self._cache_lock:
+            size = len(self._cache)
+        return {
+            "cache_size": self.cache_size,
+            "cache_entries": size,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / total if total else 0.0,
+        }
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """All serving metrics as one flat, JSON-ready dict."""
+        out = self.metrics.snapshot()
+        out.update(self.cache_info())
+        out["uptime_s"] = time.time() - self.started_at
+        return out

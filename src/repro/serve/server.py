@@ -1,0 +1,239 @@
+"""Stdlib JSON-over-HTTP front end for a :class:`ScoringEngine`.
+
+A :class:`ModelServer` wraps :class:`http.server.ThreadingHTTPServer`
+(one thread per connection, no third-party dependencies) and exposes
+
+``POST /score``
+    Body ``{"pairs": [[u, v], ...], "cache": true?}`` →
+    ``{"scores": [...], "count": k, "latency_ms": ...}``.  Concurrent
+    requests are micro-batched through the engine's coalescing path.
+``POST /discover``
+    Body ``{"pairs": [[u, v], ...]}`` →
+    ``{"directions": [[source, target], ...], "count": k}`` (Eq. 28 on
+    each undirected pair).
+``GET /healthz``
+    Liveness + model identity:
+    ``{"status": "ok", "model": ..., "n_nodes": ..., "n_ties": ...,
+    "uptime_s": ...}``.
+``GET /metrics``
+    The engine's full metrics snapshot (counters, cache stats, latency
+    EMA) as JSON.
+
+Malformed bodies answer ``400`` with ``{"error": ...}``; pairs that are
+not oriented ties of the served network answer ``404``; unknown paths
+answer ``404``.  Endpoint schemas are documented in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from .engine import ScoringEngine
+
+#: Schema tag included in every JSON response.
+SERVE_SCHEMA = "repro_serve/v1"
+
+#: Reject request bodies beyond this many bytes (64 MiB ~ 2M pairs).
+MAX_BODY_BYTES = 64 * 2**20
+
+
+class _BadRequest(ValueError):
+    """Client error carrying the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - log cosmetics
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        payload = {"schema": SERVE_SCHEMA, **payload}
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_pairs(self) -> tuple[np.ndarray, dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("request body with a JSON object is required")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"request body exceeds {MAX_BODY_BYTES} bytes", status=413
+            )
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "pairs" not in payload:
+            raise _BadRequest('body must be an object with a "pairs" key')
+        try:
+            pairs = np.asarray(payload["pairs"], dtype=np.int64)
+            if pairs.size == 0:
+                pairs = pairs.reshape(0, 2)
+            if pairs.ndim != 2 or pairs.shape[1] != 2:
+                raise ValueError(f"got shape {pairs.shape}")
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise _BadRequest(
+                f'"pairs" must be a list of [u, v] integer pairs ({exc})'
+            ) from exc
+        return pairs, payload
+
+    # -- endpoints ------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        engine = self.server.engine
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "model": type(engine.model).__name__,
+                    "n_nodes": int(engine.network.n_nodes),
+                    "n_ties": int(engine.network.n_ties),
+                    "uptime_s": round(time.time() - engine.started_at, 3),
+                    "requests": engine.metrics.counter(
+                        "serve.requests"
+                    ).value,
+                },
+            )
+        elif self.path == "/metrics":
+            self._respond(200, {"metrics": engine.snapshot()})
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        engine = self.server.engine
+        start = time.perf_counter()
+        try:
+            pairs, payload = self._read_pairs()
+            if self.path == "/score":
+                if payload.get("cache", True):
+                    scores = engine.score_pairs_coalesced(pairs)
+                else:
+                    scores = engine.score_pairs(pairs, use_cache=False)
+                self._respond(
+                    200,
+                    {
+                        "scores": [float(s) for s in scores],
+                        "count": int(len(scores)),
+                        "latency_ms": round(
+                            (time.perf_counter() - start) * 1e3, 3
+                        ),
+                    },
+                )
+            elif self.path == "/discover":
+                directions = engine.discover_pairs(pairs)
+                self._respond(
+                    200,
+                    {
+                        "directions": [
+                            [int(u), int(v)] for u, v in directions
+                        ],
+                        "count": int(len(directions)),
+                        "latency_ms": round(
+                            (time.perf_counter() - start) * 1e3, 3
+                        ),
+                    },
+                )
+            else:
+                self._respond(404, {"error": f"unknown path {self.path!r}"})
+        except _BadRequest as exc:
+            self._respond(exc.status, {"error": str(exc)})
+        except KeyError as exc:
+            self._respond(404, {"error": str(exc.args[0]) if exc.args else
+                                "unknown tie"})
+        except ValueError as exc:
+            self._respond(400, {"error": str(exc)})
+
+
+class ModelServer:
+    """A threaded HTTP server around one :class:`ScoringEngine`.
+
+    >>> from repro.serve import ModelServer  # doctest: +SKIP
+    >>> server = ModelServer(engine, port=0)  # doctest: +SKIP
+    >>> with server:                          # doctest: +SKIP
+    ...     print(server.url)
+
+    Parameters
+    ----------
+    engine:
+        The scoring engine to expose.
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port (the bound
+        port is available as :attr:`port` / :attr:`url`).
+    verbose:
+        Log one line per request to stderr (off by default).
+    """
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.engine = engine
+        self._httpd.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0`` requests)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ModelServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

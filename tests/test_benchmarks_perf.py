@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import json
 
-from benchmarks.perf import check_speedup, check_trace_overhead, main
+from benchmarks.perf import (
+    check_serving,
+    check_speedup,
+    check_trace_overhead,
+    main,
+)
 
 
 def test_harness_writes_machine_readable_report(tmp_path):
@@ -51,6 +56,13 @@ def test_harness_writes_machine_readable_report(tmp_path):
     assert overhead["noop_span_s"] > 0
     assert overhead["disabled_overhead_fraction"] is not None
 
+    serving = report["serving"]
+    assert serving["identical_to_fitted"] is True
+    assert serving["n_pairs"] == 1000
+    assert 0 < serving["p50_ms"] <= serving["p95_ms"]
+    assert serving["pairs_per_sec"] > 0
+    assert 0 <= serving["cache_hit_rate"] <= 1
+
     # The report is a valid `repro report` input (the diff baseline).
     from repro.obs import load_run
 
@@ -82,6 +94,32 @@ def test_check_speedup_skips_on_single_core(capsys):
         },
     }
     assert check_speedup(report, 1.0) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_check_serving(capsys):
+    good = {
+        "serving": {
+            "identical_to_fitted": True,
+            "n_pairs": 1000,
+            "p50_ms": 8.0,
+            "pairs_per_sec": 1e5,
+        }
+    }
+    assert check_serving(good, 500.0) == 0
+    assert "ok" in capsys.readouterr().out
+
+    slow = {"serving": {**good["serving"], "p50_ms": 900.0}}
+    assert check_serving(slow, 500.0) == 1
+    assert "p50" in capsys.readouterr().out
+
+    diverged = {
+        "serving": {**good["serving"], "identical_to_fitted": False}
+    }
+    assert check_serving(diverged, 500.0) == 1
+    assert "not identical" in capsys.readouterr().out
+
+    assert check_serving({}, 500.0) == 0
     assert "skipped" in capsys.readouterr().out
 
 

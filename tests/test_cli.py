@@ -311,3 +311,58 @@ def test_quantify_with_node2vec(tmp_path, capsys):
     )
     assert code == 0
     assert "d_uv" in capsys.readouterr().out
+
+
+def test_export_and_serve_smoke(tie_file, tmp_path, capsys):
+    bundle = tmp_path / "artifact"
+    assert main(["export", tie_file, str(bundle), "--method", "hf"]) == 0
+    assert (bundle / "artifact.json").is_file()
+    assert (bundle / "weights.npz").is_file()
+    assert "HFModel artifact" in capsys.readouterr().out
+
+    manifest = tmp_path / "serve_manifest.json"
+    code = main(
+        [
+            "serve", str(bundle),
+            "--port", "0",
+            "--smoke", "200",
+            "--manifest", str(manifest),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serve smoke: ok" in out
+
+    import json
+
+    data = json.loads(manifest.read_text())
+    assert data["command"] == "serve"
+    # The acceptance criterion: cache-hit and latency metrics land in
+    # the run manifest of the smoke run.
+    assert data["metrics"]["serve.requests"] == 2
+    assert data["metrics"]["cache_hit_rate"] == 0.5
+    assert data["metrics"]["serve.latency_ms"] > 0
+    assert "serve.load_artifact" in data["phases"]
+
+
+def test_export_writes_loadable_bundle(tie_file, tmp_path):
+    import numpy as np
+
+    from repro.graph import read_tie_list
+    from repro.models import HFModel
+    from repro.serve import load_model_artifact
+
+    bundle = tmp_path / "artifact"
+    assert main(
+        ["--seed", "3", "export", tie_file, str(bundle), "--method", "hf"]
+    ) == 0
+    restored = load_model_artifact(bundle)
+    reference = HFModel().fit(read_tie_list(tie_file), seed=3)
+    assert np.array_equal(restored.tie_scores(), reference.tie_scores())
+
+
+def test_serve_rejects_bad_bundle(tmp_path, capsys):
+    from repro.serve import ArtifactError
+
+    with pytest.raises(ArtifactError):
+        main(["serve", str(tmp_path / "nowhere"), "--smoke", "10"])

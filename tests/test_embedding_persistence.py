@@ -1,4 +1,11 @@
-"""Unit tests for embedding persistence."""
+"""Unit tests for embedding persistence.
+
+The bare ``save_embedding``/``load_embedding`` pair is deprecated in
+favour of the serving-artifact API (``repro.serve``); the shims must
+keep round-tripping legacy ``.npz`` files while warning, and
+``load_embedding`` must reject truncated or mismatched archives with a
+clear ``ValueError`` instead of mis-loading them.
+"""
 
 import numpy as np
 import pytest
@@ -8,6 +15,11 @@ from repro.embedding import (
     load_embedding,
     save_embedding,
 )
+from repro.embedding.persistence import (
+    EMBEDDING_ARRAY_NAMES,
+    embedding_from_arrays,
+    embedding_to_arrays,
+)
 
 
 @pytest.fixture(scope="module")
@@ -15,10 +27,17 @@ def trained(discovery_task, fast_config):
     return DeepDirectEmbedding(fast_config).fit(discovery_task.network, seed=0)
 
 
-def test_roundtrip(trained, tmp_path):
+@pytest.fixture
+def saved(trained, tmp_path):
     path = tmp_path / "emb.npz"
-    save_embedding(trained, path)
-    restored = load_embedding(path)
+    with pytest.warns(DeprecationWarning, match="save_embedding"):
+        save_embedding(trained, path)
+    return path
+
+
+def test_roundtrip(trained, saved):
+    with pytest.warns(DeprecationWarning, match="load_embedding"):
+        restored = load_embedding(saved)
     assert np.array_equal(restored.embeddings, trained.embeddings)
     assert np.array_equal(restored.contexts, trained.contexts)
     assert np.array_equal(
@@ -29,15 +48,79 @@ def test_roundtrip(trained, tmp_path):
     assert restored.n_pairs_trained == trained.n_pairs_trained
 
 
-def test_scores_survive_roundtrip(trained, tmp_path):
-    path = tmp_path / "emb.npz"
-    save_embedding(trained, path)
-    restored = load_embedding(path)
+def test_scores_survive_roundtrip(trained, saved):
+    with pytest.warns(DeprecationWarning):
+        restored = load_embedding(saved)
     assert np.allclose(restored.tie_scores(), trained.tie_scores())
 
 
 def test_wrong_file_rejected(tmp_path):
     path = tmp_path / "other.npz"
     np.savez(path, something=np.zeros(3))
-    with pytest.raises(ValueError, match="not a saved embedding"):
-        load_embedding(path)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="not a saved embedding"):
+            load_embedding(path)
+
+
+def test_deprecation_points_at_replacement(trained, tmp_path):
+    with pytest.warns(DeprecationWarning, match="save_embedding_artifact"):
+        save_embedding(trained, tmp_path / "emb.npz")
+    with pytest.warns(DeprecationWarning, match="load_embedding_artifact"):
+        load_embedding(tmp_path / "emb.npz")
+
+
+def _corrupt_and_save(trained, tmp_path, name, value):
+    arrays = embedding_to_arrays(trained)
+    arrays[name] = value
+    path = tmp_path / "bad.npz"
+    np.savez(path, **arrays)
+    return path
+
+
+@pytest.mark.parametrize(
+    "name, value, match",
+    [
+        # Truncated matrix: 1-D instead of (n, d).
+        ("embeddings", np.zeros(7), "2-D float matrix"),
+        # Integer-typed where floats are required.
+        ("contexts", np.zeros((3, 4), dtype=np.int64), "2-D float matrix"),
+        # Weight vector shorter than the embedding dimension.
+        ("classifier_weights", np.zeros(2), "truncated or mismatched"),
+        # Bias must be exactly one float.
+        ("classifier_bias", np.zeros(3), "single float"),
+        # History rows must be (step, loss) pairs.
+        ("loss_history", np.zeros((4, 3)), r"\(n, 2\) numeric pairs"),
+        # Pair counter must be a single integer.
+        ("n_pairs_trained", np.asarray([1.5]), "single integer"),
+    ],
+)
+def test_truncated_archive_rejected(trained, tmp_path, name, value, match):
+    path = _corrupt_and_save(trained, tmp_path, name, value)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match=match):
+            load_embedding(path)
+
+
+def test_mismatched_embeddings_contexts_rejected(trained, tmp_path):
+    arrays = embedding_to_arrays(trained)
+    path = _corrupt_and_save(
+        trained, tmp_path, "contexts", arrays["contexts"][:-1]
+    )
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="identical shapes"):
+            load_embedding(path)
+
+
+def test_error_names_source_and_array(trained, tmp_path):
+    path = _corrupt_and_save(trained, tmp_path, "embeddings", np.zeros(3))
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match=str(path)):
+            load_embedding(path)
+
+
+def test_array_contract_is_total(trained):
+    arrays = embedding_to_arrays(trained)
+    assert set(arrays) == set(EMBEDDING_ARRAY_NAMES)
+    restored = embedding_from_arrays(arrays)
+    assert np.array_equal(restored.embeddings, trained.embeddings)
+    assert restored.n_pairs_trained == trained.n_pairs_trained

@@ -101,6 +101,36 @@ class TestTieIndexing:
         for u, v in net.social_ties(TieKind.BIDIRECTIONAL):
             assert np.isnan(labels[net.tie_id(u, v)])
 
+    def test_tie_ids_matches_scalar_lookup(self, tiny_network):
+        net = tiny_network
+        pairs = np.column_stack([net.tie_src, net.tie_dst])
+        assert np.array_equal(net.tie_ids(pairs), np.arange(net.n_ties))
+
+    def test_tie_ids_empty(self, tiny_network):
+        ids = tiny_network.tie_ids(np.zeros((0, 2), dtype=np.int64))
+        assert ids.shape == (0,)
+
+    def test_tie_ids_bad_shape(self, tiny_network):
+        with pytest.raises(ValueError, match=r"\(k, 2\)"):
+            tiny_network.tie_ids([[0, 1, 2]])
+
+    def test_tie_ids_missing_raises_with_pair(self, tiny_network):
+        with pytest.raises(KeyError, match=r"\(0, 9\)"):
+            tiny_network.tie_ids([[0, 9]])
+
+    def test_tie_ids_missing_ignore(self, tiny_network):
+        net = tiny_network
+        pairs = [[net.tie_src[3], net.tie_dst[3]], [0, 9]]
+        ids = net.tie_ids(pairs, missing="ignore")
+        assert ids[0] == 3
+        assert ids[1] == -1
+
+    def test_tie_ids_out_of_range_node(self, tiny_network):
+        with pytest.raises(KeyError):
+            tiny_network.tie_ids([[0, 99]])
+        ids = tiny_network.tie_ids([[-1, 5]], missing="ignore")
+        assert ids[0] == -1
+
 
 class TestDegrees:
     def test_mixed_degree_halves(self):

@@ -61,9 +61,28 @@ class TestSharedBehaviour:
         value = model.directionality(u, v)
         assert value == pytest.approx(float(model.tie_scores()[0]))
 
+    def test_directionality_batch_matches_loop(self, fitted, discovery_task):
+        model, _name = fitted
+        net = discovery_task.network
+        pairs = np.column_stack([net.tie_src[:30], net.tie_dst[:30]])
+        batched = model.directionality_batch(pairs)
+        looped = [model.directionality(int(u), int(v)) for u, v in pairs]
+        assert np.array_equal(batched, np.asarray(looped))
+
+    def test_directionality_batch_empty(self, fitted):
+        model, _name = fitted
+        assert model.directionality_batch([]).shape == (0,)
+
+    def test_directionality_batch_unknown_pair(self, fitted):
+        model, _name = fitted
+        with pytest.raises(KeyError, match="no oriented tie"):
+            model.directionality_batch([[0, 0]])
+
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError, match="not fitted"):
             HFModel().tie_scores()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            HFModel().directionality_batch([[0, 1]])
 
 
 class TestReDirectSpecifics:

@@ -1,0 +1,266 @@
+"""Artifact bundles: fit → save → load → identical tie scores.
+
+Covers the `repro.serve` artifact layer for every registered model
+class, plus the failure modes a bundle can arrive in (missing files,
+truncated arrays, tampered manifests, wrong fingerprints).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GeneratorConfig,
+    generate_social_network,
+    hide_directions,
+)
+from repro.embedding import (
+    DeepDirectConfig,
+    DeepDirectEmbedding,
+    LineConfig,
+    Node2VecConfig,
+)
+from repro.models import (
+    DeepDirectModel,
+    HFModel,
+    LineModel,
+    Node2VecModel,
+    ReDirectNSM,
+    ReDirectTSM,
+)
+from repro.serve import (
+    ARTIFACT_SCHEMA,
+    ArtifactError,
+    MODEL_CLASS_NAMES,
+    load_embedding_artifact,
+    load_model_artifact,
+    network_from_arrays,
+    network_to_arrays,
+    read_artifact_meta,
+    save_embedding_artifact,
+    save_model_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    """A 60-node mixed network with all three tie kinds (module-scoped)."""
+    net = generate_social_network(
+        GeneratorConfig(n_nodes=60, ties_per_node=4, reciprocity=0.3),
+        seed=5,
+    )
+    return hide_directions(net, 0.4, seed=1).network
+
+
+def _factories():
+    fast_embedding = DeepDirectConfig(
+        dimensions=8, epochs=1.0, max_pairs=4_000
+    )
+    return {
+        "HFModel": lambda: HFModel(),
+        "DeepDirectModel": lambda: DeepDirectModel(fast_embedding),
+        "LineModel": lambda: LineModel(
+            LineConfig(dimensions=8, epochs=1.0, max_samples=4_000)
+        ),
+        "Node2VecModel": lambda: Node2VecModel(
+            Node2VecConfig(
+                dimensions=8, walk_length=10, walks_per_node=2
+            )
+        ),
+        "ReDirectTSM": lambda: ReDirectTSM(max_sweeps=5),
+        "ReDirectNSM": lambda: ReDirectNSM(
+            dimensions=8, rounds=2, inner_epochs=1.0
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted_models(network):
+    """One fitted instance per registered model class (module-scoped)."""
+    return {
+        name: factory().fit(network, seed=3)
+        for name, factory in _factories().items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_factories()))
+def test_roundtrip_scores_identical(fitted_models, tmp_path, name):
+    model = fitted_models[name]
+    bundle = tmp_path / name
+    save_model_artifact(model, bundle)
+    restored = load_model_artifact(bundle)
+    assert type(restored) is type(model)
+    assert np.array_equal(restored.tie_scores(), model.tie_scores())
+
+
+@pytest.mark.parametrize("name", sorted(_factories()))
+def test_roundtrip_batch_api_identical(fitted_models, tmp_path, name):
+    model = fitted_models[name]
+    bundle = tmp_path / name
+    save_model_artifact(model, bundle)
+    restored = load_model_artifact(bundle)
+    net = model.network
+    pairs = np.column_stack([net.tie_src[:20], net.tie_dst[:20]])
+    assert np.array_equal(
+        restored.directionality_batch(pairs),
+        model.directionality_batch(pairs),
+    )
+
+
+def test_method_forms(fitted_models, tmp_path):
+    model = fitted_models["HFModel"]
+    bundle = tmp_path / "via_methods"
+    model.to_artifact(bundle)
+    restored = HFModel.from_artifact(bundle)
+    assert isinstance(restored, HFModel)
+    assert np.array_equal(restored.tie_scores(), model.tie_scores())
+
+
+def test_from_artifact_rejects_other_class(fitted_models, tmp_path):
+    bundle = tmp_path / "hf"
+    save_model_artifact(fitted_models["HFModel"], bundle)
+    with pytest.raises(ArtifactError, match="holds a HFModel"):
+        LineModel.from_artifact(bundle)
+
+
+def test_registry_covers_every_fitted_class(fitted_models):
+    assert set(fitted_models) == set(MODEL_CLASS_NAMES)
+
+
+def test_meta_contents(fitted_models, tmp_path, network):
+    bundle = tmp_path / "meta"
+    save_model_artifact(fitted_models["ReDirectTSM"], bundle)
+    meta = read_artifact_meta(bundle)
+    assert meta["schema"] == ARTIFACT_SCHEMA
+    assert meta["kind"] == "model"
+    assert meta["model_class"] == "ReDirectTSM"
+    assert meta["dataset"]["n_nodes"] == network.n_nodes
+    assert "max_sweeps" in meta["params"]
+    assert all(
+        set(spec) == {"dtype", "shape"} for spec in meta["arrays"].values()
+    )
+
+
+def test_config_params_restored(fitted_models, tmp_path):
+    bundle = tmp_path / "cfg"
+    save_model_artifact(fitted_models["DeepDirectModel"], bundle)
+    restored = load_model_artifact(bundle)
+    assert restored.config.dimensions == 8
+    assert restored.config.max_pairs == 4_000
+
+
+def test_unfitted_model_rejected(tmp_path):
+    with pytest.raises(RuntimeError, match="fit"):
+        save_model_artifact(HFModel(), tmp_path / "bundle")
+
+
+def test_network_arrays_roundtrip(network):
+    arrays = network_to_arrays(network)
+    rebuilt = network_from_arrays(
+        arrays["network_tie_src"],
+        arrays["network_tie_dst"],
+        arrays["network_tie_kind"],
+        n_nodes=network.n_nodes,
+    )
+    assert rebuilt.n_nodes == network.n_nodes
+    assert np.array_equal(rebuilt.tie_src, network.tie_src)
+    assert np.array_equal(rebuilt.tie_dst, network.tie_dst)
+    assert np.array_equal(rebuilt.tie_kind, network.tie_kind)
+
+
+# -- failure modes ------------------------------------------------------
+
+
+@pytest.fixture
+def hf_bundle(fitted_models, tmp_path):
+    bundle = tmp_path / "bundle"
+    save_model_artifact(fitted_models["HFModel"], bundle)
+    return bundle
+
+
+def test_missing_bundle_rejected(tmp_path):
+    with pytest.raises(ArtifactError, match="not an artifact bundle"):
+        load_model_artifact(tmp_path / "nowhere")
+
+
+def test_invalid_json_rejected(hf_bundle):
+    (hf_bundle / "artifact.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_model_artifact(hf_bundle)
+
+
+def test_wrong_schema_rejected(hf_bundle):
+    meta = json.loads((hf_bundle / "artifact.json").read_text())
+    meta["schema"] = "something/v9"
+    (hf_bundle / "artifact.json").write_text(json.dumps(meta))
+    with pytest.raises(ArtifactError, match="expected repro_artifact/v1"):
+        load_model_artifact(hf_bundle)
+
+
+def test_missing_weights_rejected(hf_bundle):
+    (hf_bundle / "weights.npz").unlink()
+    with pytest.raises(ArtifactError, match="missing weights.npz"):
+        load_model_artifact(hf_bundle)
+
+
+def test_truncated_array_rejected(hf_bundle):
+    with np.load(hf_bundle / "weights.npz") as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    arrays["tie_scores"] = arrays["tie_scores"][:-3]
+    np.savez(hf_bundle / "weights.npz", **arrays)
+    with pytest.raises(ArtifactError, match="truncated or was modified"):
+        load_model_artifact(hf_bundle)
+
+
+def test_dropped_array_rejected(hf_bundle):
+    with np.load(hf_bundle / "weights.npz") as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    del arrays["tie_scores"]
+    np.savez(hf_bundle / "weights.npz", **arrays)
+    with pytest.raises(ArtifactError, match="truncated: missing arrays"):
+        load_model_artifact(hf_bundle)
+
+
+def test_tampered_ties_rejected(hf_bundle):
+    """Editing the tie arrays breaks the stored dataset fingerprint."""
+    meta = json.loads((hf_bundle / "artifact.json").read_text())
+    with np.load(hf_bundle / "weights.npz") as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    src = arrays["network_tie_src"].copy()
+    src[0], src[1] = src[1], src[0]
+    arrays["network_tie_src"] = src
+    np.savez(hf_bundle / "weights.npz", **arrays)
+    with pytest.raises(ArtifactError):
+        load_model_artifact(hf_bundle)
+    assert meta["dataset"]["fingerprint"]  # the guard that caught it
+
+
+def test_unknown_model_class_rejected(hf_bundle):
+    meta = json.loads((hf_bundle / "artifact.json").read_text())
+    meta["model_class"] = "EvilModel"
+    (hf_bundle / "artifact.json").write_text(json.dumps(meta))
+    with pytest.raises(ArtifactError, match="unknown model class"):
+        load_model_artifact(hf_bundle)
+
+
+# -- embedding bundles --------------------------------------------------
+
+
+def test_embedding_artifact_roundtrip(network, tmp_path):
+    result = DeepDirectEmbedding(
+        DeepDirectConfig(dimensions=8, epochs=1.0, max_pairs=4_000)
+    ).fit(network, seed=0)
+    bundle = tmp_path / "embedding"
+    save_embedding_artifact(result, bundle, network=network)
+    restored = load_embedding_artifact(bundle)
+    assert np.array_equal(restored.embeddings, result.embeddings)
+    assert np.array_equal(restored.tie_scores(), result.tie_scores())
+    meta = read_artifact_meta(bundle)
+    assert meta["kind"] == "embedding"
+    assert meta["dataset"]["n_nodes"] == network.n_nodes
+
+
+def test_model_bundle_is_not_an_embedding(hf_bundle):
+    with pytest.raises(ArtifactError, match="'model' artifact"):
+        load_embedding_artifact(hf_bundle)

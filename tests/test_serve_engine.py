@@ -1,0 +1,207 @@
+"""ScoringEngine: vectorized batch scoring, LRU cache, coalescing."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models import HFModel
+from repro.serve import ScoringEngine
+
+
+@pytest.fixture(scope="module")
+def model(discovery_task):
+    return HFModel().fit(discovery_task.network, seed=0)
+
+
+@pytest.fixture
+def engine(model):
+    return ScoringEngine(model)
+
+
+@pytest.fixture(scope="module")
+def tie_pairs(model):
+    net = model.network
+    return np.column_stack([net.tie_src, net.tie_dst])
+
+
+def test_matches_per_pair_loop(engine, model, tie_pairs):
+    pairs = tie_pairs[:50]
+    scores = engine.score_pairs(pairs)
+    expected = [model.directionality(int(u), int(v)) for u, v in pairs]
+    assert np.array_equal(scores, np.asarray(expected))
+
+
+def test_empty_batch(engine):
+    assert engine.score_pairs([]).shape == (0,)
+
+
+def test_bad_shape_rejected(engine):
+    with pytest.raises(ValueError, match=r"\(k, 2\)"):
+        engine.score_pairs([[1, 2, 3]])
+
+
+def test_unknown_pair_rejected(engine, model):
+    n = model.network.n_nodes
+    missing = None
+    present = {
+        (int(u), int(v))
+        for u, v in zip(model.network.tie_src, model.network.tie_dst)
+    }
+    for u in range(n):
+        for v in range(n):
+            if u != v and (u, v) not in present:
+                missing = (u, v)
+                break
+        if missing:
+            break
+    with pytest.raises(KeyError, match="no oriented tie"):
+        engine.score_pairs([missing])
+
+
+def test_cache_hits_on_repeat(engine, tie_pairs):
+    pairs = tie_pairs[:40]
+    first = engine.score_pairs(pairs)
+    info = engine.cache_info()
+    assert info["cache_hits"] == 0 and info["cache_misses"] == 40
+    second = engine.score_pairs(pairs)
+    info = engine.cache_info()
+    assert info["cache_hits"] == 40 and info["cache_misses"] == 40
+    assert info["cache_hit_rate"] == 0.5
+    assert np.array_equal(first, second)
+
+
+def test_cache_partial_overlap(engine, tie_pairs):
+    engine.score_pairs(tie_pairs[:30])
+    engine.score_pairs(tie_pairs[10:40])  # 20 cached, 10 fresh
+    info = engine.cache_info()
+    assert info["cache_hits"] == 20
+    assert info["cache_misses"] == 40
+
+
+def test_cache_eviction_is_lru(model, tie_pairs):
+    engine = ScoringEngine(model, cache_size=10)
+    engine.score_pairs(tie_pairs[:10])
+    engine.score_pairs(tie_pairs[:5])  # refresh the first five
+    engine.score_pairs(tie_pairs[10:15])  # evicts pairs 5..9, not 0..4
+    assert engine.cache_info()["cache_entries"] == 10
+    engine.score_pairs(tie_pairs[:5])
+    assert engine.cache_info()["cache_hits"] == 5 + 5
+
+
+def test_cache_disabled(model, tie_pairs):
+    engine = ScoringEngine(model, cache_size=0)
+    engine.score_pairs(tie_pairs[:10])
+    engine.score_pairs(tie_pairs[:10])
+    info = engine.cache_info()
+    assert info["cache_hits"] == 0
+    assert info["cache_entries"] == 0
+
+
+def test_use_cache_false_bypasses(engine, tie_pairs):
+    engine.score_pairs(tie_pairs[:10], use_cache=False)
+    engine.score_pairs(tie_pairs[:10], use_cache=False)
+    assert engine.cache_info()["cache_hits"] == 0
+
+
+def test_invalid_knobs_rejected(model):
+    with pytest.raises(ValueError, match="cache_size"):
+        ScoringEngine(model, cache_size=-1)
+    with pytest.raises(ValueError, match="batch_window_s"):
+        ScoringEngine(model, batch_window_s=-0.1)
+    with pytest.raises(ValueError, match="max_coalesced_pairs"):
+        ScoringEngine(model, max_coalesced_pairs=0)
+
+
+def test_discover_pairs_matches_app(engine, model):
+    from repro.apps import predict_directions
+    from repro.graph import TieKind
+
+    net = model.network
+    undirected = net.social_ties(TieKind.UNDIRECTED)
+    if len(undirected) == 0:
+        pytest.skip("no undirected ties in fixture network")
+    # Feed reversed orientations: the canonical tie-break must not care.
+    flipped = undirected[:, ::-1]
+    assert np.array_equal(
+        engine.discover_pairs(flipped),
+        predict_directions(model, undirected),
+    )
+
+
+def test_coalesced_single_caller(engine, tie_pairs):
+    pairs = tie_pairs[:25]
+    assert np.array_equal(
+        engine.score_pairs_coalesced(pairs), engine.score_pairs(pairs)
+    )
+    assert engine.metrics.counter("serve.rounds").value >= 1
+
+
+def test_coalesced_concurrent_callers(model, tie_pairs):
+    engine = ScoringEngine(model, batch_window_s=0.05)
+    n_threads = 8
+    chunk = 10
+    results: list[np.ndarray | None] = [None] * n_threads
+    barrier = threading.Barrier(n_threads)
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        results[i] = engine.score_pairs_coalesced(
+            tie_pairs[i * chunk : (i + 1) * chunk]
+        )
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    for i in range(n_threads):
+        expected = engine.score_pairs(tie_pairs[i * chunk : (i + 1) * chunk])
+        assert np.array_equal(results[i], expected)
+    # The window must have coalesced at least two callers into a round.
+    rounds = engine.metrics.counter("serve.rounds").value
+    assert rounds < n_threads
+
+
+def test_coalesced_error_isolated(model, tie_pairs):
+    """A bad pair only fails its own caller, not the whole round."""
+    engine = ScoringEngine(model, batch_window_s=0.05)
+    good = tie_pairs[:10]
+    bad = np.asarray([[0, 0]])  # self-loop: never an oriented tie
+    outcome: dict[str, object] = {}
+    barrier = threading.Barrier(2)
+
+    def good_worker() -> None:
+        barrier.wait()
+        outcome["good"] = engine.score_pairs_coalesced(good)
+
+    def bad_worker() -> None:
+        barrier.wait()
+        try:
+            engine.score_pairs_coalesced(bad)
+        except KeyError as exc:
+            outcome["bad"] = exc
+
+    threads = [
+        threading.Thread(target=good_worker),
+        threading.Thread(target=bad_worker),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert isinstance(outcome.get("bad"), KeyError)
+    assert np.array_equal(outcome["good"], engine.score_pairs(good))
+
+
+def test_snapshot_is_flat_and_json_ready(engine, tie_pairs):
+    import json
+
+    engine.score_pairs(tie_pairs[:5])
+    snap = engine.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["serve.requests"] == 1
+    assert snap["serve.pairs"] == 5
+    assert snap["uptime_s"] >= 0

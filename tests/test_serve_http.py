@@ -1,0 +1,179 @@
+"""End-to-end HTTP serving: artifact → server → 1000-pair batch.
+
+Starts a real :class:`ModelServer` on an ephemeral port and talks to it
+with ``urllib`` — the acceptance path of ``repro serve``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models import HFModel
+from repro.serve import (
+    SERVE_SCHEMA,
+    ModelServer,
+    ScoringEngine,
+    load_model_artifact,
+    save_model_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def model(discovery_task):
+    return HFModel().fit(discovery_task.network, seed=0)
+
+
+@pytest.fixture(scope="module")
+def served(model, tmp_path_factory):
+    """A live server over a *reloaded* artifact, plus the fitted model."""
+    bundle = tmp_path_factory.mktemp("serve") / "artifact"
+    save_model_artifact(model, bundle)
+    engine = ScoringEngine(load_model_artifact(bundle))
+    with ModelServer(engine, port=0) as server:
+        yield server, engine
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.load(response)
+
+
+def _post_error(url: str, data: bytes) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30):
+            raise AssertionError("expected an HTTP error")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def test_score_1000_pairs_identical_to_model(served, model):
+    """The acceptance criterion: a reloaded artifact, served over HTTP,
+    answers a 1,000-pair batch identically to the in-process model."""
+    server, _engine = served
+    net = model.network
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, net.n_ties, size=1000)
+    pairs = np.column_stack([net.tie_src[ids], net.tie_dst[ids]])
+    payload = _post(server.url + "/score", {"pairs": pairs.tolist()})
+    assert payload["schema"] == SERVE_SCHEMA
+    assert payload["count"] == 1000
+    assert payload["latency_ms"] >= 0
+    assert np.array_equal(
+        np.asarray(payload["scores"]), model.directionality_batch(pairs)
+    )
+
+
+def test_score_cache_false(served, model):
+    server, engine = served
+    net = model.network
+    pairs = [[int(net.tie_src[0]), int(net.tie_dst[0])]]
+    before = engine.cache_info()["cache_hits"]
+    _post(server.url + "/score", {"pairs": pairs, "cache": False})
+    _post(server.url + "/score", {"pairs": pairs, "cache": False})
+    assert engine.cache_info()["cache_hits"] == before
+
+
+def test_discover_endpoint(served, model):
+    from repro.apps import predict_directions
+    from repro.graph import TieKind
+
+    server, _engine = served
+    undirected = model.network.social_ties(TieKind.UNDIRECTED)
+    payload = _post(
+        server.url + "/discover", {"pairs": undirected[:50].tolist()}
+    )
+    assert payload["count"] == min(50, len(undirected))
+    assert np.array_equal(
+        np.asarray(payload["directions"]),
+        predict_directions(model, undirected[:50]),
+    )
+
+
+def test_healthz(served, model):
+    server, _engine = served
+    payload = _get(server.url + "/healthz")
+    assert payload["status"] == "ok"
+    assert payload["model"] == "HFModel"
+    assert payload["n_nodes"] == model.network.n_nodes
+    assert payload["n_ties"] == model.network.n_ties
+    assert payload["uptime_s"] >= 0
+
+
+def test_metrics_endpoint(served):
+    server, _engine = served
+    payload = _get(server.url + "/metrics")
+    metrics = payload["metrics"]
+    assert "serve.requests" in metrics
+    assert "cache_hit_rate" in metrics
+
+
+def test_unknown_get_is_404(served):
+    server, _engine = served
+    try:
+        urllib.request.urlopen(server.url + "/nope", timeout=30)
+        raise AssertionError("expected 404")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 404
+
+
+def test_malformed_json_is_400(served):
+    server, _engine = served
+    status, payload = _post_error(server.url + "/score", b"{broken")
+    assert status == 400
+    assert "JSON" in payload["error"]
+
+
+def test_missing_pairs_key_is_400(served):
+    server, _engine = served
+    status, payload = _post_error(
+        server.url + "/score", json.dumps({"rows": []}).encode()
+    )
+    assert status == 400
+    assert "pairs" in payload["error"]
+
+
+def test_bad_pairs_shape_is_400(served):
+    server, _engine = served
+    status, _payload = _post_error(
+        server.url + "/score", json.dumps({"pairs": [[1, 2, 3]]}).encode()
+    )
+    assert status == 400
+
+
+def test_unknown_tie_is_404(served):
+    server, _engine = served
+    status, payload = _post_error(
+        server.url + "/score", json.dumps({"pairs": [[0, 0]]}).encode()
+    )
+    assert status == 404
+    assert "no oriented tie" in payload["error"]
+
+
+def test_unknown_post_path_is_404(served):
+    server, _engine = served
+    status, _payload = _post_error(
+        server.url + "/quantify", json.dumps({"pairs": [[0, 1]]}).encode()
+    )
+    assert status == 404
+
+
+def test_port_zero_binds_ephemeral(served):
+    server, _engine = served
+    assert server.port != 0
+    assert str(server.port) in server.url
