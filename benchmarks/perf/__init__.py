@@ -27,6 +27,16 @@ round-trip, then repeated 1,000-pair ``/score`` batches over loopback
 HTTP (p50/p95 latency, pairs/sec, cache hit rate, and a bit-identity
 check against the fitted model).  ``--check-serving P50_MS`` gates both
 the identity and the p50 budget in CI (see ``docs/serving.md``).
+
+``serving.load`` holds the honest numbers: a multi-client closed-loop
+run from :mod:`benchmarks.serve_load` (default 4 clients, adversarial
+sequential-scan key distribution against a deliberately undersized LRU),
+reporting real p50/p95/p99 tail latency and RPS under concurrency.
+``--check-load P99_MS`` gates its p99; ``--load-clients`` /
+``--load-duration`` tune the run.  ``--serving-only`` re-measures just
+the serving section and merges it into an existing ``--output`` report,
+so serving PRs can refresh the committed baseline without re-running the
+(much slower) training tiers.
 """
 
 from __future__ import annotations
@@ -205,8 +215,17 @@ def _bench_trace_overhead(report: dict, n_calls: int = 200_000) -> dict:
 SERVING_PAIRS = 1_000
 SERVING_ROUNDS = 20
 
+#: Defaults for the multi-client closed-loop load block.
+LOAD_CLIENTS = 4
+LOAD_DURATION_S = 5.0
 
-def _bench_serving(seed: int) -> dict:
+
+def _bench_serving(
+    seed: int,
+    *,
+    load_clients: int = LOAD_CLIENTS,
+    load_duration_s: float = LOAD_DURATION_S,
+) -> dict:
     """Artifact round-trip + live-HTTP batch-scoring latency.
 
     Fits an :class:`~repro.models.HFModel` on the small tier, freezes it
@@ -215,6 +234,14 @@ def _bench_serving(seed: int) -> dict:
     measuring p50/p95 round-trip latency, pair throughput, the cache
     hit rate, and whether the served scores stay bit-identical to the
     in-process fitted model (the ``repro serve`` acceptance gate).
+
+    The single-client loop above is the *best case* (one warm cache,
+    identical batches).  The ``load`` sub-dict then measures the
+    worst case: ``load_clients`` concurrent closed-loop clients from
+    :mod:`benchmarks.serve_load` scanning the full tie set against an
+    LRU sized to a quarter of it (sequential scan > capacity is the
+    LRU worst case), so the reported p50/p95/p99 and RPS reflect the
+    uncached scoring path under real concurrency.
     """
     import tempfile
     import urllib.request
@@ -266,7 +293,7 @@ def _bench_serving(seed: int) -> dict:
 
     total_s = sum(latencies_ms) / 1e3
     info = engine.cache_info()
-    return {
+    result = {
         "model": "HFModel",
         "n_pairs": SERVING_PAIRS,
         "rounds": SERVING_ROUNDS,
@@ -277,6 +304,32 @@ def _bench_serving(seed: int) -> dict:
         "cache_hit_rate": info["cache_hit_rate"],
     }
 
+    # Multi-client closed-loop load: fresh engine, LRU sized to a
+    # quarter of the tie set so the adversarial scan actually thrashes.
+    from benchmarks.serve_load import LoadConfig, run_load
+
+    tie_pairs = np.column_stack([network.tie_src, network.tie_dst])
+    cache_size = max(256, len(tie_pairs) // 4)
+    load_engine = ScoringEngine(served, cache_size=cache_size)
+    print(
+        f"[serving] load: {load_clients} closed-loop clients x "
+        f"{load_duration_s:g}s, adversarial scan, cache_size="
+        f"{cache_size} ...",
+        flush=True,
+    )
+    config = LoadConfig(
+        clients=load_clients,
+        duration_s=load_duration_s,
+        distribution="adversarial",
+        seed=seed,
+    )
+    with ModelServer(load_engine, port=0) as server:
+        load = run_load(server.url, tie_pairs, config)
+    load["cache_size"] = cache_size
+    load["cache_hit_rate"] = load_engine.cache_info()["cache_hit_rate"]
+    result["load"] = load
+    return result
+
 
 def run_benchmarks(
     sizes: Sequence[str],
@@ -284,6 +337,8 @@ def run_benchmarks(
     repeats: int,
     seed: int,
     estep_pairs: int | None = None,
+    load_clients: int = LOAD_CLIENTS,
+    load_duration_s: float = LOAD_DURATION_S,
 ) -> dict:
     """Execute the full suite and return the report dict."""
     report: dict = {
@@ -338,7 +393,9 @@ def run_benchmarks(
         report["trace_overhead"] = _bench_trace_overhead(report)
     print("[serving] artifact round-trip + HTTP batch scoring ...",
           flush=True)
-    report["serving"] = _bench_serving(seed)
+    report["serving"] = _bench_serving(
+        seed, load_clients=load_clients, load_duration_s=load_duration_s
+    )
     return report
 
 
@@ -429,6 +486,39 @@ def check_serving(report: dict, p50_limit_ms: float) -> int:
     return 1 if failures else 0
 
 
+def check_load(report: dict, p99_limit_ms: float) -> int:
+    """Fail (return 1) on multi-client tail-latency regression.
+
+    Gates the closed-loop load block's p99 against an absolute budget,
+    and fails outright on any request errors during the run — an
+    overloaded or crashing server must not pass on latency alone.
+    """
+    load = (report.get("serving") or {}).get("load") or {}
+    if not load:
+        print("check-load: skipped (no serving.load section in report)")
+        return 0
+    failures = []
+    if load.get("errors"):
+        failures.append(f"{load['errors']} request errors during load")
+    p99 = load.get("p99_ms")
+    if p99 is None:
+        failures.append("no successful requests measured")
+    elif p99 > p99_limit_ms:
+        failures.append(
+            f"p99 {p99:.1f} ms under {load['clients']} clients "
+            f"> {p99_limit_ms:.0f} ms budget"
+        )
+    for failure in failures:
+        print(f"check-load: FAIL {failure}")
+    if not failures:
+        print(
+            f"check-load: ok ({load['clients']} clients, "
+            f"p99 {p99:.1f} ms <= {p99_limit_ms:.0f} ms, "
+            f"{load['rps']:,.0f} req/s)"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf", description=__doc__
@@ -476,20 +566,76 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bit-identical to the fitted model or its p50 round-trip "
         "exceeds P50_MS milliseconds",
     )
+    parser.add_argument(
+        "--check-load",
+        type=float,
+        default=None,
+        metavar="P99_MS",
+        dest="check_load",
+        help="exit non-zero if the multi-client closed-loop p99 "
+        "exceeds P99_MS milliseconds or any load request errored",
+    )
+    parser.add_argument(
+        "--load-clients",
+        type=int,
+        default=LOAD_CLIENTS,
+        dest="load_clients",
+        help="closed-loop clients in the serving load block",
+    )
+    parser.add_argument(
+        "--load-duration",
+        type=float,
+        default=LOAD_DURATION_S,
+        metavar="SECONDS",
+        dest="load_duration",
+        help="wall-clock duration of the serving load block",
+    )
+    parser.add_argument(
+        "--serving-only",
+        action="store_true",
+        dest="serving_only",
+        help="re-measure only the serving section and merge it into the "
+        "existing --output report (refresh the committed baseline "
+        "without re-running the training tiers)",
+    )
     args = parser.parse_args(argv)
 
     if any(w < 1 for w in args.workers):
         parser.error("--workers entries must be positive")
+    if args.load_clients < 1:
+        parser.error("--load-clients must be positive")
 
-    report = run_benchmarks(
-        args.sizes, args.workers, args.repeats, args.seed, args.estep_pairs
-    )
+    if args.serving_only:
+        try:
+            with open(args.output) as fh:
+                report = json.load(fh)
+        except FileNotFoundError:
+            parser.error(
+                f"--serving-only needs an existing report at {args.output}"
+            )
+        print("[serving] artifact round-trip + HTTP batch scoring ...",
+              flush=True)
+        report["serving"] = _bench_serving(
+            args.seed,
+            load_clients=args.load_clients,
+            load_duration_s=args.load_duration,
+        )
+    else:
+        report = run_benchmarks(
+            args.sizes,
+            args.workers,
+            args.repeats,
+            args.seed,
+            args.estep_pairs,
+            load_clients=args.load_clients,
+            load_duration_s=args.load_duration,
+        )
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output}")
 
-    for size, entry in report["sizes"].items():
+    for size, entry in () if args.serving_only else report["sizes"].items():
         alias = entry["alias_setup"]
         print(
             f"[{size}] alias {alias['n_weights']} weights: "
@@ -514,6 +660,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"cache_hit_rate {serving['cache_hit_rate']:.2f}, "
             f"identical={serving['identical_to_fitted']}"
         )
+        load = serving.get("load")
+        if load and load.get("p99_ms") is not None:
+            print(
+                f"[serving] load {load['clients']} clients x "
+                f"{load['duration_s']:g}s ({load['distribution']}): "
+                f"{load['rps']:,.0f} req/s, p50 {load['p50_ms']:.1f} ms, "
+                f"p95 {load['p95_ms']:.1f} ms, p99 {load['p99_ms']:.1f} "
+                f"ms, cache_hit_rate {load['cache_hit_rate']:.2f}, "
+                f"errors={load['errors']}"
+            )
 
     status = 0
     if args.check_speedup is not None:
@@ -522,6 +678,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         status |= check_trace_overhead(report, args.check_trace_overhead)
     if args.check_serving is not None:
         status |= check_serving(report, args.check_serving)
+    if args.check_load is not None:
+        status |= check_load(report, args.check_load)
     return status
 
 

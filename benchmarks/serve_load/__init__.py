@@ -1,0 +1,540 @@
+"""Closed-loop multi-client load harness for the ``repro.serve`` tier.
+
+Drives a live :class:`~repro.serve.ModelServer` with ``--clients``
+concurrent closed-loop clients (each sends its next ``/score`` request
+only after the previous response arrives — the classic closed-loop
+load model, so offered load adapts to server latency instead of
+overrunning it) for a fixed wall-clock duration, then reports **real**
+tail latency: p50/p95/p99, RPS, pair throughput and error counts.
+This replaces the single-client, 95 %-cache-hit numbers the serving
+section of ``BENCH_estep.json`` used to carry — every subsequent
+serving-scale PR is gated on these numbers instead
+(``python -m benchmarks.perf --check-load``).
+
+Key distributions (``--distribution``) control how cache-friendly the
+traffic is:
+
+``hot``
+    All clients draw from a small fixed working set (≤256 ties) that
+    fits any reasonable cache — the best case.
+``uniform``
+    Uniform random draws over every oriented tie.
+``adversarial``
+    Each client scans the full tie set sequentially from its own
+    offset.  A scan over a working set larger than the LRU capacity is
+    the textbook LRU worst case (every lookup misses), so this measures
+    the uncached scoring path under concurrency.
+
+Every request carries a fresh ``X-Request-Id``, so any latency outlier
+the harness reports can be pulled up in the server's access log and —
+when the server runs with a tracer — on the Perfetto timeline.  The
+harness records the slowest request's id for exactly this drill-down.
+
+Run it self-contained (fits a small model, serves it, loads it)::
+
+    python -m benchmarks.serve_load --clients 4 --duration 5 \
+        --distribution adversarial --output load_report.json
+
+or gate against the committed baseline in CI::
+
+    python -m benchmarks.serve_load --clients 4 --duration 5 \
+        --baseline BENCH_estep.json --check-load 25
+
+``--check-load F`` fails when the measured p99 exceeds ``F ×`` the
+baseline's serving-load p99 (generous factors absorb host variance);
+``--check-p99 MS`` is the absolute-budget form.  The report is a valid
+``repro report`` input: rendering shows the SLO block, and ``repro
+report --diff BENCH_estep.json load_report.json`` flags p99
+regressions.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+SCHEMA = "serve_load/v1"
+
+DISTRIBUTIONS = ("hot", "uniform", "adversarial")
+
+#: Working-set size of the ``hot`` distribution (ties).
+HOT_SET_SIZE = 256
+
+
+@dataclass
+class LoadConfig:
+    """Knobs of one load run."""
+
+    clients: int = 4
+    duration_s: float = 5.0
+    pairs_per_request: int = 64
+    distribution: str = "adversarial"
+    timeout_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.pairs_per_request < 1:
+            raise ValueError("pairs_per_request must be positive")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}"
+            )
+
+
+def make_pair_sampler(
+    tie_pairs: np.ndarray,
+    distribution: str,
+    pairs_per_request: int,
+    seed: int,
+    client_index: int,
+    n_clients: int,
+) -> Callable[[], np.ndarray]:
+    """A zero-argument sampler producing one request's pair batch.
+
+    Deterministic per ``(seed, client_index)`` so runs are comparable.
+    """
+    n = len(tie_pairs)
+    if n == 0:
+        raise ValueError("network has no oriented ties to sample")
+    k = pairs_per_request
+    rng = np.random.default_rng((seed, client_index))
+    if distribution == "hot":
+        working = tie_pairs[: min(HOT_SET_SIZE, n)]
+
+        def sample() -> np.ndarray:
+            ids = rng.integers(0, len(working), size=k)
+            return working[ids]
+
+    elif distribution == "uniform":
+
+        def sample() -> np.ndarray:
+            return tie_pairs[rng.integers(0, n, size=k)]
+
+    else:  # adversarial: sequential scan from a per-client offset
+        state = {"cursor": (client_index * n) // max(n_clients, 1)}
+
+        def sample() -> np.ndarray:
+            start = state["cursor"]
+            ids = (start + np.arange(k)) % n
+            state["cursor"] = (start + k) % n
+            return tie_pairs[ids]
+
+    return sample
+
+
+class _ClientStats:
+    """One closed-loop client's measurements."""
+
+    __slots__ = ("latencies_ms", "request_ids", "requests", "errors",
+                 "pairs", "elapsed_s")
+
+    def __init__(self) -> None:
+        self.latencies_ms: list[float] = []
+        self.request_ids: list[str] = []
+        self.requests = 0
+        self.errors = 0
+        self.pairs = 0
+        self.elapsed_s = 0.0
+
+
+def _client_loop(
+    url: str,
+    sampler: Callable[[], np.ndarray],
+    deadline: float,
+    timeout_s: float,
+    stats: _ClientStats,
+) -> None:
+    from repro.obs import new_request_id
+
+    score_url = url.rstrip("/") + "/score"
+    begin = time.perf_counter()
+    while time.perf_counter() < deadline:
+        pairs = sampler()
+        request_id = new_request_id()
+        body = json.dumps({"pairs": pairs.tolist()}).encode("utf-8")
+        request = urllib.request.Request(
+            score_url,
+            data=body,
+            headers={
+                "Content-Type": "application/json",
+                "X-Request-Id": request_id,
+            },
+        )
+        start = time.perf_counter()
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout_s
+            ) as response:
+                payload = json.load(response)
+            stats.latencies_ms.append(
+                (time.perf_counter() - start) * 1e3
+            )
+            stats.request_ids.append(request_id)
+            stats.requests += 1
+            stats.pairs += int(payload.get("count", len(pairs)))
+        except Exception:  # noqa: BLE001 - errors are a result, not a crash
+            stats.errors += 1
+    stats.elapsed_s = time.perf_counter() - begin
+
+
+def run_load(
+    url: str, tie_pairs: np.ndarray, config: LoadConfig
+) -> dict:
+    """Drive ``url`` with closed-loop clients; return the result dict."""
+    clients = [_ClientStats() for _ in range(config.clients)]
+    # Barrier-synchronised start: the deadline is computed only once
+    # every client thread is up, so slow thread start-up does not eat
+    # into the measured window.
+    barrier = threading.Barrier(config.clients + 1)
+    deadline_box: dict[str, float] = {}
+    samplers = [
+        make_pair_sampler(
+            tie_pairs,
+            config.distribution,
+            config.pairs_per_request,
+            config.seed,
+            i,
+            config.clients,
+        )
+        for i in range(config.clients)
+    ]
+
+    def client(i: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+        except threading.BrokenBarrierError:  # pragma: no cover
+            return
+        _client_loop(
+            url,
+            samplers[i],
+            deadline_box["deadline"],
+            config.timeout_s,
+            clients[i],
+        )
+
+    threads = []
+    for i in range(config.clients):
+        thread = threading.Thread(
+            target=client, args=(i,), name=f"load-client-{i}", daemon=True
+        )
+        threads.append(thread)
+        thread.start()
+    start = time.perf_counter()
+    deadline_box["deadline"] = start + config.duration_s
+    barrier.wait(timeout=30)
+    for thread in threads:
+        thread.join(timeout=config.duration_s + config.timeout_s + 30)
+    elapsed = time.perf_counter() - start
+
+    latencies = np.sort(
+        np.concatenate(
+            [np.asarray(c.latencies_ms) for c in clients]
+        )
+        if any(c.latencies_ms for c in clients)
+        else np.empty(0)
+    )
+    requests = sum(c.requests for c in clients)
+    errors = sum(c.errors for c in clients)
+    pairs = sum(c.pairs for c in clients)
+    result: dict = {
+        "schema": SCHEMA,
+        "clients": config.clients,
+        "duration_s": config.duration_s,
+        "elapsed_s": elapsed,
+        "distribution": config.distribution,
+        "pairs_per_request": config.pairs_per_request,
+        "requests": requests,
+        "errors": errors,
+        "error_rate": errors / max(requests + errors, 1),
+        "rps": requests / max(elapsed, 1e-9),
+        "pairs_per_sec": pairs / max(elapsed, 1e-9),
+    }
+    if len(latencies):
+        result.update(
+            mean_ms=float(latencies.mean()),
+            p50_ms=float(np.percentile(latencies, 50)),
+            p95_ms=float(np.percentile(latencies, 95)),
+            p99_ms=float(np.percentile(latencies, 99)),
+            max_ms=float(latencies[-1]),
+        )
+        slowest_ms = -1.0
+        slowest_id = None
+        for c in clients:
+            for request_id, latency in zip(c.request_ids, c.latencies_ms):
+                if latency > slowest_ms:
+                    slowest_ms, slowest_id = latency, request_id
+        result["slowest"] = {
+            "request_id": slowest_id,
+            "latency_ms": slowest_ms,
+        }
+    return result
+
+
+def run_self_contained(
+    config: LoadConfig,
+    *,
+    n_nodes: int = 300,
+    artifact: str | None = None,
+    cache_size: int | None = None,
+    batch_window_ms: float = 2.0,
+    access_log: str | None = None,
+    trace: str | None = None,
+) -> dict:
+    """Fit (or load) a model, serve it, load it, return the report.
+
+    ``cache_size=None`` picks a quarter of the tie count so the
+    ``adversarial`` scan actually thrashes the LRU; pass an explicit
+    size to pin it.  ``access_log``/``trace`` wire the server's
+    request-correlated observability into files for drill-down.
+    """
+    from repro.models import HFModel
+    from repro.obs import Tracer
+    from repro.serve import ModelServer, ScoringEngine, load_model_artifact
+
+    if artifact is not None:
+        model = load_model_artifact(artifact)
+    else:
+        from benchmarks.perf import _build_network
+
+        network = _build_network(n_nodes, config.seed)
+        model = HFModel().fit(network, seed=config.seed)
+    network = model.network
+    tie_pairs = np.column_stack([network.tie_src, network.tie_dst])
+    if cache_size is None:
+        cache_size = max(256, len(tie_pairs) // 4)
+    engine = ScoringEngine(
+        model,
+        cache_size=cache_size,
+        batch_window_s=batch_window_ms / 1e3,
+    )
+    tracer = Tracer() if trace else None
+    with ModelServer(
+        engine, port=0, access_log=access_log, tracer=tracer
+    ) as server:
+        result = run_load(server.url, tie_pairs, config)
+    if tracer is not None:
+        tracer.write(trace)
+    snapshot = engine.snapshot()
+    result["server"] = {
+        "model": type(model).__name__,
+        "n_nodes": int(network.n_nodes),
+        "n_ties": int(network.n_ties),
+        "cache_size": cache_size,
+        "cache_hit_rate": snapshot["cache_hit_rate"],
+        "requests": snapshot.get("serve.requests"),
+        "errors": {
+            code: snapshot[f"serve.errors.{code}"]
+            for code in ("bad_request", "not_found", "engine", "internal")
+            if f"serve.errors.{code}" in snapshot
+        },
+        "latency_p99_ms": snapshot.get("serve.http.score.latency_ms_p99"),
+    }
+    result["host"] = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    return result
+
+
+def check_p99(result: dict, limit_ms: float) -> int:
+    """Fail (return 1) when the measured p99 exceeds ``limit_ms``."""
+    p99 = result.get("p99_ms")
+    if p99 is None:
+        print("check-p99: FAIL (no successful requests measured)")
+        return 1
+    if result.get("errors"):
+        print(f"check-p99: FAIL {result['errors']} request errors")
+        return 1
+    if p99 > limit_ms:
+        print(
+            f"check-p99: FAIL p99 {p99:.1f} ms > {limit_ms:.0f} ms budget"
+        )
+        return 1
+    print(f"check-p99: ok (p99 {p99:.1f} ms <= {limit_ms:.0f} ms)")
+    return 0
+
+
+def baseline_load_p99(baseline: dict) -> float | None:
+    """Extract the serving-load p99 from a ``bench_estep`` report."""
+    serving = baseline.get("serving") or {}
+    load = serving.get("load") or {}
+    p99 = load.get("p99_ms")
+    return float(p99) if p99 is not None else None
+
+
+def check_load_vs_baseline(
+    result: dict, baseline: dict, factor: float
+) -> int:
+    """Fail (return 1) on p99 regression beyond ``factor ×`` baseline.
+
+    The generous default factors absorb cross-host variance (CI runners
+    vs. the host that committed the baseline); the gate exists to catch
+    order-of-magnitude serving regressions, not single-digit noise.
+    """
+    base_p99 = baseline_load_p99(baseline)
+    if base_p99 is None:
+        print(
+            "check-load: skipped (baseline has no serving.load.p99_ms)"
+        )
+        return 0
+    p99 = result.get("p99_ms")
+    if p99 is None:
+        print("check-load: FAIL (no successful requests measured)")
+        return 1
+    if result.get("errors"):
+        print(f"check-load: FAIL {result['errors']} request errors")
+        return 1
+    budget = base_p99 * factor
+    if p99 > budget:
+        print(
+            f"check-load: FAIL p99 {p99:.1f} ms > {factor:.1f}x baseline "
+            f"({base_p99:.1f} ms -> budget {budget:.1f} ms)"
+        )
+        return 1
+    print(
+        f"check-load: ok (p99 {p99:.1f} ms <= {factor:.1f}x baseline "
+        f"{base_p99:.1f} ms)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.serve_load", description=__doc__
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=64, metavar="K",
+        help="pairs per /score request",
+    )
+    parser.add_argument(
+        "--distribution", choices=DISTRIBUTIONS, default="adversarial"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--n-nodes", type=int, default=300, dest="n_nodes",
+        help="synthetic-network size when fitting in-process",
+    )
+    parser.add_argument(
+        "--artifact", default=None,
+        help="serve this artifact bundle instead of fitting in-process",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, dest="cache_size",
+        help="engine LRU capacity (default: n_ties/4, so the "
+        "adversarial scan thrashes)",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        dest="batch_window_ms",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH.json",
+        help="write the load report as JSON",
+    )
+    parser.add_argument(
+        "--access-log", default=None, dest="access_log",
+        metavar="PATH.jsonl",
+        help="server-side structured access log (request-id drill-down)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="server-side span timeline (serve.request spans carry the "
+        "same request ids as the access log)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="BENCH.json",
+        help="bench_estep report holding the committed serving.load "
+        "baseline",
+    )
+    parser.add_argument(
+        "--check-load", type=float, default=None, metavar="FACTOR",
+        dest="check_load",
+        help="exit non-zero when p99 exceeds FACTOR x the baseline's "
+        "serving.load.p99_ms (requires --baseline)",
+    )
+    parser.add_argument(
+        "--check-p99", type=float, default=None, metavar="MS",
+        dest="check_p99",
+        help="exit non-zero when p99 exceeds an absolute budget",
+    )
+    args = parser.parse_args(argv)
+    if args.check_load is not None and args.baseline is None:
+        parser.error("--check-load requires --baseline")
+
+    config = LoadConfig(
+        clients=args.clients,
+        duration_s=args.duration,
+        pairs_per_request=args.pairs,
+        distribution=args.distribution,
+        seed=args.seed,
+    )
+    print(
+        f"[serve_load] {config.clients} closed-loop clients x "
+        f"{config.duration_s:g}s, {config.pairs_per_request} pairs/req, "
+        f"{config.distribution} distribution ...",
+        flush=True,
+    )
+    result = run_self_contained(
+        config,
+        n_nodes=args.n_nodes,
+        artifact=args.artifact,
+        cache_size=args.cache_size,
+        batch_window_ms=args.batch_window_ms,
+        access_log=args.access_log,
+        trace=args.trace,
+    )
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if result.get("p99_ms") is not None:
+        print(
+            f"[serve_load] {result['requests']} requests "
+            f"({result['errors']} errors) | {result['rps']:,.0f} req/s, "
+            f"{result['pairs_per_sec']:,.0f} pairs/s | p50 "
+            f"{result['p50_ms']:.1f} ms, p95 {result['p95_ms']:.1f} ms, "
+            f"p99 {result['p99_ms']:.1f} ms | cache_hit_rate "
+            f"{result['server']['cache_hit_rate']:.2f}"
+        )
+        slowest = result["slowest"]
+        print(
+            f"[serve_load] slowest request "
+            f"{slowest['request_id']} at {slowest['latency_ms']:.1f} ms "
+            "(grep the access log / trace for this id)"
+        )
+    else:
+        print("[serve_load] no successful requests", file=sys.stderr)
+
+    status = 0
+    if args.check_p99 is not None:
+        status |= check_p99(result, args.check_p99)
+    if args.check_load is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        status |= check_load_vs_baseline(result, baseline, args.check_load)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -110,7 +110,7 @@ def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
 _CONFIG_KEYS = (
     "method", "dimensions", "alpha", "beta", "pairs_per_tie", "dstep",
     "workers", "hide", "artifact", "cache_size", "batch_window_ms",
-    "smoke",
+    "smoke", "access_log",
 )
 
 
@@ -439,7 +439,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_s=args.batch_window_ms / 1e3,
         )
         server = ModelServer(
-            engine, host=args.host, port=args.port, verbose=args.verbose
+            engine,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            access_log=args.access_log,
+            tracer=obs.tracer,
         )
         code = 0
         try:
@@ -661,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="self-test mode: score N sampled pairs twice over live "
         "HTTP, compare against the in-process model, then exit",
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH.jsonl",
+        default=None,
+        dest="access_log",
+        help="write one structured JSON line per request (request_id, "
+        "method, path, status, latency_ms, pair/cache detail); the "
+        "request_id matches the serve.request spans in --trace output",
     )
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")

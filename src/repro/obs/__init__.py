@@ -11,6 +11,12 @@ and the ``--telemetry`` / ``--trace`` / ``--manifest`` CLI flags.  See
 """
 
 from .callbacks import CallbackList, RunInfo, TrainerCallback
+from .log import (
+    ACCESS_LOG_SCHEMA,
+    AccessLog,
+    new_request_id,
+    read_access_log,
+)
 from .manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -20,14 +26,31 @@ from .manifest import (
 )
 from .metrics import (
     Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
     EMATracker,
     Gauge,
+    Histogram,
     MetricsRegistry,
     Timer,
+    linear_buckets,
+    log_buckets,
     record_worker_stats,
 )
 from .profile import MemoryProfiler, RssSampler, rss_bytes
-from .report import diff_phases, load_run, render_diff, render_report
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    histogram_from_samples,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from .report import (
+    diff_phases,
+    diff_slo,
+    load_run,
+    render_diff,
+    render_report,
+)
 from .sinks import (
     ConsoleReporter,
     EventSink,
@@ -54,18 +77,23 @@ from .trace import (
 )
 
 __all__ = [
+    "ACCESS_LOG_SCHEMA",
+    "AccessLog",
     "CallbackList",
     "ConsoleReporter",
     "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "EMATracker",
     "EventSink",
     "Gauge",
+    "Histogram",
     "InMemorySink",
     "JsonlSink",
     "MANIFEST_SCHEMA",
     "MemoryProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROMETHEUS_CONTENT_TYPE",
     "RssSampler",
     "RunInfo",
     "TRACE_SCHEMA",
@@ -79,18 +107,27 @@ __all__ = [
     "current_tracer",
     "deactivate",
     "diff_phases",
+    "diff_slo",
+    "histogram_from_samples",
     "is_volatile",
     "iter_batch_events",
+    "linear_buckets",
     "load_run",
+    "log_buckets",
     "network_fingerprint",
+    "new_request_id",
+    "parse_prometheus",
     "phase_totals",
+    "read_access_log",
     "read_jsonl",
     "read_manifest",
     "read_trace",
     "record_worker_stats",
     "render_diff",
+    "render_prometheus",
     "render_report",
     "rss_bytes",
+    "sanitize_metric_name",
     "span",
     "strip_volatile",
     "use_tracer",

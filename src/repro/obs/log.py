@@ -1,0 +1,119 @@
+"""Structured JSONL access logs and request-id generation.
+
+The serving tier (:mod:`repro.serve.server`) writes one JSON object per
+request through an :class:`AccessLog` — method, path, status, latency,
+pair count, cache/coalescing detail and the per-request ``request_id``
+— replacing the freeform ``BaseHTTPRequestHandler`` stderr lines.  The
+same ``request_id`` is attached to the ``serve.request`` trace span, so
+a slow request found in the access log can be pulled up on the Perfetto
+timeline (and vice versa); ``docs/observability.md`` shows the
+correlation workflow.
+
+The writer is thread-safe (handler threads share one log), flushes
+after every line (a crashed server leaves a readable prefix, matching
+:class:`repro.obs.sinks.JsonlSink`), and prefixes the file with a
+schema header line that :func:`read_access_log` strips.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+import uuid
+from typing import IO, Any
+
+#: Schema tag on the header line of every access-log file.
+ACCESS_LOG_SCHEMA = "repro_access_log/v1"
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (collision-safe per deployment)."""
+    return uuid.uuid4().hex[:16]
+
+
+class AccessLog:
+    """Thread-safe one-JSON-object-per-line request log.
+
+    >>> log = AccessLog("access.jsonl")          # doctest: +SKIP
+    >>> log.log(request_id="ab12", method="POST", path="/score",
+    ...         status=200, latency_ms=1.5)      # doctest: +SKIP
+
+    Every record automatically gains a wall-clock ``ts`` (seconds since
+    the epoch) unless the caller supplies one.  Pass an open ``stream``
+    instead of a path to keep the log in memory (tests) or on stderr.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path | None = None,
+        stream: IO[str] | None = None,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self.path = pathlib.Path(path) if path is not None else None
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._wrote_header = False
+        self._closed = False
+        self.n_records = 0
+
+    def _file(self) -> IO[str]:
+        if self._closed:
+            raise ValueError("access log is closed")
+        if self._stream is None:
+            assert self.path is not None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "w", encoding="utf-8")
+        return self._stream
+
+    def log(self, **fields: Any) -> dict[str, Any]:
+        """Append one record; returns the record as written."""
+        record = {"ts": time.time(), **fields}
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            handle = self._file()
+            if not self._wrote_header:
+                handle.write(
+                    json.dumps(
+                        {"schema": ACCESS_LOG_SCHEMA},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                self._wrote_header = True
+            handle.write(line + "\n")
+            handle.flush()
+            self.n_records += 1
+        return record
+
+    def close(self) -> None:
+        """Close a path-backed log (idempotent); streams stay open."""
+        with self._lock:
+            if self.path is not None:
+                if self._stream is not None:
+                    self._stream.close()
+                    self._stream = None
+                self._closed = True
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_access_log(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse an access-log file back into its records (header dropped)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("schema") == ACCESS_LOG_SCHEMA:
+                continue
+            records.append(record)
+    return records

@@ -1,0 +1,192 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns a registry into the standard
+`text-based exposition format`__ — ``# TYPE`` headers, cumulative
+``_bucket{le="..."}`` series, ``_sum``/``_count`` — so a Prometheus (or
+VictoriaMetrics / Grafana Agent) scrape of ``GET
+/metrics?format=prometheus`` works against the serving tier with zero
+extra dependencies.  :func:`parse_prometheus` is the matching reader:
+it parses the exposition text back into sample dicts, which the test
+suite uses to prove the rendering round-trips to the exact counts and
+the load harness uses to read server-side histograms.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+
+Mapping of the :mod:`repro.obs.metrics` primitives:
+
+============  =======================  =================================
+primitive     Prometheus type          series
+============  =======================  =================================
+Counter       counter                  ``<name>_total``
+Gauge         gauge                    ``<name>``
+EMATracker    gauge                    ``<name>`` (the current average)
+Timer         counter ×2               ``<name>_seconds_total``,
+                                       ``<name>_calls_total``
+Histogram     histogram                ``<name>_bucket{le=...}``,
+                                       ``<name>_sum``, ``<name>_count``
+============  =======================  =================================
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): every other character — the registry
+convention uses dots, e.g. ``serve.requests`` — becomes ``_``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from .metrics import Counter, EMATracker, Gauge, Histogram, MetricsRegistry, Timer
+
+#: Content type Prometheus scrapers expect from a text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``serve.latency_ms`` → ``serve_latency_ms`` (valid grammar)."""
+    name = _INVALID_CHARS.sub("_", name)
+    if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; Prometheus spells infinity ``+Inf``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = ""
+) -> str:
+    """The registry as Prometheus exposition text (one trailing ``\\n``).
+
+    ``namespace`` is an optional prefix joined with ``_`` (Prometheus
+    convention), e.g. ``namespace="repro"`` turns ``serve.requests``
+    into ``repro_serve_requests_total``.
+    """
+    prefix = f"{sanitize_metric_name(namespace)}_" if namespace else ""
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, samples: list[tuple[str, float]]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix_and_labels, value in samples:
+            lines.append(f"{name}{suffix_and_labels} {_fmt(value)}")
+
+    for raw_name, metric in registry.items():
+        name = prefix + sanitize_metric_name(raw_name)
+        if isinstance(metric, Counter):
+            emit(f"{name}_total", "counter", [("", float(metric.value))])
+        elif isinstance(metric, Gauge):
+            emit(name, "gauge", [("", float(metric.value))])
+        elif isinstance(metric, EMATracker):
+            value = metric.value
+            if value is not None:
+                emit(name, "gauge", [("", float(value))])
+        elif isinstance(metric, Timer):
+            emit(
+                f"{name}_seconds_total",
+                "counter",
+                [("", float(metric.total_seconds))],
+            )
+            emit(
+                f"{name}_calls_total",
+                "counter",
+                [("", float(metric.n_calls))],
+            )
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative()
+            samples = [
+                (f'_bucket{{le="{_fmt(bound)}"}}', float(n))
+                for bound, n in zip(metric.bounds, cumulative)
+            ]
+            samples.append(('_bucket{le="+Inf"}', float(cumulative[-1])))
+            lines.append(f"# TYPE {name} histogram")
+            for suffix, value in samples:
+                lines.append(f"{name}{suffix} {_fmt(value)}")
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {_fmt(float(metric.count))}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse exposition text back into metric families.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value),
+    ...]}}`` where ``labels`` is a plain dict.  Sample series that carry
+    a recognised suffix (``_bucket``/``_sum``/``_count``/``_total``)
+    attach to the family the preceding ``# TYPE`` line declared, which
+    is how real scrapers group histogram series.  Raises
+    :class:`ValueError` on lines that fit neither the comment nor the
+    sample grammar.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    current: str | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                current = parts[2]
+                families[current] = {"type": parts[3], "samples": []}
+            continue  # HELP/other comments are legal and ignored
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        name = match.group("name")
+        labels = {
+            m.group("key"): m.group("value")
+            for m in _LABEL.finditer(match.group("labels") or "")
+        }
+        value = _parse_value(match.group("value"))
+        family = current if current and name.startswith(current) else name
+        families.setdefault(family, {"type": "untyped", "samples": []})
+        families[family]["samples"].append((name, labels, value))
+    return families
+
+
+def histogram_from_samples(
+    family: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Reassemble one parsed histogram family into buckets/sum/count.
+
+    Returns ``{"buckets": [(upper_bound, cumulative_count), ...],
+    "sum": float, "count": int}`` with buckets sorted by bound
+    (``+Inf`` last) — the shape the round-trip tests compare against
+    :meth:`Histogram.cumulative`.
+    """
+    buckets: list[tuple[float, int]] = []
+    total = count = None
+    for name, labels, value in family["samples"]:
+        if name.endswith("_bucket"):
+            buckets.append((_parse_value(labels["le"]), int(value)))
+        elif name.endswith("_sum"):
+            total = value
+        elif name.endswith("_count"):
+            count = int(value)
+    buckets.sort(key=lambda item: item[0])
+    return {"buckets": buckets, "sum": total, "count": count}

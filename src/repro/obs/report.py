@@ -12,6 +12,15 @@ into one shape — ``{"label", "phases", "metrics"}`` with ``phases`` as
 :func:`render_report` prints the phase/loss-term breakdown of one run;
 :func:`render_diff` compares two runs phase by phase and flags
 regressions beyond a relative threshold.
+
+Runs that carry serving-load measurements — a ``bench_estep/v1`` report
+with a ``serving.load`` block, or a standalone ``serve_load/v1`` report
+from ``python -m benchmarks.serve_load`` — additionally get an ``slo``
+section: multi-client p50/p95/p99 latency, RPS and error rate.
+``render_diff`` compares the SLO between baseline and candidate and
+flags ``slo.p99_ms`` (tail latency) and ``slo.rps`` (throughput)
+regressions alongside the phase flags, so ``repro report --diff
+BENCH_estep.json fresh.json --strict`` fails CI on a p99 regression.
 """
 
 from __future__ import annotations
@@ -25,6 +34,44 @@ from .trace import TRACE_SCHEMA, phase_totals, read_trace
 
 #: Span-name prefixes that are per-loss-term measurements (Eq. 18).
 LOSS_TERM_SPANS = ("estep.L_topo", "estep.L_label", "estep.L_pattern")
+
+#: Schema of ``python -m benchmarks.serve_load`` reports.
+SERVE_LOAD_SCHEMA = "serve_load/v1"
+
+
+def _extract_slo(data: Mapping[str, Any]) -> dict[str, Any] | None:
+    """Pull the serving-SLO block out of a load-bearing report.
+
+    Accepts either a ``serve_load/v1`` report (fields at the top level)
+    or a ``bench_estep/v1`` report (fields under ``serving.load``).
+    Returns ``None`` when the report has no completed load run.
+    """
+    if data.get("schema") == SERVE_LOAD_SCHEMA:
+        load: Mapping[str, Any] = data
+    else:
+        load = (data.get("serving") or {}).get("load") or {}
+    if load.get("p99_ms") is None:
+        return None
+    slo = {
+        key: load[key]
+        for key in (
+            "clients",
+            "duration_s",
+            "distribution",
+            "requests",
+            "errors",
+            "error_rate",
+            "rps",
+            "pairs_per_sec",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        )
+        if key in load
+    }
+    if isinstance(load.get("slowest"), Mapping):
+        slo["slowest"] = dict(load["slowest"])
+    return slo
 
 
 def _normalise_phases(
@@ -75,13 +122,25 @@ def load_run(path: str | pathlib.Path) -> dict[str, Any]:
                 "phases": phase_totals(read_trace(path)),
                 "metrics": {},
             }
-        if "phases" in data:  # bench_estep/v1 and friends
+        if schema == SERVE_LOAD_SCHEMA:
             return {
+                "label": str(path),
+                "kind": "serve_load",
+                "phases": {},
+                "metrics": {},
+                "slo": _extract_slo(data),
+            }
+        if "phases" in data:  # bench_estep/v1 and friends
+            run = {
                 "label": str(path),
                 "kind": str(schema or "report"),
                 "phases": _normalise_phases(data["phases"]),
                 "metrics": {},
             }
+            slo = _extract_slo(data)
+            if slo is not None:
+                run["slo"] = slo
+            return run
         raise ValueError(
             f"{path}: unrecognised run file (schema={schema!r}; expected a "
             f"manifest, a trace, or a report with a 'phases' key)"
@@ -104,12 +163,43 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds * 1e3:7.2f}ms"
 
 
+def _render_slo(slo: Mapping[str, Any]) -> list[str]:
+    """The serving-SLO block shared by report and diff rendering."""
+    setup = (
+        f"{slo.get('clients', '?')} closed-loop clients x "
+        f"{slo.get('duration_s', 0):g}s, "
+        f"{slo.get('distribution', '?')} distribution"
+    )
+    lines = [f"serving SLO ({setup}):"]
+    lines.append(
+        f"  p50 {slo['p50_ms']:.1f} ms | p95 {slo['p95_ms']:.1f} ms | "
+        f"p99 {slo['p99_ms']:.1f} ms"
+    )
+    lines.append(
+        f"  {slo.get('rps', 0):,.0f} req/s, {slo.get('requests', 0)} "
+        f"requests, {slo.get('errors', 0)} errors "
+        f"({slo.get('error_rate', 0):.2%})"
+    )
+    slowest = slo.get("slowest")
+    if slowest and slowest.get("request_id"):
+        lines.append(
+            f"  slowest request {slowest['request_id']} at "
+            f"{slowest['latency_ms']:.1f} ms (grep the access log / "
+            "trace for this id)"
+        )
+    return lines
+
+
 def render_report(run: Mapping[str, Any]) -> str:
     """Human-readable phase / loss-term / metric breakdown of one run."""
     phases = run["phases"]
     lines = [f"run: {run['label']}", ""]
+    slo = run.get("slo")
     if not phases:
-        lines.append("(no phase timings recorded)")
+        if slo:
+            lines.extend(_render_slo(slo))
+        else:
+            lines.append("(no phase timings recorded)")
         return "\n".join(lines)
     total = sum(entry["self_s"] for entry in phases.values())
     width = max(len(name) for name in phases)
@@ -147,7 +237,56 @@ def render_report(run: Mapping[str, Any]) -> str:
             value = metrics[key]
             shown = f"{value:.6g}" if isinstance(value, float) else value
             lines.append(f"  {key} = {shown}")
+    if slo:
+        lines.append("")
+        lines.extend(_render_slo(slo))
     return "\n".join(lines)
+
+
+def diff_slo(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    threshold: float = 0.25,
+) -> list[dict[str, Any]]:
+    """SLO comparison rows of run ``b`` against baseline ``a``.
+
+    Tail latency (``p50_ms``/``p95_ms``/``p99_ms``) regresses when it
+    *grows* beyond the threshold; throughput (``rps``) regresses when it
+    *shrinks* beyond it.  Only ``p99_ms`` and ``rps`` carry the
+    ``regression`` flag — p50/p95 rows are informational, the SLO gate
+    is on the tail and on throughput.  Returns ``[]`` unless both runs
+    carry an SLO block.
+    """
+    slo_a, slo_b = a.get("slo"), b.get("slo")
+    if not slo_a or not slo_b:
+        return []
+    rows = []
+    for key, higher_is_worse, gated in (
+        ("p50_ms", True, False),
+        ("p95_ms", True, False),
+        ("p99_ms", True, True),
+        ("rps", False, True),
+    ):
+        if key not in slo_a or key not in slo_b:
+            continue
+        val_a, val_b = float(slo_a[key]), float(slo_b[key])
+        ratio = val_b / val_a if val_a > 0 else None
+        regression = False
+        if gated and ratio is not None:
+            worse = ratio > 1.0 + threshold if higher_is_worse else (
+                ratio < 1.0 - threshold
+            )
+            regression = worse
+        rows.append(
+            {
+                "metric": f"slo.{key}",
+                "a": val_a,
+                "b": val_b,
+                "ratio": ratio,
+                "regression": regression,
+            }
+        )
+    return rows
 
 
 def diff_phases(
@@ -192,14 +331,24 @@ def render_diff(
 ) -> tuple[str, list[str]]:
     """Render the diff table; returns ``(text, flagged phase names)``."""
     rows = diff_phases(a, b, threshold)
+    slo_rows = diff_slo(a, b, threshold)
     lines = [
         f"baseline A: {a['label']}",
         f"candidate B: {b['label']}",
         "",
     ]
-    if not rows:
+    if not rows and not slo_rows:
         lines.append("(no phases in either run)")
         return "\n".join(lines), []
+    if not rows:
+        flagged = _append_slo_diff(lines, slo_rows, threshold)
+        if flagged:
+            lines.append("")
+            lines.append(
+                f"{len(flagged)} SLO metric(s) regressed beyond "
+                f"{threshold:.0%}: " + ", ".join(flagged)
+            )
+        return "\n".join(lines), flagged
     width = max(len(row["phase"]) for row in rows)
     lines.append(
         f"{'phase':<{width}}  {'A':>9}  {'B':>9}  {'B/A':>6}  flag"
@@ -225,10 +374,36 @@ def render_diff(
         lines.append("metrics (A -> B):")
         for key in common:
             lines.append(f"  {key}: {metrics_a[key]} -> {metrics_b[key]}")
+    if slo_rows:
+        lines.append("")
+        flagged.extend(_append_slo_diff(lines, slo_rows, threshold))
     if flagged:
         lines.append("")
         lines.append(
-            f"{len(flagged)} phase(s) regressed beyond {threshold:.0%}: "
-            + ", ".join(flagged)
+            f"{len(flagged)} phase(s)/SLO metric(s) regressed beyond "
+            f"{threshold:.0%}: " + ", ".join(flagged)
         )
     return "\n".join(lines), flagged
+
+
+def _append_slo_diff(
+    lines: list[str],
+    slo_rows: list[dict[str, Any]],
+    threshold: float,
+) -> list[str]:
+    """Append the SLO comparison table; return flagged metric names."""
+    flagged = []
+    width = max(len(row["metric"]) for row in slo_rows)
+    lines.append("serving SLO (A -> B):")
+    for row in slo_rows:
+        ratio = f"{row['ratio']:5.2f}x" if row["ratio"] is not None else "   --"
+        flag = ""
+        if row["regression"]:
+            flag = f"REGRESSION (> {threshold:.0%})"
+            flagged.append(row["metric"])
+        unit = "req/s" if row["metric"].endswith("rps") else "ms"
+        lines.append(
+            f"  {row['metric']:<{width}}  {row['a']:9.1f} {unit} -> "
+            f"{row['b']:9.1f} {unit}  {ratio}  {flag}"
+        )
+    return flagged

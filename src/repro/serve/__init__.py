@@ -23,14 +23,22 @@ from .artifact import (
     save_model_artifact,
 )
 from .engine import ScoringEngine
-from .server import MAX_BODY_BYTES, SERVE_SCHEMA, ModelServer
+from .server import (
+    ERROR_CODES,
+    MAX_BODY_BYTES,
+    ROUTES,
+    SERVE_SCHEMA,
+    ModelServer,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactError",
+    "ERROR_CODES",
     "MAX_BODY_BYTES",
     "MODEL_CLASS_NAMES",
     "ModelServer",
+    "ROUTES",
     "SERVE_SCHEMA",
     "ScoringEngine",
     "load_embedding_artifact",

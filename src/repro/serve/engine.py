@@ -30,19 +30,26 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..obs import MetricsRegistry, span
+from ..obs import MetricsRegistry, linear_buckets, log_buckets, span
+
+#: Bucket bounds for the batch-size histogram (pairs per request).
+BATCH_PAIRS_BUCKETS = log_buckets(1.0, 1e6, per_decade=3)
+
+#: Bucket bounds for the per-request cache-hit-fraction histogram.
+HIT_FRACTION_BUCKETS = linear_buckets(0.05, 1.0, 20)
 
 
 class _Request:
     """One caller's pairs awaiting a coalesced scoring round."""
 
-    __slots__ = ("pairs", "done", "result", "error")
+    __slots__ = ("pairs", "done", "result", "error", "info")
 
     def __init__(self, pairs: np.ndarray) -> None:
         self.pairs = pairs
         self.done = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        self.info: dict[str, int | None] = {}
 
 
 class ScoringEngine:
@@ -136,21 +143,26 @@ class ScoringEngine:
 
     # -- scoring --------------------------------------------------------
 
-    def score_pairs(self, pairs, use_cache: bool = True) -> np.ndarray:
+    def score_pairs(
+        self, pairs, use_cache: bool = True, info: dict | None = None
+    ) -> np.ndarray:
         """``d(u, v)`` for a ``(k, 2)`` batch of oriented-tie pairs.
 
         Cached pairs are answered from the LRU; the misses go through
         one vectorised ``directionality_batch`` call.  Raises
-        :class:`KeyError` when a pair is not an oriented tie.
+        :class:`KeyError` when a pair is not an oriented tie.  When the
+        caller passes an ``info`` dict it is filled with this request's
+        ``cache_hits``/``cache_misses`` (the access log consumes this).
         """
         pairs = self._as_pairs(pairs)
         start = time.perf_counter()
-        # No Timer here: one Timer instance is not safe under concurrent
-        # server threads; the latency EMA plus the request counter carry
-        # the same signal race-free.
+        # No Timer here: one Timer instance accumulates globally; the
+        # request counter, latency EMA and histograms carry the
+        # per-request signal (all thread-safe primitives).
         with span("serve.score", pairs=int(len(pairs))):
             if not use_cache or self.cache_size == 0:
                 scores = self.model.directionality_batch(pairs)
+                hits = np.zeros(len(pairs), dtype=bool)
                 self.metrics.counter("serve.cache_misses").inc(len(pairs))
             else:
                 scores, hits = self._cache_get_many(pairs)
@@ -164,15 +176,32 @@ class ScoringEngine:
                     fresh = self.model.directionality_batch(missed)
                     scores[~hits] = fresh
                     self._cache_put_many(missed, fresh)
+            n_hits = int(hits.sum())
             self.metrics.counter("serve.requests").inc()
             self.metrics.counter("serve.pairs").inc(len(pairs))
             self.metrics.ema("serve.batch_pairs").update(len(pairs))
             self.metrics.ema("serve.latency_ms").update(
                 (time.perf_counter() - start) * 1e3
             )
+            self.metrics.histogram("serve.hist.latency_ms").observe(
+                (time.perf_counter() - start) * 1e3
+            )
+            self.metrics.histogram(
+                "serve.hist.batch_pairs", BATCH_PAIRS_BUCKETS
+            ).observe(len(pairs))
+            if len(pairs):
+                self.metrics.histogram(
+                    "serve.hist.cache_hit_fraction", HIT_FRACTION_BUCKETS
+                ).observe(n_hits / len(pairs))
+            if info is not None:
+                info["cache_hits"] = n_hits
+                info["cache_misses"] = len(pairs) - n_hits
+                info["_hit_mask"] = hits
         return scores
 
-    def score_pairs_coalesced(self, pairs) -> np.ndarray:
+    def score_pairs_coalesced(
+        self, pairs, info: dict | None = None
+    ) -> np.ndarray:
         """Like :meth:`score_pairs`, coalescing concurrent callers.
 
         The first caller of a round becomes the *leader*: it waits
@@ -180,7 +209,11 @@ class ScoringEngine:
         then scores everything pending in one vectorised call and
         distributes the slices.  Later callers just wait on their slice.
         With a single caller this degrades to ``score_pairs`` plus one
-        short sleep.
+        short sleep.  An ``info`` dict, when given, receives this
+        caller's position in its round (``round_requests``,
+        ``round_position``, ``round_pairs``) and its own
+        ``cache_hits`` — the request-correlated detail the access log
+        records per entry.
         """
         request = _Request(self._as_pairs(pairs))
         with self._mb_lock:
@@ -204,6 +237,8 @@ class ScoringEngine:
                 self._leader_active = False
             self._score_round(batch)
         request.done.wait()
+        if info is not None:
+            info.update(request.info)
         if request.error is not None:
             raise request.error
         assert request.result is not None
@@ -213,19 +248,36 @@ class ScoringEngine:
         """Score one coalesced round, isolating per-request failures."""
         self.metrics.counter("serve.rounds").inc()
         self.metrics.ema("serve.coalesced_requests").update(len(batch))
+        round_pairs = int(sum(len(r.pairs) for r in batch))
+        for position, request in enumerate(batch):
+            request.info = {
+                "round_requests": len(batch),
+                "round_position": position,
+                "round_pairs": round_pairs,
+            }
         try:
             stacked = np.concatenate([r.pairs for r in batch])
-            scores = self.score_pairs(stacked)
+            round_info: dict = {}
+            scores = self.score_pairs(stacked, info=round_info)
+            hit_mask = round_info.get("_hit_mask")
             offset = 0
             for request in batch:
                 request.result = scores[offset : offset + len(request.pairs)]
+                if hit_mask is not None:
+                    request.info["cache_hits"] = int(
+                        hit_mask[offset : offset + len(request.pairs)].sum()
+                    )
                 offset += len(request.pairs)
         except Exception:
             # One bad pair poisons the stacked call; rescore per request
             # so only the offending caller sees the error.
             for request in batch:
                 try:
-                    request.result = self.score_pairs(request.pairs)
+                    request_info: dict = {}
+                    request.result = self.score_pairs(
+                        request.pairs, info=request_info
+                    )
+                    request.info["cache_hits"] = request_info["cache_hits"]
                 except Exception as exc:  # noqa: BLE001 - handed to caller
                     request.error = exc
         finally:

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from benchmarks.perf import (
+    check_load,
     check_serving,
     check_speedup,
     check_trace_overhead,
@@ -25,6 +28,10 @@ def test_harness_writes_machine_readable_report(tmp_path):
             "1",
             "--estep-pairs",
             "4000",
+            "--load-clients",
+            "4",
+            "--load-duration",
+            "0.6",
             "--output",
             str(output),
         ]
@@ -63,11 +70,58 @@ def test_harness_writes_machine_readable_report(tmp_path):
     assert serving["pairs_per_sec"] > 0
     assert 0 <= serving["cache_hit_rate"] <= 1
 
-    # The report is a valid `repro report` input (the diff baseline).
+    # The load block carries real multi-client tail latency, measured
+    # against a deliberately undersized cache (adversarial scan).
+    load = serving["load"]
+    assert load["schema"] == "serve_load/v1"
+    assert load["clients"] == 4
+    assert load["distribution"] == "adversarial"
+    assert load["requests"] > 0
+    assert load["errors"] == 0
+    assert 0 < load["p50_ms"] <= load["p95_ms"] <= load["p99_ms"]
+    assert load["rps"] > 0
+    assert load["cache_hit_rate"] < 0.5  # the scan defeats the LRU
+
+    # The report is a valid `repro report` input (the diff baseline),
+    # SLO block included.
     from repro.obs import load_run
 
     run = load_run(output)
     assert "estep.train" in run["phases"]
+    assert run["slo"]["p99_ms"] == load["p99_ms"]
+
+    # --serving-only refreshes the serving section in place without
+    # touching the (slow) training tiers.
+    report["sizes"]["small"]["sentinel"] = True
+    output.write_text(json.dumps(report))
+    code = main(
+        [
+            "--serving-only",
+            "--load-clients",
+            "4",
+            "--load-duration",
+            "0.5",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code == 0
+    merged = json.loads(output.read_text())
+    assert merged["sizes"]["small"]["sentinel"] is True  # preserved
+    assert merged["phases"] == report["phases"]
+    assert merged["serving"]["load"]["requests"] > 0
+    assert merged["serving"]["load"] != load  # actually re-measured
+
+
+def test_serving_only_requires_existing_report(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "--serving-only",
+                "--output",
+                str(tmp_path / "missing.json"),
+            ]
+        )
 
 
 def test_check_trace_overhead(capsys):
@@ -138,3 +192,32 @@ def test_check_speedup_fails_on_regression(capsys):
     assert check_speedup(report, 1.0) == 1
     assert "FAIL" in capsys.readouterr().out
     assert check_speedup(report, 0.25) == 0
+
+
+def test_check_load(capsys):
+    good = {
+        "serving": {
+            "load": {
+                "clients": 4,
+                "p99_ms": 12.0,
+                "errors": 0,
+                "rps": 500.0,
+            }
+        }
+    }
+    assert check_load(good, 100.0) == 0
+    assert "ok" in capsys.readouterr().out
+
+    slow = json.loads(json.dumps(good))
+    slow["serving"]["load"]["p99_ms"] = 900.0
+    assert check_load(slow, 100.0) == 1
+    assert "p99" in capsys.readouterr().out
+
+    errored = json.loads(json.dumps(good))
+    errored["serving"]["load"]["errors"] = 7
+    assert check_load(errored, 100.0) == 1
+    assert "errors" in capsys.readouterr().out
+
+    assert check_load({}, 100.0) == 0
+    assert "skipped" in capsys.readouterr().out
+    assert check_load({"serving": {}}, 100.0) == 0

@@ -1,0 +1,286 @@
+"""Correctness tests for :class:`repro.obs.Histogram`.
+
+Bucket-boundary semantics, quantile estimates against a numpy
+reference, exact merging, Prometheus round-trips, and a hypothesis
+property pinning the monotone-cumulative invariant the ``_bucket``
+series relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    histogram_from_samples,
+    linear_buckets,
+    log_buckets,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+class TestBucketFactories:
+    def test_log_buckets_multiplicative_steps(self):
+        bounds = log_buckets(1.0, 1000.0, per_decade=1)
+        assert bounds == (1.0, 10.0, 100.0, 1000.0)
+
+    def test_log_buckets_cover_hi(self):
+        bounds = log_buckets(0.5, 80.0, per_decade=3)
+        assert bounds[0] == 0.5
+        assert bounds[-1] >= 80.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** (1 / 3)) for r in ratios)
+
+    def test_linear_buckets_even_spacing(self):
+        assert linear_buckets(0.0, 1.0, 5) == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            log_buckets(10.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+        with pytest.raises(ValueError):
+            linear_buckets(1.0, 0.0, 3)
+        with pytest.raises(ValueError):
+            linear_buckets(0.0, 1.0, 0)
+
+    def test_default_latency_buckets_span_10us_to_100s(self):
+        assert DEFAULT_LATENCY_BUCKETS_MS[0] == 0.01
+        # The generator stops within float tolerance of the target.
+        assert DEFAULT_LATENCY_BUCKETS_MS[-1] == pytest.approx(1e5)
+
+
+class TestBucketBoundaries:
+    def test_value_on_bound_counts_as_le(self):
+        # Prometheus `le` semantics: a sample equal to a bound belongs
+        # to that bound's bucket.
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.counts[:3] == [1, 1, 1]
+        assert h.counts[3] == 0  # nothing overflowed
+
+    def test_value_between_bounds_goes_up(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(3.0)
+        assert h.counts == [0, 0, 1]
+        assert h.cumulative() == [0, 0, 1]
+
+    def test_exact_aggregates(self):
+        h = Histogram(buckets=(10.0,))
+        for v in (1.0, 2.0, 30.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(33.0)
+        assert h.min == 1.0
+        assert h.max == 30.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, math.inf))
+
+
+class TestQuantiles:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) is None
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+        assert summary["min"] is None
+
+    def test_quantile_domain(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_single_sample_collapses_to_it(self):
+        h = Histogram()
+        h.observe(7.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_extremes_clamp_to_observed_range(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (2.0, 3.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_matches_numpy_within_bucket_resolution(self):
+        # With per_decade=4 log buckets, adjacent bounds differ by a
+        # factor of 10^(1/4) ~ 1.78; interpolation inside the bucket
+        # keeps estimates within that factor of the exact percentile.
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=1.0, sigma=1.0, size=20_000)
+        h = Histogram()  # default latency buckets comfortably span this
+        for v in samples:
+            h.observe(v)
+        step = 10 ** (1 / 4)
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            estimate = h.quantile(q)
+            assert exact / step <= estimate <= exact * step
+
+    def test_quantiles_monotone_in_q(self):
+        rng = np.random.default_rng(11)
+        h = Histogram()
+        for v in rng.exponential(5.0, size=5_000):
+            h.observe(v)
+        values = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert values == sorted(values)
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(3)
+        a_samples = rng.exponential(2.0, size=500)
+        b_samples = rng.exponential(20.0, size=700)
+        a, b, union = Histogram(), Histogram(), Histogram()
+        for v in a_samples:
+            a.observe(v)
+            union.observe(v)
+        for v in b_samples:
+            b.observe(v)
+            union.observe(v)
+        a.merge(b)
+        assert a.counts == union.counts
+        assert a.count == union.count
+        assert a.sum == pytest.approx(union.sum)
+        assert a.min == union.min
+        assert a.max == union.max
+
+    def test_merge_associative_on_counts(self):
+        parts = []
+        rng = np.random.default_rng(5)
+        for i in range(3):
+            h = Histogram(buckets=(1.0, 10.0, 100.0))
+            for v in rng.uniform(0.1, 200.0, size=100):
+                h.observe(v)
+            parts.append(h)
+
+        def fold(order):
+            acc = Histogram(buckets=(1.0, 10.0, 100.0))
+            for i in order:
+                acc.merge(parts[i])
+            return acc
+
+        left = fold([0, 1, 2])
+        right = fold([2, 0, 1])
+        assert left.counts == right.counts
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum)
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b)
+
+    def test_merge_with_empty_is_identity(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        a.observe(1.5)
+        before = list(a.counts)
+        a.merge(Histogram(buckets=(1.0, 2.0)))
+        assert a.counts == before
+        assert a.min == 1.5 and a.max == 1.5
+
+
+class TestPrometheusRoundTrip:
+    def test_bucket_series_round_trips_exactly(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("serve.hist.latency_ms")
+        rng = np.random.default_rng(9)
+        for v in rng.lognormal(1.5, 1.0, size=2_000):
+            h.observe(v)
+        text = render_prometheus(registry, namespace="repro")
+        families = parse_prometheus(text)
+        family = families["repro_serve_hist_latency_ms"]
+        assert family["type"] == "histogram"
+        parsed = histogram_from_samples(family)
+        cumulative = h.cumulative()
+        assert [c for _, c in parsed["buckets"][:-1]] == cumulative[:-1]
+        bound_labels, last = parsed["buckets"][-1]
+        assert bound_labels == math.inf
+        assert last == h.count == parsed["count"]
+        assert parsed["sum"] == pytest.approx(h.sum)
+
+    def test_parsed_bounds_match_histogram(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        parsed = histogram_from_samples(
+            parse_prometheus(render_prometheus(registry))["lat"]
+        )
+        assert [b for b, _ in parsed["buckets"]] == [1.0, 2.0, 4.0, math.inf]
+
+
+class TestRegistryIntegration:
+    def test_snapshot_flattens_summary(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        snap = registry.snapshot()
+        assert snap["lat_count"] == 2
+        assert snap["lat_sum"] == pytest.approx(5.5)
+        assert snap["lat_min"] == 0.5
+        assert snap["lat_max"] == 5.0
+        assert snap["lat_p50"] is not None
+        assert json.dumps(snap)  # JSON-ready
+
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+        with pytest.raises(TypeError):
+            registry.counter("h")
+
+
+@given(
+    st.lists(
+        st.floats(
+            min_value=1e-3,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_cumulative_buckets_are_monotone(values):
+    """The ``_bucket`` series is monotone and ends at the exact count."""
+    h = Histogram(buckets=log_buckets(1e-3, 1e6, per_decade=2))
+    for v in values:
+        h.observe(v)
+    cumulative = h.cumulative()
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == h.count == len(values)
+    assert sum(h.counts) == len(values)
+    if values:
+        assert h.min == pytest.approx(min(values))
+        assert h.max == pytest.approx(max(values))
+        assert h.sum == pytest.approx(sum(values), rel=1e-9)

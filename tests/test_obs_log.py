@@ -1,0 +1,111 @@
+"""Tests for ``repro.obs.log``: access logs and request ids."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    ACCESS_LOG_SCHEMA,
+    AccessLog,
+    new_request_id,
+    read_access_log,
+)
+
+
+class TestNewRequestId:
+    def test_format(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        int(rid, 16)  # hex
+
+    def test_unique(self):
+        ids = {new_request_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+
+class TestAccessLog:
+    def test_requires_exactly_one_destination(self):
+        with pytest.raises(ValueError):
+            AccessLog()
+        with pytest.raises(ValueError):
+            AccessLog(path="x.jsonl", stream=io.StringIO())
+
+    def test_header_then_records(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            log.log(request_id="ab12", method="POST", path="/score",
+                    status=200, latency_ms=1.5)
+            log.log(request_id="cd34", method="GET", path="/healthz",
+                    status=200, latency_ms=0.2)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"schema": ACCESS_LOG_SCHEMA}
+        assert len(lines) == 3
+        first = json.loads(lines[1])
+        assert first["request_id"] == "ab12"
+        assert first["status"] == 200
+        assert first["ts"] > 0
+
+    def test_read_access_log_strips_header(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            log.log(request_id="ab12", status=200)
+        records = read_access_log(path)
+        assert len(records) == 1
+        assert records[0]["request_id"] == "ab12"
+        assert log.n_records == 1
+
+    def test_caller_ts_wins(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        record = log.log(ts=123.0, request_id="x")
+        assert record["ts"] == 123.0
+        written = stream.getvalue().splitlines()[-1]
+        assert json.loads(written)["ts"] == 123.0
+
+    def test_log_after_close_raises(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        log.log(request_id="ab12", status=200)
+        log.close()
+        log.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            log.log(request_id="cd34", status=200)
+        # The closed log never truncated what was already written.
+        assert len(read_access_log(path)) == 1
+
+    def test_stream_backed_log_survives_close(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        log.log(request_id="a")
+        log.close()  # streams stay open (caller owns them)
+        log.log(request_id="b")
+        assert log.n_records == 2
+
+    def test_concurrent_writers_produce_valid_lines(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        n_threads, n_records = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i: int) -> None:
+            barrier.wait()
+            for j in range(n_records):
+                log.log(request_id=f"{i}-{j}", status=200)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        records = read_access_log(path)  # every line parses cleanly
+        assert len(records) == n_threads * n_records
+        assert len({r["request_id"] for r in records}) == len(records)
+        assert log.n_records == len(records)

@@ -171,3 +171,97 @@ class TestRendering:
         }
         _, flagged = render_diff(self.RUN_A, run_b, threshold=0.05)
         assert flagged == ["estep.train"]
+
+
+class TestServingSlo:
+    """SLO extraction, rendering and regression flagging."""
+
+    def _load_report(self, p99=10.0, rps=600.0):
+        return {
+            "schema": "serve_load/v1",
+            "clients": 4,
+            "duration_s": 5.0,
+            "distribution": "adversarial",
+            "requests": 3000,
+            "errors": 0,
+            "error_rate": 0.0,
+            "rps": rps,
+            "p50_ms": 5.0,
+            "p95_ms": 8.0,
+            "p99_ms": p99,
+            "slowest": {"request_id": "ab12cd34ef56ab12",
+                        "latency_ms": 14.0},
+        }
+
+    def _write(self, tmp_path, name, data):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_load_run_reads_serve_load_report(self, tmp_path):
+        from repro.obs import load_run
+
+        run = load_run(
+            self._write(tmp_path, "load.json", self._load_report())
+        )
+        assert run["kind"] == "serve_load"
+        assert run["slo"]["p99_ms"] == 10.0
+        assert run["slo"]["slowest"]["request_id"]
+
+    def test_load_run_attaches_slo_from_bench_report(self, tmp_path):
+        from repro.obs import load_run
+
+        bench = {
+            "schema": "bench_estep/v1",
+            "phases": {"estep.train": 1.0},
+            "serving": {"p50_ms": 6.0, "load": self._load_report()},
+        }
+        run = load_run(self._write(tmp_path, "bench.json", bench))
+        assert "estep.train" in run["phases"]
+        assert run["slo"]["clients"] == 4
+        # A bench report without a completed load run has no SLO.
+        del bench["serving"]["load"]
+        run = load_run(self._write(tmp_path, "bench2.json", bench))
+        assert "slo" not in run
+
+    def test_render_report_includes_slo_section(self, tmp_path):
+        from repro.obs import load_run, render_report
+
+        run = load_run(
+            self._write(tmp_path, "load.json", self._load_report())
+        )
+        text = render_report(run)
+        assert "serving SLO" in text
+        assert "p99 10.0 ms" in text
+        assert "ab12cd34ef56ab12" in text
+
+    def test_diff_slo_flags_p99_and_rps_regressions(self):
+        from repro.obs import diff_slo
+
+        base = {"slo": self._load_report()}
+        worse = {"slo": self._load_report(p99=50.0, rps=100.0)}
+        rows = {r["metric"]: r for r in diff_slo(base, worse, 0.25)}
+        assert rows["slo.p99_ms"]["regression"] is True
+        assert rows["slo.rps"]["regression"] is True
+        # p50/p95 rows are informational only.
+        assert rows["slo.p50_ms"]["regression"] is False
+        same = {r["metric"]: r for r in diff_slo(base, base, 0.25)}
+        assert not any(r["regression"] for r in same.values())
+        assert diff_slo(base, {"slo": None}, 0.25) == []
+
+    def test_render_diff_flags_slo_regression(self, tmp_path):
+        from repro.obs import load_run, render_diff
+
+        a = load_run(self._write(tmp_path, "a.json", self._load_report()))
+        b = load_run(
+            self._write(
+                tmp_path, "b.json", self._load_report(p99=50.0)
+            )
+        )
+        text, flagged = render_diff(a, b, threshold=0.25)
+        assert "slo.p99_ms" in flagged
+        assert "REGRESSION" in text
+        text, flagged = render_diff(a, a, threshold=0.25)
+        assert flagged == []

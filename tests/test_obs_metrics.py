@@ -90,3 +90,94 @@ class TestMetricsRegistry:
         assert snap["L"] == 2.0
         assert snap["batch_calls"] == 1
         assert snap["batch_s"] >= 0.0
+
+
+class TestThreadSafety:
+    """The serving tier hammers one shared registry from every
+    ``ThreadingHTTPServer`` handler thread; unlocked read-modify-write
+    mutators would lose updates.  These stress tests prove the counts
+    stay exact under 8-way contention."""
+
+    N_THREADS = 8
+    N_OPS = 5_000
+
+    def _hammer(self, fn):
+        import threading
+
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()
+            for _ in range(self.N_OPS):
+                fn()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_inc_is_exact_under_contention(self):
+        c = Counter()
+        self._hammer(lambda: c.inc())
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_counter_inc_n_is_exact_under_contention(self):
+        c = Counter()
+        self._hammer(lambda: c.inc(3))
+        assert c.value == 3 * self.N_THREADS * self.N_OPS
+
+    def test_gauge_set_lands_on_a_written_value(self):
+        g = Gauge()
+        values = [float(i) for i in range(self.N_THREADS)]
+        counter = {"i": 0}
+
+        def write():
+            counter["i"] = (counter["i"] + 1) % self.N_THREADS
+            g.set(values[counter["i"]])
+
+        self._hammer(write)
+        assert g.value in values
+
+    def test_ema_update_count_is_exact_under_contention(self):
+        ema = EMATracker(alpha=0.5)
+        self._hammer(lambda: ema.update(1.0))
+        assert ema.n_updates == self.N_THREADS * self.N_OPS
+        assert ema.value == 1.0
+
+    def test_histogram_observe_is_exact_under_contention(self):
+        from repro.obs import Histogram
+
+        h = Histogram(buckets=(1.0, 2.0))
+        self._hammer(lambda: h.observe(1.5))
+        total = self.N_THREADS * self.N_OPS
+        assert h.count == total
+        assert h.counts == [0, total, 0]
+        assert h.sum == 1.5 * total
+
+    def test_registry_get_or_create_races_to_one_instance(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(self.N_THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            c = reg.counter("shared")
+            with lock:
+                seen.append(c)
+            c.inc()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+        assert reg.counter("shared").value == self.N_THREADS

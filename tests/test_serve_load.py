@@ -1,0 +1,203 @@
+"""The closed-loop load harness measures a live server honestly."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from benchmarks.serve_load import (
+    DISTRIBUTIONS,
+    HOT_SET_SIZE,
+    SCHEMA,
+    LoadConfig,
+    baseline_load_p99,
+    check_load_vs_baseline,
+    check_p99,
+    main,
+    make_pair_sampler,
+    run_load,
+)
+from repro.models import HFModel
+from repro.serve import ModelServer, ScoringEngine
+
+
+class TestLoadConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadConfig(duration_s=0)
+        with pytest.raises(ValueError):
+            LoadConfig(pairs_per_request=0)
+        with pytest.raises(ValueError):
+            LoadConfig(distribution="zipf")
+        assert LoadConfig().distribution in DISTRIBUTIONS
+
+
+class TestSamplers:
+    def _ties(self, n=500):
+        return np.column_stack([np.arange(n), np.arange(n) + 1000])
+
+    def test_deterministic_per_seed_and_client(self):
+        ties = self._ties()
+        for dist in DISTRIBUTIONS:
+            a = make_pair_sampler(ties, dist, 16, seed=1, client_index=0,
+                                  n_clients=2)
+            b = make_pair_sampler(ties, dist, 16, seed=1, client_index=0,
+                                  n_clients=2)
+            assert np.array_equal(a(), b())
+
+    def test_hot_stays_in_working_set(self):
+        ties = self._ties(2000)
+        sample = make_pair_sampler(ties, "hot", 64, 0, 0, 4)
+        working = {tuple(t) for t in ties[:HOT_SET_SIZE]}
+        for _ in range(20):
+            assert all(tuple(p) in working for p in sample())
+
+    def test_adversarial_scans_every_tie(self):
+        ties = self._ties(100)
+        sample = make_pair_sampler(ties, "adversarial", 10, 0, 0, 1)
+        seen = set()
+        for _ in range(10):
+            seen.update(tuple(p) for p in sample())
+        assert len(seen) == 100  # full sequential coverage, no repeats
+
+    def test_adversarial_clients_start_at_spread_offsets(self):
+        ties = self._ties(100)
+        first_rows = [
+            make_pair_sampler(ties, "adversarial", 1, 0, i, 4)()[0]
+            for i in range(4)
+        ]
+        assert len({tuple(r) for r in first_rows}) == 4
+
+    def test_uniform_covers_broadly(self):
+        ties = self._ties(50)
+        sample = make_pair_sampler(ties, "uniform", 25, 0, 0, 1)
+        seen = {tuple(p) for _ in range(20) for p in sample()}
+        assert len(seen) > 25
+
+    def test_empty_ties_rejected(self):
+        with pytest.raises(ValueError):
+            make_pair_sampler(np.empty((0, 2), dtype=int), "hot", 4, 0, 0, 1)
+
+
+@pytest.fixture(scope="module")
+def live_server(discovery_task):
+    model = HFModel().fit(discovery_task.network, seed=0)
+    network = model.network
+    ties = np.column_stack([network.tie_src, network.tie_dst])
+    engine = ScoringEngine(model, cache_size=64)
+    with ModelServer(engine, port=0) as server:
+        yield server, ties, engine
+
+
+class TestRunLoad:
+    def test_multi_client_report_shape(self, live_server):
+        server, ties, _engine = live_server
+        config = LoadConfig(
+            clients=4, duration_s=0.6, pairs_per_request=16,
+            distribution="adversarial",
+        )
+        result = run_load(server.url, ties, config)
+        assert result["schema"] == SCHEMA
+        assert result["clients"] == 4
+        assert result["requests"] > 0
+        assert result["errors"] == 0
+        assert result["rps"] > 0
+        assert result["pairs_per_sec"] > 0
+        assert 0 < result["p50_ms"] <= result["p95_ms"] <= result["p99_ms"]
+        assert result["p99_ms"] <= result["max_ms"]
+        assert result["slowest"]["request_id"]
+        assert result["slowest"]["latency_ms"] == result["max_ms"]
+
+    def test_adversarial_scan_defeats_a_small_cache(self, live_server):
+        server, ties, engine = live_server
+        base_hits = engine.metrics.counter("serve.cache_hits").value
+        base_total = base_hits + engine.metrics.counter(
+            "serve.cache_misses"
+        ).value
+        config = LoadConfig(
+            clients=2, duration_s=0.5, pairs_per_request=16,
+            distribution="adversarial",
+        )
+        run_load(server.url, ties, config)
+        hits = engine.metrics.counter("serve.cache_hits").value - base_hits
+        total = (
+            engine.metrics.counter("serve.cache_hits").value
+            + engine.metrics.counter("serve.cache_misses").value
+            - base_total
+        )
+        assert total > 0
+        # 64-entry LRU vs a full sequential scan: hit rate ~ 0.
+        assert hits / total < 0.05
+
+
+class TestGates:
+    def _result(self, p99=10.0, errors=0):
+        return {"p99_ms": p99, "errors": errors}
+
+    def test_check_p99(self, capsys):
+        assert check_p99(self._result(p99=10.0), 50.0) == 0
+        assert "ok" in capsys.readouterr().out
+        assert check_p99(self._result(p99=90.0), 50.0) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert check_p99(self._result(errors=3), 50.0) == 1
+        assert check_p99({}, 50.0) == 1
+
+    def test_baseline_extraction(self):
+        bench = {"serving": {"load": {"p99_ms": 12.5}}}
+        assert baseline_load_p99(bench) == 12.5
+        assert baseline_load_p99({}) is None
+        assert baseline_load_p99({"serving": {}}) is None
+
+    def test_check_load_vs_baseline(self, capsys):
+        baseline = {"serving": {"load": {"p99_ms": 10.0}}}
+        assert check_load_vs_baseline(
+            self._result(p99=20.0), baseline, 25.0
+        ) == 0
+        assert "ok" in capsys.readouterr().out
+        assert check_load_vs_baseline(
+            self._result(p99=300.0), baseline, 25.0
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # Missing baseline section: skip, never block.
+        assert check_load_vs_baseline(self._result(), {}, 25.0) == 0
+        assert "skipped" in capsys.readouterr().out
+        assert check_load_vs_baseline(
+            self._result(errors=1), baseline, 25.0
+        ) == 1
+
+
+def test_main_self_contained_smoke(tmp_path, capsys):
+    """One short end-to-end run: fit, serve, load, write, gate."""
+    output = tmp_path / "load.json"
+    access_log = tmp_path / "access.jsonl"
+    code = main(
+        [
+            "--clients", "4",
+            "--duration", "0.6",
+            "--pairs", "16",
+            "--n-nodes", "120",
+            "--output", str(output),
+            "--access-log", str(access_log),
+            "--check-p99", "60000",
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == SCHEMA
+    assert report["clients"] == 4
+    assert report["requests"] > 0
+    assert report["p50_ms"] <= report["p99_ms"]
+    assert report["server"]["cache_size"] >= 256
+    assert report["server"]["errors"] == {}
+
+    # The slowest request is traceable in the server's access log.
+    from repro.obs import read_access_log
+
+    records = read_access_log(access_log)
+    assert len(records) == report["requests"]
+    slow_id = report["slowest"]["request_id"]
+    assert any(r["request_id"] == slow_id for r in records)
