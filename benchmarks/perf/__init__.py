@@ -8,11 +8,22 @@ so future PRs have a perf trajectory to compare against::
 
     python -m benchmarks.perf --sizes small --workers 1 2
 
-``--check-speedup T`` exits non-zero when multi-worker throughput drops
-below ``T ×`` the single-worker rate on any size; the check auto-skips
-(with a notice) on single-core machines, where HOGWILD workers only add
-process overhead.  See ``docs/performance.md`` for how to read the
-output.
+``--check-speedup T [TIER:WORKERS=RATIO ...]`` exits non-zero when
+multi-worker throughput drops below ``T ×`` the single-worker rate on
+any size, with optional stricter per-entry floors (e.g.
+``--check-speedup 1.0 large:4=1.5`` requires ≥1.5× at workers=4 on the
+large tier).  Any entry whose worker count exceeds the measuring host's
+usable cores is skipped with a loud notice instead of failing or
+passing vacuously — HOGWILD workers only add process overhead when they
+time-slice one CPU.  A rule naming an entry absent from the report
+*fails* (a gate that silently never ran is worse than a red one).  See
+``docs/performance.md`` for how to read the output.
+
+Every report carries a ``host`` provenance block (platform, machine,
+``os.cpu_count()``, usable-core affinity) so a benchmark committed from
+a 1-core box can never silently masquerade as parallel-speedup
+evidence; ``repro report --diff`` warns when two reports come from
+hosts with different core counts.
 
 The report also carries a top-level ``phases`` key — per-phase span
 timings from one traced workers=1 E-Step run (``repro.obs.trace``), so
@@ -149,9 +160,49 @@ def _bench_estep(network, workers: int, max_pairs: int, seed: int) -> dict:
     }
 
 
-#: Spans entered per E-Step batch on the hot path (sample, L_topo,
-#: L_label, L_pattern, update) plus headroom for per-batch attrs.
-SPANS_PER_BATCH = 6
+#: Spans entered per E-Step batch on the hot path (sample, triad_labels,
+#: L_topo, L_label, L_pattern, update) plus headroom for per-batch attrs.
+SPANS_PER_BATCH = 7
+
+
+def host_provenance() -> dict:
+    """Where a benchmark was measured — the report's honesty block.
+
+    ``cpu_count`` is the machine's core count; ``usable_cores`` is the
+    scheduler affinity actually available to this process (containers
+    and cgroups often grant fewer than ``os.cpu_count()``), and is what
+    the speedup gate compares worker counts against.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable = os.cpu_count()
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python_implementation": platform.python_implementation(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "usable_cores": usable,
+    }
+
+
+def report_host_cores(report: dict) -> int:
+    """Usable core count of the host a report was measured on.
+
+    Prefers the ``host`` provenance block (``usable_cores``, then
+    ``cpu_count``); falls back to the legacy top-level ``cpu_count`` for
+    pre-provenance reports, then to 1.
+    """
+    host = report.get("host") or {}
+    for value in (
+        host.get("usable_cores"),
+        host.get("cpu_count"),
+        report.get("cpu_count"),
+    ):
+        if value:
+            return int(value)
+    return 1
 
 
 def _bench_traced_phases(network, max_pairs: int, seed: int) -> dict:
@@ -347,6 +398,7 @@ def run_benchmarks(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_provenance(),
         "seed": seed,
         "repeats": repeats,
         "sizes": {},
@@ -399,20 +451,53 @@ def run_benchmarks(
     return report
 
 
-def check_speedup(report: dict, threshold: float) -> int:
+def parse_speedup_rules(
+    specs: Sequence[str],
+) -> dict[tuple[str, int], float]:
+    """Parse ``TIER:WORKERS=RATIO`` specs (e.g. ``large:4=1.5``)."""
+    rules: dict[tuple[str, int], float] = {}
+    for spec in specs:
+        try:
+            target, ratio_text = spec.split("=", 1)
+            size, workers_text = target.split(":", 1)
+            rules[(size, int(workers_text))] = float(ratio_text)
+        except ValueError:
+            raise ValueError(
+                f"bad speedup rule {spec!r}; expected TIER:WORKERS=RATIO "
+                "(e.g. large:4=1.5)"
+            ) from None
+    return rules
+
+
+def check_speedup(
+    report: dict,
+    threshold: float,
+    rules: dict[tuple[str, int], float] | None = None,
+) -> int:
     """Fail (return 1) when multi-worker throughput regresses.
 
-    On single-core machines HOGWILD workers time-slice one CPU, so the
-    check is meaningless and auto-skips with a notice.
+    ``threshold`` is the global floor on ``pairs_per_sec`` relative to
+    workers=1; ``rules`` maps ``(size, workers)`` to stricter per-entry
+    floors (the CI large-tier gate is ``{("large", 4): 1.5}``).
+
+    The worker counts are compared against the *measuring host's*
+    usable cores (``host`` provenance block): any entry whose worker
+    count exceeds them — including the whole check on a single-core
+    machine, where HOGWILD workers just time-slice one CPU — is skipped
+    with a loud notice rather than failed or passed vacuously.  A rule
+    naming an entry that is absent from the report fails outright.
     """
-    cpu_count = report.get("cpu_count") or 1
-    if cpu_count < 2:
+    rules = dict(rules or {})
+    host_cores = report_host_cores(report)
+    if host_cores < 2:
         print(
-            f"check-speedup: skipped (cpu_count={cpu_count}; "
-            "multi-worker speedups need >1 core)"
+            f"check-speedup: skipped entirely (host has {host_cores} "
+            "usable core(s); multi-worker speedups need >1 core — "
+            "rerun on a multi-core host to exercise this gate)"
         )
         return 0
     failures = []
+    checked = 0
     for size, entry in report["sizes"].items():
         base = entry["estep"].get("1")
         if base is None:
@@ -420,16 +505,36 @@ def check_speedup(report: dict, threshold: float) -> int:
         for key, stats in entry["estep"].items():
             if key == "1":
                 continue
+            n_workers = int(key)
+            floor = rules.pop((size, n_workers), threshold)
+            if n_workers > host_cores:
+                print(
+                    f"check-speedup: SKIP {size}: workers={key} "
+                    f"(host has only {host_cores} usable cores; "
+                    f"a {floor:.2f}x floor cannot be demonstrated here)"
+                )
+                continue
+            checked += 1
             ratio = stats["pairs_per_sec"] / max(base["pairs_per_sec"], 1e-9)
-            if ratio < threshold:
+            if ratio < floor:
                 failures.append(
                     f"{size}: workers={key} at {ratio:.2f}x of workers=1 "
-                    f"(threshold {threshold:.2f}x)"
+                    f"(threshold {floor:.2f}x)"
                 )
+    for (size, n_workers), floor in sorted(rules.items()):
+        # Leftover rules never matched an entry; a gate that silently
+        # never ran must not read as green.
+        failures.append(
+            f"rule {size}:{n_workers}={floor:g} matched no report entry"
+        )
     for failure in failures:
         print(f"check-speedup: FAIL {failure}")
     if not failures:
-        print(f"check-speedup: ok (all ratios >= {threshold:.2f}x)")
+        print(
+            f"check-speedup: ok ({checked} entr"
+            f"{'y' if checked == 1 else 'ies'} >= their floors, "
+            f"global {threshold:.2f}x)"
+        )
     return 1 if failures else 0
 
 
@@ -543,11 +648,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--output", default="BENCH_estep.json")
     parser.add_argument(
         "--check-speedup",
-        type=float,
+        nargs="+",
         default=None,
-        metavar="RATIO",
-        help="exit non-zero if any workers>1 tier falls below RATIO x "
-        "the workers=1 pairs/sec (auto-skips on single-core hosts)",
+        metavar=("RATIO", "TIER:WORKERS=RATIO"),
+        help="exit non-zero if any workers>1 entry falls below RATIO x "
+        "the workers=1 pairs/sec; extra TIER:WORKERS=RATIO specs set "
+        "stricter per-entry floors (e.g. 'large:4=1.5').  Entries whose "
+        "worker count exceeds the host's usable cores are skipped with "
+        "a notice",
     )
     parser.add_argument(
         "--check-trace-overhead",
@@ -604,6 +712,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--workers entries must be positive")
     if args.load_clients < 1:
         parser.error("--load-clients must be positive")
+
+    speedup_threshold = None
+    speedup_rules: dict[tuple[str, int], float] = {}
+    if args.check_speedup is not None:
+        try:
+            speedup_threshold = float(args.check_speedup[0])
+            speedup_rules = parse_speedup_rules(args.check_speedup[1:])
+        except ValueError as exc:
+            parser.error(f"--check-speedup: {exc}")
 
     if args.serving_only:
         try:
@@ -672,8 +789,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
     status = 0
-    if args.check_speedup is not None:
-        status |= check_speedup(report, args.check_speedup)
+    if speedup_threshold is not None:
+        status |= check_speedup(report, speedup_threshold, speedup_rules)
     if args.check_trace_overhead is not None:
         status |= check_trace_overhead(report, args.check_trace_overhead)
     if args.check_serving is not None:

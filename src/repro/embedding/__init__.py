@@ -2,11 +2,22 @@
 
 from .config import DeepDirectConfig
 from .deepdirect import (
-    BatchLoss,
     DeepDirectEmbedding,
     DeepDirectTrainer,
     EmbeddingResult,
     embed,
+)
+from .kernels import (
+    BatchLoss,
+    EStepWorkspace,
+    SgnsWorkspace,
+    batch_triad_labels,
+    estep_batch_loss,
+    fused_estep_batch,
+    fused_sgns_batch,
+    reference_batch_triad_labels,
+    reference_estep_batch,
+    reference_sgns_batch,
 )
 from .line import LineConfig, LineEmbedding, LineResult
 from .node2vec import (
@@ -31,6 +42,7 @@ __all__ = [
     "DeepDirectConfig",
     "DeepDirectEmbedding",
     "DeepDirectTrainer",
+    "EStepWorkspace",
     "EmbeddingResult",
     "LineConfig",
     "LineEmbedding",
@@ -39,11 +51,19 @@ __all__ = [
     "Node2VecEmbedding",
     "Node2VecResult",
     "generate_walks",
+    "SgnsWorkspace",
     "TriadNeighborhood",
+    "batch_triad_labels",
     "build_triad_neighborhoods",
     "degree_pseudo_labels",
     "embed",
+    "estep_batch_loss",
+    "fused_estep_batch",
+    "fused_sgns_batch",
     "load_embedding",
+    "reference_batch_triad_labels",
+    "reference_estep_batch",
+    "reference_sgns_batch",
     "sample_common_neighbors",
     "save_embedding",
     "triad_pseudo_labels",

@@ -63,6 +63,13 @@ class DeepDirectConfig:
         schedule and a spawned child RNG, so runs remain seeded but
         scatter-add interleaving is scheduler-dependent).  See
         ``docs/performance.md``.
+    kernel:
+        Which E-Step batch kernel runs the Eq. 21-25 updates:
+        ``"fused"`` (default) is the vectorised production path with
+        preallocated scratch buffers; ``"reference"`` is the scalar
+        per-pair oracle used by the ``tests/kernel_parity``
+        differential-testing harness.  Both implement identical
+        mathematics — see :mod:`repro.embedding.kernels`.
     """
 
     dimensions: int = 128
@@ -78,6 +85,7 @@ class DeepDirectConfig:
     max_pairs: int | None = None
     pairs_per_tie: float | None = None
     workers: int = 1
+    kernel: str = "fused"
 
     def __post_init__(self) -> None:
         if self.dimensions < 1:
@@ -100,3 +108,8 @@ class DeepDirectConfig:
             raise ValueError("pairs_per_tie must be positive when set")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.kernel not in ("fused", "reference"):
+            raise ValueError(
+                "kernel must be 'fused' or 'reference', got "
+                f"{self.kernel!r}"
+            )

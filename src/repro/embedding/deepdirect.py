@@ -14,8 +14,13 @@ Implementation notes
 --------------------
 * The paper's per-sample SGD is vectorised into minibatches: every batch
   draws ``batch_size`` pairs from ``P_c``, their successors uniformly
-  from ``c(e)``, and ``λ`` negatives each from ``P_n``, then applies the
-  exact update rules with ``numpy`` scatter-adds.  Reads within a batch
+  from ``c(e)``, and ``λ`` negatives each from ``P_n``, then hands the
+  batch to a kernel from :mod:`repro.embedding.kernels` that applies
+  the exact update rules.  The default ``fused`` kernel runs one fully
+  vectorised forward+gradient pass through preallocated scratch buffers
+  with ``np.add.at`` scatter updates; the ``reference`` kernel is the
+  scalar per-pair oracle the differential-testing harness
+  (``tests/kernel_parity``) checks it against.  Reads within a batch
   are stale by at most one batch — the standard HOGWILD-style
   approximation used by every practical skip-gram implementation.
 * Triad pseudo-labels ``y^t`` (Eq. 15) are *dynamic*: recomputed per
@@ -30,7 +35,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, NamedTuple
+from typing import Iterable
 
 import numpy as np
 
@@ -46,6 +51,13 @@ from ..obs import (
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
 from .hogwild import run_hogwild
+from .kernels import (
+    BatchLoss,
+    EStepWorkspace,
+    batch_triad_labels,
+    fused_estep_batch,
+    reference_estep_batch,
+)
 from .patterns import (
     TriadNeighborhood,
     build_triad_neighborhoods,
@@ -60,21 +72,6 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 def _safe_log(x: np.ndarray) -> np.ndarray:
     return np.log(np.maximum(x, 1e-12))
-
-
-class BatchLoss(NamedTuple):
-    """Per-batch mean loss, split into the Eq. 18 components.
-
-    ``total == topo + label + pattern`` (the α/β weights are already
-    applied to the component means); ``b_prime`` is the updated joint
-    bias, returned because a python float cannot mutate in place.
-    """
-
-    total: float
-    topo: float
-    label: float
-    pattern: float
-    b_prime: float
 
 
 @dataclass
@@ -131,6 +128,10 @@ class DeepDirectEmbedding:
 
     def __init__(self, config: DeepDirectConfig | None = None) -> None:
         self.config = config or DeepDirectConfig()
+        # Per-trainer scratch buffers for the fused kernel.  HOGWILD
+        # workers each build their own trainer in ``task.setup``, so the
+        # workspace is naturally per-process.
+        self._workspace = EStepWorkspace()
 
     # ------------------------------------------------------------------
 
@@ -388,10 +389,15 @@ class DeepDirectEmbedding:
         lr: float,
         rng: np.random.Generator,
     ) -> BatchLoss:
-        """One vectorised SGD step; mutates M, N, w_prime in place.
+        """One SGD batch: sample, compute triad labels, run the kernel.
 
-        Returns the batch-mean loss split into its Eq. 18 components
-        plus the updated bias ``b_prime``.
+        All sampling and the dynamic ``y^t`` pseudo-labels (Eq. 15,
+        recomputed from the live classifier each batch, no gradient
+        through them) happen here; the parameter updates are delegated
+        to the configured :mod:`repro.embedding.kernels` implementation,
+        which mutates M, N, w_prime in place.  Returns the batch-mean
+        loss split into its Eq. 18 components plus the updated bias
+        ``b_prime``.
         """
         cfg = self.config
         batch = cfg.batch_size
@@ -400,90 +406,34 @@ class DeepDirectEmbedding:
             e, successor = sampler.sample_pairs(batch, rng)
             negatives = sampler.sample_negatives(batch, cfg.n_negative, rng)
 
-        m = M[e]                                   # (B, l)
-        n_pos = N[successor]                       # (B, l)
-        n_neg = N[negatives]                       # (B, λ, l)
+        # Triad pseudo-labels are inputs to the kernel, not part of it:
+        # Eq. 21 treats y^t as a constant, so the kernels take the
+        # precomputed labels and the gradient checks hold them fixed.
+        y_triad: np.ndarray | None = None
+        triad_valid: np.ndarray | None = None
+        if cfg.beta > 0 and triads is not None:
+            batch_undirected = undirected_mask[e]
+            if np.any(batch_undirected):
+                with span("estep.triad_labels",
+                          undirected=int(batch_undirected.sum())):
+                    y_triad, triad_valid = batch_triad_labels(
+                        M, w_prime, b_prime,
+                        triads.uw_ids[e], triads.vw_ids[e],
+                    )
 
-        # ---- L_topo gradients (Eqs. 23-25) ----
-        with span("estep.L_topo", pairs=batch) as topo_sp:
-            pos_score = _sigmoid(np.einsum("bl,bl->b", m, n_pos))
-            neg_score = _sigmoid(np.einsum("bl,bkl->bk", m, n_neg))
-            grad_m = (pos_score - 1.0)[:, None] * n_pos
-            grad_m += np.einsum("bk,bkl->bl", neg_score, n_neg)
-            grad_n_pos = (pos_score - 1.0)[:, None] * m
-            grad_n_neg = neg_score[:, :, None] * m[:, None, :]
-
-            loss_topo = (-_safe_log(pos_score)
-                         - _safe_log(1.0 - neg_score).sum(axis=1))
-            topo_sp.set(loss=float(loss_topo.mean()))
-        loss_label = np.zeros(batch)
-        loss_pattern = np.zeros(batch)
-
-        # ---- supervised error scalar (Eq. 21) ----
-        prediction = _sigmoid(m @ w_prime + b_prime)
-        error = np.zeros(batch)
-
-        batch_labeled = labeled_mask[e]
-        if cfg.alpha > 0 and np.any(batch_labeled):
-            with span("estep.L_label",
-                      labeled=int(batch_labeled.sum())) as label_sp:
-                delta = np.where(batch_labeled, prediction - labels[e], 0.0)
-                error += cfg.alpha * delta
-                y = labels[e]
-                ce = -(y * _safe_log(prediction)
-                       + (1 - y) * _safe_log(1 - prediction))
-                loss_label += cfg.alpha * np.where(batch_labeled, ce, 0.0)
-                label_sp.set(loss=float(loss_label.mean()))
-
-        batch_undirected = undirected_mask[e]
-        if cfg.beta > 0 and triads is not None and np.any(batch_undirected):
-            with span("estep.L_pattern",
-                      undirected=int(batch_undirected.sum())) as pattern_sp:
-                # Degree-pattern term, gated by the threshold T (Eq. 16).
-                y_d = y_degree[e]
-                degree_term = batch_undirected & (y_d > cfg.degree_threshold)
-                error += cfg.beta * np.where(
-                    degree_term, prediction - y_d, 0.0
-                )
-                ce_d = -(y_d * _safe_log(prediction)
-                         + (1 - y_d) * _safe_log(1 - prediction))
-                loss_pattern += cfg.beta * np.where(degree_term, ce_d, 0.0)
-
-                # Triad-pattern term with dynamic pseudo-labels (Eq. 15).
-                y_t, valid = self._batch_triad_labels(
-                    triads, e, M, w_prime, b_prime
-                )
-                triad_term = batch_undirected & valid
-                error += cfg.beta * np.where(triad_term, prediction - y_t, 0.0)
-                ce_t = -(y_t * _safe_log(prediction)
-                         + (1 - y_t) * _safe_log(1 - prediction))
-                loss_pattern += cfg.beta * np.where(triad_term, ce_t, 0.0)
-                pattern_sp.set(loss=float(loss_pattern.mean()))
-
-        with span("estep.update", pairs=batch):
-            np.clip(error, -cfg.grad_clip, cfg.grad_clip, out=error)
-            grad_m += error[:, None] * w_prime[None, :]
-            grad_w = m.T @ error
-            grad_b = float(error.sum())
-
-            # ---- apply updates (scatter-add handles repeated rows) ----
-            np.add.at(M, e, -lr * grad_m)
-            np.add.at(N, successor, -lr * grad_n_pos)
-            np.add.at(
-                N,
-                negatives.ravel(),
-                -lr * grad_n_neg.reshape(-1, grad_n_neg.shape[-1]),
-            )
-            w_prime -= lr * grad_w
-        topo = float(loss_topo.mean())
-        label = float(loss_label.mean())
-        pattern = float(loss_pattern.mean())
-        return BatchLoss(
-            total=topo + label + pattern,
-            topo=topo,
-            label=label,
-            pattern=pattern,
-            b_prime=b_prime - lr * grad_b,
+        kernel = (fused_estep_batch if cfg.kernel == "fused"
+                  else reference_estep_batch)
+        return kernel(
+            M, N, w_prime, b_prime,
+            e, successor, negatives,
+            labels[e], labeled_mask[e], undirected_mask[e], y_degree[e],
+            y_triad, triad_valid,
+            alpha=cfg.alpha,
+            beta=cfg.beta,
+            degree_threshold=cfg.degree_threshold,
+            grad_clip=cfg.grad_clip,
+            lr=lr,
+            workspace=self._workspace,
         )
 
     @staticmethod
@@ -494,22 +444,13 @@ class DeepDirectEmbedding:
         w_prime: np.ndarray,
         b_prime: float,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """``y^t`` for a batch, scoring only the batch's witness ties."""
-        uw = triads.uw_ids[tie_ids]                # (B, γ)
-        vw = triads.vw_ids[tie_ids]
-        mask = uw >= 0
-        safe_uw = np.maximum(uw, 0)
-        safe_vw = np.maximum(vw, 0)
-        y_uw = _sigmoid(M[safe_uw] @ w_prime + b_prime)
-        y_vw = _sigmoid(M[safe_vw] @ w_prime + b_prime)
-        denom = y_uw + y_vw
-        votes = np.where(
-            mask & (denom > 1e-12), y_uw / np.maximum(denom, 1e-12), 0.0
+        """``y^t`` for a batch, scoring only the batch's witness ties.
+
+        Back-compat shim over :func:`repro.embedding.kernels.batch_triad_labels`.
+        """
+        return batch_triad_labels(
+            M, w_prime, b_prime, triads.uw_ids[tie_ids], triads.vw_ids[tie_ids]
         )
-        counts = mask.sum(axis=1)
-        valid = counts > 0
-        labels = np.where(valid, votes.sum(axis=1) / np.maximum(counts, 1), 0.5)
-        return labels, valid
 
 
 @dataclass

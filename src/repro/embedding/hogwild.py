@@ -20,6 +20,13 @@ The parent process never touches the hot loop: it polls a small shared
 stats block and forwards merged progress (plus per-worker
 ``pairs_per_sec`` gauges) through the :mod:`repro.obs` callback layer.
 
+Workers run the exact same fused batch kernels as the sequential path
+(:mod:`repro.embedding.kernels`): the kernels mutate whatever arrays
+they are handed via ``np.add.at`` scatter updates, so pointing them at
+the shared-memory views *is* the parallel implementation.  Each worker
+builds its own preallocated kernel workspace in ``task.setup``, keeping
+the hot loop allocation-free per process.
+
 ``workers=1`` never enters this module — the trainers keep their
 sequential, bit-identical seeded path for that case.
 """

@@ -32,11 +32,8 @@ from ..obs import (
 )
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild
+from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
 from .samplers import AliasSampler
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
 
 
 @dataclass(frozen=True)
@@ -49,6 +46,9 @@ class LineConfig:
     ``workers > 1`` trains with that many lock-free HOGWILD processes
     over shared-memory embedding buffers (see ``docs/performance.md``);
     ``workers=1`` keeps the bit-identical sequential seeded path.
+    ``kernel`` selects the skip-gram batch kernel — ``"fused"``
+    (vectorised, preallocated buffers) or ``"reference"`` (the scalar
+    per-pair oracle from :mod:`repro.embedding.kernels`).
     """
 
     dimensions: int = 64
@@ -58,6 +58,7 @@ class LineConfig:
     batch_size: int = 256
     max_samples: int | None = None
     workers: int = 1
+    kernel: str = "fused"
 
     def __post_init__(self) -> None:
         if self.dimensions < 2:
@@ -72,6 +73,11 @@ class LineConfig:
             raise ValueError("batch_size must be at least 1")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.kernel not in ("fused", "reference"):
+            raise ValueError(
+                "kernel must be 'fused' or 'reference', got "
+                f"{self.kernel!r}"
+            )
 
 
 @dataclass
@@ -99,6 +105,10 @@ class LineEmbedding:
 
     def __init__(self, config: LineConfig | None = None) -> None:
         self.config = config or LineConfig()
+        # One scratch workspace per skip-gram half (different dims keys
+        # would thrash a shared one).
+        self._ws_first = SgnsWorkspace()
+        self._ws_second = SgnsWorkspace()
 
     def fit(
         self,
@@ -190,6 +200,8 @@ class LineEmbedding:
                 loss_history=hog.loss_history,
             )
 
+        kernel = (fused_sgns_batch if cfg.kernel == "fused"
+                  else reference_sgns_batch)
         history: list[tuple[int, float]] = []
         with span("line.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
@@ -200,8 +212,12 @@ class LineEmbedding:
                 negs = node_sampler.sample(
                     (cfg.batch_size, cfg.n_negative), rng
                 )
-                loss = self._first_order_step(first, u, v, negs, lr)
-                loss += self._second_order_step(second, context, u, v, negs, lr)
+                # First order scores nodes against themselves (ctx=emb);
+                # second order against separate context vectors.
+                loss = kernel(first, first, u, v, negs, lr,
+                              workspace=self._ws_first)
+                loss += kernel(second, context, u, v, negs, lr,
+                               workspace=self._ws_second)
                 if batch_idx % log_every == 0:
                     history.append((batch_idx * cfg.batch_size, loss / 2.0))
                 if cb:
@@ -242,19 +258,13 @@ class LineEmbedding:
         negs: np.ndarray,
         lr: float,
     ) -> float:
-        """Symmetric skip-gram step on the node embeddings themselves."""
-        eu, ev, en = emb[u], emb[v], emb[negs]
-        pos = _sigmoid(np.einsum("bl,bl->b", eu, ev))
-        neg = _sigmoid(np.einsum("bl,bkl->bk", eu, en))
-        grad_u = (pos - 1.0)[:, None] * ev + np.einsum("bk,bkl->bl", neg, en)
-        grad_v = (pos - 1.0)[:, None] * eu
-        grad_n = neg[:, :, None] * eu[:, None, :]
-        np.add.at(emb, u, -lr * grad_u)
-        np.add.at(emb, v, -lr * grad_v)
-        np.add.at(emb, negs.ravel(), -lr * grad_n.reshape(-1, emb.shape[1]))
-        loss = -np.log(np.maximum(pos, 1e-12)).mean()
-        loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-        return float(loss)
+        """Symmetric skip-gram step on the node embeddings themselves.
+
+        Back-compat shim over the shared
+        :func:`repro.embedding.kernels.fused_sgns_batch` kernel with
+        ``ctx = emb``.
+        """
+        return fused_sgns_batch(emb, emb, u, v, negs, lr)
 
     @staticmethod
     def _second_order_step(
@@ -265,26 +275,22 @@ class LineEmbedding:
         negs: np.ndarray,
         lr: float,
     ) -> float:
-        """Skip-gram step against separate context vectors."""
-        eu, cv, cn = emb[u], context[v], context[negs]
-        pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
-        neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
-        grad_u = (pos - 1.0)[:, None] * cv + np.einsum("bk,bkl->bl", neg, cn)
-        grad_cv = (pos - 1.0)[:, None] * eu
-        grad_cn = neg[:, :, None] * eu[:, None, :]
-        np.add.at(emb, u, -lr * grad_u)
-        np.add.at(context, v, -lr * grad_cv)
-        np.add.at(
-            context, negs.ravel(), -lr * grad_cn.reshape(-1, emb.shape[1])
-        )
-        loss = -np.log(np.maximum(pos, 1e-12)).mean()
-        loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-        return float(loss)
+        """Skip-gram step against separate context vectors.
+
+        Back-compat shim over
+        :func:`repro.embedding.kernels.fused_sgns_batch`.
+        """
+        return fused_sgns_batch(emb, context, u, v, negs, lr)
 
 
 @dataclass
 class _HogwildLineTask:
-    """Picklable LINE payload for the shared-memory HOGWILD backend."""
+    """Picklable LINE payload for the shared-memory HOGWILD backend.
+
+    ``setup`` builds per-worker :class:`SgnsWorkspace` scratch buffers,
+    so every HOGWILD process reuses the fused kernel with zero per-batch
+    allocation against the shared-memory embedding views.
+    """
 
     config: LineConfig
     src: np.ndarray
@@ -293,28 +299,28 @@ class _HogwildLineTask:
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
-    ) -> None:
-        return None
+    ) -> tuple[SgnsWorkspace, SgnsWorkspace]:
+        return (SgnsWorkspace(), SgnsWorkspace())
 
     def step(
         self,
-        state: None,
+        state: tuple[SgnsWorkspace, SgnsWorkspace],
         arrays: dict[str, np.ndarray],
         batch_idx: int,
         lr: float,
         rng: np.random.Generator,
     ) -> float:
         cfg = self.config
+        kernel = (fused_sgns_batch if cfg.kernel == "fused"
+                  else reference_sgns_batch)
         edge_ids = rng.integers(0, len(self.src), size=cfg.batch_size)
         u, v = self.src[edge_ids], self.dst[edge_ids]
         negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
-        loss = LineEmbedding._first_order_step(
-            arrays["first"], u, v, negs, lr
-        )
-        loss += LineEmbedding._second_order_step(
-            arrays["second"], arrays["context"], u, v, negs, lr
-        )
+        loss = kernel(arrays["first"], arrays["first"], u, v, negs, lr,
+                      workspace=state[0])
+        loss += kernel(arrays["second"], arrays["context"], u, v, negs, lr,
+                       workspace=state[1])
         return loss / 2.0
 
-    def counters(self, state: None) -> tuple[int, ...]:
+    def counters(self, state: tuple[SgnsWorkspace, SgnsWorkspace]) -> tuple[int, ...]:
         return (int(self.sampler.n_draws),)

@@ -32,11 +32,8 @@ from ..obs import (
 )
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild
+from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
 from .samplers import AliasSampler
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
 
 
 @dataclass(frozen=True)
@@ -49,7 +46,10 @@ class Node2VecConfig:
     generation is always sequential; ``workers > 1`` parallelises only
     the skip-gram SGD over shared-memory buffers (HOGWILD, see
     ``docs/performance.md``), while ``workers=1`` keeps the bit-identical
-    sequential seeded path.
+    sequential seeded path.  ``kernel`` selects the skip-gram batch
+    kernel — ``"fused"`` (vectorised, preallocated buffers) or
+    ``"reference"`` (the scalar per-pair oracle from
+    :mod:`repro.embedding.kernels`).
     """
 
     dimensions: int = 64
@@ -63,6 +63,7 @@ class Node2VecConfig:
     batch_size: int = 256
     epochs: float = 2.0
     workers: int = 1
+    kernel: str = "fused"
 
     def __post_init__(self) -> None:
         if self.dimensions < 1:
@@ -81,6 +82,11 @@ class Node2VecConfig:
         check_positive(self.epochs, "epochs")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.kernel not in ("fused", "reference"):
+            raise ValueError(
+                "kernel must be 'fused' or 'reference', got "
+                f"{self.kernel!r}"
+            )
 
 
 def generate_walks(
@@ -277,6 +283,9 @@ class Node2VecEmbedding:
                 loss_history=hog.loss_history,
             )
 
+        kernel = (fused_sgns_batch if cfg.kernel == "fused"
+                  else reference_sgns_batch)
+        workspace = SgnsWorkspace()
         history: list[tuple[int, float]] = []
         with span("node2vec.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
@@ -288,24 +297,12 @@ class Node2VecEmbedding:
                 u, v = centers[picks], contexts[picks]
                 negs = sampler.sample((cfg.batch_size, cfg.n_negative), rng)
 
-                eu, cv, cn = emb[u], ctx[v], ctx[negs]
-                pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
-                neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
-                grad_u = (pos - 1.0)[:, None] * cv
-                grad_u += np.einsum("bk,bkl->bl", neg, cn)
-                grad_cv = (pos - 1.0)[:, None] * eu
-                grad_cn = neg[:, :, None] * eu[:, None, :]
-                np.add.at(emb, u, -lr * grad_u)
-                np.add.at(ctx, v, -lr * grad_cv)
-                np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
-
-                # The loss is not a by-product of the update here, so it
-                # is only computed when a consumer wants it.
-                if cb or batch_idx % log_every == 0:
-                    loss = -np.log(np.maximum(pos, 1e-12)).mean()
-                    loss += (
-                        -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-                    )
+                # The loss is not a by-product of the update, so the
+                # kernel only evaluates it when a consumer wants it.
+                want_loss = bool(cb) or batch_idx % log_every == 0
+                loss = kernel(emb, ctx, u, v, negs, lr,
+                              workspace=workspace, compute_loss=want_loss)
+                if want_loss:
                     if batch_idx % log_every == 0:
                         history.append(
                             (batch_idx * cfg.batch_size, float(loss))
@@ -355,38 +352,27 @@ class _HogwildNode2VecTask:
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
-    ) -> None:
-        return None
+    ) -> SgnsWorkspace:
+        return SgnsWorkspace()
 
     def step(
         self,
-        state: None,
+        state: SgnsWorkspace,
         arrays: dict[str, np.ndarray],
         batch_idx: int,
         lr: float,
         rng: np.random.Generator,
     ) -> float:
         cfg = self.config
-        emb, ctx = arrays["emb"], arrays["ctx"]
-        half = emb.shape[1]
+        kernel = (fused_sgns_batch if cfg.kernel == "fused"
+                  else reference_sgns_batch)
         picks = rng.integers(0, len(self.centers), size=cfg.batch_size)
         u, v = self.centers[picks], self.contexts[picks]
         negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+        return float(
+            kernel(arrays["emb"], arrays["ctx"], u, v, negs, lr,
+                   workspace=state)
+        )
 
-        eu, cv, cn = emb[u], ctx[v], ctx[negs]
-        pos = _sigmoid(np.einsum("bl,bl->b", eu, cv))
-        neg = _sigmoid(np.einsum("bl,bkl->bk", eu, cn))
-        grad_u = (pos - 1.0)[:, None] * cv
-        grad_u += np.einsum("bk,bkl->bl", neg, cn)
-        grad_cv = (pos - 1.0)[:, None] * eu
-        grad_cn = neg[:, :, None] * eu[:, None, :]
-        np.add.at(emb, u, -lr * grad_u)
-        np.add.at(ctx, v, -lr * grad_cv)
-        np.add.at(ctx, negs.ravel(), -lr * grad_cn.reshape(-1, half))
-
-        loss = -np.log(np.maximum(pos, 1e-12)).mean()
-        loss += -np.log(np.maximum(1 - neg, 1e-12)).sum(axis=1).mean()
-        return float(loss)
-
-    def counters(self, state: None) -> tuple[int, ...]:
+    def counters(self, state: SgnsWorkspace) -> tuple[int, ...]:
         return (int(self.sampler.n_draws),)

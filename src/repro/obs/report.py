@@ -21,6 +21,12 @@ section: multi-client p50/p95/p99 latency, RPS and error rate.
 flags ``slo.p99_ms`` (tail latency) and ``slo.rps`` (throughput)
 regressions alongside the phase flags, so ``repro report --diff
 BENCH_estep.json fresh.json --strict`` fails CI on a p99 regression.
+
+Artefacts that record host provenance (bench reports' ``host`` block,
+manifests' ``platform.cpu_count``) surface it as ``host_cores``;
+``render_diff`` appends a non-strict WARNING when the two runs came
+from hosts with different core counts, since speedups measured on a
+4-core runner are not comparable to ones from a 64-core workstation.
 """
 
 from __future__ import annotations
@@ -37,6 +43,28 @@ LOSS_TERM_SPANS = ("estep.L_topo", "estep.L_label", "estep.L_pattern")
 
 #: Schema of ``python -m benchmarks.serve_load`` reports.
 SERVE_LOAD_SCHEMA = "serve_load/v1"
+
+
+def _host_cores(data: Mapping[str, Any]) -> int | None:
+    """CPU cores of the host a run artefact was produced on, if recorded.
+
+    Bench reports carry a ``host`` provenance block (preferring the
+    scheduler-affinity ``usable_cores`` over raw ``cpu_count``) with a
+    legacy top-level ``cpu_count`` fallback; manifests record
+    ``platform.cpu_count``.  Returns ``None`` for artefacts without host
+    provenance (traces, old reports).
+    """
+    host = data.get("host")
+    if isinstance(host, Mapping):
+        for key in ("usable_cores", "cpu_count"):
+            if host.get(key):
+                return int(host[key])
+    if data.get("cpu_count"):
+        return int(data["cpu_count"])
+    platform_info = data.get("platform")
+    if isinstance(platform_info, Mapping) and platform_info.get("cpu_count"):
+        return int(platform_info["cpu_count"])
+    return None
 
 
 def _extract_slo(data: Mapping[str, Any]) -> dict[str, Any] | None:
@@ -114,6 +142,7 @@ def load_run(path: str | pathlib.Path) -> dict[str, Any]:
                 "phases": _normalise_phases(data.get("phases", {})),
                 "metrics": dict(data.get("metrics", {})),
                 "manifest": data,
+                "host_cores": _host_cores(data),
             }
         if "traceEvents" in data:
             return {
@@ -136,6 +165,7 @@ def load_run(path: str | pathlib.Path) -> dict[str, Any]:
                 "kind": str(schema or "report"),
                 "phases": _normalise_phases(data["phases"]),
                 "metrics": {},
+                "host_cores": _host_cores(data),
             }
             slo = _extract_slo(data)
             if slo is not None:
@@ -324,6 +354,27 @@ def diff_phases(
     return rows
 
 
+def _host_mismatch_warning(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> list[str]:
+    """A warning block when the two runs came from differently-sized hosts.
+
+    Core count changes the meaning of every multi-worker speedup and
+    most wall-clock numbers, so the diff says so out loud — but it is a
+    warning only, never a ``--strict`` failure: cross-host comparisons
+    are legitimate as long as the reader knows they are cross-host.
+    """
+    cores_a, cores_b = a.get("host_cores"), b.get("host_cores")
+    if not cores_a or not cores_b or cores_a == cores_b:
+        return []
+    return [
+        "",
+        f"WARNING: host core counts differ (A: {cores_a} cores, "
+        f"B: {cores_b} cores) — wall-clock and speedup comparisons "
+        "are not apples-to-apples.",
+    ]
+
+
 def render_diff(
     a: Mapping[str, Any],
     b: Mapping[str, Any],
@@ -339,6 +390,7 @@ def render_diff(
     ]
     if not rows and not slo_rows:
         lines.append("(no phases in either run)")
+        lines.extend(_host_mismatch_warning(a, b))
         return "\n".join(lines), []
     if not rows:
         flagged = _append_slo_diff(lines, slo_rows, threshold)
@@ -348,6 +400,7 @@ def render_diff(
                 f"{len(flagged)} SLO metric(s) regressed beyond "
                 f"{threshold:.0%}: " + ", ".join(flagged)
             )
+        lines.extend(_host_mismatch_warning(a, b))
         return "\n".join(lines), flagged
     width = max(len(row["phase"]) for row in rows)
     lines.append(
@@ -383,6 +436,7 @@ def render_diff(
             f"{len(flagged)} phase(s)/SLO metric(s) regressed beyond "
             f"{threshold:.0%}: " + ", ".join(flagged)
         )
+    lines.extend(_host_mismatch_warning(a, b))
     return "\n".join(lines), flagged
 
 

@@ -1,0 +1,62 @@
+"""Parity-report plumbing for the kernel differential-testing harness.
+
+When ``KERNEL_PARITY_REPORT`` names a path, every test outcome under
+``tests/kernel_parity`` is collected and written there as JSON
+(schema ``kernel_parity_report/v1``) at session end, including the
+failure text for failed tests and host provenance.  CI sets the variable
+and uploads the file when the kernel-parity job fails, so a red run
+carries the exact assertion diffs without rerunning locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+_results: list[dict] = []
+
+
+def pytest_runtest_logreport(report) -> None:
+    if report.when != "call" and not (
+        report.when == "setup" and report.outcome != "passed"
+    ):
+        return
+    if "kernel_parity" not in report.nodeid:
+        return
+    _results.append(
+        {
+            "nodeid": report.nodeid,
+            "when": report.when,
+            "outcome": report.outcome,
+            "duration_s": round(report.duration, 4),
+            "longrepr": (
+                str(report.longrepr) if report.outcome == "failed" else None
+            ),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = os.environ.get("KERNEL_PARITY_REPORT")
+    if not path or not _results:
+        return
+    outcomes = [r["outcome"] for r in _results]
+    payload = {
+        "schema": "kernel_parity_report/v1",
+        "exit_status": int(exitstatus),
+        "n_tests": len(_results),
+        "n_passed": outcomes.count("passed"),
+        "n_failed": outcomes.count("failed"),
+        "n_skipped": outcomes.count("skipped"),
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "results": _results,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,161 @@
+"""Random kernel-input builders shared by the parity test modules.
+
+A "problem" is a plain dict holding every array a kernel call needs,
+generated small enough that finite-difference loops stay fast but
+structured enough to exercise all the gates: duplicate tie ids in the
+batch (scatter-add accumulation), partially labeled batches, undirected
+ties with and without triad witnesses, and degree labels straddling the
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.embedding.kernels import batch_triad_labels
+
+
+def make_estep_problem(
+    seed: int,
+    *,
+    n_ties: int = 30,
+    dims: int = 6,
+    batch: int = 8,
+    n_negative: int = 3,
+    alpha: float = 2.5,
+    beta: float = 1.5,
+    degree_threshold: float = 0.5,
+    labeled_frac: float = 0.6,
+    undirected_frac: float = 0.6,
+    gamma: int = 2,
+    with_triads: bool = True,
+    dtype: np.dtype = np.float64,
+) -> dict[str, Any]:
+    """Build one random, self-consistent E-Step kernel input set.
+
+    Parameters are drawn small (word2vec-style init scale) so sigmoids
+    stay far from their clip range and logs far from their floor — the
+    objective is smooth at the sampled point, which finite differences
+    require.  ``y_triad`` is precomputed from the *initial* parameters
+    and then treated as a constant, exactly as ``_train_batch`` feeds
+    the kernels.
+    """
+    rng = np.random.default_rng(seed)
+    M = ((rng.random((n_ties, dims)) - 0.5) * 2.0 / dims).astype(dtype)
+    N = ((rng.random((n_ties, dims)) - 0.5) * 2.0 / dims).astype(dtype)
+    w_prime = ((rng.random(dims) - 0.5) * 0.8).astype(dtype)
+    b_prime = float(rng.normal() * 0.1)
+
+    e = rng.integers(0, n_ties, size=batch)
+    successor = rng.integers(0, n_ties, size=batch)
+    negatives = rng.integers(0, n_ties, size=(batch, n_negative))
+    if batch >= 2:
+        # Force at least one duplicate source row so the scatter-add
+        # accumulation path is always exercised.
+        e[1] = e[0]
+
+    y_label = rng.random(batch)
+    is_labeled = rng.random(batch) < labeled_frac
+    is_undirected = rng.random(batch) < undirected_frac
+    y_degree = rng.random(batch)
+
+    y_triad = None
+    triad_valid = None
+    if with_triads:
+        uw = rng.integers(0, n_ties, size=(batch, gamma))
+        vw = rng.integers(0, n_ties, size=(batch, gamma))
+        # Knock out individual witnesses and whole rows so both the
+        # partially-witnessed and the invalid (-> 0.5 label) paths run.
+        missing = rng.random((batch, gamma)) < 0.3
+        uw[missing] = -1
+        vw[missing] = -1
+        if batch >= 3:
+            uw[2] = -1
+            vw[2] = -1
+        y_triad, triad_valid = batch_triad_labels(
+            M.astype(np.float64), w_prime.astype(np.float64), b_prime, uw, vw
+        )
+
+    return {
+        "M": M,
+        "N": N,
+        "w_prime": w_prime,
+        "b_prime": b_prime,
+        "e": e,
+        "successor": successor,
+        "negatives": negatives,
+        "y_label": y_label,
+        "is_labeled": is_labeled,
+        "is_undirected": is_undirected,
+        "y_degree": y_degree,
+        "y_triad": y_triad,
+        "triad_valid": triad_valid,
+        "alpha": alpha,
+        "beta": beta,
+        "degree_threshold": degree_threshold,
+    }
+
+
+def run_estep_kernel(
+    kernel, prob: dict[str, Any], *, lr: float, grad_clip: float = 1e9
+):
+    """Run ``kernel`` on copies of the problem's parameters.
+
+    Returns ``(M, N, w_prime, BatchLoss)`` — the mutated copies, leaving
+    the problem reusable.
+    """
+    M = prob["M"].copy()
+    N = prob["N"].copy()
+    w_prime = prob["w_prime"].copy()
+    loss = kernel(
+        M, N, w_prime, prob["b_prime"],
+        prob["e"], prob["successor"], prob["negatives"],
+        prob["y_label"], prob["is_labeled"], prob["is_undirected"],
+        prob["y_degree"], prob["y_triad"], prob["triad_valid"],
+        alpha=prob["alpha"],
+        beta=prob["beta"],
+        degree_threshold=prob["degree_threshold"],
+        grad_clip=grad_clip,
+        lr=lr,
+    )
+    return M, N, w_prime, loss
+
+
+def make_sgns_problem(
+    seed: int,
+    *,
+    n_nodes: int = 25,
+    dims: int = 6,
+    batch: int = 8,
+    n_negative: int = 3,
+    shared: bool = False,
+    dtype: np.dtype = np.float64,
+) -> dict[str, Any]:
+    """Random skip-gram-negative-sampling inputs.
+
+    ``shared=True`` aliases ``ctx`` to ``emb`` (LINE's first-order
+    mode), the case where update interleaving between the two matrices
+    matters most.
+    """
+    rng = np.random.default_rng(seed)
+    emb = ((rng.random((n_nodes, dims)) - 0.5) * 2.0 / dims).astype(dtype)
+    ctx = emb if shared else (
+        (rng.random((n_nodes, dims)) - 0.5) * 2.0 / dims
+    ).astype(dtype)
+    u = rng.integers(0, n_nodes, size=batch)
+    v = rng.integers(0, n_nodes, size=batch)
+    negs = rng.integers(0, n_nodes, size=(batch, n_negative))
+    if batch >= 2:
+        u[1] = u[0]
+    return {"emb": emb, "ctx": ctx, "u": u, "v": v, "negs": negs,
+            "shared": shared}
+
+
+def run_sgns_kernel(kernel, prob: dict[str, Any], *, lr: float):
+    """Run an SGNS kernel on copies; returns ``(emb, ctx, loss)``."""
+    emb = prob["emb"].copy()
+    ctx = emb if prob["shared"] else prob["ctx"].copy()
+    loss = kernel(emb, ctx, prob["u"], prob["v"], prob["negs"], lr)
+    return emb, ctx, loss

@@ -1,0 +1,134 @@
+"""Whole-``fit`` equivalence between ``kernel="fused"`` and ``"reference"``.
+
+Unit parity proves one batch matches; these tests prove the integration:
+over a complete training run on a small registry preset, both kernels
+see identical samples (all RNG draws happen outside the kernels), so
+the loss trajectories and final parameters may differ only by
+floating-point summation order compounded across batches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import hide_directions, load_dataset
+from repro.embedding import (
+    DeepDirectConfig,
+    DeepDirectEmbedding,
+    LineConfig,
+    LineEmbedding,
+    Node2VecConfig,
+    Node2VecEmbedding,
+)
+
+RTOL = 1e-6
+ATOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def preset_network():
+    """The epinions registry preset at trajectory-test scale (~300 nodes),
+    with 40% of directions hidden so all three loss terms are live."""
+    return hide_directions(
+        load_dataset("epinions", scale=0.004, seed=1), 0.4, seed=3
+    ).network
+
+
+def test_deepdirect_loss_trajectory(preset_network) -> None:
+    base = DeepDirectConfig(
+        dimensions=8,
+        epochs=1.0,
+        alpha=5.0,
+        beta=1.0,
+        n_negative=3,
+        batch_size=128,
+        max_pairs=4_000,
+    )
+    results = {}
+    for kernel in ("fused", "reference"):
+        cfg = dataclasses.replace(base, kernel=kernel)
+        results[kernel] = DeepDirectEmbedding(cfg).fit(
+            preset_network, seed=42, log_every=5
+        )
+    fused, ref = results["fused"], results["reference"]
+
+    assert fused.n_pairs_trained == ref.n_pairs_trained
+    assert len(fused.loss_history) == len(ref.loss_history)
+    assert len(fused.loss_history) >= 5
+    f_pairs, f_losses = zip(*fused.loss_history)
+    r_pairs, r_losses = zip(*ref.loss_history)
+    assert f_pairs == r_pairs
+    np.testing.assert_allclose(f_losses, r_losses, rtol=RTOL, atol=ATOL)
+
+    np.testing.assert_allclose(
+        fused.embeddings, ref.embeddings, rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        fused.contexts, ref.contexts, rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        fused.classifier_weights, ref.classifier_weights,
+        rtol=RTOL, atol=ATOL,
+    )
+    np.testing.assert_allclose(
+        fused.classifier_bias, ref.classifier_bias, rtol=RTOL, atol=ATOL
+    )
+
+
+def test_deepdirect_trajectory_is_nontrivial(preset_network) -> None:
+    """The trajectory the regression protects actually trains something."""
+    cfg = DeepDirectConfig(
+        dimensions=8, epochs=1.0, alpha=5.0, beta=1.0, n_negative=3,
+        batch_size=128, max_pairs=4_000,
+    )
+    result = DeepDirectEmbedding(cfg).fit(preset_network, seed=42,
+                                          log_every=5)
+    losses = [loss for _, loss in result.loss_history]
+    assert losses[-1] < losses[0], "loss did not decrease over the fit"
+    assert np.any(result.classifier_weights != 0.0)
+
+
+def test_line_loss_trajectory(preset_network) -> None:
+    base = LineConfig(
+        dimensions=8, epochs=1.0, n_negative=3, batch_size=128,
+        max_samples=3_000,
+    )
+    results = {}
+    for kernel in ("fused", "reference"):
+        cfg = dataclasses.replace(base, kernel=kernel)
+        results[kernel] = LineEmbedding(cfg).fit(
+            preset_network, seed=7, log_every=5
+        )
+    fused, ref = results["fused"], results["reference"]
+    assert len(fused.loss_history) == len(ref.loss_history)
+    f_losses = [loss for _, loss in fused.loss_history]
+    r_losses = [loss for _, loss in ref.loss_history]
+    np.testing.assert_allclose(f_losses, r_losses, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(
+        fused.node_embeddings, ref.node_embeddings, rtol=RTOL, atol=ATOL
+    )
+
+
+def test_node2vec_loss_trajectory(preset_network) -> None:
+    base = Node2VecConfig(
+        dimensions=8, walk_length=10, walks_per_node=2, window=3,
+        n_negative=3, batch_size=128, epochs=0.05,
+    )
+    results = {}
+    for kernel in ("fused", "reference"):
+        cfg = dataclasses.replace(base, kernel=kernel)
+        results[kernel] = Node2VecEmbedding(cfg).fit(
+            preset_network, seed=7, log_every=5
+        )
+    fused, ref = results["fused"], results["reference"]
+    assert fused.n_walks == ref.n_walks
+    assert len(fused.loss_history) == len(ref.loss_history)
+    f_losses = [loss for _, loss in fused.loss_history]
+    r_losses = [loss for _, loss in ref.loss_history]
+    np.testing.assert_allclose(f_losses, r_losses, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(
+        fused.node_embeddings, ref.node_embeddings, rtol=RTOL, atol=ATOL
+    )

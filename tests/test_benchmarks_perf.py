@@ -11,7 +11,10 @@ from benchmarks.perf import (
     check_serving,
     check_speedup,
     check_trace_overhead,
+    host_provenance,
     main,
+    parse_speedup_rules,
+    report_host_cores,
 )
 
 
@@ -40,6 +43,14 @@ def test_harness_writes_machine_readable_report(tmp_path):
     report = json.loads(output.read_text())
     assert report["schema"] == "bench_estep/v1"
     assert report["cpu_count"] >= 1
+
+    # Host provenance travels with the numbers so `repro report --diff`
+    # can warn when two reports came from differently-sized machines.
+    host = report["host"]
+    assert host["cpu_count"] >= 1
+    assert host["usable_cores"] >= 1
+    assert host["platform"]
+    assert host["python"]
     small = report["sizes"]["small"]
     assert small["n_nodes"] == 300
     assert small["alias_setup"]["seconds"] > 0
@@ -221,3 +232,72 @@ def test_check_load(capsys):
     assert check_load({}, 100.0) == 0
     assert "skipped" in capsys.readouterr().out
     assert check_load({"serving": {}}, 100.0) == 0
+
+
+def test_host_provenance_shape():
+    host = host_provenance()
+    assert host["cpu_count"] >= 1
+    assert host["usable_cores"] >= 1
+    assert host["platform"]
+    assert host["machine"]
+    assert host["python"]
+
+
+def test_report_host_cores_fallback_chain():
+    assert report_host_cores({"host": {"usable_cores": 3, "cpu_count": 8}}) == 3
+    assert report_host_cores({"host": {"cpu_count": 8}}) == 8
+    assert report_host_cores({"cpu_count": 6}) == 6
+    assert report_host_cores({}) == 1
+
+
+def test_parse_speedup_rules():
+    rules = parse_speedup_rules(["large:4=1.5", "small:2=1.1"])
+    assert rules == {("large", 4): 1.5, ("small", 2): 1.1}
+    assert parse_speedup_rules([]) == {}
+    for bad in ("large=1.5", "large:4", "large:x=1.5", "large:4=abc"):
+        with pytest.raises(ValueError):
+            parse_speedup_rules([bad])
+
+
+def _speedup_report(cores: int, ratios: dict[str, float]) -> dict:
+    """A minimal report with given per-worker-count speedups on `large`."""
+    base = 100.0
+    estep = {"1": {"pairs_per_sec": base}}
+    for workers, ratio in ratios.items():
+        estep[workers] = {"pairs_per_sec": base * ratio}
+    return {
+        "host": {"cpu_count": cores, "usable_cores": cores},
+        "sizes": {"large": {"estep": estep}},
+    }
+
+
+def test_check_speedup_per_rule_floor(capsys):
+    report = _speedup_report(8, {"4": 1.3})
+    # Global threshold alone: 1.3x clears 1.0.
+    assert check_speedup(report, 1.0) == 0
+    assert "ok" in capsys.readouterr().out
+    # A per-entry rule raises the floor for that (tier, workers) pair.
+    assert check_speedup(report, 1.0, {("large", 4): 1.5}) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "1.5" in out
+    assert check_speedup(report, 1.0, {("large", 4): 1.2}) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_check_speedup_skips_entries_beyond_host_cores(capsys):
+    # Host has 2 usable cores: the workers=4 entry (and its rule) is
+    # skipped with a loud notice instead of failing or passing vacuously.
+    report = _speedup_report(2, {"2": 1.4, "4": 0.9})
+    assert check_speedup(report, 1.0, {("large", 4): 1.5}) == 0
+    out = capsys.readouterr().out
+    assert "SKIP" in out and "workers=4" in out
+    assert "ok" in out  # workers=2 still evaluated
+
+
+def test_check_speedup_fails_on_unmatched_rule(capsys):
+    # A rule naming an entry the report never measured must not pass
+    # vacuously — that would let the CI gate rot silently.
+    report = _speedup_report(8, {"2": 1.4})
+    assert check_speedup(report, 1.0, {("huge", 4): 1.5}) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "matched no report entry" in out

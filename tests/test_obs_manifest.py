@@ -265,3 +265,57 @@ class TestServingSlo:
         assert "REGRESSION" in text
         text, flagged = render_diff(a, a, threshold=0.25)
         assert flagged == []
+
+
+class TestHostProvenance:
+    """Host core counts travel with runs and trigger diff warnings."""
+
+    def _bench(self, tmp_path, name, host):
+        data = {
+            "schema": "bench_estep/v1",
+            "phases": {"estep.train": {"total_s": 1.0, "self_s": 1.0,
+                                       "count": 1}},
+        }
+        data.update(host)
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return load_run(path)
+
+    def test_load_run_surfaces_host_cores(self, tmp_path):
+        run = self._bench(
+            tmp_path, "a.json",
+            {"host": {"cpu_count": 8, "usable_cores": 4}},
+        )
+        assert run["host_cores"] == 4  # affinity beats raw count
+        legacy = self._bench(tmp_path, "b.json", {"cpu_count": 8})
+        assert legacy["host_cores"] == 8
+        none = self._bench(tmp_path, "c.json", {})
+        assert none["host_cores"] is None
+
+    def test_load_run_surfaces_manifest_cores(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_manifest(
+            build_manifest(command="discover", seed=0,
+                           phases={"estep": 1.0}, argv=[]),
+            path,
+        )
+        run = load_run(path)
+        assert run["host_cores"] >= 1
+
+    def test_diff_warns_on_core_count_mismatch(self, tmp_path):
+        a = self._bench(tmp_path, "a.json", {"host": {"usable_cores": 4}})
+        b = self._bench(tmp_path, "b.json", {"host": {"usable_cores": 64}})
+        text, flagged = render_diff(a, b)
+        assert "WARNING" in text
+        assert "4 cores" in text and "64 cores" in text
+        # A warning, not a regression: --strict must not fail on it.
+        assert flagged == []
+
+    def test_diff_silent_when_cores_match_or_unknown(self, tmp_path):
+        a = self._bench(tmp_path, "a.json", {"host": {"usable_cores": 4}})
+        b = self._bench(tmp_path, "b.json", {"host": {"usable_cores": 4}})
+        text, _ = render_diff(a, b)
+        assert "WARNING" not in text
+        unknown = self._bench(tmp_path, "c.json", {})
+        text, _ = render_diff(a, unknown)
+        assert "WARNING" not in text
