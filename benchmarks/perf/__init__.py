@@ -15,9 +15,21 @@ any size, with optional stricter per-entry floors (e.g.
 large tier).  Any entry whose worker count exceeds the measuring host's
 usable cores is skipped with a loud notice instead of failing or
 passing vacuously — HOGWILD workers only add process overhead when they
-time-slice one CPU.  A rule naming an entry absent from the report
-*fails* (a gate that silently never ran is worse than a red one).  See
-``docs/performance.md`` for how to read the output.
+time-slice one CPU.  Entries flagged ``degraded`` (their per-worker
+budget sits below the default ``min_pairs_per_worker`` floor, so a
+default-config run auto-degrades them to sequential) are likewise
+skipped loudly — their measured slowdown cannot ship to users.  A rule
+naming an entry absent from the report *fails* (a gate that silently
+never ran is worse than a red one).
+
+``--check-throughput TIER:WORKERS=PAIRS_PER_SEC ...`` is the absolute
+counterpart: each rule floors the measured pairs/sec of one entry
+(e.g. ``--check-throughput large:1=240000``), catching sequential
+regressions that a relative speedup gate can never see.  ``--dtype
+float32`` runs the E-Step tiers in single precision (recorded per entry
+and at the report top level, so a committed baseline states its
+precision honestly).  See ``docs/performance.md`` for how to read the
+output.
 
 Every report carries a ``host`` provenance block (platform, machine,
 ``os.cpu_count()``, usable-core affinity) so a benchmark committed from
@@ -139,30 +151,47 @@ def _bench_centrality(network, repeats: int, seed: int) -> float:
     return _best_of(repeats, run)
 
 
-def _bench_estep(network, workers: int, max_pairs: int, seed: int) -> dict:
+def _bench_estep(
+    network, workers: int, max_pairs: int, seed: int,
+    dtype: str = "float64",
+) -> dict:
     from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+    from repro.embedding.hogwild import should_degrade
 
+    # min_pairs_per_worker=0 forces the requested worker count so every
+    # entry reports *measured* throughput; the ``degraded`` flag records
+    # whether a default-config run would have auto-degraded this entry,
+    # and the speedup gate skips flagged entries (their slowdown can no
+    # longer ship silently, by construction).
     config = DeepDirectConfig(
         dimensions=32,
         epochs=1000.0,  # the pair cap is the binding budget
         max_pairs=max_pairs,
         batch_size=256,
         workers=workers,
+        min_pairs_per_worker=0,
+        dtype=dtype,
     )
     start = time.perf_counter()
     result = DeepDirectEmbedding(config).fit(network, seed=seed)
     seconds = time.perf_counter() - start
+    default_floor = DeepDirectConfig().min_pairs_per_worker
     return {
         "workers": workers,
         "pairs": int(result.n_pairs_trained),
         "seconds": seconds,
         "pairs_per_sec": result.n_pairs_trained / max(seconds, 1e-9),
+        "dtype": dtype,
+        "degraded": bool(
+            should_degrade(workers, result.n_pairs_trained, default_floor)
+        ),
     }
 
 
-#: Spans entered per E-Step batch on the hot path (sample, triad_labels,
-#: L_topo, L_label, L_pattern, update) plus headroom for per-batch attrs.
-SPANS_PER_BATCH = 7
+#: Spans entered per E-Step batch on the hot path (triad_labels, L_topo,
+#: L_label, L_pattern, update — sampling is planned per epoch, not per
+#: batch) plus headroom for per-batch attrs.
+SPANS_PER_BATCH = 6
 
 
 def host_provenance() -> dict:
@@ -205,7 +234,9 @@ def report_host_cores(report: dict) -> int:
     return 1
 
 
-def _bench_traced_phases(network, max_pairs: int, seed: int) -> dict:
+def _bench_traced_phases(
+    network, max_pairs: int, seed: int, dtype: str = "float64"
+) -> dict:
     """Per-phase span totals from one traced workers=1 E-Step run."""
     from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
     from repro.obs import Tracer, activate, deactivate, phase_totals
@@ -216,6 +247,7 @@ def _bench_traced_phases(network, max_pairs: int, seed: int) -> dict:
         max_pairs=max_pairs,
         batch_size=256,
         workers=1,
+        dtype=dtype,
     )
     tracer = Tracer()
     token = activate(tracer)
@@ -390,6 +422,7 @@ def run_benchmarks(
     estep_pairs: int | None = None,
     load_clients: int = LOAD_CLIENTS,
     load_duration_s: float = LOAD_DURATION_S,
+    dtype: str = "float64",
 ) -> dict:
     """Execute the full suite and return the report dict."""
     report: dict = {
@@ -401,6 +434,7 @@ def run_benchmarks(
         "host": host_provenance(),
         "seed": seed,
         "repeats": repeats,
+        "dtype": dtype,
         "sizes": {},
     }
     for size in sizes:
@@ -424,7 +458,7 @@ def run_benchmarks(
                 flush=True,
             )
             entry["estep"][str(n_workers)] = _bench_estep(
-                network, n_workers, pair_budget, seed
+                network, n_workers, pair_budget, seed, dtype=dtype
             )
         base = entry["estep"].get("1")
         if base is not None:
@@ -439,7 +473,7 @@ def run_benchmarks(
             # that ``repro report --diff`` compares against.
             print(f"[{size}] traced phase baseline ...", flush=True)
             report["phases"] = _bench_traced_phases(
-                network, min(pair_budget, 20_000), seed
+                network, min(pair_budget, 20_000), seed, dtype=dtype
             )
     if report["sizes"]:
         report["trace_overhead"] = _bench_trace_overhead(report)
@@ -514,6 +548,16 @@ def check_speedup(
                     f"a {floor:.2f}x floor cannot be demonstrated here)"
                 )
                 continue
+            if stats.get("degraded"):
+                # The adaptive gate would auto-degrade this entry at
+                # default config, so its (honestly measured, likely <1x)
+                # speedup cannot ship to users; skip it loudly.
+                print(
+                    f"check-speedup: SKIP {size}: workers={key} "
+                    "(entry is below the min_pairs_per_worker floor; "
+                    "default configs auto-degrade it to sequential)"
+                )
+                continue
             checked += 1
             ratio = stats["pairs_per_sec"] / max(base["pairs_per_sec"], 1e-9)
             if ratio < floor:
@@ -534,6 +578,73 @@ def check_speedup(
             f"check-speedup: ok ({checked} entr"
             f"{'y' if checked == 1 else 'ies'} >= their floors, "
             f"global {threshold:.2f}x)"
+        )
+    return 1 if failures else 0
+
+
+def parse_throughput_rules(
+    specs: Sequence[str],
+) -> dict[tuple[str, int], float]:
+    """Parse ``TIER:WORKERS=PAIRS_PER_SEC`` specs (e.g. ``large:1=240000``)."""
+    rules: dict[tuple[str, int], float] = {}
+    for spec in specs:
+        try:
+            target, rate_text = spec.split("=", 1)
+            size, workers_text = target.split(":", 1)
+            rules[(size, int(workers_text))] = float(rate_text)
+        except ValueError:
+            raise ValueError(
+                f"bad throughput rule {spec!r}; expected "
+                "TIER:WORKERS=PAIRS_PER_SEC (e.g. large:1=240000)"
+            ) from None
+    return rules
+
+
+def check_throughput(
+    report: dict, rules: dict[tuple[str, int], float]
+) -> int:
+    """Fail (return 1) when absolute ``pairs_per_sec`` falls below a rule.
+
+    The absolute counterpart of :func:`check_speedup`: each
+    ``(size, workers)`` rule is a floor on the measured pairs/sec, so a
+    sequential-throughput regression (which a relative speedup gate can
+    never see) turns CI red.  Rules whose worker count exceeds the
+    measuring host's usable cores are skipped with a notice; a rule
+    naming an entry absent from the report fails outright.
+    """
+    rules = dict(rules)
+    host_cores = report_host_cores(report)
+    failures = []
+    checked = 0
+    for size, entry in report["sizes"].items():
+        for key, stats in entry["estep"].items():
+            n_workers = int(key)
+            floor = rules.pop((size, n_workers), None)
+            if floor is None:
+                continue
+            if n_workers > host_cores:
+                print(
+                    f"check-throughput: SKIP {size}: workers={key} "
+                    f"(host has only {host_cores} usable cores)"
+                )
+                continue
+            checked += 1
+            rate = stats["pairs_per_sec"]
+            if rate < floor:
+                failures.append(
+                    f"{size}: workers={key} at {rate:,.0f} pairs/sec "
+                    f"(floor {floor:,.0f})"
+                )
+    for (size, n_workers), floor in sorted(rules.items()):
+        failures.append(
+            f"rule {size}:{n_workers}={floor:g} matched no report entry"
+        )
+    for failure in failures:
+        print(f"check-throughput: FAIL {failure}")
+    if not failures:
+        print(
+            f"check-throughput: ok ({checked} entr"
+            f"{'y' if checked == 1 else 'ies'} >= their floors)"
         )
     return 1 if failures else 0
 
@@ -645,7 +756,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="override the per-size E-Step pair budget (smoke runs)",
     )
+    parser.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="parameter precision for the E-Step tiers (recorded per "
+        "entry and at the report top level)",
+    )
     parser.add_argument("--output", default="BENCH_estep.json")
+    parser.add_argument(
+        "--check-throughput",
+        nargs="+",
+        default=None,
+        metavar="TIER:WORKERS=PAIRS_PER_SEC",
+        dest="check_throughput",
+        help="exit non-zero if a named entry's absolute pairs/sec falls "
+        "below its floor (e.g. 'large:1=240000'); rules whose worker "
+        "count exceeds the host's usable cores are skipped",
+    )
     parser.add_argument(
         "--check-speedup",
         nargs="+",
@@ -722,6 +850,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(f"--check-speedup: {exc}")
 
+    throughput_rules: dict[tuple[str, int], float] = {}
+    if args.check_throughput is not None:
+        try:
+            throughput_rules = parse_throughput_rules(args.check_throughput)
+        except ValueError as exc:
+            parser.error(f"--check-throughput: {exc}")
+
     if args.serving_only:
         try:
             with open(args.output) as fh:
@@ -746,6 +881,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.estep_pairs,
             load_clients=args.load_clients,
             load_duration_s=args.load_duration,
+            dtype=args.dtype,
         )
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -766,6 +902,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"[{size}] workers={key}: "
                 f"{stats['pairs_per_sec']:,.0f} pairs/sec "
                 f"({stats['speedup_vs_1']:.2f}x)"
+                + (" [degraded at default config]"
+                   if stats.get("degraded") else "")
             )
 
     serving = report.get("serving")
@@ -791,6 +929,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     status = 0
     if speedup_threshold is not None:
         status |= check_speedup(report, speedup_threshold, speedup_rules)
+    if throughput_rules:
+        status |= check_throughput(report, throughput_rules)
     if args.check_trace_overhead is not None:
         status |= check_trace_overhead(report, args.check_trace_overhead)
     if args.check_serving is not None:

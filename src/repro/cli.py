@@ -109,8 +109,8 @@ def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
 #: Model arguments copied into the manifest's ``config`` block.
 _CONFIG_KEYS = (
     "method", "dimensions", "alpha", "beta", "pairs_per_tie", "dstep",
-    "workers", "hide", "artifact", "cache_size", "batch_window_ms",
-    "smoke", "access_log",
+    "workers", "min_pairs_per_worker", "dtype", "hide", "artifact",
+    "cache_size", "batch_window_ms", "smoke", "access_log",
 )
 
 
@@ -194,6 +194,8 @@ def _build_model(
                 beta=args.beta,
                 pairs_per_tie=args.pairs_per_tie,
                 workers=args.workers,
+                dtype=args.dtype,
+                min_pairs_per_worker=args.min_pairs_per_worker,
             ),
             dstep=args.dstep,
             callbacks=callbacks,
@@ -502,6 +504,23 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         "1 (default) is the bit-identical sequential path, >1 trades "
         "bit-level reproducibility for throughput (see "
         "docs/performance.md)",
+    )
+    parser.add_argument(
+        "--min-pairs-per-worker",
+        type=int,
+        default=50_000,
+        dest="min_pairs_per_worker",
+        help="auto-degrade HOGWILD to fewer workers when the epoch "
+        "budget leaves less than this many pairs per worker "
+        "(deepdirect only; 0 forces the requested worker count)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="embedding matrix dtype for the deepdirect E-Step; "
+        "float32 halves memory traffic at ~1e-3 relative tolerance "
+        "(see docs/performance.md)",
     )
     parser.add_argument(
         "--telemetry",

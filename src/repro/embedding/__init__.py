@@ -33,7 +33,15 @@ from .patterns import (
     degree_pseudo_labels,
     triad_pseudo_labels,
 )
-from .samplers import AliasSampler, ConnectedPairSampler, sample_common_neighbors
+from .hogwild import should_degrade
+from .samplers import (
+    AliasSampler,
+    ConnectedPairSampler,
+    SamplePlan,
+    SamplePlanner,
+    sample_common_neighbors,
+    sample_common_neighbors_batch,
+)
 
 __all__ = [
     "AliasSampler",
@@ -51,6 +59,8 @@ __all__ = [
     "Node2VecEmbedding",
     "Node2VecResult",
     "generate_walks",
+    "SamplePlan",
+    "SamplePlanner",
     "SgnsWorkspace",
     "TriadNeighborhood",
     "batch_triad_labels",
@@ -65,6 +75,8 @@ __all__ = [
     "reference_estep_batch",
     "reference_sgns_batch",
     "sample_common_neighbors",
+    "sample_common_neighbors_batch",
     "save_embedding",
+    "should_degrade",
     "triad_pseudo_labels",
 ]

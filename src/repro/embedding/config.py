@@ -63,6 +63,28 @@ class DeepDirectConfig:
         schedule and a spawned child RNG, so runs remain seeded but
         scatter-add interleaving is scheduler-dependent).  See
         ``docs/performance.md``.
+    min_pairs_per_worker:
+        Adaptive-degradation floor for ``workers > 1``: when the total
+        pair budget divided by ``workers`` falls below this, the run
+        falls back to the sequential path with a ``RuntimeWarning`` and
+        a ``hogwild.degraded`` metric — per-worker process/coordination
+        overhead makes HOGWILD a slowdown on small schedules.  ``0``
+        disables the gate (always honour ``workers``).
+    dtype:
+        Parameter/arithmetic precision: ``"float64"`` (default, the
+        historical bit-exact path) or ``"float32"`` (halves memory
+        bandwidth on the kernel hot path; validated by the
+        ``tests/kernel_parity`` harness at loosened tolerances).  RNG
+        draws always happen in float64 and are rounded once at
+        initialisation, so the sampling stream is identical across
+        dtypes.
+    plan_epochs:
+        Sample-plan granularity in epochs: each plan mega-draws about
+        ``plan_epochs * |C(G)|`` pairs (plus their successors and
+        negatives) in three vectorized calls, amortising per-batch
+        sampling overhead.  Plan draws are granularity-invariant — any
+        chunking yields bit-identical samples — so this knob trades only
+        peak plan memory against amortisation, never the trajectory.
     kernel:
         Which E-Step batch kernel runs the Eq. 21-25 updates:
         ``"fused"`` (default) is the vectorised production path with
@@ -85,6 +107,9 @@ class DeepDirectConfig:
     max_pairs: int | None = None
     pairs_per_tie: float | None = None
     workers: int = 1
+    min_pairs_per_worker: int = 50_000
+    dtype: str = "float64"
+    plan_epochs: float = 1.0
     kernel: str = "fused"
 
     def __post_init__(self) -> None:
@@ -108,6 +133,14 @@ class DeepDirectConfig:
             raise ValueError("pairs_per_tie must be positive when set")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.min_pairs_per_worker < 0:
+            raise ValueError("min_pairs_per_worker must be non-negative")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                "dtype must be 'float64' or 'float32', got "
+                f"{self.dtype!r}"
+            )
+        check_positive(self.plan_epochs, "plan_epochs")
         if self.kernel not in ("fused", "reference"):
             raise ValueError(
                 "kernel must be 'fused' or 'reference', got "

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -50,7 +51,7 @@ from ..obs import (
 )
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
-from .hogwild import run_hogwild
+from .hogwild import run_hogwild, should_degrade
 from .kernels import (
     BatchLoss,
     EStepWorkspace,
@@ -63,7 +64,7 @@ from .patterns import (
     build_triad_neighborhoods,
     degree_pseudo_labels,
 )
-from .samplers import ConnectedPairSampler
+from .samplers import ConnectedPairSampler, SamplePlan, SamplePlanner
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -132,6 +133,21 @@ class DeepDirectEmbedding:
         # workers each build their own trainer in ``task.setup``, so the
         # workspace is naturally per-process.
         self._workspace = EStepWorkspace()
+        self._triad_y: np.ndarray | None = None
+        self._triad_ok: np.ndarray | None = None
+
+    def _triad_buffers(
+        self, batch: int, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable per-batch ``(y_triad, triad_valid)`` buffers, reset
+        to their padding defaults (label 0.5, invalid)."""
+        y, ok = self._triad_y, self._triad_ok
+        if y is None or y.shape[0] != batch or y.dtype != dtype:
+            y = self._triad_y = np.empty(batch, dtype=dtype)
+            ok = self._triad_ok = np.empty(batch, dtype=bool)
+        y.fill(0.5)
+        ok.fill(False)
+        return y, ok
 
     # ------------------------------------------------------------------
 
@@ -178,10 +194,15 @@ class DeepDirectEmbedding:
             setup_sp.set(use_patterns=bool(use_patterns))
 
         # word2vec-style init: small uniform rows for M, zero contexts.
-        M = (rng.random((n_ties, l)) - 0.5) / l
-        N = np.zeros((n_ties, l))
-        w_prime = np.zeros(l)
+        # RNG draws stay float64 and are rounded once, so the sampling
+        # stream (and the float64 path bit-for-bit) is dtype-independent.
+        dt = np.dtype(cfg.dtype)
+        M = ((rng.random((n_ties, l)) - 0.5) / l).astype(dt, copy=False)
+        N = np.zeros((n_ties, l), dtype=dt)
+        w_prime = np.zeros(l, dtype=dt)
         b_prime = 0.0
+        labels = labels.astype(dt, copy=False)
+        y_degree = y_degree.astype(dt, copy=False)
 
         total_pairs = int(cfg.epochs * network.connected_pair_count())
         if cfg.pairs_per_tie is not None:
@@ -190,6 +211,26 @@ class DeepDirectEmbedding:
             total_pairs = min(total_pairs, cfg.max_pairs)
         total_pairs = max(total_pairs, cfg.batch_size)
         n_batches = -(-total_pairs // cfg.batch_size)
+
+        workers = cfg.workers
+        degraded = should_degrade(
+            workers, n_batches * cfg.batch_size, cfg.min_pairs_per_worker
+        )
+        if degraded:
+            warnings.warn(
+                f"workers={workers} degraded to sequential: "
+                f"{n_batches * cfg.batch_size} pairs gives "
+                f"{n_batches * cfg.batch_size // workers} per worker, below "
+                f"min_pairs_per_worker={cfg.min_pairs_per_worker} "
+                "(HOGWILD coordination overhead would outweigh the "
+                "parallelism; set min_pairs_per_worker=0 to force workers)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            metrics.counter("hogwild.degraded").inc()
+            workers = 1
+
+        planner = SamplePlanner(sampler, cfg.n_negative, rng)
 
         run = RunInfo(
             trainer="deepdirect",
@@ -201,25 +242,35 @@ class DeepDirectEmbedding:
         loss_ema = metrics.ema("L", alpha=0.05)
         fit_start = time.perf_counter()
         if cb:
-            cb.on_fit_begin(
-                run,
-                {
-                    "n_ties": n_ties,
-                    "n_labeled": int(labeled_mask.sum()),
-                    "use_patterns": bool(use_patterns),
-                    "pairs_per_epoch": pairs_per_epoch,
-                    "sampler_setup_s": sampler.setup_seconds,
-                    "workers": cfg.workers,
-                },
-            )
+            fit_begin_logs = {
+                "n_ties": n_ties,
+                "n_labeled": int(labeled_mask.sum()),
+                "use_patterns": bool(use_patterns),
+                "pairs_per_epoch": pairs_per_epoch,
+                "sampler_setup_s": sampler.setup_seconds,
+                "workers": workers,
+            }
+            if degraded:
+                fit_begin_logs["hogwild_degraded"] = True
+                fit_begin_logs["requested_workers"] = cfg.workers
+            cb.on_fit_begin(run, fit_begin_logs)
 
-        if cfg.workers > 1:
+        if workers > 1:
             return self._fit_parallel(
-                network, sampler, triads, labels, labeled_mask,
+                sampler, planner, triads, labels, labeled_mask,
                 undirected_mask, y_degree, M, N, w_prime, b_prime,
                 n_batches, pairs_per_epoch, rng, cb, run, metrics,
                 log_every, fit_start,
             )
+
+        # Plan in ``plan_epochs``-sized chunks of whole batches; plan
+        # draws are granularity-invariant, so chunking only bounds the
+        # plan's memory footprint, never changes the trajectory.
+        batches_per_plan = max(
+            1, -(-int(cfg.plan_epochs * pairs_per_epoch) // cfg.batch_size)
+        )
+        plan: SamplePlan | None = None
+        plan_start = 0
 
         loss_history: list[tuple[int, float]] = []
         epoch = 0
@@ -227,9 +278,20 @@ class DeepDirectEmbedding:
                   batch_size=cfg.batch_size) as train_sp:
             for batch_idx in range(n_batches):
                 lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
+                if plan is None or batch_idx - plan_start >= plan.n_batches:
+                    plan_start = batch_idx
+                    chunk = min(batches_per_plan, n_batches - batch_idx)
+                    plan = planner.plan(
+                        chunk * cfg.batch_size, cfg.batch_size
+                    )
+                e, successor, negatives = plan.batch(batch_idx - plan_start)
                 loss = self._train_batch(
-                    network, sampler, triads, labels, labeled_mask,
-                    undirected_mask, y_degree, M, N, w_prime, b_prime, lr, rng,
+                    triads, labels, labeled_mask,
+                    undirected_mask, y_degree, M, N, w_prime, b_prime, lr,
+                    e, successor, negatives,
+                    # Loss bookkeeping is only consumed on history
+                    # batches or by callbacks; skip it elsewhere.
+                    need_loss=cb is not None or batch_idx % log_every == 0,
                 )
                 b_prime = loss.b_prime
                 if batch_idx % log_every == 0:
@@ -289,8 +351,8 @@ class DeepDirectEmbedding:
 
     def _fit_parallel(
         self,
-        network: MixedSocialNetwork,
         sampler: ConnectedPairSampler,
+        planner: SamplePlanner,
         triads: TriadNeighborhood | None,
         labels: np.ndarray,
         labeled_mask: np.ndarray,
@@ -313,21 +375,25 @@ class DeepDirectEmbedding:
 
         The sequential semantics carry over exactly except for update
         interleaving: the batch schedule, the learning-rate decay and
-        the total pair budget are identical, and every worker draws from
-        a child generator spawned off the caller's seeded ``rng``.
+        the total pair budget are identical.  The *entire run* is
+        planned in the parent before forking — one mega-draw shared by
+        every worker through the copy-on-write task payload — so workers
+        do zero sampling work and no longer duplicate per-batch draw
+        overhead per process (the cost that used to make small-tier
+        HOGWILD slower than sequential).  Worker ``w`` slices batches
+        ``w, w + W, …`` out of the shared plan as zero-copy views.
         """
         cfg = self.config
+        plan = planner.plan(n_batches * cfg.batch_size, cfg.batch_size)
         task = _HogwildEStepTask(
             config=cfg,
-            network=network,
-            sampler=sampler,
+            plan=plan,
             triads=triads,
             labels=labels,
             labeled_mask=labeled_mask,
             undirected_mask=undirected_mask,
             y_degree=y_degree,
         )
-        counter_names = ("pair_draws", "negative_draws", "rejection_redraws")
         with span("estep.hogwild", workers=cfg.workers,
                   n_batches=n_batches) as hog_sp:
             hog = run_hogwild(
@@ -339,7 +405,7 @@ class DeepDirectEmbedding:
                 workers=cfg.workers,
                 rng=rng,
                 lr0=cfg.learning_rate,
-                counter_names=counter_names,
+                counter_names=(),
                 callbacks=cb,
                 run=run,
                 log_every=log_every,
@@ -348,15 +414,16 @@ class DeepDirectEmbedding:
             hog_sp.set(pairs=hog.pairs_trained)
         if cb:
             duration = time.perf_counter() - fit_start
-            worker_logs = record_worker_stats(
-                metrics, hog.worker_stats, counter_names
-            )
+            worker_logs = record_worker_stats(metrics, hog.worker_stats, ())
             cb.on_fit_end(
                 run,
                 {
                     "n_pairs_trained": hog.pairs_trained,
                     **worker_logs,
-                    "sampler_setup_s": sampler.setup_seconds,
+                    # Sampling happened in the parent's planner, so the
+                    # deterministic draw counters come from there, not
+                    # from the workers.
+                    **sampler.stats(),
                     "duration_s": duration,
                     "pairs_per_sec": hog.pairs_trained / max(duration, 1e-9),
                     "workers": cfg.workers,
@@ -375,8 +442,6 @@ class DeepDirectEmbedding:
 
     def _train_batch(
         self,
-        network: MixedSocialNetwork,
-        sampler: ConnectedPairSampler,
         triads: TriadNeighborhood | None,
         labels: np.ndarray,
         labeled_mask: np.ndarray,
@@ -387,46 +452,67 @@ class DeepDirectEmbedding:
         w_prime: np.ndarray,
         b_prime: float,
         lr: float,
-        rng: np.random.Generator,
+        e: np.ndarray,
+        successor: np.ndarray,
+        negatives: np.ndarray,
+        need_loss: bool = True,
     ) -> BatchLoss:
-        """One SGD batch: sample, compute triad labels, run the kernel.
+        """One SGD batch: compute triad labels, run the kernel.
 
-        All sampling and the dynamic ``y^t`` pseudo-labels (Eq. 15,
-        recomputed from the live classifier each batch, no gradient
-        through them) happen here; the parameter updates are delegated
-        to the configured :mod:`repro.embedding.kernels` implementation,
-        which mutates M, N, w_prime in place.  Returns the batch-mean
-        loss split into its Eq. 18 components plus the updated bias
-        ``b_prime``.
+        The batch's samples arrive pre-drawn as zero-copy views into a
+        :class:`~repro.embedding.samplers.SamplePlan`; only the dynamic
+        ``y^t`` pseudo-labels (Eq. 15, recomputed from the live
+        classifier each batch, no gradient through them) are computed
+        here.  The parameter updates are delegated to the configured
+        :mod:`repro.embedding.kernels` implementation, which mutates M,
+        N, w_prime in place.  Returns the batch-mean loss split into
+        its Eq. 18 components plus the updated bias ``b_prime``.
         """
         cfg = self.config
-        batch = cfg.batch_size
-
-        with span("estep.sample", pairs=batch, n_negative=cfg.n_negative):
-            e, successor = sampler.sample_pairs(batch, rng)
-            negatives = sampler.sample_negatives(batch, cfg.n_negative, rng)
+        undirected_b = undirected_mask[e]
 
         # Triad pseudo-labels are inputs to the kernel, not part of it:
         # Eq. 21 treats y^t as a constant, so the kernels take the
         # precomputed labels and the gradient checks hold them fixed.
+        # Directed rows contribute nothing (uw_ids = -1 everywhere →
+        # valid=False, label 0.5), so only the undirected subset is
+        # gathered and scored; the rest keeps the padding defaults.
         y_triad: np.ndarray | None = None
         triad_valid: np.ndarray | None = None
         if cfg.beta > 0 and triads is not None:
-            batch_undirected = undirected_mask[e]
-            if np.any(batch_undirected):
-                with span("estep.triad_labels",
-                          undirected=int(batch_undirected.sum())):
-                    y_triad, triad_valid = batch_triad_labels(
+            rows = np.flatnonzero(undirected_b)
+            if rows.size:
+                with span("estep.triad_labels", undirected=int(rows.size)):
+                    sub_y, sub_valid = batch_triad_labels(
                         M, w_prime, b_prime,
-                        triads.uw_ids[e], triads.vw_ids[e],
+                        triads.uw_ids[e[rows]], triads.vw_ids[e[rows]],
                     )
+                    y_triad, triad_valid = self._triad_buffers(
+                        len(e), M.dtype
+                    )
+                    y_triad[rows] = sub_y
+                    triad_valid[rows] = sub_valid
 
-        kernel = (fused_estep_batch if cfg.kernel == "fused"
-                  else reference_estep_batch)
-        return kernel(
+        if cfg.kernel == "fused":
+            return fused_estep_batch(
+                M, N, w_prime, b_prime,
+                e, successor, negatives,
+                labels[e], labeled_mask[e], undirected_b, y_degree[e],
+                y_triad, triad_valid,
+                alpha=cfg.alpha,
+                beta=cfg.beta,
+                degree_threshold=cfg.degree_threshold,
+                grad_clip=cfg.grad_clip,
+                lr=lr,
+                workspace=self._workspace,
+                compute_loss=need_loss,
+            )
+        # The reference oracle always reports its losses — it is the
+        # auditable transcription of Eq. 18, not a hot path.
+        return reference_estep_batch(
             M, N, w_prime, b_prime,
             e, successor, negatives,
-            labels[e], labeled_mask[e], undirected_mask[e], y_degree[e],
+            labels[e], labeled_mask[e], undirected_b, y_degree[e],
             y_triad, triad_valid,
             alpha=cfg.alpha,
             beta=cfg.beta,
@@ -458,13 +544,16 @@ class _HogwildEStepTask:
     """Picklable E-Step payload for :func:`repro.embedding.hogwild.run_hogwild`.
 
     Carries everything a worker needs to run :meth:`_train_batch`
-    against the shared ``M``/``N``/``w'``/``b'`` buffers.  Sampler draw
-    counters accumulate per process and are merged by the runner.
+    against the shared ``M``/``N``/``w'``/``b'`` buffers.  The whole-run
+    :class:`~repro.embedding.samplers.SamplePlan` was drawn in the
+    parent, so the plan arrays travel to the workers copy-on-write
+    (fork) or via pickling (spawn) and each worker just slices its
+    batches out — workers themselves never touch an RNG, which is why
+    :meth:`counters` is empty.
     """
 
     config: DeepDirectConfig
-    network: MixedSocialNetwork
-    sampler: ConnectedPairSampler
+    plan: SamplePlan
     triads: TriadNeighborhood | None
     labels: np.ndarray
     labeled_mask: np.ndarray
@@ -484,22 +573,18 @@ class _HogwildEStepTask:
         lr: float,
         rng: np.random.Generator,
     ) -> float:
+        e, successor, negatives = self.plan.batch(batch_idx)
         loss = state._train_batch(  # noqa: SLF001 - trainer-owned payload
-            self.network, self.sampler, self.triads, self.labels,
+            self.triads, self.labels,
             self.labeled_mask, self.undirected_mask, self.y_degree,
             arrays["M"], arrays["N"], arrays["w_prime"],
-            float(arrays["b_prime"][0]), lr, rng,
+            float(arrays["b_prime"][0]), lr, e, successor, negatives,
         )
         arrays["b_prime"][0] = loss.b_prime
         return loss.total
 
     def counters(self, state: DeepDirectEmbedding) -> tuple[int, ...]:
-        stats = self.sampler.stats()
-        return (
-            int(stats["pair_draws"]),
-            int(stats["negative_draws"]),
-            int(stats["rejection_redraws"]),
-        )
+        return ()
 
 
 #: Trainer-centric alias for :class:`DeepDirectEmbedding`.

@@ -95,26 +95,51 @@ class HogwildResult:
     pairs_trained: int = 0
 
 
+def should_degrade(
+    workers: int, total_pairs: int, min_pairs_per_worker: int
+) -> bool:
+    """True when a ``workers > 1`` request should fall back to sequential.
+
+    Process startup, shared-memory setup and stats polling are fixed
+    costs per worker; when each worker's slice of the pair budget is
+    too small to amortise them, HOGWILD is *slower* than the sequential
+    path (``speedup_vs_1 < 1``).  Trainers call this before forking and
+    degrade loudly (``RuntimeWarning`` + a ``hogwild.degraded`` metric)
+    instead of shipping the regression silently.  A floor of ``0``
+    disables the gate.
+    """
+    if workers < 2 or min_pairs_per_worker <= 0:
+        return False
+    return total_pairs // workers < min_pairs_per_worker
+
+
 def _build_layout(
-    shapes: Mapping[str, tuple[int, ...]],
-) -> tuple[tuple[tuple[str, tuple[int, ...], int], ...], int]:
-    """(name, shape, byte offset) entries plus the total byte size."""
+    specs: Mapping[str, tuple[tuple[int, ...], np.dtype]],
+) -> tuple[tuple[tuple[str, tuple[int, ...], str, int], ...], int]:
+    """(name, shape, dtype-str, byte offset) entries plus total size.
+
+    Each array keeps its own dtype (float32 training halves the shared
+    segment); block starts stay 8-byte aligned so every view is aligned
+    for its dtype regardless of the mix.
+    """
     layout = []
     offset = 0
-    for name, shape in shapes.items():
-        layout.append((name, tuple(int(d) for d in shape), offset))
-        offset += int(np.prod(shape, dtype=np.int64)) * 8
+    for name, (shape, dtype) in specs.items():
+        dt = np.dtype(dtype)
+        layout.append((name, tuple(int(d) for d in shape), dt.str, offset))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        offset += -(-nbytes // 8) * 8
     return tuple(layout), max(offset, 8)
 
 
 def _open_views(
     shm: shared_memory.SharedMemory,
-    layout: tuple[tuple[str, tuple[int, ...], int], ...],
+    layout: tuple[tuple[str, tuple[int, ...], str, int], ...],
 ) -> dict[str, np.ndarray]:
     views = {}
-    for name, shape, offset in layout:
+    for name, shape, dtype_str, offset in layout:
         count = int(np.prod(shape, dtype=np.int64))
-        flat = np.frombuffer(shm.buf, dtype=np.float64, count=count,
+        flat = np.frombuffer(shm.buf, dtype=np.dtype(dtype_str), count=count,
                              offset=offset)
         views[name] = flat.reshape(shape)
     return views
@@ -150,7 +175,7 @@ def _attach(name: str, untrack: bool) -> shared_memory.SharedMemory:
 def _worker_main(
     worker_id: int,
     shm_name: str,
-    layout: tuple[tuple[str, tuple[int, ...], int], ...],
+    layout: tuple[tuple[str, tuple[int, ...], str, int], ...],
     task: HogwildTask,
     rng: np.random.Generator,
     n_batches: int,
@@ -245,17 +270,20 @@ def run_hogwild(
         raise ValueError("run_hogwild needs workers >= 2; "
                          "use the sequential path for workers=1")
     counter_names = tuple(counter_names)
+    # Arrays keep their incoming dtype (float32 models stay float32 in
+    # the shared segment); the stats block is always float64.
     sources = {
-        name: np.ascontiguousarray(a, dtype=np.float64)
-        for name, a in arrays.items()
+        name: np.ascontiguousarray(a) for name, a in arrays.items()
     }
     if _STATS in sources:
         raise ValueError(f"array name {_STATS!r} is reserved")
-    shapes: dict[str, tuple[int, ...]] = {
-        name: a.shape for name, a in sources.items()
+    specs: dict[str, tuple[tuple[int, ...], np.dtype]] = {
+        name: (a.shape, a.dtype) for name, a in sources.items()
     }
-    shapes[_STATS] = (workers, _N_FIXED + len(counter_names))
-    layout, total_bytes = _build_layout(shapes)
+    specs[_STATS] = (
+        (workers, _N_FIXED + len(counter_names)), np.dtype(np.float64)
+    )
+    layout, total_bytes = _build_layout(specs)
 
     cb = callbacks if isinstance(callbacks, CallbackList) else CallbackList(
         callbacks

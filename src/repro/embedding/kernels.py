@@ -55,7 +55,13 @@ from typing import NamedTuple
 
 import numpy as np
 
-from ..obs.trace import span
+from ..obs.trace import NULL_SPAN, span
+
+try:  # same C routine np.einsum dispatches to, minus the per-call
+    # subscript-parsing wrapper (several µs on hot sub-ms batches)
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover - numpy < 2 layout
+    _einsum = np.einsum
 
 #: Floor applied inside every ``log`` (identical to the trainers').
 _LOG_FLOOR = 1e-12
@@ -84,7 +90,10 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
 
 def _sigmoid_inplace(x: np.ndarray) -> np.ndarray:
     """``x <- sigma(x)`` without allocating, preserving dtype."""
-    np.clip(x, -_SIG_CLIP, _SIG_CLIP, out=x)
+    # minimum/maximum is np.clip minus the fromnumeric wrapper — same
+    # ufuncs, bit-identical result, a few µs saved per hot call.
+    np.minimum(x, _SIG_CLIP, out=x)
+    np.maximum(x, -_SIG_CLIP, out=x)
     np.negative(x, out=x)
     np.exp(x, out=x)
     x += 1.0
@@ -108,6 +117,35 @@ def _cross_entropy_scalar(p: float, y: float) -> float:
     return -(y * _log_scalar(p) + (1.0 - y) * _log_scalar(1.0 - p))
 
 
+def _scatter_add(
+    target: np.ndarray, idx: np.ndarray, grads: np.ndarray
+) -> None:
+    """Duplicate-safe ``target[idx] += grads``, faster than ``np.add.at``.
+
+    Row-indexed ``np.add.at(target, idx, grads)`` dispatches one ufunc
+    inner loop *per duplicated row group*, which on small-row targets
+    (a few dozen dims) costs far more than the adds themselves.
+    Linearising to flat element indices turns the whole scatter into a
+    single 1-D ``np.add.at`` over ``len(idx) * dims`` scalars — one
+    inner loop, 2-3x faster at typical batch shapes.
+
+    Bit-compatibility: the flat index enumerates elements in exactly the
+    row-major order the 2-D form applies them, and every element is
+    still one scalar in-place add, so results are bitwise identical to
+    ``np.add.at`` (and to the sequential reference loop).
+    """
+    if not target.flags.c_contiguous:
+        # reshape(-1) on a non-contiguous target would copy and the
+        # scatter would silently vanish; the row form is always safe.
+        np.add.at(target, idx, grads)
+        return
+    dims = target.shape[1]
+    flat_idx = idx[:, None] * dims + np.arange(dims)
+    np.add.at(
+        target.reshape(-1), flat_idx.reshape(-1), grads.reshape(-1)
+    )
+
+
 # ----------------------------------------------------------------------
 # Triad pseudo-labels (Eq. 15) — constant w.r.t. the batch gradients.
 
@@ -126,17 +164,29 @@ def batch_triad_labels(
     witnesses) get the uninformative label ``0.5``.
     """
     mask = uw >= 0
-    safe_uw = np.maximum(uw, 0)
-    safe_vw = np.maximum(vw, 0)
-    y_uw = _sigmoid(M[safe_uw] @ w_prime + b_prime)
-    y_vw = _sigmoid(M[safe_vw] @ w_prime + b_prime)
+    batch, gamma = uw.shape
+    # One stacked gather + matvec for both witness sides: the
+    # (B·2γ, l) rows go through a single contiguous ``take`` and one
+    # BLAS matvec against w' instead of a 3-D fancy gather + batched
+    # matmul.
+    both = np.empty((batch, 2 * gamma), dtype=np.intp)
+    np.maximum(uw, 0, out=both[:, :gamma], casting="unsafe")
+    np.maximum(vw, 0, out=both[:, gamma:], casting="unsafe")
+    scores = M.take(both.reshape(-1), axis=0) @ w_prime
+    scores += b_prime
+    _sigmoid_inplace(scores)
+    scores = scores.reshape(batch, 2 * gamma)
+    y_uw = scores[:, :gamma]
+    y_vw = scores[:, gamma:]
     denom = y_uw + y_vw
     votes = np.where(
         mask & (denom > _LOG_FLOOR), y_uw / np.maximum(denom, _LOG_FLOOR), 0.0
     )
-    counts = mask.sum(axis=1)
+    counts = np.add.reduce(mask, axis=1)
     valid = counts > 0
-    labels = np.where(valid, votes.sum(axis=1) / np.maximum(counts, 1), 0.5)
+    labels = np.where(
+        valid, np.add.reduce(votes, axis=1) / np.maximum(counts, 1), 0.5
+    )
     return labels, valid
 
 
@@ -194,15 +244,22 @@ class EStepWorkspace:
         b, k, l = batch, n_negative, dims
         dt = np.dtype(dtype)
         self.m = np.empty((b, l), dt)
-        self.n_pos = np.empty((b, l), dt)
-        self.n_neg_flat = np.empty((b * k, l), dt)
+        # Successor + negative rows live in one contiguous block so the
+        # batch needs a single gather and a single scatter over the
+        # combined index buffer ``idx_n`` (successor ids first, then the
+        # flattened negatives).
+        self.n_all = np.empty((b * (k + 1), l), dt)
+        self.n_pos = self.n_all[:b]
+        self.n_neg_flat = self.n_all[b:]
         self.n_neg = self.n_neg_flat.reshape(b, k, l)
         self.pos_score = np.empty(b, dt)
         self.neg_score = np.empty((b, k), dt)
         self.grad_m = np.empty((b, l), dt)
-        self.grad_n_pos = np.empty((b, l), dt)
-        self.grad_n_neg_flat = np.empty((b * k, l), dt)
+        self.grad_n_all = np.empty((b * (k + 1), l), dt)
+        self.grad_n_pos = self.grad_n_all[:b]
+        self.grad_n_neg_flat = self.grad_n_all[b:]
         self.grad_n_neg = self.grad_n_neg_flat.reshape(b, k, l)
+        self.idx_n = np.empty(b * (k + 1), np.int64)
         self.grad_w = np.empty(l, dt)
         self.prediction = np.empty(b, dt)
         self.error = np.empty(b, dt)
@@ -225,18 +282,22 @@ def _supervised_term(
     gate: np.ndarray,
     weight: float,
     loss_out: np.ndarray,
+    want_loss: bool = True,
 ) -> None:
     """Accumulate one supervised error/CE term, gated and weighted.
 
     ``error += weight * gate * (p - y)`` and
     ``loss += weight * gate * CE(p, y)`` with ``p`` the live prediction
     buffer and ``gate`` a boolean mask (multiplying by it zeroes the
-    masked-out rows without allocating).
+    masked-out rows without allocating).  ``want_loss=False`` skips the
+    CE half (the error accumulation is unchanged).
     """
     np.subtract(ws.prediction, y, out=ws.tmp_b)
     ws.tmp_b *= weight
     ws.tmp_b *= gate
     ws.error += ws.tmp_b
+    if not want_loss:
+        return
     # ce = -(y log p + (1 - y) log(1 - p))
     np.multiply(y, ws.log_p, out=ws.tmp_b)
     np.subtract(1.0, y, out=ws.tmp_b2)
@@ -269,6 +330,7 @@ def fused_estep_batch(
     grad_clip: float,
     lr: float,
     workspace: EStepWorkspace | None = None,
+    compute_loss: bool = True,
 ) -> BatchLoss:
     """One fused, vectorised E-Step SGD batch; mutates M, N, w' in place.
 
@@ -283,47 +345,66 @@ def fused_estep_batch(
     All arithmetic runs in the dtype of ``M`` through ``workspace``
     buffers; pass the same workspace every batch to amortise the
     allocations to zero.
+
+    ``compute_loss=False`` skips the cross-entropy/log bookkeeping (the
+    parameter updates are identical) and returns a zeroed
+    :class:`BatchLoss` apart from ``b_prime`` — for hot loops where
+    nothing consumes the loss on this batch.  Traced runs always
+    compute losses so span attributes stay complete.
     """
     ws = workspace if workspace is not None else EStepWorkspace()
     batch, n_negative = negatives.shape
     ws.ensure(batch, n_negative, M.shape[1], M.dtype)
 
     # One gather for the whole batch: every gradient below reads these
-    # batch-entry snapshots (batch-stale semantics).
+    # batch-entry snapshots (batch-stale semantics).  Successor and
+    # negative ids share one index buffer so their N rows gather (and
+    # later scatter) as a single contiguous block.
+    ws.idx_n[:batch] = successor
+    ws.idx_n[batch:] = negatives.ravel()
     np.take(M, e, axis=0, out=ws.m)
-    np.take(N, successor, axis=0, out=ws.n_pos)
-    np.take(N, negatives.ravel(), axis=0, out=ws.n_neg_flat)
+    np.take(N, ws.idx_n, axis=0, out=ws.n_all)
     m = ws.m
 
     # ---- L_topo forward + gradients (Eqs. 20, 23-25) ----
     with span("estep.L_topo", pairs=batch) as topo_sp:
-        np.einsum("bl,bl->b", m, ws.n_pos, out=ws.pos_score)
+        want_loss = compute_loss or topo_sp is not NULL_SPAN
+        _einsum("bl,bl->b", m, ws.n_pos, out=ws.pos_score)
         _sigmoid_inplace(ws.pos_score)
-        np.einsum("bl,bkl->bk", m, ws.n_neg, out=ws.neg_score)
+        _einsum("bl,bkl->bk", m, ws.n_neg, out=ws.neg_score)
         _sigmoid_inplace(ws.neg_score)
 
-        # Losses first: the score buffers are reused for coefficients.
-        np.maximum(ws.pos_score, _LOG_FLOOR, out=ws.tmp_b)
-        np.log(ws.tmp_b, out=ws.tmp_b)
-        np.negative(ws.tmp_b, out=ws.loss_topo)
-        np.subtract(1.0, ws.neg_score, out=ws.tmp_bk)
-        np.maximum(ws.tmp_bk, _LOG_FLOOR, out=ws.tmp_bk)
-        np.log(ws.tmp_bk, out=ws.tmp_bk)
-        np.sum(ws.tmp_bk, axis=1, out=ws.tmp_b)
-        ws.loss_topo -= ws.tmp_b
+        if want_loss:
+            # Losses first: the score buffers are reused below for the
+            # gradient coefficients.
+            np.maximum(ws.pos_score, _LOG_FLOOR, out=ws.tmp_b)
+            np.log(ws.tmp_b, out=ws.tmp_b)
+            np.negative(ws.tmp_b, out=ws.loss_topo)
+            np.subtract(1.0, ws.neg_score, out=ws.tmp_bk)
+            np.maximum(ws.tmp_bk, _LOG_FLOOR, out=ws.tmp_bk)
+            np.log(ws.tmp_bk, out=ws.tmp_bk)
+            np.add.reduce(ws.tmp_bk, axis=1, out=ws.tmp_b)
+            ws.loss_topo -= ws.tmp_b
 
         ws.pos_score -= 1.0  # sigma(m·n') - 1, the Eq. 23/24 coefficient
         np.multiply(ws.n_pos, ws.pos_score[:, None], out=ws.grad_m)
-        np.einsum("bk,bkl->bl", ws.neg_score, ws.n_neg, out=ws.tmp_bl)
+        _einsum("bk,bkl->bl", ws.neg_score, ws.n_neg, out=ws.tmp_bl)
         ws.grad_m += ws.tmp_bl
+        # The context gradients are built pre-scaled by -lr (one cheap
+        # scale of the (B,) / (B,k) coefficients instead of a full pass
+        # over the (B·(k+1), l) gradient block before the scatter).
+        ws.pos_score *= -lr
+        ws.neg_score *= -lr
         np.multiply(m, ws.pos_score[:, None], out=ws.grad_n_pos)
         np.multiply(
             m[:, None, :], ws.neg_score[:, :, None], out=ws.grad_n_neg
         )
-        topo_sp.set(loss=float(ws.loss_topo.mean()))
+        if topo_sp is not NULL_SPAN:
+            topo_sp.set(loss=float(ws.loss_topo.mean()))
 
-    ws.loss_label[:] = 0.0
-    ws.loss_pattern[:] = 0.0
+    if want_loss:
+        ws.loss_label[:] = 0.0
+        ws.loss_pattern[:] = 0.0
     ws.error[:] = 0.0
 
     # ---- supervised error scalar (Eqs. 21-22) ----
@@ -335,7 +416,7 @@ def fused_estep_batch(
     pattern_active = (
         beta > 0 and y_triad is not None and bool(is_undirected.any())
     )
-    if label_active or pattern_active:
+    if want_loss and (label_active or pattern_active):
         # log p and log(1 - p) are shared by every CE term below.
         np.maximum(ws.prediction, _LOG_FLOOR, out=ws.log_p)
         np.log(ws.log_p, out=ws.log_p)
@@ -344,43 +425,52 @@ def fused_estep_batch(
         np.log(ws.log_1mp, out=ws.log_1mp)
 
     if label_active:
-        with span("estep.L_label",
-                  labeled=int(is_labeled.sum())) as label_sp:
-            _supervised_term(ws, y_label, is_labeled, alpha, ws.loss_label)
-            label_sp.set(loss=float(ws.loss_label.mean()))
+        with span("estep.L_label") as label_sp:
+            _supervised_term(ws, y_label, is_labeled, alpha, ws.loss_label,
+                             want_loss)
+            if label_sp is not NULL_SPAN:
+                label_sp.set(labeled=int(is_labeled.sum()),
+                             loss=float(ws.loss_label.mean()))
 
     if pattern_active:
-        with span("estep.L_pattern",
-                  undirected=int(is_undirected.sum())) as pattern_sp:
+        with span("estep.L_pattern") as pattern_sp:
             # Degree-pattern term, gated by the threshold T (Eq. 16).
             np.greater(y_degree, degree_threshold, out=ws.gate)
             ws.gate &= is_undirected
-            _supervised_term(ws, y_degree, ws.gate, beta, ws.loss_pattern)
+            _supervised_term(ws, y_degree, ws.gate, beta, ws.loss_pattern,
+                             want_loss)
             # Triad-pattern term with constant pseudo-labels (Eq. 15).
             np.logical_and(is_undirected, triad_valid, out=ws.gate)
-            _supervised_term(ws, y_triad, ws.gate, beta, ws.loss_pattern)
-            pattern_sp.set(loss=float(ws.loss_pattern.mean()))
+            _supervised_term(ws, y_triad, ws.gate, beta, ws.loss_pattern,
+                             want_loss)
+            if pattern_sp is not NULL_SPAN:
+                pattern_sp.set(undirected=int(is_undirected.sum()),
+                               loss=float(ws.loss_pattern.mean()))
 
     # ---- apply updates (scatter-add handles repeated rows) ----
     with span("estep.update", pairs=batch):
-        np.clip(ws.error, -grad_clip, grad_clip, out=ws.error)
+        np.minimum(ws.error, grad_clip, out=ws.error)
+        np.maximum(ws.error, -grad_clip, out=ws.error)
         np.multiply(w_prime[None, :], ws.error[:, None], out=ws.tmp_bl)
         ws.grad_m += ws.tmp_bl
-        np.einsum("bl,b->l", m, ws.error, out=ws.grad_w)
+        np.dot(m.T, ws.error, out=ws.grad_w)
         grad_b = float(ws.error.sum())
 
         ws.grad_m *= -lr
-        np.add.at(M, e, ws.grad_m)
-        ws.grad_n_pos *= -lr
-        np.add.at(N, successor, ws.grad_n_pos)
-        ws.grad_n_neg_flat *= -lr
-        np.add.at(N, negatives.ravel(), ws.grad_n_neg_flat)
+        _scatter_add(M, e, ws.grad_m)
+        # grad_n_all was already built -lr-scaled above.
+        _scatter_add(N, ws.idx_n, ws.grad_n_all)
         ws.grad_w *= lr
         w_prime -= ws.grad_w
 
-    topo = float(ws.loss_topo.mean())
-    label = float(ws.loss_label.mean())
-    pattern = float(ws.loss_pattern.mean())
+    if not want_loss:
+        return BatchLoss(total=0.0, topo=0.0, label=0.0, pattern=0.0,
+                         b_prime=b_prime - lr * grad_b)
+    # add.reduce/len is np.mean minus the wrapper overhead (same
+    # pairwise summation, same division — bit-identical).
+    topo = float(np.add.reduce(ws.loss_topo)) / batch
+    label = float(np.add.reduce(ws.loss_label)) / batch
+    pattern = float(np.add.reduce(ws.loss_pattern)) / batch
     return BatchLoss(
         total=topo + label + pattern,
         topo=topo,
@@ -565,15 +655,20 @@ class SgnsWorkspace:
         b, k, l = batch, n_negative, dims
         dt = np.dtype(dtype)
         self.eu = np.empty((b, l), dt)
-        self.cv = np.empty((b, l), dt)
-        self.cn_flat = np.empty((b * k, l), dt)
+        # Positive + negative context rows share one contiguous block
+        # (one gather, one scatter) — see EStepWorkspace.
+        self.c_all = np.empty((b * (k + 1), l), dt)
+        self.cv = self.c_all[:b]
+        self.cn_flat = self.c_all[b:]
         self.cn = self.cn_flat.reshape(b, k, l)
         self.pos = np.empty(b, dt)
         self.neg = np.empty((b, k), dt)
         self.grad_u = np.empty((b, l), dt)
-        self.grad_cv = np.empty((b, l), dt)
-        self.grad_cn_flat = np.empty((b * k, l), dt)
+        self.grad_c_all = np.empty((b * (k + 1), l), dt)
+        self.grad_cv = self.grad_c_all[:b]
+        self.grad_cn_flat = self.grad_c_all[b:]
         self.grad_cn = self.grad_cn_flat.reshape(b, k, l)
+        self.idx_c = np.empty(b * (k + 1), np.int64)
         self.tmp_b = np.empty(b, dt)
         self.tmp_bk = np.empty((b, k), dt)
         self.tmp_bl = np.empty((b, l), dt)
@@ -603,9 +698,10 @@ def fused_sgns_batch(
     batch, n_negative = negs.shape
     ws.ensure(batch, n_negative, emb.shape[1], emb.dtype)
 
+    ws.idx_c[:batch] = v
+    ws.idx_c[batch:] = negs.ravel()
     np.take(emb, u, axis=0, out=ws.eu)
-    np.take(ctx, v, axis=0, out=ws.cv)
-    np.take(ctx, negs.ravel(), axis=0, out=ws.cn_flat)
+    np.take(ctx, ws.idx_c, axis=0, out=ws.c_all)
 
     np.einsum("bl,bl->b", ws.eu, ws.cv, out=ws.pos)
     _sigmoid_inplace(ws.pos)
@@ -625,11 +721,9 @@ def fused_sgns_batch(
     np.multiply(ws.eu[:, None, :], ws.neg[:, :, None], out=ws.grad_cn)
 
     ws.grad_u *= -lr
-    np.add.at(emb, u, ws.grad_u)
-    ws.grad_cv *= -lr
-    np.add.at(ctx, v, ws.grad_cv)
-    ws.grad_cn_flat *= -lr
-    np.add.at(ctx, negs.ravel(), ws.grad_cn_flat)
+    _scatter_add(emb, u, ws.grad_u)
+    ws.grad_c_all *= -lr
+    _scatter_add(ctx, ws.idx_c, ws.grad_c_all)
     return loss
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -31,7 +32,7 @@ from ..obs import (
     span,
 )
 from ..utils import check_positive, ensure_rng
-from .hogwild import run_hogwild
+from .hogwild import run_hogwild, should_degrade
 from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
 from .samplers import AliasSampler
 
@@ -46,9 +47,15 @@ class LineConfig:
     ``workers > 1`` trains with that many lock-free HOGWILD processes
     over shared-memory embedding buffers (see ``docs/performance.md``);
     ``workers=1`` keeps the bit-identical sequential seeded path.
-    ``kernel`` selects the skip-gram batch kernel — ``"fused"``
-    (vectorised, preallocated buffers) or ``"reference"`` (the scalar
-    per-pair oracle from :mod:`repro.embedding.kernels`).
+    ``min_pairs_per_worker`` is the adaptive-degradation floor: when the
+    per-worker sample budget falls below it, the run drops back to the
+    sequential path with a ``RuntimeWarning`` (``0`` disables the gate).
+    ``dtype`` selects ``"float64"`` (default) or ``"float32"`` embedding
+    precision; ``plan_epochs`` sets how many epochs of edge/negative
+    samples each vectorized mega-draw covers.  ``kernel`` selects the
+    skip-gram batch kernel — ``"fused"`` (vectorised, preallocated
+    buffers) or ``"reference"`` (the scalar per-pair oracle from
+    :mod:`repro.embedding.kernels`).
     """
 
     dimensions: int = 64
@@ -58,6 +65,9 @@ class LineConfig:
     batch_size: int = 256
     max_samples: int | None = None
     workers: int = 1
+    min_pairs_per_worker: int = 50_000
+    dtype: str = "float64"
+    plan_epochs: float = 1.0
     kernel: str = "fused"
 
     def __post_init__(self) -> None:
@@ -73,6 +83,14 @@ class LineConfig:
             raise ValueError("batch_size must be at least 1")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.min_pairs_per_worker < 0:
+            raise ValueError("min_pairs_per_worker must be non-negative")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                "dtype must be 'float64' or 'float32', got "
+                f"{self.dtype!r}"
+            )
+        check_positive(self.plan_epochs, "plan_epochs")
         if self.kernel not in ("fused", "reference"):
             raise ValueError(
                 "kernel must be 'fused' or 'reference', got "
@@ -137,15 +155,37 @@ class LineEmbedding:
                 noise = np.ones(n_nodes)
             node_sampler = AliasSampler(noise)
 
-        first = (rng.random((n_nodes, half)) - 0.5) / half
-        second = (rng.random((n_nodes, half)) - 0.5) / half
-        context = np.zeros((n_nodes, half))
+        dt = np.dtype(cfg.dtype)
+        first = ((rng.random((n_nodes, half)) - 0.5) / half).astype(
+            dt, copy=False
+        )
+        second = ((rng.random((n_nodes, half)) - 0.5) / half).astype(
+            dt, copy=False
+        )
+        context = np.zeros((n_nodes, half), dtype=dt)
 
         total = int(cfg.epochs * n_edges)
         if cfg.max_samples is not None:
             total = min(total, cfg.max_samples)
         total = max(total, cfg.batch_size)
         n_batches = -(-total // cfg.batch_size)
+
+        workers = cfg.workers
+        degraded = should_degrade(
+            workers, n_batches * cfg.batch_size, cfg.min_pairs_per_worker
+        )
+        if degraded:
+            warnings.warn(
+                f"workers={workers} degraded to sequential: "
+                f"{n_batches * cfg.batch_size} samples gives "
+                f"{n_batches * cfg.batch_size // workers} per worker, below "
+                f"min_pairs_per_worker={cfg.min_pairs_per_worker} "
+                "(set min_pairs_per_worker=0 to force workers)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            MetricsRegistry().counter("hogwild.degraded").inc()
+            workers = 1
 
         run = RunInfo(
             trainer="line",
@@ -155,26 +195,39 @@ class LineEmbedding:
         )
         fit_start = time.perf_counter()
         if cb:
-            cb.on_fit_begin(
-                run,
-                {"n_nodes": n_nodes, "n_edges": n_edges,
-                 "workers": cfg.workers},
-            )
+            fit_begin_logs = {
+                "n_nodes": n_nodes, "n_edges": n_edges, "workers": workers,
+            }
+            if degraded:
+                fit_begin_logs["hogwild_degraded"] = True
+                fit_begin_logs["requested_workers"] = cfg.workers
+            cb.on_fit_begin(run, fit_begin_logs)
 
-        if cfg.workers > 1:
+        if workers > 1:
+            # Plan the whole run in the parent (one integers mega-draw,
+            # one alias mega-draw); workers slice batches copy-on-write
+            # and never touch an RNG.
+            with span("line.sample", samples=n_batches * cfg.batch_size,
+                      planned=True):
+                edge_ids = rng.integers(
+                    0, n_edges, size=n_batches * cfg.batch_size
+                )
+                negs = node_sampler.sample(
+                    (n_batches * cfg.batch_size, cfg.n_negative), rng
+                )
             task = _HogwildLineTask(
-                config=cfg, src=src, dst=dst, sampler=node_sampler
+                config=cfg, u=src[edge_ids], v=dst[edge_ids], negs=negs
             )
-            with span("line.hogwild", workers=cfg.workers):
+            with span("line.hogwild", workers=workers):
                 hog = run_hogwild(
                     task,
                     {"first": first, "second": second, "context": context},
                     n_batches=n_batches,
                     batch_size=cfg.batch_size,
-                    workers=cfg.workers,
+                    workers=workers,
                     rng=rng,
                     lr0=cfg.learning_rate,
-                    counter_names=("negative_draws",),
+                    counter_names=(),
                     callbacks=cb,
                     run=run,
                     log_every=log_every,
@@ -182,15 +235,16 @@ class LineEmbedding:
             if cb:
                 duration = time.perf_counter() - fit_start
                 worker_logs = record_worker_stats(
-                    MetricsRegistry(), hog.worker_stats, ("negative_draws",)
+                    MetricsRegistry(), hog.worker_stats, ()
                 )
                 cb.on_fit_end(
                     run,
                     {
                         "n_samples_trained": hog.pairs_trained,
                         **worker_logs,
+                        "negative_draws": node_sampler.n_draws,
                         "duration_s": duration,
-                        "workers": cfg.workers,
+                        "workers": workers,
                     },
                 )
             return LineResult(
@@ -203,15 +257,32 @@ class LineEmbedding:
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
         history: list[tuple[int, float]] = []
+        # Mega-draw edge ids and negatives in ``plan_epochs``-sized
+        # chunks of whole batches, then slice zero-copy per batch.
+        batches_per_plan = max(
+            1, -(-int(cfg.plan_epochs * n_edges) // cfg.batch_size)
+        )
+        plan_u = plan_v = plan_negs = None
+        plan_start = plan_batches = 0
         with span("line.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
             for batch_idx in range(n_batches):
                 lr = cfg.learning_rate * max(1.0 - batch_idx / n_batches, 0.01)
-                edge_ids = rng.integers(0, n_edges, size=cfg.batch_size)
-                u, v = src[edge_ids], dst[edge_ids]
-                negs = node_sampler.sample(
-                    (cfg.batch_size, cfg.n_negative), rng
-                )
+                if plan_u is None or batch_idx - plan_start >= plan_batches:
+                    plan_start = batch_idx
+                    plan_batches = min(batches_per_plan,
+                                       n_batches - batch_idx)
+                    n_plan = plan_batches * cfg.batch_size
+                    with span("line.sample", samples=n_plan, planned=True):
+                        edge_ids = rng.integers(0, n_edges, size=n_plan)
+                        plan_u, plan_v = src[edge_ids], dst[edge_ids]
+                        plan_negs = node_sampler.sample(
+                            (n_plan, cfg.n_negative), rng
+                        )
+                lo = (batch_idx - plan_start) * cfg.batch_size
+                hi = lo + cfg.batch_size
+                u, v = plan_u[lo:hi], plan_v[lo:hi]
+                negs = plan_negs[lo:hi]
                 # First order scores nodes against themselves (ctx=emb);
                 # second order against separate context vectors.
                 loss = kernel(first, first, u, v, negs, lr,
@@ -287,15 +358,18 @@ class LineEmbedding:
 class _HogwildLineTask:
     """Picklable LINE payload for the shared-memory HOGWILD backend.
 
-    ``setup`` builds per-worker :class:`SgnsWorkspace` scratch buffers,
-    so every HOGWILD process reuses the fused kernel with zero per-batch
-    allocation against the shared-memory embedding views.
+    The whole run's edge endpoints and negatives were mega-drawn in the
+    parent, so workers slice their batches out of the shared (copy-on-
+    write) plan arrays and never touch an RNG.  ``setup`` builds
+    per-worker :class:`SgnsWorkspace` scratch buffers, so every HOGWILD
+    process reuses the fused kernel with zero per-batch allocation
+    against the shared-memory embedding views.
     """
 
     config: LineConfig
-    src: np.ndarray
-    dst: np.ndarray
-    sampler: AliasSampler
+    u: np.ndarray
+    v: np.ndarray
+    negs: np.ndarray
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
@@ -313,9 +387,9 @@ class _HogwildLineTask:
         cfg = self.config
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
-        edge_ids = rng.integers(0, len(self.src), size=cfg.batch_size)
-        u, v = self.src[edge_ids], self.dst[edge_ids]
-        negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+        lo = batch_idx * cfg.batch_size
+        hi = lo + cfg.batch_size
+        u, v, negs = self.u[lo:hi], self.v[lo:hi], self.negs[lo:hi]
         loss = kernel(arrays["first"], arrays["first"], u, v, negs, lr,
                       workspace=state[0])
         loss += kernel(arrays["second"], arrays["context"], u, v, negs, lr,
@@ -323,4 +397,4 @@ class _HogwildLineTask:
         return loss / 2.0
 
     def counters(self, state: tuple[SgnsWorkspace, SgnsWorkspace]) -> tuple[int, ...]:
-        return (int(self.sampler.n_draws),)
+        return ()

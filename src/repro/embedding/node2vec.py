@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -31,7 +32,7 @@ from ..obs import (
     span,
 )
 from ..utils import check_positive, ensure_rng
-from .hogwild import run_hogwild
+from .hogwild import run_hogwild, should_degrade
 from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
 from .samplers import AliasSampler
 
@@ -46,7 +47,13 @@ class Node2VecConfig:
     generation is always sequential; ``workers > 1`` parallelises only
     the skip-gram SGD over shared-memory buffers (HOGWILD, see
     ``docs/performance.md``), while ``workers=1`` keeps the bit-identical
-    sequential seeded path.  ``kernel`` selects the skip-gram batch
+    sequential seeded path.  ``min_pairs_per_worker`` is the adaptive-
+    degradation floor: a per-worker sample budget below it drops the run
+    back to the sequential path with a ``RuntimeWarning`` (``0``
+    disables the gate).  ``dtype`` selects ``"float64"`` (default) or
+    ``"float32"`` embedding precision; ``plan_epochs`` sets how many
+    epochs of corpus/negative samples each vectorized mega-draw covers.
+    ``kernel`` selects the skip-gram batch
     kernel — ``"fused"`` (vectorised, preallocated buffers) or
     ``"reference"`` (the scalar per-pair oracle from
     :mod:`repro.embedding.kernels`).
@@ -63,6 +70,9 @@ class Node2VecConfig:
     batch_size: int = 256
     epochs: float = 2.0
     workers: int = 1
+    min_pairs_per_worker: int = 50_000
+    dtype: str = "float64"
+    plan_epochs: float = 1.0
     kernel: str = "fused"
 
     def __post_init__(self) -> None:
@@ -82,6 +92,14 @@ class Node2VecConfig:
         check_positive(self.epochs, "epochs")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.min_pairs_per_worker < 0:
+            raise ValueError("min_pairs_per_worker must be non-negative")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                "dtype must be 'float64' or 'float32', got "
+                f"{self.dtype!r}"
+            )
+        check_positive(self.plan_epochs, "plan_epochs")
         if self.kernel not in ("fused", "reference"):
             raise ValueError(
                 "kernel must be 'fused' or 'reference', got "
@@ -218,11 +236,31 @@ class Node2VecEmbedding:
         sampler = AliasSampler(noise)
 
         half = cfg.dimensions
-        emb = (rng.random((network.n_nodes, half)) - 0.5) / half
-        ctx = np.zeros((network.n_nodes, half))
+        dt = np.dtype(cfg.dtype)
+        emb = ((rng.random((network.n_nodes, half)) - 0.5) / half).astype(
+            dt, copy=False
+        )
+        ctx = np.zeros((network.n_nodes, half), dtype=dt)
 
         total = int(cfg.epochs * len(centers))
         n_batches = max(1, -(-total // cfg.batch_size))
+
+        workers = cfg.workers
+        degraded = should_degrade(
+            workers, n_batches * cfg.batch_size, cfg.min_pairs_per_worker
+        )
+        if degraded:
+            warnings.warn(
+                f"workers={workers} degraded to sequential: "
+                f"{n_batches * cfg.batch_size} samples gives "
+                f"{n_batches * cfg.batch_size // workers} per worker, below "
+                f"min_pairs_per_worker={cfg.min_pairs_per_worker} "
+                "(set min_pairs_per_worker=0 to force workers)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            MetricsRegistry().counter("hogwild.degraded").inc()
+            workers = 1
 
         run = RunInfo(
             trainer="node2vec",
@@ -232,33 +270,44 @@ class Node2VecEmbedding:
         )
         fit_start = time.perf_counter()
         if cb:
-            cb.on_fit_begin(
-                run,
-                {
-                    "n_walks": len(walks),
-                    "n_corpus_pairs": len(centers),
-                    "walk_setup_s": walk_seconds,
-                    "workers": cfg.workers,
-                },
-            )
+            fit_begin_logs = {
+                "n_walks": len(walks),
+                "n_corpus_pairs": len(centers),
+                "walk_setup_s": walk_seconds,
+                "workers": workers,
+            }
+            if degraded:
+                fit_begin_logs["hogwild_degraded"] = True
+                fit_begin_logs["requested_workers"] = cfg.workers
+            cb.on_fit_begin(run, fit_begin_logs)
 
-        if cfg.workers > 1:
+        if workers > 1:
+            # Plan the whole run in the parent; workers slice batches
+            # copy-on-write and never touch an RNG.
+            with span("node2vec.sample", samples=n_batches * cfg.batch_size,
+                      planned=True):
+                picks = rng.integers(
+                    0, len(centers), size=n_batches * cfg.batch_size
+                )
+                negs = sampler.sample(
+                    (n_batches * cfg.batch_size, cfg.n_negative), rng
+                )
             task = _HogwildNode2VecTask(
                 config=cfg,
-                centers=centers,
-                contexts=contexts,
-                sampler=sampler,
+                u=centers[picks],
+                v=contexts[picks],
+                negs=negs,
             )
-            with span("node2vec.hogwild", workers=cfg.workers):
+            with span("node2vec.hogwild", workers=workers):
                 hog = run_hogwild(
                     task,
                     {"emb": emb, "ctx": ctx},
                     n_batches=n_batches,
                     batch_size=cfg.batch_size,
-                    workers=cfg.workers,
+                    workers=workers,
                     rng=rng,
                     lr0=cfg.learning_rate,
-                    counter_names=("negative_draws",),
+                    counter_names=(),
                     callbacks=cb,
                     run=run,
                     log_every=log_every,
@@ -266,15 +315,16 @@ class Node2VecEmbedding:
             if cb:
                 duration = time.perf_counter() - fit_start
                 worker_logs = record_worker_stats(
-                    MetricsRegistry(), hog.worker_stats, ("negative_draws",)
+                    MetricsRegistry(), hog.worker_stats, ()
                 )
                 cb.on_fit_end(
                     run,
                     {
                         "n_samples_trained": hog.pairs_trained,
                         **worker_logs,
+                        "negative_draws": sampler.n_draws,
                         "duration_s": duration,
-                        "workers": cfg.workers,
+                        "workers": workers,
                     },
                 )
             return Node2VecResult(
@@ -287,15 +337,36 @@ class Node2VecEmbedding:
                   else reference_sgns_batch)
         workspace = SgnsWorkspace()
         history: list[tuple[int, float]] = []
+        # Mega-draw corpus picks and negatives in ``plan_epochs``-sized
+        # chunks of whole batches, then slice zero-copy per batch.
+        batches_per_plan = max(
+            1, -(-int(cfg.plan_epochs * len(centers)) // cfg.batch_size)
+        )
+        plan_u = plan_v = plan_negs = None
+        plan_start = plan_batches = 0
         with span("node2vec.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
             for batch_idx in range(n_batches):
                 lr = cfg.learning_rate * max(
                     1.0 - batch_idx / n_batches, 0.01
                 )
-                picks = rng.integers(0, len(centers), size=cfg.batch_size)
-                u, v = centers[picks], contexts[picks]
-                negs = sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+                if plan_u is None or batch_idx - plan_start >= plan_batches:
+                    plan_start = batch_idx
+                    plan_batches = min(batches_per_plan,
+                                       n_batches - batch_idx)
+                    n_plan = plan_batches * cfg.batch_size
+                    with span("node2vec.sample", samples=n_plan,
+                              planned=True):
+                        picks = rng.integers(0, len(centers), size=n_plan)
+                        plan_u = centers[picks]
+                        plan_v = contexts[picks]
+                        plan_negs = sampler.sample(
+                            (n_plan, cfg.n_negative), rng
+                        )
+                lo = (batch_idx - plan_start) * cfg.batch_size
+                hi = lo + cfg.batch_size
+                u, v = plan_u[lo:hi], plan_v[lo:hi]
+                negs = plan_negs[lo:hi]
 
                 # The loss is not a by-product of the update, so the
                 # kernel only evaluates it when a consumer wants it.
@@ -341,14 +412,16 @@ class Node2VecEmbedding:
 class _HogwildNode2VecTask:
     """Picklable skip-gram payload for the shared-memory backend.
 
-    Walks were already generated sequentially in the parent; workers
-    only resample (center, context) pairs from the fixed corpus.
+    Walks were already generated sequentially in the parent, and so were
+    all (center, context, negatives) samples — one mega-draw per run —
+    so workers slice their batches out of the shared (copy-on-write)
+    plan arrays and never touch an RNG.
     """
 
     config: Node2VecConfig
-    centers: np.ndarray
-    contexts: np.ndarray
-    sampler: AliasSampler
+    u: np.ndarray
+    v: np.ndarray
+    negs: np.ndarray
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
@@ -366,13 +439,13 @@ class _HogwildNode2VecTask:
         cfg = self.config
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
-        picks = rng.integers(0, len(self.centers), size=cfg.batch_size)
-        u, v = self.centers[picks], self.contexts[picks]
-        negs = self.sampler.sample((cfg.batch_size, cfg.n_negative), rng)
+        lo = batch_idx * cfg.batch_size
+        hi = lo + cfg.batch_size
+        u, v, negs = self.u[lo:hi], self.v[lo:hi], self.negs[lo:hi]
         return float(
             kernel(arrays["emb"], arrays["ctx"], u, v, negs, lr,
                    workspace=state)
         )
 
     def counters(self, state: SgnsWorkspace) -> tuple[int, ...]:
-        return (int(self.sampler.n_draws),)
+        return ()

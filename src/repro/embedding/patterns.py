@@ -150,8 +150,17 @@ def build_triad_neighborhoods(
     # Neighbour lists are per-node unique, so within one pair a node
     # appears at most once per side; after sorting by (pair, neighbour,
     # side), every common neighbour is exactly one adjacent (u-side,
-    # v-side) duo.
-    order = np.lexsort((side, nbr, grp))
+    # v-side) duo.  The three keys pack injectively into one int64
+    # (side is a bit, nbr < n_nodes), and a single stable argsort of
+    # that composite is ~10x faster than the three-pass ``np.lexsort``;
+    # the permutation is identical.  Fall back for absurdly large
+    # graphs where the packing could overflow.
+    nbr_span = np.int64(network.n_nodes) + 1
+    if len(canon) < np.iinfo(np.int64).max // (2 * nbr_span):
+        key = (grp * nbr_span + nbr) * 2 + side
+        order = np.argsort(key, kind="stable")
+    else:  # pragma: no cover - > 2^31-node scale
+        order = np.lexsort((side, nbr, grp))
     grp_s, nbr_s, side_s = grp[order], nbr[order], side[order]
     tids_s = tids[order]
     is_pair = (

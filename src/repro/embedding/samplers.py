@@ -8,6 +8,19 @@ Each SGD iteration needs
 
 Weighted draws use Walker's alias method, giving O(1) per sample after
 O(n) setup — the same approach as the word2vec reference implementation.
+
+Two sampling paths share the machinery:
+
+* the **per-call path** (:meth:`ConnectedPairSampler.sample_pairs` /
+  :meth:`~ConnectedPairSampler.sample_negatives`) draws one batch at a
+  time, and
+* the **planned path** (:class:`SamplePlanner` → :class:`SamplePlan`)
+  draws an entire epoch's worth of pairs, successors and negatives in
+  three vectorized mega-draws, then hands zero-copy per-batch views to
+  the kernels.  Each mega-draw consumes exactly one uniform double per
+  sampled element from a category-separated child stream, so the draws
+  are *plan-granularity invariant*: planning a run in one mega-plan or
+  in many small chunks produces bit-identical samples.
 """
 
 from __future__ import annotations
@@ -107,6 +120,28 @@ class AliasSampler:
         coin = rng.random(size=size)
         return np.where(coin < self._prob[idx], idx, self._alias[idx])
 
+    def pick(self, u: np.ndarray) -> np.ndarray:
+        """Map pre-drawn uniforms in ``[0, 1)`` to weighted indices.
+
+        The planned counterpart of :meth:`sample`: the bucket index and
+        the acceptance coin are both carved out of the *same* uniform
+        (``scaled = u·n``; the integer part picks the bucket, the
+        fractional part is the coin — independent by construction).
+        Consuming exactly one double per draw is what makes mega-draws
+        split across plan chunks identical to one combined draw.
+        """
+        u = np.asarray(u)
+        if u.size == 0:
+            raise ValueError("pick needs at least one uniform")
+        n = len(self._prob)
+        scaled = u * n
+        idx = scaled.astype(np.int64)
+        # u == 1 - eps can round scaled up to exactly n in low precision.
+        np.minimum(idx, n - 1, out=idx)
+        frac = scaled - idx
+        self.n_draws += int(idx.size)
+        return np.where(frac < self._prob[idx], idx, self._alias[idx])
+
 
 class ConnectedPairSampler:
     """Samples connected tie pairs ``(e, e')`` per the paper's strategy.
@@ -145,8 +180,52 @@ class ConnectedPairSampler:
             self._offsets, self._out_tie_ids = (
                 network._ensure_out_csr()  # noqa: SLF001
             )
+            self._back_pos: np.ndarray | None = None
             self.n_rejection_redraws = 0
         self.setup_seconds = time.perf_counter() - setup_start
+
+    def _ensure_back_positions(self) -> np.ndarray:
+        """``back_pos[e]``: CSR slot of the back-tie inside ``dst(e)``'s
+        out-segment.
+
+        Every oriented tie appears exactly once in the out-CSR, so the
+        position of ``reverse_of[e]`` within the segment of its source
+        node (= ``dst(e)``) is well defined.  Knowing it lets the planned
+        successor draw *remap around* the back-tie instead of rejecting
+        it: a single uniform over the ``deg_tie(e)`` allowed slots.
+        """
+        if self._back_pos is None:
+            out = self._out_tie_ids
+            pos_of_tie = np.empty(self.network.n_ties, dtype=np.int64)
+            pos_of_tie[out] = (
+                np.arange(len(out)) - self._offsets[self.network.tie_src[out]]
+            )
+            self._back_pos = pos_of_tie[self.network.reverse_of]
+        return self._back_pos
+
+    def planned_pairs(self, u: np.ndarray) -> np.ndarray:
+        """Source ties ``e ~ P_c`` from pre-drawn uniforms (one each)."""
+        return self._sampleable_ids[self._source_sampler.pick(u)]
+
+    def planned_successors(self, e: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Uniform ``e' ∈ c(e)`` from one pre-drawn uniform per pair.
+
+        The batched back-tie resolution: draw a slot ``k`` uniform over
+        the ``deg_tie(e)`` non-back-tie out-ties of ``dst(e)`` and shift
+        it past the back-tie's slot when needed.  Exactly equivalent to
+        rejection sampling (uniform over ``c(e)``), but a single
+        vectorized pass with no redraw loop.
+        """
+        back_pos = self._ensure_back_positions()
+        deg = self._tie_degrees[e]
+        k = (u * deg).astype(np.int64)
+        np.minimum(k, deg - 1, out=k)
+        k += k >= back_pos[e]
+        return self._out_tie_ids[self._offsets[self.network.tie_dst[e]] + k]
+
+    def planned_negatives(self, u: np.ndarray) -> np.ndarray:
+        """Negative tie ids ``~ P_n`` from pre-drawn uniforms."""
+        return self._noise_sampler.pick(u)
 
     def sample_pairs(
         self, batch: int, rng: np.random.Generator
@@ -193,6 +272,106 @@ class ConnectedPairSampler:
         }
 
 
+class SamplePlan:
+    """One planned segment of the training schedule.
+
+    Holds the mega-drawn ``e`` / ``successor`` (both ``(n_pairs,)``) and
+    ``negatives`` (``(n_pairs, λ)``) arrays; :meth:`batch` hands out
+    zero-copy views, so iterating a plan allocates nothing.
+    """
+
+    __slots__ = ("e", "successor", "negatives", "batch_size")
+
+    def __init__(
+        self,
+        e: np.ndarray,
+        successor: np.ndarray,
+        negatives: np.ndarray,
+        batch_size: int,
+    ) -> None:
+        if e.ndim != 1 or e.shape != successor.shape:
+            raise ValueError("e and successor must be equal-length 1-D arrays")
+        if negatives.ndim != 2 or negatives.shape[0] != len(e):
+            raise ValueError("negatives must be (n_pairs, n_negative)")
+        if int(batch_size) < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.e = e
+        self.successor = successor
+        self.negatives = negatives
+        self.batch_size = int(batch_size)
+
+    @property
+    def n_pairs(self) -> int:
+        """Total pairs covered by this plan."""
+        return len(self.e)
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batches the plan slices into (last may be short)."""
+        return -(-self.n_pairs // self.batch_size)
+
+    def batch(self, i: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(e, successor, negatives)`` views for batch ``i``."""
+        if not 0 <= i < self.n_batches:
+            raise IndexError(
+                f"batch {i} out of range for plan with {self.n_batches} batches"
+            )
+        lo = i * self.batch_size
+        hi = min(lo + self.batch_size, self.n_pairs)
+        return self.e[lo:hi], self.successor[lo:hi], self.negatives[lo:hi]
+
+
+class SamplePlanner:
+    """Epoch-scale sample planning over a :class:`ConnectedPairSampler`.
+
+    Drawing per batch costs a Python round-trip through the alias
+    sampler, the RNG and the back-tie rejection loop every ~256 pairs;
+    at fused-kernel speeds that overhead rivals the numerics.  The
+    planner amortizes it: :meth:`plan` draws every pair, successor and
+    negative of a whole schedule segment in three vectorized mega-draws
+    under a single ``estep.sample`` span.
+
+    Determinism contract: the planner owns three category-separated
+    child streams (``rng.spawn(3)`` — pair sources, successors,
+    negatives), and every draw consumes exactly one uniform double per
+    element in schedule order.  Planning ``N`` pairs in one call or in
+    any sequence of chunks totalling ``N`` therefore yields bit-identical
+    samples, which is what lets the sequential path re-plan per
+    ``plan_epochs`` chunk while the HOGWILD parent plans the entire run
+    up front — same trajectory semantics, same draws.
+    """
+
+    def __init__(
+        self,
+        sampler: ConnectedPairSampler,
+        n_negative: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_negative < 1:
+            raise ValueError("n_negative must be at least 1")
+        self.sampler = sampler
+        self.n_negative = int(n_negative)
+        self._pair_rng, self._succ_rng, self._neg_rng = rng.spawn(3)
+        self.n_plans = 0
+
+    def plan(self, n_pairs: int, batch_size: int) -> SamplePlan:
+        """Mega-draw ``n_pairs`` pairs/successors/negatives as one plan."""
+        if n_pairs < 1:
+            raise ValueError(f"n_pairs must be positive, got {n_pairs!r}")
+        s = self.sampler
+        with trace_span(
+            "estep.sample", pairs=int(n_pairs), n_negative=self.n_negative,
+            planned=True,
+        ):
+            e = s.planned_pairs(self._pair_rng.random(n_pairs))
+            successor = s.planned_successors(e, self._succ_rng.random(n_pairs))
+            negatives = s.planned_negatives(
+                self._neg_rng.random((n_pairs, self.n_negative))
+            )
+        self.n_plans += 1
+        return SamplePlan(e, successor, negatives, batch_size)
+
+
 def sample_common_neighbors(
     network: MixedSocialNetwork,
     u: int,
@@ -205,3 +384,73 @@ def sample_common_neighbors(
     if len(common) <= gamma:
         return common
     return rng.choice(common, size=gamma, replace=False)
+
+
+def sample_common_neighbors_batch(
+    network: MixedSocialNetwork,
+    u: np.ndarray,
+    v: np.ndarray,
+    gamma: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``t(u, v)``: common neighbours for many pairs at once.
+
+    The vectorized counterpart of :func:`sample_common_neighbors` — one
+    lexsort-based intersection over the concatenated (tagged) und-CSR
+    neighbour lists instead of a Python set intersection per pair, the
+    same technique as
+    :func:`repro.embedding.patterns.build_triad_neighborhoods`.
+
+    Returns ``(witnesses, counts)``: ``witnesses`` is ``(len(u), gamma)``
+    node ids padded with ``-1``; ``counts[i]`` is the number of sampled
+    witnesses (``min(|common(u_i, v_i)|, gamma)``).  Down-sampling to
+    ``gamma`` keeps the smallest random keys per pair, a uniform draw
+    without replacement.
+    """
+    from .patterns import _ragged_csr_rows
+
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.ndim != 1 or u.shape != v.shape:
+        raise ValueError("u and v must be 1-D arrays of equal length")
+    if gamma < 1:
+        raise ValueError("gamma must be at least 1")
+    witnesses = np.full((len(u), gamma), -1, dtype=np.int64)
+    counts = np.zeros(len(u), dtype=np.int64)
+    if len(u) == 0:
+        return witnesses, counts
+
+    offsets, targets = network._ensure_und_csr()  # noqa: SLF001
+    pos_u, grp_u = _ragged_csr_rows(offsets, u)
+    pos_v, grp_v = _ragged_csr_rows(offsets, v)
+    grp = np.concatenate([grp_u, grp_v])
+    nbr = np.concatenate([targets[pos_u], targets[pos_v]])
+    side = np.concatenate(
+        [np.zeros(len(pos_u), dtype=np.int8), np.ones(len(pos_v), dtype=np.int8)]
+    )
+
+    # Neighbour lists are per-node unique, so after sorting by (pair,
+    # neighbour, side) every common neighbour is exactly one adjacent
+    # (u-side, v-side) duo.
+    order = np.lexsort((side, nbr, grp))
+    grp_s, nbr_s, side_s = grp[order], nbr[order], side[order]
+    is_pair = (
+        (grp_s[:-1] == grp_s[1:])
+        & (nbr_s[:-1] == nbr_s[1:])
+        & (side_s[:-1] == 0)
+        & (side_s[1:] == 1)
+    )
+    hit = np.flatnonzero(is_pair)
+    if hit.size:
+        m_grp = grp_s[hit]
+        m_nbr = nbr_s[hit]
+        keys = rng.random(hit.size)
+        order2 = np.lexsort((keys, m_grp))
+        g = m_grp[order2]
+        group_start = np.flatnonzero(np.concatenate([[True], g[1:] != g[:-1]]))
+        group_len = np.diff(np.concatenate([group_start, [len(g)]]))
+        slot = np.arange(len(g)) - np.repeat(group_start, group_len)
+        keep = slot < gamma
+        witnesses[g[keep], slot[keep]] = m_nbr[order2][keep]
+        counts[:] = np.minimum(np.bincount(m_grp, minlength=len(u)), gamma)
+    return witnesses, counts

@@ -79,15 +79,22 @@ def test_deepdirect_loss_trajectory(preset_network) -> None:
 
 
 def test_deepdirect_trajectory_is_nontrivial(preset_network) -> None:
-    """The trajectory the regression protects actually trains something."""
+    """The trajectory the regression protects actually trains something.
+
+    Single-checkpoint batch losses are noisy at this scale, so the
+    decrease is asserted on the means of the opening and closing thirds
+    of the history rather than on two individual batches.
+    """
     cfg = DeepDirectConfig(
         dimensions=8, epochs=1.0, alpha=5.0, beta=1.0, n_negative=3,
-        batch_size=128, max_pairs=4_000,
+        batch_size=128, max_pairs=12_000,
     )
     result = DeepDirectEmbedding(cfg).fit(preset_network, seed=42,
                                           log_every=5)
     losses = [loss for _, loss in result.loss_history]
-    assert losses[-1] < losses[0], "loss did not decrease over the fit"
+    third = max(1, len(losses) // 3)
+    head, tail = np.mean(losses[:third]), np.mean(losses[-third:])
+    assert tail < head, f"loss did not decrease over the fit ({head} -> {tail})"
     assert np.any(result.classifier_weights != 0.0)
 
 
@@ -131,4 +138,60 @@ def test_node2vec_loss_trajectory(preset_network) -> None:
     np.testing.assert_allclose(f_losses, r_losses, rtol=RTOL, atol=ATOL)
     np.testing.assert_allclose(
         fused.node_embeddings, ref.node_embeddings, rtol=RTOL, atol=ATOL
+    )
+
+
+F32_RTOL = 2e-3
+F32_ATOL = 5e-4
+
+
+def test_deepdirect_float32_trajectory(preset_network) -> None:
+    """float32 fused-vs-reference full fit at loosened tolerances.
+
+    The sampling stream is dtype-independent (draws happen in float64
+    and round once at init), so both kernels see identical samples and
+    differ only by float32 summation order compounded across batches.
+    """
+    base = DeepDirectConfig(
+        dimensions=8, epochs=1.0, alpha=5.0, beta=1.0, n_negative=3,
+        batch_size=128, max_pairs=4_000, dtype="float32",
+    )
+    results = {}
+    for kernel in ("fused", "reference"):
+        cfg = dataclasses.replace(base, kernel=kernel)
+        results[kernel] = DeepDirectEmbedding(cfg).fit(
+            preset_network, seed=42, log_every=5
+        )
+    fused, ref = results["fused"], results["reference"]
+
+    assert fused.embeddings.dtype == np.float32
+    assert ref.embeddings.dtype == np.float32
+    f_losses = [loss for _, loss in fused.loss_history]
+    r_losses = [loss for _, loss in ref.loss_history]
+    np.testing.assert_allclose(f_losses, r_losses,
+                               rtol=F32_RTOL, atol=F32_ATOL)
+    np.testing.assert_allclose(
+        fused.embeddings, ref.embeddings, rtol=F32_RTOL, atol=F32_ATOL
+    )
+    np.testing.assert_allclose(
+        fused.classifier_weights, ref.classifier_weights,
+        rtol=F32_RTOL, atol=F32_ATOL,
+    )
+
+
+def test_deepdirect_float32_tracks_float64(preset_network) -> None:
+    """Same seed, same samples: the float32 fit stays within rounding
+    distance of the float64 fit over a short run."""
+    base = DeepDirectConfig(
+        dimensions=8, epochs=1.0, alpha=5.0, beta=1.0, n_negative=3,
+        batch_size=128, max_pairs=4_000,
+    )
+    r64 = DeepDirectEmbedding(base).fit(preset_network, seed=42)
+    r32 = DeepDirectEmbedding(
+        dataclasses.replace(base, dtype="float32")
+    ).fit(preset_network, seed=42)
+    # Embeddings start identical (single rounding) and drift only by
+    # accumulated rounding; a loose global agreement is the contract.
+    np.testing.assert_allclose(
+        r32.embeddings, r64.embeddings, rtol=0.1, atol=0.02
     )

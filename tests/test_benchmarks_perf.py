@@ -301,3 +301,68 @@ def test_check_speedup_fails_on_unmatched_rule(capsys):
     assert check_speedup(report, 1.0, {("huge", 4): 1.5}) == 1
     out = capsys.readouterr().out
     assert "FAIL" in out and "matched no report entry" in out
+
+
+def test_check_speedup_skips_degraded_entries(capsys):
+    from benchmarks.perf import check_speedup as _check
+
+    report = _speedup_report(8, {"2": 0.6})
+    report["sizes"]["large"]["estep"]["2"]["degraded"] = True
+    # 0.6x would fail outright, but the adaptive gate auto-degrades this
+    # entry at default config, so the slowdown cannot ship: loud skip.
+    assert _check(report, 1.0) == 0
+    out = capsys.readouterr().out
+    assert "SKIP" in out and "min_pairs_per_worker" in out
+    # A per-entry rule on a degraded entry is consumed (not an unmatched
+    # failure) but also not evaluated.
+    assert _check(report, 1.0, {("large", 2): 1.5}) == 0
+
+
+def test_parse_throughput_rules():
+    from benchmarks.perf import parse_throughput_rules
+
+    rules = parse_throughput_rules(["large:1=240000", "small:2=1e5"])
+    assert rules == {("large", 1): 240000.0, ("small", 2): 100000.0}
+    assert parse_throughput_rules([]) == {}
+    for bad in ("large=5", "large:1", "large:x=5", "large:1=abc"):
+        with pytest.raises(ValueError):
+            parse_throughput_rules([bad])
+
+
+def test_check_throughput(capsys):
+    from benchmarks.perf import check_throughput
+
+    report = _speedup_report(8, {"2": 1.4})  # 1 -> 100, 2 -> 140 pairs/sec
+    assert check_throughput(report, {("large", 1): 90.0}) == 0
+    assert "ok" in capsys.readouterr().out
+    assert check_throughput(report, {("large", 1): 150.0}) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "floor" in out
+    # Absolute floors apply per entry, workers>1 included.
+    assert check_throughput(
+        report, {("large", 1): 90.0, ("large", 2): 130.0}
+    ) == 0
+    assert check_throughput(report, {("large", 2): 150.0}) == 1
+    capsys.readouterr()
+
+
+def test_check_throughput_skips_beyond_host_cores(capsys):
+    from benchmarks.perf import check_throughput
+
+    report = _speedup_report(1, {"2": 0.5})
+    # workers=2 floor on a 1-core host: skipped, not failed.
+    assert check_throughput(report, {("large", 2): 200.0}) == 0
+    out = capsys.readouterr().out
+    assert "SKIP" in out
+    # workers=1 floors still run on a 1-core host (unlike speedup gates).
+    assert check_throughput(report, {("large", 1): 150.0}) == 1
+    capsys.readouterr()
+
+
+def test_check_throughput_fails_on_unmatched_rule(capsys):
+    from benchmarks.perf import check_throughput
+
+    report = _speedup_report(8, {"2": 1.4})
+    assert check_throughput(report, {("huge", 1): 10.0}) == 1
+    out = capsys.readouterr().out
+    assert "matched no report entry" in out

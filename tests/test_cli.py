@@ -236,6 +236,9 @@ def test_discover_trace_covers_worker_lanes(tmp_path, capsys):
             "--dimensions", "8",
             "--pairs-per-tie", "20",
             "--workers", "2",
+            # The toy workload sits under the default degradation
+            # floor; force the pool on so worker lanes exist to cover.
+            "--min-pairs-per-worker", "0",
             "--trace", str(trace),
         ]
     )

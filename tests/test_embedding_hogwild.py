@@ -44,8 +44,11 @@ class _Recorder(TrainerCallback):
         self.fit_end = dict(logs)
 
 
+# min_pairs_per_worker=0 opts out of the adaptive degradation gate so
+# these tests exercise the real multi-process path at test scale.
 PARALLEL_CONFIG = DeepDirectConfig(
-    dimensions=16, epochs=2.0, alpha=5.0, beta=0.1, max_pairs=40_000
+    dimensions=16, epochs=2.0, alpha=5.0, beta=0.1, max_pairs=40_000,
+    min_pairs_per_worker=0,
 )
 
 
@@ -123,7 +126,8 @@ def test_parallel_callbacks_report_worker_stats(discovery_task):
 
 
 def test_line_parallel_smoke(small_dataset):
-    config = LineConfig(dimensions=8, epochs=2.0, workers=2)
+    config = LineConfig(dimensions=8, epochs=2.0, workers=2,
+                        min_pairs_per_worker=0)
     result = LineEmbedding(config).fit(small_dataset, seed=2)
     assert result.node_embeddings.shape == (small_dataset.n_nodes, 8)
     assert np.all(np.isfinite(result.node_embeddings))
@@ -144,6 +148,7 @@ def test_node2vec_parallel_smoke(small_dataset):
         walk_length=10,
         walks_per_node=2,
         workers=2,
+        min_pairs_per_worker=0,
     )
     result = Node2VecEmbedding(config).fit(small_dataset, seed=2)
     assert result.node_embeddings.shape == (small_dataset.n_nodes, 8)
@@ -179,3 +184,68 @@ def test_run_hogwild_rejects_single_worker():
             rng=np.random.default_rng(0),
             lr0=0.1,
         )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive degradation: workers>1 with a per-worker budget below the
+# floor silently falling behind sequential is exactly what the gate
+# prevents — it must warn, fall back, and be bit-identical to workers=1.
+
+
+def test_should_degrade_thresholds():
+    from repro.embedding import should_degrade
+
+    assert not should_degrade(1, 100, 50_000)  # sequential never degrades
+    assert not should_degrade(2, 100_000, 0)  # floor 0 disables the gate
+    assert should_degrade(2, 40_000, 50_000)  # 20k/worker < 50k
+    assert not should_degrade(2, 200_000, 50_000)  # 100k/worker >= 50k
+    assert should_degrade(4, 199_999, 50_000)  # 49_999/worker < 50k
+
+
+def test_degraded_run_warns_and_matches_sequential(discovery_task):
+    network = discovery_task.network
+    base = DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, min_pairs_per_worker=50_000)
+    ).fit(network, seed=11)
+    with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+        degraded = DeepDirectEmbedding(
+            dataclasses.replace(
+                PARALLEL_CONFIG, workers=2, min_pairs_per_worker=50_000
+            )
+        ).fit(network, seed=11)
+    assert np.array_equal(base.embeddings, degraded.embeddings)
+    assert np.array_equal(base.contexts, degraded.contexts)
+    assert np.array_equal(
+        base.classifier_weights, degraded.classifier_weights
+    )
+    assert base.classifier_bias == degraded.classifier_bias
+
+
+def test_degraded_run_reports_effective_workers(discovery_task):
+    recorder = _Recorder()
+    with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+        DeepDirectEmbedding(
+            dataclasses.replace(
+                PARALLEL_CONFIG, workers=2, min_pairs_per_worker=50_000
+            )
+        ).fit(discovery_task.network, seed=5, callbacks=[recorder])
+    assert recorder.fit_begin is not None
+    assert recorder.fit_begin["workers"] == 1
+    assert recorder.fit_begin["hogwild_degraded"] is True
+    assert recorder.fit_begin["requested_workers"] == 2
+
+
+@pytest.mark.parametrize("config_cls", [LineConfig, Node2VecConfig])
+def test_baseline_degradation_warns(config_cls, small_dataset):
+    if config_cls is LineConfig:
+        cfg = LineConfig(dimensions=8, epochs=2.0, workers=2)
+        trainer = LineEmbedding(cfg)
+    else:
+        cfg = Node2VecConfig(
+            dimensions=8, epochs=0.5, walk_length=10, walks_per_node=2,
+            workers=2,
+        )
+        trainer = Node2VecEmbedding(cfg)
+    with pytest.warns(RuntimeWarning, match="degraded to sequential"):
+        result = trainer.fit(small_dataset, seed=2)
+    assert np.all(np.isfinite(result.node_embeddings))

@@ -7,6 +7,7 @@ from repro.embedding import (
     AliasSampler,
     ConnectedPairSampler,
     sample_common_neighbors,
+    sample_common_neighbors_batch,
 )
 from repro.graph import MixedSocialNetwork
 
@@ -120,6 +121,72 @@ class TestCommonNeighborSampling:
         witnesses = sample_common_neighbors(tiny_network, 1, 3, 5, rng)
         common = set(tiny_network.common_neighbors(1, 3))
         assert set(int(w) for w in witnesses) <= common
+
+    def test_batch_matches_scalar_semantics(self, small_dataset, rng):
+        """Every batch row is a ≤γ subset of the true common neighbours,
+        with exact counts, across many random pairs."""
+        n = 300
+        u = rng.integers(0, small_dataset.n_nodes, size=n)
+        v = rng.integers(0, small_dataset.n_nodes, size=n)
+        gamma = 4
+        witnesses, counts = sample_common_neighbors_batch(
+            small_dataset, u, v, gamma, rng
+        )
+        assert witnesses.shape == (n, gamma)
+        for i in range(n):
+            common = set(
+                int(x) for x in small_dataset.common_neighbors(u[i], v[i])
+            )
+            got = [int(w) for w in witnesses[i] if w >= 0]
+            assert counts[i] == min(len(common), gamma)
+            assert len(got) == counts[i]
+            assert len(set(got)) == len(got)  # no duplicates
+            assert set(got) <= common
+            # Padding sits strictly after the sampled prefix.
+            assert np.all(witnesses[i, counts[i]:] == -1)
+
+    def test_batch_downsample_is_uniform(self, small_dataset):
+        """Keeping the smallest random keys is uniform without
+        replacement: over many seeds every common neighbour of a busy
+        pair appears at comparable frequency."""
+        hubs = np.argsort(small_dataset.degrees())[::-1][:2]
+        u, v = int(hubs[0]), int(hubs[1])
+        common = [int(x) for x in small_dataset.common_neighbors(u, v)]
+        if len(common) < 3:
+            pytest.skip("fixture pair has too few common neighbours")
+        gamma = 2
+        tally = {w: 0 for w in common}
+        trials = 600
+        for s in range(trials):
+            w, c = sample_common_neighbors_batch(
+                small_dataset,
+                np.array([u]),
+                np.array([v]),
+                gamma,
+                np.random.default_rng(s),
+            )
+            for x in w[0, : c[0]]:
+                tally[int(x)] += 1
+        expected = trials * gamma / len(common)
+        for w, count in tally.items():
+            assert abs(count - expected) < 6 * np.sqrt(expected), (
+                w, count, expected,
+            )
+
+    def test_batch_empty_and_validation(self, small_dataset, rng):
+        w, c = sample_common_neighbors_batch(
+            small_dataset, np.empty(0, np.int64), np.empty(0, np.int64),
+            3, rng,
+        )
+        assert w.shape == (0, 3) and c.shape == (0,)
+        with pytest.raises(ValueError, match="equal length"):
+            sample_common_neighbors_batch(
+                small_dataset, np.array([1, 2]), np.array([1]), 3, rng
+            )
+        with pytest.raises(ValueError, match="gamma"):
+            sample_common_neighbors_batch(
+                small_dataset, np.array([1]), np.array([2]), 0, rng
+            )
 
 
 class TestSampleSizeValidation:

@@ -160,9 +160,17 @@ class TestBaselineEmission:
 
 
 class TestDStepEvent:
-    def test_warm_start_convergence_report(self, tiny_task, tiny_config):
+    def test_warm_start_convergence_report(self, tiny_task):
+        # The smoke budget (2 epochs, 15k pairs) leaves the E-Step head
+        # under-trained and the warm-start margin a coin flip across
+        # seeds; a few more epochs make the property decisive
+        # (initial_loss ~0.16 vs log 2 for every seed) so the assertion
+        # tests the mechanism, not the seed lottery.
+        config = DeepDirectConfig(
+            dimensions=8, epochs=8.0, alpha=5.0, beta=0.5, max_pairs=30_000
+        )
         sink = InMemorySink()
-        DeepDirectModel(tiny_config, callbacks=[sink]).fit(
+        DeepDirectModel(config, callbacks=[sink]).fit(
             tiny_task.network, seed=0
         )
         (event,) = sink.of_kind("dstep")
