@@ -14,7 +14,12 @@ Commands
     quantification table.
 ``report``
     Render the phase breakdown of a run artefact (manifest, trace, or
-    perf report), or diff two runs and flag phase regressions.
+    perf report), diff two runs and flag phase regressions, or render
+    run-history trend tables over a directory (``--history``).
+``monitor``
+    Tail a live run's ``--telemetry`` JSONL: progress, ETA, pairs/sec,
+    loss trend, RSS and HOGWILD worker lag (``--once --json`` prints
+    one machine-readable snapshot).
 ``export``
     Learn a directionality function on a tie-list file and freeze it as
     a serving artifact bundle (``docs/serving.md``).
@@ -56,21 +61,28 @@ from .graph import read_tie_list, write_tie_list
 from .obs import (
     CallbackList,
     ConsoleReporter,
+    HEALTH_POLICIES,
+    HealthMonitor,
     JsonlSink,
     TrainerCallback,
     Tracer,
+    TrainingDivergedError,
     activate,
     build_manifest,
     deactivate,
+    history_payload,
+    index_history,
     load_run,
     network_fingerprint,
     phase_totals,
     render_diff,
+    render_history,
     render_report,
     rss_bytes,
     span,
     write_manifest,
 )
+from .obs.monitor import watch as monitor_watch
 from .models import (
     DeepDirectModel,
     HFModel,
@@ -100,10 +112,23 @@ def _telemetry_callbacks(args: argparse.Namespace) -> list[TrainerCallback]:
     """
     callbacks: list[TrainerCallback] = []
     if getattr(args, "telemetry", None):
-        callbacks.append(JsonlSink(args.telemetry))
+        callbacks.append(
+            JsonlSink(
+                args.telemetry,
+                max_bytes=getattr(args, "telemetry_max_bytes", None),
+            )
+        )
     if callbacks or getattr(args, "progress", False):
         callbacks.append(ConsoleReporter(every=args.log_every))
     return callbacks
+
+
+def _build_health(args: argparse.Namespace) -> HealthMonitor | None:
+    """The run's :class:`HealthMonitor`, or ``None`` when not requested."""
+    policy = getattr(args, "health_policy", None)
+    if policy is None:
+        return None
+    return HealthMonitor(policy=policy, check_every=args.health_every)
 
 
 #: Model arguments copied into the manifest's ``config`` block.
@@ -111,6 +136,7 @@ _CONFIG_KEYS = (
     "method", "dimensions", "alpha", "beta", "pairs_per_tie", "dstep",
     "workers", "min_pairs_per_worker", "dtype", "hide", "artifact",
     "cache_size", "batch_window_ms", "smoke", "access_log",
+    "health_policy", "health_every", "telemetry_max_bytes",
 )
 
 
@@ -134,6 +160,7 @@ class _ObsSession:
         self._token = None
         self.dataset: dict = {}
         self.metrics: dict = {}
+        self.health: HealthMonitor | None = None
 
     def __enter__(self) -> "_ObsSession":
         if self.tracer is not None:
@@ -149,6 +176,12 @@ class _ObsSession:
         """Merge final run metrics into the manifest."""
         if self.enabled:
             self.metrics.update(metrics)
+
+    def set_health(self, health: HealthMonitor | None) -> None:
+        """Attach the run's health monitor; its report lands in the
+        manifest even when the run aborts (``__exit__`` runs on the
+        :class:`TrainingDivergedError` unwind)."""
+        self.health = health
 
     def __exit__(self, *exc: object) -> bool:
         if self.tracer is None:
@@ -173,6 +206,9 @@ class _ObsSession:
                 dataset=self.dataset,
                 phases=phase_totals(self.tracer.snapshot()),
                 metrics=self.metrics,
+                health=(
+                    self.health.report() if self.health is not None else None
+                ),
             )
             write_manifest(manifest, self.args.manifest)
             print(
@@ -184,6 +220,7 @@ class _ObsSession:
 def _build_model(
     args: argparse.Namespace,
     callbacks: list[TrainerCallback] | None = None,
+    health: HealthMonitor | None = None,
 ) -> TieDirectionModel:
     callbacks = callbacks or []
     if args.method == "deepdirect":
@@ -199,6 +236,7 @@ def _build_model(
             ),
             dstep=args.dstep,
             callbacks=callbacks,
+            health=health,
         )
     if args.method == "hf":
         return HFModel()
@@ -209,6 +247,7 @@ def _build_model(
                 workers=args.workers,
             ),
             callbacks=callbacks,
+            health=health,
         )
     if args.method == "node2vec":
         return Node2VecModel(
@@ -217,6 +256,7 @@ def _build_model(
                 workers=args.workers,
             ),
             callbacks=callbacks,
+            health=health,
         )
     if args.method == "redirect-n":
         return ReDirectNSM()
@@ -261,11 +301,13 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         network = read_tie_list(args.input)
         obs.set_network(network)
         callbacks = _telemetry_callbacks(args)
+        health = _build_health(args)
+        obs.set_health(health)
         try:
             if args.hide is not None:
                 with span("eval.discovery", hide=args.hide) as eval_sp:
                     task = hide_directions(network, args.hide, seed=args.seed)
-                    model = _build_model(args, callbacks).fit(
+                    model = _build_model(args, callbacks, health).fit(
                         task.network, seed=args.seed
                     )
                     with span("eval.score", method=args.method):
@@ -283,7 +325,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
                 print("network has no undirected ties; nothing to discover",
                       file=sys.stderr)
                 return 1
-            model = _build_model(args, callbacks).fit(
+            model = _build_model(args, callbacks, health).fit(
                 network, seed=args.seed
             )
         finally:
@@ -307,8 +349,10 @@ def _cmd_quantify(args: argparse.Namespace) -> int:
             return 1
         obs.set_network(network)
         callbacks = _telemetry_callbacks(args)
+        health = _build_health(args)
+        obs.set_health(health)
         try:
-            model = _build_model(args, callbacks).fit(
+            model = _build_model(args, callbacks, health).fit(
                 network, seed=args.seed
             )
         finally:
@@ -330,10 +374,30 @@ def _cmd_quantify(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    if (args.run is None) == (args.diff is None):
-        print("report: pass exactly one of RUN or --diff A B",
-              file=sys.stderr)
+    modes = [
+        args.run is not None,
+        args.diff is not None,
+        args.history is not None,
+    ]
+    if sum(modes) != 1:
+        print("report: pass exactly one of RUN, --diff A B, "
+              "or --history DIR", file=sys.stderr)
         return 2
+    if args.history is not None:
+        try:
+            entries = index_history(args.history)
+        except (NotADirectoryError, OSError) as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(
+                history_payload(entries, threshold=args.threshold),
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        text, flagged = render_history(entries, threshold=args.threshold)
+        print(text)
+        return 1 if (flagged and args.strict) else 0
     try:
         runs = [load_run(p) for p in (args.diff or [args.run])]
     except (ValueError, OSError) as exc:
@@ -347,6 +411,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        print("monitor: --interval must be positive", file=sys.stderr)
+        return 2
+    return monitor_watch(
+        args.run,
+        interval_s=args.interval,
+        once=args.once,
+        as_json=args.json,
+    )
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .serve import save_model_artifact
 
@@ -354,8 +430,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
         network = read_tie_list(args.input)
         obs.set_network(network)
         callbacks = _telemetry_callbacks(args)
+        health = _build_health(args)
+        obs.set_health(health)
         try:
-            model = _build_model(args, callbacks).fit(
+            model = _build_model(args, callbacks, health).fit(
                 network, seed=args.seed
             )
         finally:
@@ -558,6 +636,35 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         "dataset fingerprint, package versions, per-phase timings, "
         "final metrics); render it with 'repro report'",
     )
+    parser.add_argument(
+        "--telemetry-max-bytes",
+        type=_positive_int,
+        default=None,
+        dest="telemetry_max_bytes",
+        metavar="BYTES",
+        help="rotate the --telemetry file when it would exceed this "
+        "size (keeps 3 older segments; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--health-policy",
+        choices=HEALTH_POLICIES,
+        default=None,
+        dest="health_policy",
+        help="attach numeric-health sentinels to training: 'warn' "
+        "records non-finite values and keeps going, 'abort' raises "
+        "within one batch (exit code 3), 'rollback' restores the last "
+        "healthy parameter snapshot; the health report lands in "
+        "--manifest (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--health-every",
+        type=_positive_int,
+        default=16,
+        dest="health_every",
+        metavar="N",
+        help="batch cadence of full parameter-matrix health sweeps "
+        "(loss terms are checked every batch)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -633,11 +740,53 @@ def build_parser() -> argparse.ArgumentParser:
         "regression in --diff mode (default 0.25 = 25%%)",
     )
     report.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="index every manifest and perf report under DIR and render "
+        "per-metric trend tables with latest-vs-previous regression "
+        "flags",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="with --history: print the repro_history/v1 payload "
+        "instead of the text table",
+    )
+    report.add_argument(
         "--strict",
         action="store_true",
-        help="exit non-zero when --diff flags any phase regression",
+        help="exit non-zero when --diff flags any phase regression "
+        "(or --history flags any metric regression)",
     )
     report.set_defaults(handler=_cmd_report)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="tail a live training run's --telemetry stream: progress, "
+        "ETA, pairs/sec, loss trend, RSS, worker lag",
+    )
+    monitor.add_argument(
+        "run",
+        help="telemetry JSONL file, or a run directory containing one",
+    )
+    monitor.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit instead of tailing",
+    )
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="print repro_monitor/v1 JSON snapshots to stdout",
+    )
+    monitor.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes in tail mode",
+    )
+    monitor.set_defaults(handler=_cmd_monitor)
 
     export = commands.add_parser(
         "export",
@@ -715,9 +864,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: ``0`` success, ``1`` command failure, ``2`` usage
+    error, ``3`` training diverged under ``--health-policy abort``
+    (the manifest, trace and telemetry artefacts are still written
+    before the unwind reaches here).
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except TrainingDivergedError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,6 +49,7 @@ from ..obs import (
     record_worker_stats,
     span,
 )
+from ..obs.health import HealthMonitor, maybe_poison
 from ..utils import ensure_rng
 from .config import DeepDirectConfig
 from .hogwild import run_hogwild, should_degrade
@@ -157,6 +158,7 @@ class DeepDirectEmbedding:
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health: HealthMonitor | None = None,
     ) -> EmbeddingResult:
         """Run the E-Step on ``network`` and return the embedding.
 
@@ -169,6 +171,16 @@ class DeepDirectEmbedding:
             learning rate and throughput.  Callbacks are passive: an
             instrumented run is byte-identical to a bare one under the
             same seed.
+        health:
+            Optional :class:`repro.obs.health.HealthMonitor`.  Every
+            batch's loss components (plus the kernel's RMS gradient
+            norm on the fused path) feed its sentinels, and the model
+            arrays are swept at its ``check_every`` cadence; under
+            ``policy="abort"`` a poisoned update raises
+            :class:`~repro.obs.health.TrainingDivergedError` within one
+            batch.  Like callbacks, the monitor is passive — it never
+            changes the trajectory (except ``policy="rollback"``, whose
+            whole point is restoring arrays after a trip).
         """
         cfg = self.config
         rng = ensure_rng(seed)
@@ -260,7 +272,7 @@ class DeepDirectEmbedding:
                 sampler, planner, triads, labels, labeled_mask,
                 undirected_mask, y_degree, M, N, w_prime, b_prime,
                 n_batches, pairs_per_epoch, rng, cb, run, metrics,
-                log_every, fit_start,
+                log_every, fit_start, health,
             )
 
         # Plan in ``plan_epochs``-sized chunks of whole batches; plan
@@ -274,6 +286,14 @@ class DeepDirectEmbedding:
 
         loss_history: list[tuple[int, float]] = []
         epoch = 0
+        # Telemetry-disabled fast path: with no sinks and no monitor the
+        # loop body below is just kernel calls — ``track`` gates every
+        # piece of per-batch bookkeeping, and ``need_loss`` is only True
+        # on history batches, so the kernels skip their CE passes too.
+        # (``cb is not None`` was the old gate; a CallbackList is always
+        # non-None, so it never actually disabled the bookkeeping.)
+        track = bool(cb)
+        health_arrays = {"M": M, "N": N, "w_prime": w_prime}
         with span("estep.train", n_batches=n_batches,
                   batch_size=cfg.batch_size) as train_sp:
             for batch_idx in range(n_batches):
@@ -285,18 +305,33 @@ class DeepDirectEmbedding:
                         chunk * cfg.batch_size, cfg.batch_size
                     )
                 e, successor, negatives = plan.batch(batch_idx - plan_start)
+                if health is not None:
+                    maybe_poison(batch_idx, health_arrays)
                 loss = self._train_batch(
                     triads, labels, labeled_mask,
                     undirected_mask, y_degree, M, N, w_prime, b_prime, lr,
                     e, successor, negatives,
                     # Loss bookkeeping is only consumed on history
-                    # batches or by callbacks; skip it elsewhere.
-                    need_loss=cb is not None or batch_idx % log_every == 0,
+                    # batches, by callbacks, or by the health sentinels;
+                    # skip it elsewhere.
+                    need_loss=track or health is not None
+                    or batch_idx % log_every == 0,
+                    track_grad_norm=health is not None,
                 )
                 b_prime = loss.b_prime
+                if health is not None:
+                    health.observe_batch(
+                        batch_idx,
+                        {"L": loss.total, "L_topo": loss.topo,
+                         "L_label": loss.label, "L_pattern": loss.pattern},
+                        arrays=health_arrays,
+                        grad_norm=self._workspace.grad_norm,
+                    )
+                    if track and batch_idx % log_every == 0:
+                        cb.on_event(run, "health", health.event_payload())
                 if batch_idx % log_every == 0:
                     loss_history.append((batch_idx * cfg.batch_size, loss.total))
-                if cb:
+                if track:
                     pairs_done = (batch_idx + 1) * cfg.batch_size
                     elapsed = time.perf_counter() - fit_start
                     cb.on_batch_end(
@@ -370,6 +405,7 @@ class DeepDirectEmbedding:
         metrics: MetricsRegistry,
         log_every: int,
         fit_start: float,
+        health: HealthMonitor | None = None,
     ) -> EmbeddingResult:
         """HOGWILD E-Step: ``cfg.workers`` lock-free processes share M/N.
 
@@ -410,6 +446,7 @@ class DeepDirectEmbedding:
                 run=run,
                 log_every=log_every,
                 pairs_per_epoch=pairs_per_epoch,
+                health=health,
             )
             hog_sp.set(pairs=hog.pairs_trained)
         if cb:
@@ -456,6 +493,7 @@ class DeepDirectEmbedding:
         successor: np.ndarray,
         negatives: np.ndarray,
         need_loss: bool = True,
+        track_grad_norm: bool = False,
     ) -> BatchLoss:
         """One SGD batch: compute triad labels, run the kernel.
 
@@ -506,6 +544,7 @@ class DeepDirectEmbedding:
                 lr=lr,
                 workspace=self._workspace,
                 compute_loss=need_loss,
+                track_grad_norm=track_grad_norm,
             )
         # The reference oracle always reports its losses — it is the
         # auditable transcription of Eq. 18, not a hot path.
@@ -574,6 +613,11 @@ class _HogwildEStepTask:
         rng: np.random.Generator,
     ) -> float:
         e, successor, negatives = self.plan.batch(batch_idx)
+        # Poison test hook: workers inherit REPRO_HEALTH_POISON through
+        # the environment, so a poisoned batch lands one NaN in this
+        # worker's shared-memory view — the parent's monitor must catch
+        # it from the stats block / array sweep.
+        maybe_poison(batch_idx, arrays)
         loss = state._train_batch(  # noqa: SLF001 - trainer-owned payload
             self.triads, self.labels,
             self.labeled_mask, self.undirected_mask, self.y_degree,

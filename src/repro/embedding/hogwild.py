@@ -44,17 +44,28 @@ from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
+import warnings
+
 from ..obs import CallbackList, RunInfo
-from ..obs.trace import Tracer, activate, current_tracer, span
+from ..obs.metrics import hogwild_aggregates
+from ..obs.trace import Tracer, activate, current_tracer, instant, span
 
 # Per-worker slots in the shared stats block.  Aligned float64 writes
 # are effectively atomic on every platform we target; the block is
 # advisory telemetry, so even a torn read would only skew one progress
-# snapshot, never the model.
-_BATCHES, _PAIRS, _LOSS_SUM, _LAST_LOSS, _ELAPSED = range(5)
-_N_FIXED = 5
+# snapshot, never the model.  ``_HEARTBEAT`` holds the worker's last
+# ``time.monotonic()`` reading — on Linux CLOCK_MONOTONIC is system-wide,
+# so the parent can subtract its own reading to get a heartbeat age.
+(_BATCHES, _PAIRS, _LOSS_SUM, _LAST_LOSS, _ELAPSED,
+ _HEARTBEAT) = range(6)
+_N_FIXED = 6
 _STATS = "_stats"
 _POLL_SECONDS = 0.02
+
+#: Default heartbeat age (seconds) past which a live worker counts as
+#: stalled.  Generous: a stall flag on a healthy-but-slow CI box would
+#: train users to ignore the signal.
+STALL_AFTER_SECONDS = 30.0
 
 
 class HogwildTask(Protocol):
@@ -205,6 +216,7 @@ def _worker_main(
             views = _open_views(shm, layout)
             stats = views.pop(_STATS)
             row = stats[worker_id]
+            row[_HEARTBEAT] = time.monotonic()
             with span("hogwild.worker_setup", worker_id=worker_id):
                 state = task.setup(views, rng)
             start = time.perf_counter()
@@ -217,6 +229,7 @@ def _worker_main(
                     row[_PAIRS] += batch_size
                     row[_ELAPSED] = time.perf_counter() - start
                     row[_BATCHES] += 1
+                    row[_HEARTBEAT] = time.monotonic()
                 train_sp.set(batches=int(row[_BATCHES]),
                              pairs=int(row[_PAIRS]))
             for slot, value in enumerate(task.counters(state)[:n_counters]):
@@ -256,6 +269,8 @@ def run_hogwild(
     run: RunInfo | None = None,
     log_every: int = 200,
     pairs_per_epoch: int | None = None,
+    health: "Any | None" = None,
+    stall_after_s: float = STALL_AFTER_SECONDS,
 ) -> HogwildResult:
     """Train ``task`` with ``workers`` lock-free processes.
 
@@ -264,7 +279,21 @@ def run_hogwild(
     copies) in :attr:`HogwildResult.arrays`.  Progress callbacks fire
     from the parent at a polling cadence: ``on_batch_end`` carries the
     merged pair counts, the loss averaged over the workers' latest
-    batches and per-worker ``worker<i>_pairs_per_sec`` gauges.
+    batches, per-worker ``worker<i>_pairs_per_sec`` gauges, and the
+    fleet gauges (``hogwild.straggler_lag_pairs``,
+    ``hogwild.parallel_efficiency``, ``hogwild.stalled_workers``).
+
+    ``health`` is a :class:`repro.obs.health.HealthMonitor`; the parent
+    feeds it each poll's per-worker losses plus the live shared-memory
+    model views (workers never see the monitor), so under
+    ``policy="abort"`` a :class:`~repro.obs.health.TrainingDivergedError`
+    raised here unwinds through the ``finally`` that terminates workers
+    and unlinks the segment.  Under ``policy="rollback"`` the monitor
+    restores its checkpoint *into the live views* — best-effort while
+    workers race, but enough to pull a run back from a single poisoned
+    scatter.  A live worker whose heartbeat is older than
+    ``stall_after_s`` is flagged stalled (gauge + ``RuntimeWarning`` +
+    a ``hogwild.stalled`` trace instant, once per worker).
     """
     if workers < 2:
         raise ValueError("run_hogwild needs workers >= 2; "
@@ -332,10 +361,43 @@ def run_hogwild(
 
         last_batches = 0
         next_log = 0
+        next_health_log = 0
         epoch = 0
+        stalled_flagged = [False] * workers
+        model_views = {name: views[name] for name in sources}
+
+        def worker_telemetry(snap: np.ndarray) -> list[dict[str, float]]:
+            """Per-worker stat dicts (heartbeat ages, stall flags)."""
+            now = time.monotonic()
+            out = []
+            for i in range(workers):
+                beat = float(snap[i, _HEARTBEAT])
+                age = (now - beat) if beat > 0.0 else 0.0
+                alive = i < len(procs) and procs[i].is_alive()
+                stalled = alive and beat > 0.0 and age > stall_after_s
+                out.append({
+                    "batches": int(snap[i, _BATCHES]),
+                    "pairs": int(snap[i, _PAIRS]),
+                    "elapsed_s": float(snap[i, _ELAPSED]),
+                    "pairs_per_sec": float(
+                        snap[i, _PAIRS] / max(snap[i, _ELAPSED], 1e-9)
+                    ),
+                    "heartbeat_age_s": age,
+                    "stalled": bool(stalled),
+                })
+                if stalled and not stalled_flagged[i]:
+                    stalled_flagged[i] = True
+                    instant("hogwild.stalled", worker_id=i,
+                            heartbeat_age_s=age)
+                    warnings.warn(
+                        f"HOGWILD worker {i} stalled: no heartbeat for "
+                        f"{age:.1f}s (pid={procs[i].pid})",
+                        RuntimeWarning,
+                    )
+            return out
 
         def emit_progress(snap: np.ndarray) -> None:
-            nonlocal last_batches, next_log, epoch
+            nonlocal last_batches, next_log, next_health_log, epoch
             merged_batches = int(snap[:, _BATCHES].sum())
             if merged_batches <= last_batches:
                 return
@@ -346,6 +408,7 @@ def run_hogwild(
                 loss_history.append((pairs_done, mean_loss))
                 next_log = merged_batches - merged_batches % log_every
                 next_log += log_every
+            per_worker = worker_telemetry(snap)
             if cb and run is not None:
                 elapsed = time.perf_counter() - start
                 logs: dict[str, Any] = {
@@ -357,9 +420,14 @@ def run_hogwild(
                     "workers": workers,
                 }
                 for i in range(workers):
-                    logs[f"worker{i}_pairs_per_sec"] = float(
-                        snap[i, _PAIRS] / max(snap[i, _ELAPSED], 1e-9)
+                    logs[f"worker{i}_pairs_per_sec"] = (
+                        per_worker[i]["pairs_per_sec"]
                     )
+                    logs[f"hogwild.worker.{i}.pairs"] = per_worker[i]["pairs"]
+                    logs[f"hogwild.worker.{i}.heartbeat_age_s"] = (
+                        per_worker[i]["heartbeat_age_s"]
+                    )
+                logs.update(hogwild_aggregates(per_worker))
                 cb.on_batch_end(run, merged_batches - 1, logs)
                 if pairs_per_epoch:
                     new_epoch = pairs_done // pairs_per_epoch
@@ -369,6 +437,23 @@ def run_hogwild(
                             run, epoch,
                             {"pairs": pairs_done, "L": mean_loss},
                         )
+            # Health after progress: an abort still leaves the last
+            # progress event in the telemetry stream for `repro monitor`.
+            if health is not None:
+                worker_losses = [
+                    (i, float(snap[i, _LAST_LOSS]))
+                    for i in range(workers)
+                    if snap[i, _BATCHES] > 0
+                ]
+                health.observe_workers(
+                    merged_batches, worker_losses, arrays=model_views
+                )
+                if cb and run is not None and merged_batches >= next_health_log:
+                    next_health_log = (
+                        merged_batches - merged_batches % log_every
+                        + log_every
+                    )
+                    cb.on_event(run, "health", health.event_payload())
             last_batches = merged_batches
 
         while any(proc.is_alive() for proc in procs):
@@ -410,6 +495,10 @@ def run_hogwild(
                 "pairs_per_sec": float(
                     snap[i, _PAIRS] / max(snap[i, _ELAPSED], 1e-9)
                 ),
+                # All workers have joined: ages are settled; ``stalled``
+                # records whether the watchdog ever flagged the worker.
+                "heartbeat_age_s": 0.0,
+                "stalled": bool(stalled_flagged[i]),
             }
             for j, name in enumerate(counter_names):
                 per_worker[name] = int(snap[i, _N_FIXED + j])
@@ -434,6 +523,14 @@ def run_hogwild(
                 proc.join()
         if trace_dir is not None:
             shutil.rmtree(trace_dir, ignore_errors=True)
-        views = stats = snap = None  # release buffer exports
-        shm.close()
+        views = stats = snap = model_views = None  # release buffer exports
+        try:
+            shm.close()
+        except BufferError:
+            # A propagating exception (TrainingDivergedError under
+            # policy="abort") pins frames whose locals still hold views
+            # into the segment; close() must not mask that exception.
+            # unlink() below still works and the OS reclaims the mapping
+            # when the traceback dies.
+            pass
         shm.unlink()

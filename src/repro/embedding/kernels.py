@@ -234,6 +234,10 @@ class EStepWorkspace:
 
     def __init__(self) -> None:
         self._key: tuple[int, int, int, np.dtype] | None = None
+        #: RMS gradient norm of the last batch's ``grad_m``, populated
+        #: only when the kernel ran with ``track_grad_norm=True``
+        #: (health monitoring); ``None`` otherwise.
+        self.grad_norm: float | None = None
 
     def ensure(
         self, batch: int, n_negative: int, dims: int, dtype: np.dtype
@@ -331,6 +335,7 @@ def fused_estep_batch(
     lr: float,
     workspace: EStepWorkspace | None = None,
     compute_loss: bool = True,
+    track_grad_norm: bool = False,
 ) -> BatchLoss:
     """One fused, vectorised E-Step SGD batch; mutates M, N, w' in place.
 
@@ -351,6 +356,12 @@ def fused_estep_batch(
     :class:`BatchLoss` apart from ``b_prime`` — for hot loops where
     nothing consumes the loss on this batch.  Traced runs always
     compute losses so span attributes stay complete.
+
+    ``track_grad_norm=True`` additionally stores the batch's RMS
+    ``grad_m`` norm (before the ``-lr`` scaling) in
+    ``workspace.grad_norm`` — one extra reduction, consumed by the
+    health monitor's gradient-norm histogram.  The updates themselves
+    are bit-identical either way.
     """
     ws = workspace if workspace is not None else EStepWorkspace()
     batch, n_negative = negatives.shape
@@ -456,6 +467,10 @@ def fused_estep_batch(
         np.dot(m.T, ws.error, out=ws.grad_w)
         grad_b = float(ws.error.sum())
 
+        if track_grad_norm:
+            ws.grad_norm = float(
+                np.sqrt(np.einsum("bl,bl->", ws.grad_m, ws.grad_m) / batch)
+            )
         ws.grad_m *= -lr
         _scatter_add(M, e, ws.grad_m)
         # grad_n_all was already built -lr-scaled above.

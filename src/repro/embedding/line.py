@@ -31,6 +31,7 @@ from ..obs import (
     record_worker_stats,
     span,
 )
+from ..obs.health import HealthMonitor, maybe_poison
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild, should_degrade
 from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
@@ -134,8 +135,14 @@ class LineEmbedding:
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health: HealthMonitor | None = None,
     ) -> LineResult:
-        """Train on the oriented tie list of ``network``."""
+        """Train on the oriented tie list of ``network``.
+
+        ``health`` attaches a :class:`repro.obs.health.HealthMonitor`
+        to the batch loop (loss sentinels + embedding-array sweeps),
+        exactly as on :meth:`DeepDirectEmbedding.fit`.
+        """
         cfg = self.config
         cb = CallbackList(callbacks)
         rng = ensure_rng(seed)
@@ -231,6 +238,7 @@ class LineEmbedding:
                     callbacks=cb,
                     run=run,
                     log_every=log_every,
+                    health=health,
                 )
             if cb:
                 duration = time.perf_counter() - fit_start
@@ -264,6 +272,7 @@ class LineEmbedding:
         )
         plan_u = plan_v = plan_negs = None
         plan_start = plan_batches = 0
+        health_arrays = {"first": first, "second": second, "context": context}
         with span("line.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
             for batch_idx in range(n_batches):
@@ -283,12 +292,20 @@ class LineEmbedding:
                 hi = lo + cfg.batch_size
                 u, v = plan_u[lo:hi], plan_v[lo:hi]
                 negs = plan_negs[lo:hi]
+                if health is not None:
+                    maybe_poison(batch_idx, health_arrays)
                 # First order scores nodes against themselves (ctx=emb);
                 # second order against separate context vectors.
                 loss = kernel(first, first, u, v, negs, lr,
                               workspace=self._ws_first)
                 loss += kernel(second, context, u, v, negs, lr,
                                workspace=self._ws_second)
+                if health is not None:
+                    health.observe_batch(
+                        batch_idx, {"L": loss / 2.0}, arrays=health_arrays
+                    )
+                    if cb and batch_idx % log_every == 0:
+                        cb.on_event(run, "health", health.event_payload())
                 if batch_idx % log_every == 0:
                     history.append((batch_idx * cfg.batch_size, loss / 2.0))
                 if cb:
@@ -390,6 +407,7 @@ class _HogwildLineTask:
         lo = batch_idx * cfg.batch_size
         hi = lo + cfg.batch_size
         u, v, negs = self.u[lo:hi], self.v[lo:hi], self.negs[lo:hi]
+        maybe_poison(batch_idx, arrays)
         loss = kernel(arrays["first"], arrays["first"], u, v, negs, lr,
                       workspace=state[0])
         loss += kernel(arrays["second"], arrays["context"], u, v, negs, lr,

@@ -31,6 +31,7 @@ from ..obs import (
     record_worker_stats,
     span,
 )
+from ..obs.health import HealthMonitor, maybe_poison
 from ..utils import check_positive, ensure_rng
 from .hogwild import run_hogwild, should_degrade
 from .kernels import SgnsWorkspace, fused_sgns_batch, reference_sgns_batch
@@ -208,6 +209,7 @@ class Node2VecEmbedding:
         seed: int | np.random.Generator = 0,
         log_every: int = 200,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health: HealthMonitor | None = None,
     ) -> Node2VecResult:
         cfg = self.config
         rng = ensure_rng(seed)
@@ -311,6 +313,7 @@ class Node2VecEmbedding:
                     callbacks=cb,
                     run=run,
                     log_every=log_every,
+                    health=health,
                 )
             if cb:
                 duration = time.perf_counter() - fit_start
@@ -344,6 +347,7 @@ class Node2VecEmbedding:
         )
         plan_u = plan_v = plan_negs = None
         plan_start = plan_batches = 0
+        health_arrays = {"emb": emb, "ctx": ctx}
         with span("node2vec.train", n_batches=n_batches,
                   batch_size=cfg.batch_size):
             for batch_idx in range(n_batches):
@@ -370,9 +374,18 @@ class Node2VecEmbedding:
 
                 # The loss is not a by-product of the update, so the
                 # kernel only evaluates it when a consumer wants it.
-                want_loss = bool(cb) or batch_idx % log_every == 0
+                want_loss = (bool(cb) or health is not None
+                             or batch_idx % log_every == 0)
+                if health is not None:
+                    maybe_poison(batch_idx, health_arrays)
                 loss = kernel(emb, ctx, u, v, negs, lr,
                               workspace=workspace, compute_loss=want_loss)
+                if health is not None:
+                    health.observe_batch(
+                        batch_idx, {"L": float(loss)}, arrays=health_arrays
+                    )
+                    if cb and batch_idx % log_every == 0:
+                        cb.on_event(run, "health", health.event_payload())
                 if want_loss:
                     if batch_idx % log_every == 0:
                         history.append(
@@ -437,6 +450,7 @@ class _HogwildNode2VecTask:
         rng: np.random.Generator,
     ) -> float:
         cfg = self.config
+        maybe_poison(batch_idx, arrays)
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
         lo = batch_idx * cfg.batch_size

@@ -48,6 +48,9 @@ class DeepDirectModel(TieDirectionModel):
         Optional :class:`repro.obs.TrainerCallback` instances forwarded
         to the E-Step trainer; the D-Step additionally emits one
         ``"dstep"`` event with its convergence report.
+    health:
+        Optional :class:`repro.obs.health.HealthMonitor` forwarded to
+        the E-Step trainer (numeric sentinels + divergence policy).
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class DeepDirectModel(TieDirectionModel):
         dstep: str = "logistic",
         mlp_hidden: int = 32,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health=None,
     ) -> None:
         if dstep not in ("logistic", "mlp"):
             raise ValueError("dstep must be 'logistic' or 'mlp'")
@@ -69,6 +73,7 @@ class DeepDirectModel(TieDirectionModel):
         self.dstep = dstep
         self.mlp_hidden = mlp_hidden
         self.callbacks = list(callbacks or [])
+        self.health = health
         self.network: MixedSocialNetwork | None = None
         self.embedding_: EmbeddingResult | None = None
         self._classifier: LogisticRegression | None = None
@@ -83,7 +88,8 @@ class DeepDirectModel(TieDirectionModel):
         # E-Step: learn the tie embedding matrix M.
         with span("estep", workers=self.config.workers):
             embedding = DeepDirectEmbedding(self.config).fit(
-                network, seed=rng, callbacks=self.callbacks
+                network, seed=rng, callbacks=self.callbacks,
+                health=self.health,
             )
 
         # D-Step: classifier on the labeled tie embeddings.

@@ -28,10 +28,12 @@ class LineModel(TieDirectionModel):
         config: LineConfig | None = None,
         l2: float = 1e-3,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health=None,
     ) -> None:
         self.config = config or LineConfig()
         self.l2 = l2
         self.callbacks = list(callbacks or [])
+        self.health = health
         self.network: MixedSocialNetwork | None = None
         self.embedding_: LineResult | None = None
         self._scores: np.ndarray | None = None
@@ -41,7 +43,7 @@ class LineModel(TieDirectionModel):
     ) -> "LineModel":
         rng = ensure_rng(seed)
         embedding = LineEmbedding(self.config).fit(
-            network, seed=rng, callbacks=self.callbacks
+            network, seed=rng, callbacks=self.callbacks, health=self.health
         )
         features = embedding.tie_features(network)
 

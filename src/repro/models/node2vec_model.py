@@ -27,10 +27,12 @@ class Node2VecModel(TieDirectionModel):
         config: Node2VecConfig | None = None,
         l2: float = 1e-3,
         callbacks: Iterable[TrainerCallback] | None = None,
+        health=None,
     ) -> None:
         self.config = config or Node2VecConfig()
         self.l2 = l2
         self.callbacks = list(callbacks or [])
+        self.health = health
         self.network: MixedSocialNetwork | None = None
         self.embedding_: Node2VecResult | None = None
         self._scores: np.ndarray | None = None
@@ -40,7 +42,7 @@ class Node2VecModel(TieDirectionModel):
     ) -> "Node2VecModel":
         rng = ensure_rng(seed)
         embedding = Node2VecEmbedding(self.config).fit(
-            network, seed=rng, callbacks=self.callbacks
+            network, seed=rng, callbacks=self.callbacks, health=self.health
         )
         features = embedding.tie_features(network)
 

@@ -1,0 +1,393 @@
+"""Training-health monitoring: numeric sentinels and divergence policies.
+
+The fused float32 kernels race HOGWILD workers over shared memory —
+exactly the regime where a poisoned update (NaN/Inf from a gradient
+race, float32 overflow, a runaway learning rate) silently destroys an
+epoch-scale run long before the final metrics reveal it.  A
+:class:`HealthMonitor` watches a ``fit`` from inside the batch loop:
+
+* **per-term loss sentinels** — every batch's Eq. 18 components
+  (``L``, ``L_topo``, ``L_label``, ``L_pattern``) are checked for
+  NaN/Inf and folded into per-term EMAs,
+* **parameter sentinels** — every ``check_every`` batches the model
+  arrays (``M``/``N``/``w'``) are swept with one ``sum()`` pass (NaN and
+  Inf propagate through the sum, so a single non-finite entry trips the
+  sentinel without a full comparison scan), and located exactly only
+  when the cheap pass trips,
+* **norm telemetry** — embedding-row and gradient norms land in
+  ``health.*`` histograms, so a run drifting toward overflow is visible
+  before it diverges.
+
+What happens on a trip is the *policy*:
+
+``"abort"``
+    Raise :class:`TrainingDivergedError` naming the term, batch and
+    first bad value.  The trainer unwinds; HOGWILD workers are
+    terminated by the backend's cleanup path.
+``"warn"``
+    Count a ``health.warnings`` metric, emit one ``RuntimeWarning`` on
+    the first trip, keep training.
+``"rollback"``
+    Restore the model arrays from the last healthy checkpoint copy
+    (taken at the ``check_every`` cadence), count ``health.rollbacks``,
+    keep training.  Costs one extra copy of the model per checkpoint.
+
+The monitor's :meth:`report` is the ``health`` block written into run
+manifests; :meth:`event_payload` is the periodic ``"health"`` event the
+trainers emit through the callback layer (and ``repro monitor`` tails).
+
+A test/CI hook supports *poisoning* a run: set
+``REPRO_HEALTH_POISON="<batch>[:<array>]"`` in the environment and the
+trainers write one NaN into the named parameter array at that global
+batch index (workers inherit the variable, so a HOGWILD run poisons one
+worker's shared-memory write path).  The CI health-smoke job uses this
+to prove a poisoned fit aborts cleanly end to end.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .metrics import MetricsRegistry, log_buckets
+from .profile import rss_bytes
+
+#: The recognised divergence policies, in escalation order.
+HEALTH_POLICIES = ("warn", "abort", "rollback")
+
+#: Environment variable consulted by :func:`maybe_poison`.
+POISON_ENV = "REPRO_HEALTH_POISON"
+
+#: Bucket bounds shared by the ``health.*`` norm histograms: training
+#: norms span many decades between cold start and divergence.
+NORM_BUCKETS = log_buckets(1e-8, 1e8, per_decade=1)
+
+
+class TrainingDivergedError(RuntimeError):
+    """A numeric sentinel tripped under ``policy="abort"``.
+
+    Attributes name the evidence: ``term`` is the loss component or
+    parameter array that went non-finite (e.g. ``"L_topo"``,
+    ``"param:M"``, ``"worker1:L"``), ``batch`` the global batch index at
+    detection, ``value`` the first bad value seen.
+    """
+
+    def __init__(self, term: str, batch: int, value: float) -> None:
+        self.term = term
+        self.batch = int(batch)
+        self.value = float(value)
+        super().__init__(
+            f"training diverged: {term} = {value!r} at batch {batch} "
+            f"(policy=abort)"
+        )
+
+
+def _finite(value: float) -> bool:
+    return not (math.isnan(value) or math.isinf(value))
+
+
+class HealthMonitor:
+    """Watches one training run for numeric divergence.
+
+    Parameters
+    ----------
+    policy:
+        ``"warn"``, ``"abort"`` or ``"rollback"`` (see module docstring).
+    check_every:
+        Batch cadence of the parameter-array sweep (and of rollback
+        checkpoints).  ``1`` checks every batch — the within-one-batch
+        guarantee the divergence tests rely on; the default ``16``
+        amortises the sweep on epoch-scale runs.
+    ema_alpha:
+        Smoothing of the per-term loss EMAs.
+    metrics:
+        Registry the ``health.*`` metrics land in; a private one is
+        created when omitted.  Exposed so the serving/Prometheus tier
+        can scrape training health with the existing exposition code.
+    """
+
+    def __init__(
+        self,
+        policy: str = "abort",
+        check_every: int = 16,
+        ema_alpha: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if policy not in HEALTH_POLICIES:
+            raise ValueError(
+                f"policy must be one of {HEALTH_POLICIES}, got {policy!r}"
+            )
+        if check_every < 1:
+            raise ValueError("check_every must be at least 1")
+        self.policy = policy
+        self.check_every = check_every
+        self.ema_alpha = ema_alpha
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.first_bad: dict[str, Any] | None = None
+        self.diverged = False
+        self.warnings = 0
+        self.rollbacks = 0
+        self.checks = 0
+        self.last_batch = -1
+        self._warned = False
+        self._snapshots: dict[str, np.ndarray] = {}
+        self._snapshot_batch: int | None = None
+        self._last_sweep = -1
+
+    # -- sentinels ------------------------------------------------------
+
+    def observe_batch(
+        self,
+        batch_idx: int,
+        losses: Mapping[str, float],
+        arrays: Mapping[str, np.ndarray] | None = None,
+        grad_norm: float | None = None,
+    ) -> None:
+        """Feed one batch's loss components (and optionally the arrays).
+
+        Called by the trainers after every SGD batch.  Loss sentinels
+        run every call; the parameter sweep runs at the ``check_every``
+        cadence (and immediately when a loss sentinel trips, to locate
+        the poisoned array).
+        """
+        self.last_batch = int(batch_idx)
+        for term, value in losses.items():
+            value = float(value)
+            if not _finite(value):
+                self._trip(term, batch_idx, value, arrays)
+                return
+            self.metrics.ema(f"health.{term}_ema", self.ema_alpha).update(
+                value
+            )
+        if grad_norm is not None:
+            if not _finite(float(grad_norm)):
+                self._trip("grad_norm", batch_idx, float(grad_norm), arrays)
+                return
+            self.metrics.histogram(
+                "health.grad_norm", NORM_BUCKETS
+            ).observe(float(grad_norm))
+        if arrays is not None and (
+            batch_idx - self._last_sweep >= self.check_every
+        ):
+            self.check_arrays(batch_idx, arrays)
+
+    def check_arrays(
+        self, batch_idx: int, arrays: Mapping[str, np.ndarray]
+    ) -> bool:
+        """Sweep the parameter arrays; returns ``True`` when healthy.
+
+        A healthy sweep also records embedding-norm telemetry and (under
+        ``policy="rollback"``) refreshes the checkpoint copies.
+        """
+        self._last_sweep = int(batch_idx)
+        self.checks += 1
+        self.metrics.counter("health.checks").inc()
+        for name, arr in arrays.items():
+            total = float(np.sum(arr))
+            if not _finite(total):
+                flat = np.asarray(arr).ravel()
+                bad = np.flatnonzero(~np.isfinite(flat))
+                value = float(flat[bad[0]]) if bad.size else total
+                self._trip(f"param:{name}", batch_idx, value, arrays)
+                return False
+        for name, arr in arrays.items():
+            arr = np.asarray(arr)
+            if arr.ndim == 2 and arr.size:
+                norm = float(
+                    np.sqrt((arr * arr).sum() / arr.shape[0])
+                )
+                self.metrics.gauge(f"health.norm.{name}").set(norm)
+                self.metrics.histogram(
+                    "health.embedding_norm", NORM_BUCKETS
+                ).observe(norm)
+        if self.policy == "rollback":
+            for name, arr in arrays.items():
+                snap = self._snapshots.get(name)
+                if snap is None or snap.shape != np.shape(arr):
+                    self._snapshots[name] = np.array(arr, copy=True)
+                else:
+                    np.copyto(snap, arr)
+            self._snapshot_batch = int(batch_idx)
+        return True
+
+    def observe_workers(
+        self,
+        batches_done: int,
+        worker_losses: Sequence[tuple[int, float]],
+        arrays: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        """HOGWILD-side sentinel: per-worker last-batch losses.
+
+        Called from the parent's polling loop with ``(worker_id, loss)``
+        pairs read from the shared stats block, plus the live
+        shared-memory model views.  A non-finite worker loss names the
+        worker in the trip term (``"worker<i>:L"``).
+        """
+        for worker_id, value in worker_losses:
+            value = float(value)
+            if not _finite(value):
+                self._trip(f"worker{worker_id}:L", batches_done, value,
+                           arrays)
+                return
+            self.metrics.ema("health.L_ema", self.ema_alpha).update(value)
+        if arrays is not None and (
+            batches_done - self._last_sweep >= self.check_every
+        ):
+            self.check_arrays(batches_done, arrays)
+
+    # -- policy ---------------------------------------------------------
+
+    def _trip(
+        self,
+        term: str,
+        batch_idx: int,
+        value: float,
+        arrays: Mapping[str, np.ndarray] | None,
+    ) -> None:
+        if self.first_bad is None:
+            self.first_bad = {
+                "term": term,
+                "batch": int(batch_idx),
+                # str() keeps the manifest strict JSON (json.dump would
+                # otherwise emit bare NaN/Infinity tokens).
+                "value": str(float(value)),
+            }
+        if self.policy == "abort":
+            self.diverged = True
+            raise TrainingDivergedError(term, batch_idx, value)
+        if (
+            self.policy == "rollback"
+            and arrays is not None
+            and self._snapshots
+        ):
+            for name, arr in arrays.items():
+                snap = self._snapshots.get(name)
+                if snap is not None and snap.shape == np.shape(arr):
+                    np.copyto(np.asarray(arr), snap)
+            self.rollbacks += 1
+            self.metrics.counter("health.rollbacks").inc()
+            # The restored checkpoint is healthy again; rearm the sweep
+            # so the next batch re-checks instead of waiting a period.
+            self._last_sweep = int(batch_idx) - self.check_every
+        self.warnings += 1
+        self.metrics.counter("health.warnings").inc()
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"training health: {term} went non-finite ({value!r}) at "
+                f"batch {batch_idx} (policy={self.policy})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # -- reporting ------------------------------------------------------
+
+    def _term_emas(self) -> dict[str, float]:
+        out = {}
+        for name, metric in self.metrics.items():
+            if name.startswith("health.") and name.endswith("_ema"):
+                value = getattr(metric, "value", None)
+                if value is not None:
+                    out[name[len("health."):-len("_ema")]] = float(value)
+        return out
+
+    def event_payload(self) -> dict[str, Any]:
+        """The periodic ``"health"`` telemetry event (JSONL-ready).
+
+        Volatile fields keep the ``_mb`` suffix convention so same-seed
+        telemetry comparisons stay exact (see ``repro.obs.is_volatile``).
+        """
+        payload: dict[str, Any] = {
+            "policy": self.policy,
+            "batch": self.last_batch,
+            "checks": self.checks,
+            "warnings": self.warnings,
+            "rollbacks": self.rollbacks,
+        }
+        for term, value in self._term_emas().items():
+            payload[f"{term}_ema"] = value
+        rss = rss_bytes()
+        if rss is not None:
+            payload["rss_mb"] = round(rss / 2**20, 2)
+        return payload
+
+    def report(self) -> dict[str, Any]:
+        """The manifest ``health`` block: policy, trips, final EMAs."""
+        block: dict[str, Any] = {
+            "policy": self.policy,
+            "check_every": self.check_every,
+            "checks": self.checks,
+            "warnings": self.warnings,
+            "rollbacks": self.rollbacks,
+            "diverged": self.diverged,
+            "first_bad": dict(self.first_bad) if self.first_bad else None,
+            "terms": self._term_emas(),
+        }
+        for name in ("health.grad_norm", "health.embedding_norm"):
+            if name in self.metrics:
+                summary = self.metrics.histogram(name).summary()
+                if summary["count"]:
+                    block[name.split(".", 1)[1]] = {
+                        key: summary[key]
+                        for key in ("count", "min", "max", "p50", "p99")
+                    }
+        return block
+
+
+# -- poisoning test hook -----------------------------------------------
+
+#: ``False`` means "environment not parsed yet" (``None`` is a valid
+#: parse result: no poisoning requested).
+_poison_cache: tuple[int, str | None] | None | bool = False
+
+
+def reset_poison_cache() -> None:
+    """Forget the parsed :data:`POISON_ENV` value (test isolation)."""
+    global _poison_cache
+    _poison_cache = False
+
+
+def _poison_spec() -> tuple[int, str | None] | None:
+    global _poison_cache
+    if _poison_cache is False:
+        raw = os.environ.get(POISON_ENV)
+        if not raw:
+            _poison_cache = None
+        else:
+            batch_text, _, name = raw.partition(":")
+            try:
+                _poison_cache = (int(batch_text), name or None)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring unparsable {POISON_ENV}={raw!r} "
+                    "(expected '<batch>[:<array>]')",
+                    RuntimeWarning,
+                )
+                _poison_cache = None
+    return _poison_cache
+
+
+def maybe_poison(
+    batch_idx: int, arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Write one NaN into a parameter array when this batch is poisoned.
+
+    No-op (one cached ``None`` check) unless :data:`POISON_ENV` is set
+    to ``"<batch>[:<array>]"`` — the divergence-test and CI-smoke hook.
+    The poison lands in the *live* array (for HOGWILD workers, their
+    shared-memory view), so detection exercises the same read path a
+    real gradient-race NaN would take.
+    """
+    spec = _poison_spec()
+    if spec is None or batch_idx != spec[0]:
+        return
+    batch, name = spec
+    if name is not None and name in arrays:
+        target = arrays[name]
+    else:
+        target = next(iter(arrays.values()))
+    np.asarray(target).reshape(-1)[0] = np.nan

@@ -1,0 +1,306 @@
+"""Run-history store: trends and regressions across past runs.
+
+``repro report --history DIR`` indexes every run artefact found under
+a directory — ``repro_manifest/v1`` manifests and ``bench_estep/v1``
+perf reports — orders them chronologically, and renders per-metric
+trend tables plus regression flags for the latest run against its
+predecessor.  The point is the *trajectory*: a single manifest says how
+one run went; the history says whether the project is getting faster,
+more accurate, and healthier over time.
+
+Each indexed run is reduced to a small canonical metric set (see
+:data:`HISTORY_METRICS`) so manifests from ``discover`` runs, ``serve``
+runs, and perf-bench reports line up in one table.  Metrics absent from
+a given artefact are simply blank — a bench report has no accuracy, a
+discover manifest has no serving p99.
+
+Ordering: manifests carry a ``created`` ISO timestamp and bench reports
+a ``timestamp``; artefacts missing both (hand-edited files) fall back
+to file modification time, converted to the same ISO format so the sort
+key is uniform.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Mapping, Sequence
+
+from .manifest import MANIFEST_SCHEMA
+
+#: Schema tag of the ``--json`` history output.
+HISTORY_SCHEMA = "repro_history/v1"
+
+#: Perf-report schema recognised next to manifests (benchmarks.perf).
+BENCH_SCHEMA = "bench_estep/v1"
+
+#: Canonical metric names and the direction that counts as *better*.
+#: The regression detector only understands metrics listed here.
+HISTORY_METRICS: tuple[tuple[str, str], ...] = (
+    ("pairs_per_sec", "higher"),
+    ("accuracy", "higher"),
+    ("auc", "higher"),
+    ("final_loss", "lower"),
+    ("rss_mb", "lower"),
+    ("serve_p50_ms", "lower"),
+    ("load_p99_ms", "lower"),
+    ("load_rps", "higher"),
+)
+
+#: Manifest ``metrics`` keys folded into each canonical metric (first
+#: present wins).  Keeps CLI commands free to record their natural
+#: names while the history table stays uniform.
+_MANIFEST_ALIASES: dict[str, tuple[str, ...]] = {
+    "pairs_per_sec": ("pairs_per_sec",),
+    "accuracy": ("accuracy",),
+    "auc": ("auc", "roc_auc"),
+    "rss_mb": ("rss_mb",),
+    "serve_p50_ms": ("p50_ms", "latency_p50_ms"),
+    "load_rps": ("rps",),
+}
+
+
+def _mtime_iso(path: pathlib.Path) -> str:
+    return time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.localtime(path.stat().st_mtime)
+    )
+
+
+def _from_manifest(data: Mapping[str, Any]) -> dict[str, float]:
+    """Canonical metrics of one manifest (see :data:`_MANIFEST_ALIASES`)."""
+    metrics: dict[str, float] = {}
+    recorded = data.get("metrics") or {}
+    for canonical, aliases in _MANIFEST_ALIASES.items():
+        for alias in aliases:
+            value = recorded.get(alias)
+            if isinstance(value, (int, float)):
+                metrics[canonical] = float(value)
+                break
+    health = data.get("health") or {}
+    terms = health.get("terms") or {}
+    if isinstance(terms.get("L"), (int, float)):
+        metrics["final_loss"] = float(terms["L"])
+    return metrics
+
+
+def _from_bench(data: Mapping[str, Any]) -> dict[str, float]:
+    """Canonical metrics of one ``bench_estep/v1`` perf report.
+
+    ``pairs_per_sec`` is the sequential (workers=1) rate of the largest
+    tier present — the number the absolute throughput gate floors, so
+    it is the honest trajectory metric.
+    """
+    metrics: dict[str, float] = {}
+    best_tier = None
+    for entry in (data.get("sizes") or {}).values():
+        stats = (entry.get("estep") or {}).get("1")
+        if stats and isinstance(stats.get("pairs_per_sec"), (int, float)):
+            if best_tier is None or entry.get("n_nodes", 0) > best_tier[0]:
+                best_tier = (entry.get("n_nodes", 0), stats["pairs_per_sec"])
+    if best_tier is not None:
+        metrics["pairs_per_sec"] = float(best_tier[1])
+    serving = data.get("serving") or {}
+    if isinstance(serving.get("p50_ms"), (int, float)):
+        metrics["serve_p50_ms"] = float(serving["p50_ms"])
+    load = serving.get("load") or {}
+    if isinstance(load.get("p99_ms"), (int, float)):
+        metrics["load_p99_ms"] = float(load["p99_ms"])
+    if isinstance(load.get("rps"), (int, float)):
+        metrics["load_rps"] = float(load["rps"])
+    return metrics
+
+
+def _classify(path: pathlib.Path) -> dict[str, Any] | None:
+    """One history entry for ``path``, or ``None`` when unrecognised."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    schema = data.get("schema")
+    if schema == MANIFEST_SCHEMA:
+        health = data.get("health") or {}
+        return {
+            "path": str(path),
+            "kind": "manifest",
+            "label": str(data.get("command", "?")),
+            "created": str(data.get("created") or _mtime_iso(path)),
+            "metrics": _from_manifest(data),
+            "diverged": bool(health.get("diverged")),
+            "health_warnings": int(health.get("warnings") or 0),
+        }
+    if schema == BENCH_SCHEMA:
+        return {
+            "path": str(path),
+            "kind": "bench",
+            "label": "perf",
+            "created": str(data.get("timestamp") or _mtime_iso(path)),
+            "metrics": _from_bench(data),
+            "diverged": False,
+            "health_warnings": 0,
+        }
+    return None
+
+
+def index_history(directory: str | pathlib.Path) -> list[dict[str, Any]]:
+    """All recognised run artefacts under ``directory``, oldest first.
+
+    Scans recursively for ``*.json`` files, keeps manifests and perf
+    reports, and sorts by their embedded timestamp (file mtime as the
+    fallback).  Unreadable or unrecognised files are skipped silently —
+    a run directory full of other artefacts must not break the history.
+    """
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        raise NotADirectoryError(f"{directory} is not a directory")
+    entries = []
+    for path in sorted(root.rglob("*.json")):
+        entry = _classify(path)
+        if entry is not None:
+            entries.append(entry)
+    entries.sort(key=lambda e: (e["created"], e["path"]))
+    return entries
+
+
+def detect_regressions(
+    entries: Sequence[Mapping[str, Any]], threshold: float = 0.1
+) -> list[dict[str, Any]]:
+    """Latest-vs-previous regression flags per canonical metric.
+
+    For each metric, compares the newest entry that records it against
+    the most recent *earlier* entry of the same kind that also records
+    it (manifests compare to manifests, bench reports to bench reports
+    — mixing a 300-node bench with a CLI run would flag noise).  A
+    change worse than ``threshold`` (relative) in the metric's bad
+    direction is flagged.  A newly-diverged latest manifest is always
+    flagged.
+    """
+    flags: list[dict[str, Any]] = []
+    for metric, better in HISTORY_METRICS:
+        by_kind: dict[str, list[tuple[str, float]]] = {}
+        for entry in entries:
+            value = entry["metrics"].get(metric)
+            if value is not None:
+                by_kind.setdefault(entry["kind"], []).append(
+                    (entry["path"], float(value))
+                )
+        for kind, series in by_kind.items():
+            if len(series) < 2:
+                continue
+            (_, previous), (latest_path, latest) = series[-2], series[-1]
+            if previous == 0:
+                continue
+            change = (latest - previous) / abs(previous)
+            worse = -change if better == "higher" else change
+            if worse > threshold:
+                flags.append(
+                    {
+                        "metric": metric,
+                        "kind": kind,
+                        "previous": previous,
+                        "latest": latest,
+                        "change": change,
+                        "path": latest_path,
+                    }
+                )
+    diverged = [e for e in entries if e.get("diverged")]
+    if diverged and diverged[-1] is entries[-1]:
+        flags.append(
+            {
+                "metric": "health",
+                "kind": entries[-1]["kind"],
+                "previous": None,
+                "latest": None,
+                "change": None,
+                "path": entries[-1]["path"],
+            }
+        )
+    return flags
+
+
+def history_payload(
+    entries: Sequence[Mapping[str, Any]], threshold: float = 0.1
+) -> dict[str, Any]:
+    """Machine-readable history (``repro report --history --json``)."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "n_runs": len(entries),
+        "runs": [dict(e) for e in entries],
+        "regressions": detect_regressions(entries, threshold=threshold),
+    }
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_history(
+    entries: Sequence[Mapping[str, Any]], threshold: float = 0.1
+) -> tuple[str, bool]:
+    """Text trend table + regression lines; ``(text, flagged)``.
+
+    Columns are the canonical metrics at least one run records; rows
+    are runs, oldest first, so the table reads top-to-bottom as the
+    project's history.
+    """
+    if not entries:
+        return "history: no run artefacts found", False
+    present = [
+        metric
+        for metric, _ in HISTORY_METRICS
+        if any(metric in e["metrics"] for e in entries)
+    ]
+    columns = ["created", "kind", "label", "health"] + present
+    rows = []
+    for entry in entries:
+        health = "DIVERGED" if entry.get("diverged") else (
+            f"{entry['health_warnings']}w" if entry.get("health_warnings")
+            else "ok"
+        )
+        row = {
+            "created": entry["created"],
+            "kind": entry["kind"],
+            "label": entry["label"],
+            "health": health,
+        }
+        for metric in present:
+            row[metric] = _fmt(entry["metrics"].get(metric))
+        rows.append(row)
+
+    widths = {
+        column: max(len(column), *(len(str(r[column])) for r in rows))
+        for column in columns
+    }
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    lines += [
+        "  ".join(str(row[column]).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+
+    flags = detect_regressions(entries, threshold=threshold)
+    lines.append("")
+    lines.append(f"{len(entries)} runs indexed")
+    for flag in flags:
+        if flag["metric"] == "health":
+            lines.append(
+                f"REGRESSION health: latest run diverged ({flag['path']})"
+            )
+        else:
+            lines.append(
+                f"REGRESSION {flag['metric']} ({flag['kind']}): "
+                f"{_fmt(flag['previous'])} -> {_fmt(flag['latest'])} "
+                f"({flag['change']:+.1%})"
+            )
+    if not flags:
+        lines.append("no regressions vs the previous run")
+    return "\n".join(lines), bool(flags)

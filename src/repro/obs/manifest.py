@@ -16,7 +16,8 @@ Schema (``repro_manifest/v1``) — all keys always present::
      "dataset",                      # {"fingerprint", "n_nodes", ...}
      "platform", "packages",         # where it ran
      "phases",                       # {name: {"total_s", "self_s", "count"}}
-     "metrics"}                      # final numbers (accuracy, memory, ...)
+     "metrics",                      # final numbers (accuracy, memory, ...)
+     "health"}                       # HealthMonitor.report() or None
 """
 
 from __future__ import annotations
@@ -66,8 +67,14 @@ def build_manifest(
     phases: Mapping[str, Any] | None = None,
     metrics: Mapping[str, Any] | None = None,
     argv: list[str] | None = None,
+    health: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble a manifest dict (see the module docstring for the schema)."""
+    """Assemble a manifest dict (see the module docstring for the schema).
+
+    ``health`` is a :meth:`repro.obs.health.HealthMonitor.report` block;
+    the key is always present (``None`` when no monitor was attached) so
+    readers can distinguish "unmonitored" from "monitored and clean".
+    """
     return {
         "schema": MANIFEST_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -86,6 +93,7 @@ def build_manifest(
         "packages": {"numpy": np.__version__},
         "phases": dict(phases or {}),
         "metrics": dict(metrics or {}),
+        "health": dict(health) if health is not None else None,
     }
 
 

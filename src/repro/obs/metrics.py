@@ -284,6 +284,39 @@ class Timer:
         self._start = None
 
 
+def hogwild_aggregates(
+    worker_stats: "list[dict[str, float]]",
+) -> "dict[str, float | int]":
+    """Fleet-level health numbers derived from per-worker stats.
+
+    * ``hogwild.straggler_lag_pairs`` — pairs the slowest worker trails
+      the fastest by (0 on a perfectly balanced run),
+    * ``hogwild.parallel_efficiency`` — total pairs done divided by
+      ``workers x max(pairs)``: 1.0 means every worker kept pace with
+      the fastest, approaching ``1/workers`` means one worker did all
+      the work,
+    * ``hogwild.stalled_workers`` — workers flagged stalled by the
+      parent's heartbeat watchdog (``stalled`` key, when present).
+    """
+    pairs = [float(stats.get("pairs", 0.0)) for stats in worker_stats]
+    out: dict[str, float | int] = {}
+    if pairs:
+        top = max(pairs)
+        out["hogwild.straggler_lag_pairs"] = top - min(pairs)
+        out["hogwild.parallel_efficiency"] = (
+            sum(pairs) / (len(pairs) * top) if top > 0 else 1.0
+        )
+    out["hogwild.stalled_workers"] = sum(
+        1 for stats in worker_stats if stats.get("stalled")
+    )
+    return out
+
+
+#: Per-worker stat keys re-published as ``hogwild.worker.<i>.<key>``
+#: gauges (heartbeat ages are volatile, hence the ``_s`` suffix).
+_WORKER_GAUGE_KEYS = ("pairs", "batches", "pairs_per_sec", "heartbeat_age_s")
+
+
 def record_worker_stats(
     metrics: "MetricsRegistry",
     worker_stats: "list[dict[str, float]]",
@@ -292,10 +325,12 @@ def record_worker_stats(
     """Fold per-worker HOGWILD stats into ``metrics``.
 
     Counters named in ``counter_names`` are merged (summed) across
-    workers; every worker additionally contributes a point-in-time
-    ``worker<i>_pairs_per_sec`` gauge.  Returns the merged values plus
-    the per-worker gauges as one flat dict, ready to splat into an
-    ``on_fit_end`` log payload.
+    workers; every worker additionally contributes a legacy
+    ``worker<i>_pairs_per_sec`` gauge plus the structured
+    ``hogwild.worker.<i>.*`` gauges (pairs, batches, throughput,
+    heartbeat age), and the fleet-level :func:`hogwild_aggregates`
+    gauges.  Returns everything as one flat dict, ready to splat into
+    an ``on_fit_end`` log payload.
     """
     merged: dict[str, float | int] = {}
     for name in counter_names:
@@ -306,6 +341,14 @@ def record_worker_stats(
         gauge = metrics.gauge(f"worker{i}_pairs_per_sec")
         gauge.set(stats.get("pairs_per_sec", 0.0))
         merged[f"worker{i}_pairs_per_sec"] = gauge.value
+        for key in _WORKER_GAUGE_KEYS:
+            if key in stats:
+                name = f"hogwild.worker.{i}.{key}"
+                metrics.gauge(name).set(float(stats[key]))
+                merged[name] = float(stats[key])
+    for name, value in hogwild_aggregates(worker_stats).items():
+        metrics.gauge(name).set(float(value))
+        merged[name] = value
     return merged
 
 

@@ -1,0 +1,302 @@
+"""Live run monitor: tail a training run's JSONL telemetry.
+
+``repro monitor RUN_DIR`` attaches to the telemetry stream an in-flight
+``repro discover --telemetry`` run is writing and renders a refreshing
+status line to stderr: progress/ETA, pairs/sec, the per-term loss trend,
+resident memory, and HOGWILD worker lag.  ``--once --json`` prints one
+machine-readable snapshot (``repro_monitor/v1``) to stdout instead, for
+scripts and CI.
+
+The monitor is a pure *reader*: it never touches the training process,
+only re-parses the JSONL file (including rotated segments, see
+:class:`repro.obs.sinks.JsonlSink`) on every refresh.  Because the sink
+flushes whole lines after every event, a concurrent reader always sees
+a valid prefix of the stream — mid-write torn lines cannot happen.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+from typing import Any, IO, Mapping, Sequence
+
+from .sinks import read_jsonl_series
+
+#: Schema tag of the ``--json`` snapshot output.
+MONITOR_SCHEMA = "repro_monitor/v1"
+
+#: Loss-term keys surfaced from batch/health events, in display order.
+LOSS_TERMS = ("L", "L_topo", "L_label", "L_pattern")
+
+#: How far back (in batch events) the loss trend looks.
+TREND_WINDOW = 10
+
+
+def resolve_telemetry(target: str | pathlib.Path) -> pathlib.Path:
+    """The telemetry JSONL behind ``target`` (a file or a run directory).
+
+    A directory is searched for ``telemetry.jsonl`` first, then any
+    other live ``*.jsonl`` file (rotated ``.N`` segments are segments,
+    not candidates), newest first.  Raises ``FileNotFoundError`` when
+    nothing is found — a monitor silently watching the wrong file would
+    be worse than an error.
+    """
+    path = pathlib.Path(target)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        preferred = path / "telemetry.jsonl"
+        if preferred.exists():
+            return preferred
+        candidates = sorted(
+            path.glob("*.jsonl"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        if candidates:
+            return candidates[0]
+        raise FileNotFoundError(f"no *.jsonl telemetry found in {target}")
+    raise FileNotFoundError(f"{target} does not exist")
+
+
+class RunMonitor:
+    """Builds ``repro_monitor/v1`` snapshots from a telemetry stream."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One point-in-time view of the run (re-reads the stream)."""
+        try:
+            events = read_jsonl_series(self.path)
+        except OSError:
+            events = []
+        return summarize_events(events, source=str(self.path))
+
+
+def summarize_events(
+    events: Sequence[Mapping[str, Any]], source: str = ""
+) -> dict[str, Any]:
+    """Reduce a telemetry event stream to one monitor snapshot.
+
+    Pure function of the parsed events, so tests (and ``--once``) can
+    feed it a fixed list.  Reads ``fit_begin`` for run shape, ``batch``
+    events for progress/loss/worker telemetry, ``health`` events for
+    sentinel state and RSS, and ``fit_end`` for completion.
+    """
+    fit_begin: Mapping[str, Any] | None = None
+    fit_end: Mapping[str, Any] | None = None
+    batches = [e for e in events if e.get("event") == "batch"]
+    last_health: Mapping[str, Any] | None = None
+    for event in events:
+        kind = event.get("event")
+        if kind == "fit_begin":
+            fit_begin = event
+        elif kind == "fit_end":
+            fit_end = event
+        elif kind == "health":
+            last_health = event
+
+    snap: dict[str, Any] = {
+        "schema": MONITOR_SCHEMA,
+        "source": source,
+        "n_events": len(events),
+        "status": "waiting",
+        "trainer": None,
+        "total_batches": None,
+        "step": None,
+        "progress": None,
+        "pairs": None,
+        "pairs_per_sec": None,
+        "eta_s": None,
+        "loss": {},
+        "loss_trend": None,
+        "rss_mb": None,
+        "health": None,
+        "workers": None,
+    }
+    if not events:
+        return snap
+
+    snap["status"] = "done" if fit_end is not None else "running"
+    snap["trainer"] = events[-1].get("trainer")
+
+    total_batches = batch_size = None
+    if fit_begin is not None:
+        total_batches = fit_begin.get("total_batches") or None
+        batch_size = fit_begin.get("batch_size") or None
+        snap["total_batches"] = total_batches
+
+    if batches:
+        last = batches[-1]
+        step = last.get("step")
+        snap["step"] = step
+        snap["pairs"] = last.get("pairs")
+        rate = last.get("pairs_per_sec")
+        snap["pairs_per_sec"] = rate
+        if total_batches and step is not None:
+            snap["progress"] = round(min(1.0, (step + 1) / total_batches), 4)
+            if batch_size and rate and fit_end is None:
+                remaining = max(0, total_batches - step - 1) * batch_size
+                snap["eta_s"] = round(remaining / max(rate, 1e-9), 1)
+        snap["loss"] = {
+            term: last[term] for term in LOSS_TERMS if term in last
+        }
+        snap["loss_trend"] = _loss_trend(batches)
+        snap["workers"] = _worker_summary(last)
+
+    if fit_end is not None:
+        snap["pairs"] = fit_end.get("n_pairs_trained", snap["pairs"])
+        snap["pairs_per_sec"] = fit_end.get(
+            "pairs_per_sec", snap["pairs_per_sec"]
+        )
+        snap["eta_s"] = 0.0
+
+    if last_health is not None:
+        snap["rss_mb"] = last_health.get("rss_mb")
+        snap["health"] = {
+            key: last_health[key]
+            for key in ("policy", "batch", "checks", "warnings", "rollbacks")
+            if key in last_health
+        }
+        for term in LOSS_TERMS:
+            ema = last_health.get(f"{term}_ema")
+            if ema is not None:
+                snap["loss"].setdefault(term, ema)
+    return snap
+
+
+def _loss_trend(batches: Sequence[Mapping[str, Any]]) -> str | None:
+    """``"falling"`` / ``"rising"`` / ``"flat"`` over the trend window."""
+    series = [b["L"] for b in batches if isinstance(b.get("L"), (int, float))]
+    if len(series) < 2:
+        return None
+    window = series[-TREND_WINDOW:]
+    first, last = window[0], window[-1]
+    scale = max(abs(first), abs(last), 1e-12)
+    change = (last - first) / scale
+    if change < -0.01:
+        return "falling"
+    if change > 0.01:
+        return "rising"
+    return "flat"
+
+
+def _worker_summary(batch: Mapping[str, Any]) -> dict[str, Any] | None:
+    """HOGWILD fleet state from one batch event (``None`` when sequential)."""
+    n = batch.get("workers")
+    if not n or n <= 1:
+        return None
+    summary: dict[str, Any] = {"n": int(n)}
+    for key in ("straggler_lag_pairs", "parallel_efficiency",
+                "stalled_workers"):
+        value = batch.get(f"hogwild.{key}")
+        if value is not None:
+            summary[key] = value
+    ages = [
+        batch[f"hogwild.worker.{i}.heartbeat_age_s"]
+        for i in range(int(n))
+        if f"hogwild.worker.{i}.heartbeat_age_s" in batch
+    ]
+    if ages:
+        summary["max_heartbeat_age_s"] = round(max(ages), 3)
+    return summary
+
+
+def _fmt_eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_snapshot(snap: Mapping[str, Any]) -> str:
+    """One human-readable status line per snapshot."""
+    if snap["status"] == "waiting":
+        return f"[monitor] waiting for events in {snap['source']}"
+    parts = [f"[{snap.get('trainer') or '?'}] {snap['status']}"]
+    if snap.get("step") is not None:
+        total = snap.get("total_batches") or "?"
+        parts.append(f"batch {snap['step'] + 1}/{total}")
+    if snap.get("progress") is not None:
+        parts.append(f"{snap['progress']:.0%}")
+    if snap.get("eta_s") is not None and snap["status"] == "running":
+        parts.append(f"eta {_fmt_eta(snap['eta_s'])}")
+    if snap.get("pairs_per_sec"):
+        parts.append(f"{snap['pairs_per_sec']:,.0f} pairs/s")
+    loss = snap.get("loss") or {}
+    for term in LOSS_TERMS:
+        if term in loss:
+            parts.append(f"{term}={loss[term]:.4g}")
+    if snap.get("loss_trend"):
+        parts.append(f"({snap['loss_trend']})")
+    if snap.get("rss_mb") is not None:
+        parts.append(f"rss {snap['rss_mb']:.0f}MB")
+    health = snap.get("health")
+    if health:
+        if health.get("warnings"):
+            parts.append(f"health:{health['warnings']}w")
+        if health.get("rollbacks"):
+            parts.append(f"rollbacks:{health['rollbacks']}")
+    workers = snap.get("workers")
+    if workers:
+        lag = workers.get("straggler_lag_pairs")
+        eff = workers.get("parallel_efficiency")
+        text = f"workers {workers['n']}"
+        if eff is not None:
+            text += f" eff={eff:.2f}"
+        if lag is not None:
+            text += f" lag={lag:,}"
+        if workers.get("stalled_workers"):
+            text += f" STALLED={workers['stalled_workers']}"
+        parts.append(text)
+    return " | ".join(parts)
+
+
+def watch(
+    target: str | pathlib.Path,
+    interval_s: float = 2.0,
+    once: bool = False,
+    as_json: bool = False,
+    stream: IO[str] | None = None,
+    max_refreshes: int | None = None,
+) -> int:
+    """Monitor loop (the ``repro monitor`` implementation); exit code.
+
+    ``once`` renders a single snapshot and returns; otherwise refreshes
+    every ``interval_s`` seconds until the run reports ``fit_end`` (or
+    Ctrl-C).  JSON goes to stdout for piping; the human-readable tail
+    goes to stderr, matching the progress-is-telemetry convention of
+    :class:`repro.obs.sinks.ConsoleReporter`.  ``max_refreshes`` bounds
+    the loop for tests.
+    """
+    try:
+        path = resolve_telemetry(target)
+    except FileNotFoundError as exc:
+        print(f"monitor: {exc}", file=sys.stderr)
+        return 2
+    monitor = RunMonitor(path)
+    out = stream if stream is not None else sys.stderr
+    refreshes = 0
+    try:
+        while True:
+            snap = monitor.snapshot()
+            if as_json:
+                print(json.dumps(snap, sort_keys=True),
+                      file=stream if stream is not None else sys.stdout)
+            else:
+                print(render_snapshot(snap), file=out)
+            refreshes += 1
+            if once or snap["status"] == "done":
+                return 0
+            if max_refreshes is not None and refreshes >= max_refreshes:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0

@@ -143,6 +143,7 @@ def load_run(path: str | pathlib.Path) -> dict[str, Any]:
                 "metrics": dict(data.get("metrics", {})),
                 "manifest": data,
                 "host_cores": _host_cores(data),
+                "health": data.get("health"),
             }
         if "traceEvents" in data:
             return {
@@ -267,10 +268,40 @@ def render_report(run: Mapping[str, Any]) -> str:
             value = metrics[key]
             shown = f"{value:.6g}" if isinstance(value, float) else value
             lines.append(f"  {key} = {shown}")
+    health = run.get("health")
+    if health:
+        lines.append("")
+        lines.extend(_render_health(health))
     if slo:
         lines.append("")
         lines.extend(_render_slo(slo))
     return "\n".join(lines)
+
+
+def _render_health(health: Mapping[str, Any]) -> list[str]:
+    """The training-health block of a monitored run's manifest."""
+    status = "DIVERGED" if health.get("diverged") else (
+        "degraded" if health.get("warnings") else "clean"
+    )
+    lines = [
+        f"training health ({status}, policy={health.get('policy', '?')}):",
+        f"  checks {health.get('checks', 0)} | warnings "
+        f"{health.get('warnings', 0)} | rollbacks "
+        f"{health.get('rollbacks', 0)}",
+    ]
+    first_bad = health.get("first_bad")
+    if first_bad:
+        lines.append(
+            f"  first bad value: {first_bad.get('term')} = "
+            f"{first_bad.get('value')} at batch {first_bad.get('batch')}"
+        )
+    terms = health.get("terms") or {}
+    if terms:
+        shown = " ".join(
+            f"{name}={value:.4g}" for name, value in sorted(terms.items())
+        )
+        lines.append(f"  final loss EMAs: {shown}")
+    return lines
 
 
 def diff_slo(

@@ -59,6 +59,33 @@ def read_jsonl(path: str | pathlib.Path) -> list[dict[str, Any]]:
     return events
 
 
+def rotated_paths(path: str | pathlib.Path) -> list[pathlib.Path]:
+    """All on-disk segments of a possibly-rotated JSONL series.
+
+    Oldest first, live file last — matching event order when the files
+    were written by one rotating :class:`JsonlSink` (``telemetry.jsonl.2``
+    is older than ``telemetry.jsonl.1``).
+    """
+    path = pathlib.Path(path)
+    rotated = []
+    for candidate in path.parent.glob(f"{path.name}.*"):
+        suffix = candidate.name[len(path.name) + 1:]
+        if suffix.isdigit():
+            rotated.append((int(suffix), candidate))
+    out = [p for _, p in sorted(rotated, reverse=True)]
+    if path.exists():
+        out.append(path)
+    return out
+
+
+def read_jsonl_series(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse a rotated JSONL series (oldest segment first) into events."""
+    events: list[dict[str, Any]] = []
+    for segment in rotated_paths(path):
+        events.extend(read_jsonl(segment))
+    return events
+
+
 class EventSink(TrainerCallback):
     """Shared hook→event conversion; subclasses implement :meth:`emit`."""
 
@@ -131,24 +158,69 @@ class JsonlSink(EventSink):
     artefact durable against power loss, and is idempotent.  One sink
     can span multiple ``fit`` calls — e.g. an E-Step run followed by a
     D-Step event — and all events land in the same file.
+
+    **Rotation**: epoch-scale runs with per-batch health events would
+    otherwise grow the file without bound, so ``max_bytes`` caps the
+    live file's size.  When a write would push past the cap, the live
+    file is closed (fsynced) and shifted to ``<name>.1`` (older
+    segments shift to ``.2`` … ``.<keep>``; the oldest is deleted), and
+    a fresh live file is opened — the event that triggered rotation
+    lands whole in the new file, so every segment still contains only
+    whole lines.  :func:`read_jsonl_series` reassembles the full event
+    stream.  ``max_bytes=None`` (default) disables rotation.
     """
 
-    def __init__(self, path: str | pathlib.Path) -> None:
-        self.path = pathlib.Path(path)
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        max_bytes: int | None = None,
+        keep: int = 3,
+    ) -> None:
+        # _handle first: a validation error below must leave __del__ a
+        # closeable object.
         self._handle: IO[str] | None = None
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None)")
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self._written = 0
         self.n_events = 0
+        self.n_rotations = 0
 
     def _file(self) -> IO[str]:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "w", encoding="utf-8")
+            self._written = 0
         return self._handle
 
+    def _rotate(self) -> None:
+        self.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.keep - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        if self.path.exists():
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self.n_rotations += 1
+
     def emit(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._written > 0
+            and self._written + len(line.encode("utf-8")) > self.max_bytes
+        ):
+            self._rotate()
         handle = self._file()
-        json.dump(event, handle, separators=(",", ":"))
-        handle.write("\n")
+        handle.write(line)
         handle.flush()
+        self._written += len(line.encode("utf-8"))
         self.n_events += 1
 
     def close(self) -> None:

@@ -80,6 +80,19 @@ def span(name: str, **attrs: Any) -> "Span | _NullSpan":
     return Span(tracer, name, attrs)
 
 
+def instant(name: str, **attrs: Any) -> None:
+    """Record a zero-duration marker on the active tracer (no-op when off).
+
+    Instants mark point events — a health warning, a stalled-worker
+    flag, a rollback — on the same timeline as the spans, so the Chrome
+    view shows *when* a health incident happened relative to the phase
+    structure.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is not None and tracer.enabled:
+        tracer.instant(name, **attrs)
+
+
 @contextmanager
 def use_tracer(tracer: "Tracer | None") -> Iterator["Tracer | None"]:
     """Make ``tracer`` the active tracer for the enclosed block."""
@@ -198,6 +211,28 @@ class Tracer:
             "id": sp.span_id,
             "parent": sp.parent_id,
             "attrs": dict(sp.attrs),
+        }
+        with self._lock:
+            self.records.append(record)
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Append a zero-duration span record (a point-event marker).
+
+        The record nests under the calling thread's innermost open span
+        like any other child, serialises through both formats (Chrome
+        renders ``dur=0`` as a zero-width slice), and aggregates in
+        :func:`phase_totals` with ``total_s == 0`` but a live ``count``.
+        """
+        stack, tid = self._stack()
+        record = {
+            "name": name,
+            "ts": self.epoch + time.perf_counter(),
+            "dur": 0.0,
+            "pid": self.pid,
+            "tid": tid,
+            "id": self._new_id(),
+            "parent": stack[-1].span_id if stack else None,
+            "attrs": dict(attrs),
         }
         with self._lock:
             self.records.append(record)

@@ -366,3 +366,50 @@ def test_check_throughput_fails_on_unmatched_rule(capsys):
     assert check_throughput(report, {("huge", 1): 10.0}) == 1
     out = capsys.readouterr().out
     assert "matched no report entry" in out
+
+
+def test_bench_estep_records_health_policy(small_dataset):
+    from benchmarks.perf import _bench_estep
+
+    entry = _bench_estep(
+        small_dataset, workers=1, max_pairs=2000, seed=0,
+        health_policy="warn",
+    )
+    assert entry["health_policy"] == "warn"
+    assert entry["pairs"] > 0
+
+    bare = _bench_estep(small_dataset, workers=1, max_pairs=2000, seed=0)
+    assert bare["health_policy"] is None
+
+
+def test_run_benchmarks_threads_health_policy(tmp_path, monkeypatch):
+    # Patch the heavy pieces: this asserts the plumbing, not the timing.
+    import benchmarks.perf as perf
+
+    seen = []
+
+    def fake_bench_estep(network, workers, max_pairs, seed,
+                         dtype="float64", health_policy=None):
+        seen.append(health_policy)
+        return {"workers": workers, "pairs": 1, "seconds": 0.001,
+                "pairs_per_sec": 1000.0, "dtype": dtype,
+                "health_policy": health_policy, "degraded": False}
+
+    monkeypatch.setattr(perf, "_bench_estep", fake_bench_estep)
+    monkeypatch.setattr(
+        perf, "_bench_alias", lambda *a, **k: {"seconds": 0.001}
+    )
+    monkeypatch.setattr(perf, "_bench_sampler_setup", lambda *a, **k: 0.001)
+    monkeypatch.setattr(perf, "_bench_centrality", lambda *a, **k: 0.001)
+    monkeypatch.setattr(
+        perf, "_bench_trace_overhead", lambda *a, **k: {"overhead": 0.0}
+    )
+    monkeypatch.setattr(
+        perf, "_bench_serving", lambda *a, **k: {"p50_ms": 1.0}
+    )
+    report = perf.run_benchmarks(
+        sizes=["small"], workers=[1], repeats=1, seed=0,
+        estep_pairs=100, health_policy="warn",
+    )
+    assert report["health_policy"] == "warn"
+    assert seen and all(p == "warn" for p in seen)

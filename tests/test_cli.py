@@ -369,3 +369,157 @@ def test_serve_rejects_bad_bundle(tmp_path, capsys):
 
     with pytest.raises(ArtifactError):
         main(["serve", str(tmp_path / "nowhere"), "--smoke", "10"])
+
+
+@pytest.fixture
+def poison_env(monkeypatch):
+    from repro.obs import reset_poison_cache
+    from repro.obs.health import POISON_ENV
+
+    def _set(spec):
+        monkeypatch.setenv(POISON_ENV, spec)
+        reset_poison_cache()
+
+    yield _set
+    reset_poison_cache()
+
+
+def _small_net(tmp_path):
+    from repro.datasets import load_dataset
+
+    network = load_dataset("twitter", scale=0.003, seed=0)
+    path = tmp_path / "net.tsv"
+    write_tie_list(network, path)
+    return str(path)
+
+
+def _discover_args(path, tmp_path, policy):
+    return [
+        "discover", path,
+        "--hide", "0.3",
+        "--method", "deepdirect",
+        "--dimensions", "8",
+        "--pairs-per-tie", "20",
+        "--health-policy", policy,
+        "--health-every", "1",
+        "--telemetry", str(tmp_path / "telemetry.jsonl"),
+        "--manifest", str(tmp_path / "manifest.json"),
+    ]
+
+
+def test_discover_poisoned_abort_exits_3(tmp_path, capsys, poison_env):
+    import json
+
+    poison_env("3:M")
+    path = _small_net(tmp_path)
+    assert main(_discover_args(path, tmp_path, "abort")) == 3
+    assert "training diverged" in capsys.readouterr().err
+    # The manifest is still written on the unwind, with the evidence.
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    health = manifest["health"]
+    assert health["policy"] == "abort"
+    assert health["diverged"] is True
+    assert health["first_bad"]["batch"] >= 3
+    assert health["first_bad"]["term"]
+    assert manifest["config"]["health_policy"] == "abort"
+
+
+def test_discover_clean_run_records_health_block(tmp_path, capsys):
+    import json
+
+    path = _small_net(tmp_path)
+    assert main(_discover_args(path, tmp_path, "warn")) == 0
+    health = json.loads((tmp_path / "manifest.json").read_text())["health"]
+    assert health["policy"] == "warn"
+    assert health["diverged"] is False
+    assert health["warnings"] == 0
+    assert health["checks"] >= 1
+    assert "L" in health["terms"]
+
+
+def test_monitor_once_json(tmp_path, capsys, poison_env):
+    import json
+
+    poison_env("3:M")
+    path = _small_net(tmp_path)
+    assert main(_discover_args(path, tmp_path, "abort")) == 3
+    capsys.readouterr()
+    assert main(["monitor", str(tmp_path), "--once", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["schema"] == "repro_monitor/v1"
+    assert snap["status"] in ("running", "done")
+    assert snap["trainer"] == "deepdirect"
+
+
+def test_monitor_human_once(tmp_path, capsys, poison_env):
+    poison_env("3:M")
+    path = _small_net(tmp_path)
+    assert main(_discover_args(path, tmp_path, "abort")) == 3
+    capsys.readouterr()
+    assert main(["monitor", str(tmp_path), "--once"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""  # human tail goes to stderr
+    assert "[deepdirect]" in captured.err
+
+
+def test_monitor_rejects_bad_targets_and_interval(tmp_path, capsys):
+    assert main(["monitor", str(tmp_path / "nope"), "--once"]) == 2
+    assert "monitor:" in capsys.readouterr().err
+    assert main(
+        ["monitor", str(tmp_path), "--once", "--interval", "0"]
+    ) == 2
+    assert "--interval" in capsys.readouterr().err
+
+
+def test_report_history(tmp_path, capsys):
+    import json
+
+    from repro.obs import build_manifest, write_manifest
+
+    write_manifest(
+        build_manifest(command="discover", seed=0,
+                       metrics={"accuracy": 0.9}, argv=[]),
+        tmp_path / "a.json",
+    )
+    write_manifest(
+        build_manifest(command="discover", seed=1,
+                       metrics={"accuracy": 0.91}, argv=[]),
+        tmp_path / "b.json",
+    )
+    assert main(["report", "--history", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 runs indexed" in out
+    assert "accuracy" in out
+
+    assert main(["report", "--history", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro_history/v1"
+    assert payload["n_runs"] == 2
+
+
+def test_report_history_strict_flags_regression(tmp_path, capsys):
+    import json
+
+    def write(name, created, accuracy):
+        data = {
+            "schema": "repro_manifest/v1",
+            "created": created,
+            "command": "discover",
+            "metrics": {"accuracy": accuracy},
+        }
+        (tmp_path / name).write_text(json.dumps(data), encoding="utf-8")
+
+    write("a.json", "2026-08-01T10:00:00", 0.9)
+    write("b.json", "2026-08-02T10:00:00", 0.5)
+    assert main(["report", "--history", str(tmp_path)]) == 0
+    assert "REGRESSION" in capsys.readouterr().out
+    assert main(["report", "--strict", "--history", str(tmp_path)]) == 1
+
+
+def test_report_modes_are_exclusive(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    a.write_text("{}", encoding="utf-8")
+    assert main(
+        ["report", str(a), "--history", str(tmp_path)]
+    ) == 2
+    assert "exactly one" in capsys.readouterr().err

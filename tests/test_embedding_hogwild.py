@@ -124,6 +124,31 @@ def test_parallel_callbacks_report_worker_stats(discovery_task):
     assert recorder.fit_end["workers"] == 2
     assert any("pairs_per_sec" in logs for logs in recorder.batch_logs)
 
+    # Structured per-worker gauges and fleet aggregates land alongside
+    # the legacy worker<i>_pairs_per_sec names in both event kinds.
+    for logs in (recorder.batch_logs[-1], recorder.fit_end):
+        for i in range(2):
+            assert f"hogwild.worker.{i}.pairs" in logs
+        assert logs["hogwild.straggler_lag_pairs"] >= 0
+        assert 0.0 < logs["hogwild.parallel_efficiency"] <= 1.0
+        assert logs["hogwild.stalled_workers"] == 0
+    last = recorder.batch_logs[-1]
+    for i in range(2):
+        assert last[f"hogwild.worker.{i}.heartbeat_age_s"] >= 0.0
+
+
+def test_run_hogwild_worker_stats_have_heartbeat_fields(discovery_task):
+    result = DeepDirectEmbedding(
+        dataclasses.replace(PARALLEL_CONFIG, workers=2)
+    )
+    recorder = _Recorder()
+    result.fit(discovery_task.network, seed=5, callbacks=[recorder])
+    # The heartbeat gauges in fit_end come from HogwildResult's settled
+    # worker_stats: joined workers report age 0 and no stall flags.
+    for i in range(2):
+        assert recorder.fit_end[f"hogwild.worker.{i}.heartbeat_age_s"] == 0.0
+    assert recorder.fit_end["hogwild.stalled_workers"] == 0
+
 
 def test_line_parallel_smoke(small_dataset):
     config = LineConfig(dimensions=8, epochs=2.0, workers=2,

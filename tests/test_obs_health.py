@@ -1,0 +1,314 @@
+"""Training-health sentinels and divergence policies (satellite d).
+
+Unit coverage of :class:`repro.obs.health.HealthMonitor` plus the
+end-to-end guarantees the ISSUE names: a poisoned fit is detected
+within one batch under ``policy="abort"``, and ``policy="warn"`` trains
+to completion with the warnings counted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
+from repro.obs import (
+    HEALTH_POLICIES,
+    HealthMonitor,
+    TrainingDivergedError,
+    maybe_poison,
+    reset_poison_cache,
+)
+from repro.obs.health import POISON_ENV
+
+
+@pytest.fixture
+def poison(monkeypatch):
+    """Set ``REPRO_HEALTH_POISON`` and keep the module cache honest."""
+
+    def _set(spec: str) -> None:
+        monkeypatch.setenv(POISON_ENV, spec)
+        reset_poison_cache()
+
+    yield _set
+    reset_poison_cache()
+
+
+def _arrays(n: int = 4, dim: int = 3) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {
+        "M": rng.normal(size=(n, dim)),
+        "N": rng.normal(size=(n, dim)),
+        "w_prime": rng.normal(size=dim),
+    }
+
+
+class TestConstruction:
+    def test_policies_tuple(self):
+        assert HEALTH_POLICIES == ("warn", "abort", "rollback")
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            HealthMonitor(policy="explode")
+
+    def test_rejects_nonpositive_check_every(self):
+        with pytest.raises(ValueError, match="check_every"):
+            HealthMonitor(check_every=0)
+
+
+class TestLossSentinels:
+    def test_finite_losses_feed_emas(self):
+        mon = HealthMonitor(policy="abort", check_every=2)
+        for batch in range(4):
+            mon.observe_batch(batch, {"L": 1.0 + batch, "L_topo": 0.5})
+        assert not mon.diverged
+        assert mon.first_bad is None
+        terms = mon.report()["terms"]
+        assert set(terms) == {"L", "L_topo"}
+        assert terms["L"] > 1.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_abort_raises_with_evidence(self, bad):
+        mon = HealthMonitor(policy="abort")
+        with pytest.raises(TrainingDivergedError) as exc_info:
+            mon.observe_batch(7, {"L": bad})
+        exc = exc_info.value
+        assert exc.term == "L"
+        assert exc.batch == 7
+        assert not np.isfinite(exc.value)
+        assert "policy=abort" in str(exc)
+        assert mon.diverged
+        # first_bad stores the value as a string so the manifest stays
+        # strict JSON (no bare NaN tokens).
+        assert mon.first_bad["term"] == "L"
+        assert mon.first_bad["batch"] == 7
+        assert isinstance(mon.first_bad["value"], str)
+
+    def test_nonfinite_grad_norm_trips(self):
+        mon = HealthMonitor(policy="abort")
+        with pytest.raises(TrainingDivergedError) as exc_info:
+            mon.observe_batch(3, {"L": 1.0}, grad_norm=float("inf"))
+        assert exc_info.value.term == "grad_norm"
+
+    def test_finite_grad_norm_lands_in_histogram(self):
+        mon = HealthMonitor(policy="abort")
+        mon.observe_batch(0, {"L": 1.0}, grad_norm=0.25)
+        assert mon.report()["grad_norm"]["count"] == 1
+
+
+class TestArraySweep:
+    def test_sweep_runs_at_cadence(self):
+        mon = HealthMonitor(policy="abort", check_every=4)
+        arrays = _arrays()
+        for batch in range(9):
+            mon.observe_batch(batch, {"L": 1.0}, arrays=arrays)
+        # Swept at batches 3 and 7 (one full period after the start).
+        assert mon.checks == 2
+
+    def test_param_trip_names_the_array(self):
+        mon = HealthMonitor(policy="abort", check_every=1)
+        arrays = _arrays()
+        arrays["N"][1, 2] = np.inf
+        with pytest.raises(TrainingDivergedError) as exc_info:
+            mon.check_arrays(5, arrays)
+        assert exc_info.value.term == "param:N"
+        assert exc_info.value.batch == 5
+
+    def test_healthy_sweep_records_norm_gauges(self):
+        mon = HealthMonitor(policy="abort", check_every=1)
+        assert mon.check_arrays(0, _arrays())
+        report = mon.report()
+        assert report["embedding_norm"]["count"] == 2  # M and N are 2-D
+        assert "health.norm.M" in mon.metrics
+
+
+class TestRollback:
+    def test_rollback_restores_snapshot_and_rearms(self):
+        mon = HealthMonitor(policy="rollback", check_every=8)
+        arrays = _arrays()
+        healthy = {k: v.copy() for k, v in arrays.items()}
+        assert mon.check_arrays(0, arrays)  # takes the checkpoint
+
+        arrays["M"][0, 0] = np.nan
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            mon.observe_batch(3, {"L": float("nan")}, arrays=arrays)
+
+        assert mon.rollbacks == 1
+        assert mon.warnings == 1
+        assert not mon.diverged
+        for name in arrays:
+            np.testing.assert_array_equal(arrays[name], healthy[name])
+        # The sweep is rearmed: the very next observe_batch re-checks
+        # instead of waiting out the check_every period.
+        checks_before = mon.checks
+        mon.observe_batch(4, {"L": 1.0}, arrays=arrays)
+        assert mon.checks == checks_before + 1
+
+    def test_rollback_without_snapshot_degrades_to_warn(self):
+        mon = HealthMonitor(policy="rollback", check_every=8)
+        arrays = _arrays()
+        arrays["M"][0, 0] = np.nan
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            mon.observe_batch(0, {"L": float("nan")}, arrays=arrays)
+        assert mon.rollbacks == 0
+        assert mon.warnings == 1
+        assert np.isnan(arrays["M"][0, 0])  # nothing to restore from
+
+
+class TestWarnPolicy:
+    def test_warn_counts_and_continues(self):
+        mon = HealthMonitor(policy="warn")
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            mon.observe_batch(2, {"L": float("nan")})
+        # Only the first trip emits the RuntimeWarning; later trips
+        # just count.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mon.observe_batch(3, {"L": float("nan")})
+        assert mon.warnings == 2
+        assert not mon.diverged
+        assert mon.first_bad["batch"] == 2  # evidence is first-trip
+
+
+class TestWorkerSentinel:
+    def test_worker_trip_names_the_worker(self):
+        mon = HealthMonitor(policy="abort")
+        with pytest.raises(TrainingDivergedError) as exc_info:
+            mon.observe_workers(12, [(0, 1.0), (3, float("nan"))])
+        assert exc_info.value.term == "worker3:L"
+        assert exc_info.value.batch == 12
+
+    def test_healthy_workers_feed_ema_and_sweep(self):
+        mon = HealthMonitor(policy="abort", check_every=1)
+        mon.observe_workers(4, [(0, 1.0), (1, 2.0)], arrays=_arrays())
+        assert mon.checks == 1
+        assert "L" in mon.report()["terms"]
+
+
+class TestReporting:
+    def test_event_payload_shape(self):
+        mon = HealthMonitor(policy="warn", check_every=1)
+        mon.observe_batch(0, {"L": 1.0}, arrays=_arrays())
+        payload = mon.event_payload()
+        assert payload["policy"] == "warn"
+        assert payload["batch"] == 0
+        assert payload["checks"] == 1
+        assert payload["warnings"] == 0
+        assert payload["rollbacks"] == 0
+        assert payload["L_ema"] == pytest.approx(1.0)
+
+    def test_report_shape(self):
+        mon = HealthMonitor(policy="abort", check_every=2)
+        mon.observe_batch(0, {"L": 1.0})
+        report = mon.report()
+        assert report["policy"] == "abort"
+        assert report["check_every"] == 2
+        assert report["diverged"] is False
+        assert report["first_bad"] is None
+        assert report["terms"] == {"L": pytest.approx(1.0)}
+
+
+class TestPoisonHook:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(POISON_ENV, raising=False)
+        reset_poison_cache()
+        arrays = _arrays()
+        before = arrays["M"].copy()
+        maybe_poison(0, arrays)
+        np.testing.assert_array_equal(arrays["M"], before)
+        reset_poison_cache()
+
+    def test_batch_only_spec_hits_first_array(self, poison):
+        poison("5")
+        arrays = _arrays()
+        maybe_poison(4, arrays)
+        assert np.isfinite(arrays["M"]).all()
+        maybe_poison(5, arrays)
+        assert np.isnan(arrays["M"].reshape(-1)[0])
+
+    def test_named_array_spec(self, poison):
+        poison("2:N")
+        arrays = _arrays()
+        maybe_poison(2, arrays)
+        assert np.isnan(arrays["N"].reshape(-1)[0])
+        assert np.isfinite(arrays["M"]).all()
+
+    def test_unparsable_spec_warns_and_disables(self, poison):
+        poison("not-a-batch")
+        arrays = _arrays()
+        with pytest.warns(RuntimeWarning, match="unparsable"):
+            maybe_poison(0, arrays)
+        # Cached as "no poison": a second call neither warns nor writes.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            maybe_poison(0, arrays)
+        assert np.isfinite(arrays["M"]).all()
+
+
+FAST_HEALTH_CONFIG = DeepDirectConfig(
+    dimensions=8, epochs=1.0, alpha=5.0, beta=0.1, max_pairs=20_000
+)
+
+
+class TestEndToEnd:
+    def test_poisoned_fit_aborts_within_one_batch(
+        self, discovery_task, poison
+    ):
+        poison("5:M")
+        health = HealthMonitor(policy="abort", check_every=1)
+        with pytest.raises(TrainingDivergedError) as exc_info:
+            DeepDirectEmbedding(FAST_HEALTH_CONFIG).fit(
+                discovery_task.network, seed=0, health=health
+            )
+        # check_every=1 guarantees detection at the poisoned batch
+        # itself (the ISSUE's within-one-batch acceptance bar).
+        assert exc_info.value.batch <= 6
+        assert health.diverged
+        assert health.first_bad is not None
+        report = health.report()
+        assert report["diverged"] is True
+        assert report["first_bad"]["term"] == exc_info.value.term
+
+    def test_poisoned_fit_completes_under_warn(
+        self, discovery_task, poison
+    ):
+        poison("5:M")
+        health = HealthMonitor(policy="warn", check_every=1)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = DeepDirectEmbedding(FAST_HEALTH_CONFIG).fit(
+                discovery_task.network, seed=0, health=health
+            )
+        assert result.embeddings.shape[1] == 8
+        assert health.warnings >= 1
+        assert not health.diverged
+        assert health.report()["first_bad"]["batch"] >= 5
+
+    def test_clean_fit_reports_healthy(self, discovery_task):
+        health = HealthMonitor(policy="abort", check_every=4)
+        DeepDirectEmbedding(FAST_HEALTH_CONFIG).fit(
+            discovery_task.network, seed=0, health=health
+        )
+        report = health.report()
+        assert report["warnings"] == 0
+        assert report["diverged"] is False
+        assert report["checks"] >= 1
+        assert report["embedding_norm"]["count"] >= 1
+        assert set(report["terms"]) >= {"L", "L_topo"}
+
+    def test_poisoned_hogwild_fit_aborts_in_parent(
+        self, discovery_task, poison
+    ):
+        poison("3:M")
+        config = dataclasses.replace(
+            FAST_HEALTH_CONFIG, workers=2, min_pairs_per_worker=0
+        )
+        health = HealthMonitor(policy="abort", check_every=1)
+        with pytest.raises(TrainingDivergedError):
+            DeepDirectEmbedding(config).fit(
+                discovery_task.network, seed=0, health=health
+            )
+        assert health.diverged

@@ -237,6 +237,44 @@ class TestPrometheusRoundTrip:
         )
         assert [b for b, _ in parsed["buckets"]] == [1.0, 2.0, 4.0, math.inf]
 
+    def test_health_metrics_round_trip(self):
+        # The training-health tier reuses the serving exposition path:
+        # a HealthMonitor's registry renders and parses unchanged.
+        from repro.obs import HealthMonitor
+
+        mon = HealthMonitor(policy="warn", check_every=1)
+        mon.observe_batch(
+            0,
+            {"L": 2.0, "L_topo": 1.0},
+            arrays={"M": np.ones((4, 3))},
+            grad_norm=0.5,
+        )
+        text = render_prometheus(mon.metrics, namespace="repro")
+        families = parse_prometheus(text)
+        checks = families["repro_health_checks_total"]
+        assert checks["type"] == "counter"
+        assert checks["samples"][0][2] == 1.0
+        assert families["repro_health_norm_M"]["type"] == "gauge"
+        grad = histogram_from_samples(families["repro_health_grad_norm"])
+        assert grad["count"] == 1
+        emb = histogram_from_samples(families["repro_health_embedding_norm"])
+        assert emb["count"] == 1
+
+    def test_hogwild_worker_gauges_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("hogwild.worker.0.pairs").set(1280.0)
+        registry.gauge("hogwild.worker.1.heartbeat_age_s").set(0.25)
+        registry.gauge("hogwild.parallel_efficiency").set(0.93)
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["hogwild_worker_0_pairs"]["samples"][0][2] == 1280.0
+        assert (
+            families["hogwild_worker_1_heartbeat_age_s"]["samples"][0][2]
+            == 0.25
+        )
+        assert (
+            families["hogwild_parallel_efficiency"]["samples"][0][2] == 0.93
+        )
+
 
 class TestRegistryIntegration:
     def test_snapshot_flattens_summary(self):

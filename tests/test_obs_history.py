@@ -1,0 +1,224 @@
+"""Run-history store: indexing, trends and regression flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HISTORY_SCHEMA,
+    detect_regressions,
+    history_payload,
+    index_history,
+    render_history,
+)
+from repro.obs.history import BENCH_SCHEMA
+from repro.obs.manifest import MANIFEST_SCHEMA
+
+
+def _manifest(
+    created: str,
+    *,
+    command: str = "discover",
+    metrics: dict | None = None,
+    health: dict | None = None,
+) -> dict:
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created": created,
+        "command": command,
+        "metrics": metrics or {},
+        "health": health,
+    }
+
+
+def _bench(timestamp: str, *, rate: float = 50_000.0) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "timestamp": timestamp,
+        "sizes": {
+            "small": {
+                "n_nodes": 300,
+                "estep": {"1": {"pairs_per_sec": rate / 2}},
+            },
+            "medium": {
+                "n_nodes": 1000,
+                "estep": {"1": {"pairs_per_sec": rate}},
+            },
+        },
+        "serving": {"p50_ms": 4.0, "load": {"p99_ms": 25.0, "rps": 120.0}},
+    }
+
+
+def _write(tmp_path, name: str, data: dict) -> None:
+    (tmp_path / name).write_text(json.dumps(data), encoding="utf-8")
+
+
+class TestIndexing:
+    def test_orders_by_created_and_classifies(self, tmp_path):
+        _write(tmp_path, "b.json", _manifest("2026-08-02T10:00:00"))
+        _write(tmp_path, "a.json", _manifest("2026-08-01T10:00:00"))
+        _write(tmp_path, "bench.json", _bench("2026-08-03T10:00:00"))
+        entries = index_history(tmp_path)
+        assert [e["kind"] for e in entries] == ["manifest", "manifest", "bench"]
+        assert entries[0]["path"].endswith("a.json")
+        assert entries[-1]["label"] == "perf"
+
+    def test_scans_recursively_and_skips_junk(self, tmp_path):
+        run_dir = tmp_path / "runs" / "2026-08-01"
+        run_dir.mkdir(parents=True)
+        _write(run_dir, "manifest.json", _manifest("2026-08-01T10:00:00"))
+        (tmp_path / "notes.json").write_text("not json {", encoding="utf-8")
+        _write(tmp_path, "other.json", {"schema": "something_else/v9"})
+        (tmp_path / "telemetry.jsonl").write_text("{}\n", encoding="utf-8")
+        entries = index_history(tmp_path)
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "manifest"
+
+    def test_rejects_non_directory(self, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            index_history(tmp_path / "missing")
+
+    def test_manifest_metric_aliases(self, tmp_path):
+        _write(
+            tmp_path,
+            "m.json",
+            _manifest(
+                "2026-08-01T10:00:00",
+                metrics={"roc_auc": 0.9, "accuracy": 0.8, "rps": 200.0},
+                health={"diverged": False, "warnings": 3,
+                        "terms": {"L": 4.5}},
+            ),
+        )
+        (entry,) = index_history(tmp_path)
+        assert entry["metrics"]["auc"] == 0.9
+        assert entry["metrics"]["accuracy"] == 0.8
+        assert entry["metrics"]["load_rps"] == 200.0
+        assert entry["metrics"]["final_loss"] == 4.5
+        assert entry["health_warnings"] == 3
+        assert entry["diverged"] is False
+
+    def test_bench_uses_largest_tier_sequential_rate(self, tmp_path):
+        _write(tmp_path, "bench.json", _bench("2026-08-01T00:00:00",
+                                              rate=80_000.0))
+        (entry,) = index_history(tmp_path)
+        assert entry["metrics"]["pairs_per_sec"] == 80_000.0
+        assert entry["metrics"]["serve_p50_ms"] == 4.0
+        assert entry["metrics"]["load_p99_ms"] == 25.0
+        assert entry["metrics"]["load_rps"] == 120.0
+
+
+class TestRegressions:
+    def test_flags_worse_in_bad_direction(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", metrics={"accuracy": 0.90}))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00", metrics={"accuracy": 0.70}))
+        flags = detect_regressions(index_history(tmp_path), threshold=0.1)
+        (flag,) = flags
+        assert flag["metric"] == "accuracy"
+        assert flag["previous"] == 0.90
+        assert flag["latest"] == 0.70
+        assert flag["change"] < 0
+
+    def test_improvement_not_flagged(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00",
+            metrics={"accuracy": 0.70, "pairs_per_sec": 10_000.0}))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00",
+            metrics={"accuracy": 0.90, "pairs_per_sec": 50_000.0}))
+        assert detect_regressions(index_history(tmp_path)) == []
+
+    def test_lower_is_better_metrics(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00",
+            health={"diverged": False, "warnings": 0, "terms": {"L": 4.0}}))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00",
+            health={"diverged": False, "warnings": 0, "terms": {"L": 5.0}}))
+        (flag,) = detect_regressions(index_history(tmp_path), threshold=0.1)
+        assert flag["metric"] == "final_loss"
+        assert flag["change"] == pytest.approx(0.25)
+
+    def test_compares_within_kind_only(self, tmp_path):
+        # A bench report's 300-node throughput must not be compared to a
+        # CLI run's: one of each kind means no comparison at all.
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", metrics={"pairs_per_sec": 100_000.0}))
+        _write(tmp_path, "bench.json", _bench("2026-08-02T10:00:00",
+                                              rate=10_000.0))
+        assert detect_regressions(index_history(tmp_path)) == []
+
+    def test_diverged_latest_flags_health(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest("2026-08-01T10:00:00"))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00",
+            health={"diverged": True, "warnings": 0,
+                    "first_bad": {"term": "L", "batch": 5, "value": "nan"}}))
+        (flag,) = detect_regressions(index_history(tmp_path))
+        assert flag["metric"] == "health"
+        assert flag["path"].endswith("b.json")
+
+    def test_diverged_older_run_not_flagged(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", health={"diverged": True, "warnings": 0}))
+        _write(tmp_path, "b.json", _manifest("2026-08-02T10:00:00"))
+        assert detect_regressions(index_history(tmp_path)) == []
+
+    def test_threshold_gates_the_flag(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", metrics={"accuracy": 1.00}))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00", metrics={"accuracy": 0.85}))
+        entries = index_history(tmp_path)
+        assert detect_regressions(entries, threshold=0.25) == []
+        assert len(detect_regressions(entries, threshold=0.1)) == 1
+
+
+class TestRendering:
+    def test_payload_schema(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest("2026-08-01T10:00:00"))
+        payload = history_payload(index_history(tmp_path))
+        assert payload["schema"] == HISTORY_SCHEMA
+        assert payload["n_runs"] == 1
+        assert payload["runs"][0]["kind"] == "manifest"
+        assert payload["regressions"] == []
+        json.dumps(payload)  # strict JSON
+
+    def test_table_and_flags(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", metrics={"accuracy": 0.9},
+            health={"diverged": False, "warnings": 0}))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00", metrics={"accuracy": 0.5},
+            health={"diverged": False, "warnings": 7}))
+        text, flagged = render_history(index_history(tmp_path), threshold=0.1)
+        assert flagged
+        assert "accuracy" in text
+        assert "2 runs indexed" in text
+        assert "7w" in text  # warn-count health column
+        assert "REGRESSION accuracy" in text
+
+    def test_clean_history_not_flagged(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest(
+            "2026-08-01T10:00:00", metrics={"accuracy": 0.9}))
+        text, flagged = render_history(index_history(tmp_path))
+        assert not flagged
+        assert "no regressions" in text
+        assert "ok" in text
+
+    def test_diverged_row_renders(self, tmp_path):
+        _write(tmp_path, "a.json", _manifest("2026-08-01T10:00:00"))
+        _write(tmp_path, "b.json", _manifest(
+            "2026-08-02T10:00:00", health={"diverged": True, "warnings": 1}))
+        text, flagged = render_history(index_history(tmp_path))
+        assert "DIVERGED" in text
+        assert flagged
+        assert "REGRESSION health" in text
+
+    def test_empty_history(self, tmp_path):
+        text, flagged = render_history([])
+        assert not flagged
+        assert "no run artefacts" in text

@@ -64,6 +64,33 @@ class TestManifestRoundTrip:
         with pytest.raises(ValueError):
             read_manifest(path)
 
+    def test_health_key_always_present(self):
+        # readers must be able to tell "unmonitored" (None) from
+        # "monitored and clean" (a dict).
+        unmonitored = build_manifest(command="discover", seed=0, argv=[])
+        assert "health" in unmonitored
+        assert unmonitored["health"] is None
+
+        block = {"policy": "abort", "diverged": False, "warnings": 0}
+        monitored = build_manifest(
+            command="discover", seed=0, argv=[], health=block
+        )
+        assert monitored["health"] == block
+
+    def test_health_block_round_trips(self, tmp_path):
+        from repro.obs import HealthMonitor
+
+        mon = HealthMonitor(policy="warn", check_every=1)
+        mon.observe_batch(0, {"L": 2.0})
+        manifest = build_manifest(
+            command="discover", seed=0, argv=[], health=mon.report()
+        )
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        health = read_manifest(path)["health"]
+        assert health["policy"] == "warn"
+        assert health["terms"]["L"] == pytest.approx(2.0)
+
 
 class TestLoadRun:
     def test_loads_manifest(self, tmp_path):

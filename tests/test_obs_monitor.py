@@ -1,0 +1,248 @@
+"""Live run monitor: snapshot summaries, rendering and the watch loop."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    MONITOR_SCHEMA,
+    JsonlSink,
+    RunMonitor,
+    render_snapshot,
+    resolve_telemetry,
+    summarize_events,
+)
+from repro.obs.monitor import watch
+
+
+def _batch(step: int, *, L: float = 2.0, pairs: int = 0,
+           rate: float = 1000.0, **extra) -> dict:
+    return {"event": "batch", "trainer": "deepdirect", "step": step,
+            "L": L, "pairs": pairs, "pairs_per_sec": rate, **extra}
+
+
+FIT_BEGIN = {
+    "event": "fit_begin", "trainer": "deepdirect",
+    "total_batches": 100, "batch_size": 64,
+}
+
+
+class TestSummarize:
+    def test_empty_stream_is_waiting(self):
+        snap = summarize_events([], source="x.jsonl")
+        assert snap["schema"] == MONITOR_SCHEMA
+        assert snap["status"] == "waiting"
+        assert snap["n_events"] == 0
+        assert snap["source"] == "x.jsonl"
+
+    def test_running_progress_and_eta(self):
+        events = [FIT_BEGIN, _batch(19, pairs=1280, rate=640.0)]
+        snap = summarize_events(events)
+        assert snap["status"] == "running"
+        assert snap["trainer"] == "deepdirect"
+        assert snap["total_batches"] == 100
+        assert snap["step"] == 19
+        assert snap["progress"] == pytest.approx(0.2)
+        # 80 remaining batches * 64 pairs / 640 pairs per sec.
+        assert snap["eta_s"] == pytest.approx(8.0)
+
+    def test_done_run(self):
+        events = [
+            FIT_BEGIN,
+            _batch(99, pairs=6400),
+            {"event": "fit_end", "trainer": "deepdirect",
+             "n_pairs_trained": 6400, "pairs_per_sec": 900.0},
+        ]
+        snap = summarize_events(events)
+        assert snap["status"] == "done"
+        assert snap["pairs"] == 6400
+        assert snap["pairs_per_sec"] == 900.0
+        assert snap["eta_s"] == 0.0
+
+    def test_loss_terms_and_trend(self):
+        events = [FIT_BEGIN] + [
+            _batch(i, L=5.0 - 0.2 * i, L_topo=1.0, L_label=0.5)
+            for i in range(12)
+        ]
+        snap = summarize_events(events)
+        assert snap["loss"]["L"] == pytest.approx(5.0 - 0.2 * 11)
+        assert snap["loss"]["L_topo"] == 1.0
+        assert snap["loss_trend"] == "falling"
+
+    def test_rising_and_flat_trends(self):
+        rising = [_batch(i, L=1.0 + 0.1 * i) for i in range(5)]
+        assert summarize_events(rising)["loss_trend"] == "rising"
+        flat = [_batch(i, L=1.0) for i in range(5)]
+        assert summarize_events(flat)["loss_trend"] == "flat"
+
+    def test_health_event_merges(self):
+        events = [
+            FIT_BEGIN,
+            _batch(5),
+            {"event": "health", "trainer": "deepdirect", "policy": "warn",
+             "batch": 5, "checks": 2, "warnings": 1, "rollbacks": 0,
+             "L_ema": 1.8, "rss_mb": 120.5},
+        ]
+        snap = summarize_events(events)
+        assert snap["rss_mb"] == 120.5
+        assert snap["health"] == {
+            "policy": "warn", "batch": 5, "checks": 2,
+            "warnings": 1, "rollbacks": 0,
+        }
+        # Batch-event losses win; health EMAs only fill gaps.
+        assert snap["loss"]["L"] == 2.0
+
+    def test_worker_summary(self):
+        events = [
+            FIT_BEGIN,
+            _batch(
+                10,
+                workers=2,
+                **{
+                    "hogwild.straggler_lag_pairs": 128,
+                    "hogwild.parallel_efficiency": 0.91,
+                    "hogwild.stalled_workers": 0,
+                    "hogwild.worker.0.heartbeat_age_s": 0.01,
+                    "hogwild.worker.1.heartbeat_age_s": 0.25,
+                },
+            ),
+        ]
+        workers = summarize_events(events)["workers"]
+        assert workers == {
+            "n": 2,
+            "straggler_lag_pairs": 128,
+            "parallel_efficiency": 0.91,
+            "stalled_workers": 0,
+            "max_heartbeat_age_s": 0.25,
+        }
+
+    def test_sequential_run_has_no_worker_block(self):
+        snap = summarize_events([FIT_BEGIN, _batch(3, workers=1)])
+        assert snap["workers"] is None
+
+
+class TestResolve:
+    def test_file_passes_through(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("{}\n", encoding="utf-8")
+        assert resolve_telemetry(path) == path
+
+    def test_directory_prefers_telemetry_jsonl(self, tmp_path):
+        (tmp_path / "other.jsonl").write_text("{}\n", encoding="utf-8")
+        (tmp_path / "telemetry.jsonl").write_text("{}\n", encoding="utf-8")
+        assert resolve_telemetry(tmp_path).name == "telemetry.jsonl"
+
+    def test_directory_falls_back_to_newest_jsonl(self, tmp_path):
+        import os
+
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        old.write_text("{}\n", encoding="utf-8")
+        new.write_text("{}\n", encoding="utf-8")
+        os.utime(old, (1, 1))
+        assert resolve_telemetry(tmp_path).name == "new.jsonl"
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_telemetry(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            resolve_telemetry(tmp_path)  # dir without any .jsonl
+
+
+class TestRunMonitor:
+    def test_snapshot_from_sink_stream(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path)
+        for event in [FIT_BEGIN, _batch(4, pairs=320)]:
+            sink.emit(event)
+        sink.close()
+        snap = RunMonitor(path).snapshot()
+        assert snap["status"] == "running"
+        assert snap["step"] == 4
+        assert snap["n_events"] == 2
+
+    def test_snapshot_reads_rotated_series(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path, max_bytes=256, keep=10)
+        events = [FIT_BEGIN] + [_batch(i, pairs=64 * i) for i in range(20)]
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        snap = RunMonitor(path).snapshot()
+        # The fit_begin landed in a rotated segment but still shapes the
+        # snapshot (total_batches comes from it).
+        assert snap["n_events"] == len(events)
+        assert snap["total_batches"] == 100
+        assert snap["step"] == 19
+
+    def test_missing_file_is_waiting(self, tmp_path):
+        snap = RunMonitor(tmp_path / "never.jsonl").snapshot()
+        assert snap["status"] == "waiting"
+
+
+class TestRender:
+    def test_waiting_line(self):
+        line = render_snapshot(summarize_events([], source="x"))
+        assert "waiting" in line
+
+    def test_running_line_contents(self):
+        events = [
+            FIT_BEGIN,
+            _batch(19, pairs=1280, rate=640.0, workers=2,
+                   **{"hogwild.parallel_efficiency": 0.9}),
+            {"event": "health", "trainer": "deepdirect", "policy": "warn",
+             "batch": 19, "checks": 2, "warnings": 3, "rollbacks": 0,
+             "rss_mb": 100.0},
+        ]
+        line = render_snapshot(summarize_events(events))
+        assert "batch 20/100" in line
+        assert "20%" in line
+        assert "eta" in line
+        assert "L=2" in line
+        assert "health:3w" in line
+        assert "workers 2" in line
+
+
+class TestWatch:
+    def test_once_json_to_stream(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(FIT_BEGIN)
+        sink.emit(_batch(0))
+        sink.close()
+        buf = io.StringIO()
+        code = watch(tmp_path, once=True, as_json=True, stream=buf)
+        assert code == 0
+        snap = json.loads(buf.getvalue())
+        assert snap["schema"] == MONITOR_SCHEMA
+        assert snap["status"] == "running"
+
+    def test_loop_stops_on_done(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path)
+        for event in [FIT_BEGIN, _batch(99),
+                      {"event": "fit_end", "trainer": "deepdirect"}]:
+            sink.emit(event)
+        sink.close()
+        buf = io.StringIO()
+        code = watch(path, interval_s=0.01, stream=buf)
+        assert code == 0
+        assert "done" in buf.getvalue()
+
+    def test_max_refreshes_bounds_live_run(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(FIT_BEGIN)
+        sink.emit(_batch(1))
+        sink.close()
+        buf = io.StringIO()
+        code = watch(path, interval_s=0.01, stream=buf, max_refreshes=3)
+        assert code == 0
+        assert buf.getvalue().count("\n") == 3
+
+    def test_missing_target_exits_2(self, tmp_path, capsys):
+        assert watch(tmp_path / "nope", once=True) == 2
+        assert "monitor:" in capsys.readouterr().err

@@ -15,6 +15,8 @@ from repro.obs import (
     is_volatile,
     iter_batch_events,
     read_jsonl,
+    read_jsonl_series,
+    rotated_paths,
     strip_volatile,
 )
 
@@ -155,6 +157,79 @@ class TestJsonlSink:
         sink.close()
         sink.close()  # second close must be a no-op
         assert len(read_jsonl(path)) == 1
+
+
+class TestJsonlRotation:
+    def _events(self, n: int) -> list[dict]:
+        return [{"event": "batch", "step": i, "L": 1.0} for i in range(n)]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError, match="keep"):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=100, keep=0)
+
+    def test_live_file_respects_cap(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=200, keep=10)
+        for event in self._events(50):
+            sink.emit(event)
+        sink.close()
+        for segment in rotated_paths(path):
+            assert segment.stat().st_size <= 200
+
+    def test_segments_hold_whole_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=150, keep=10)
+        for event in self._events(30):
+            sink.emit(event)
+        sink.close()
+        assert sink.n_rotations > 0
+        for segment in rotated_paths(path):
+            for line in segment.read_text().splitlines():
+                assert isinstance(json.loads(line), dict)
+
+    def test_series_reassembles_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=150, keep=100)
+        events = self._events(40)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert read_jsonl_series(path) == events
+
+    def test_keep_bounds_total_segments(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, max_bytes=100, keep=2)
+        for event in self._events(100):
+            sink.emit(event)
+        sink.close()
+        segments = rotated_paths(path)
+        # At most keep rotated segments plus the live file.
+        assert len(segments) <= 3
+        assert segments[-1] == path
+        # The newest events survive; the oldest were dropped.
+        steps = [e["step"] for e in read_jsonl_series(path)]
+        assert steps == sorted(steps)
+        assert steps[-1] == 99
+
+    def test_rotated_paths_orders_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        (tmp_path / "events.jsonl.2").write_text("{}\n", encoding="utf-8")
+        (tmp_path / "events.jsonl.1").write_text("{}\n", encoding="utf-8")
+        path.write_text("{}\n", encoding="utf-8")
+        (tmp_path / "events.jsonl.bak").write_text("x", encoding="utf-8")
+        names = [p.name for p in rotated_paths(path)]
+        assert names == ["events.jsonl.2", "events.jsonl.1", "events.jsonl"]
+
+    def test_no_rotation_by_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        for event in self._events(200):
+            sink.emit(event)
+        sink.close()
+        assert sink.n_rotations == 0
+        assert rotated_paths(path) == [path]
 
 
 class TestConsoleReporter:

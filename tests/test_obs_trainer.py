@@ -192,3 +192,90 @@ class TestDStepEvent:
             tiny_config, callbacks=[InMemorySink()]
         ).fit(tiny_task.network, seed=0)
         assert np.array_equal(bare.tie_scores(), instrumented.tie_scores())
+
+
+class TestTelemetryFastPath:
+    """With no sinks and no monitor the kernels skip loss bookkeeping."""
+
+    def _spy(self, monkeypatch):
+        calls = []
+        original = DeepDirectEmbedding._train_batch
+
+        def wrapper(self, *args, **kwargs):
+            calls.append(
+                (
+                    bool(kwargs.get("need_loss", True)),
+                    bool(kwargs.get("track_grad_norm", False)),
+                )
+            )
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(DeepDirectEmbedding, "_train_batch", wrapper)
+        return calls
+
+    def test_bare_fit_skips_loss_on_non_history_batches(
+        self, tiny_task, tiny_config, monkeypatch
+    ):
+        calls = self._spy(monkeypatch)
+        DeepDirectEmbedding(tiny_config).fit(tiny_task.network, seed=0)
+        need_loss = [n for n, _ in calls]
+        assert len(need_loss) > 1
+        assert need_loss[0]  # history batches still record the loss
+        assert sum(need_loss) < len(need_loss)  # the rest skip it
+        assert not any(g for _, g in calls)  # grad norms are health-only
+
+    def test_callbacks_keep_loss_on_every_batch(
+        self, tiny_task, tiny_config, monkeypatch
+    ):
+        calls = self._spy(monkeypatch)
+        DeepDirectEmbedding(tiny_config).fit(
+            tiny_task.network, seed=0, callbacks=[InMemorySink()]
+        )
+        assert all(n for n, _ in calls)
+        assert not any(g for _, g in calls)
+
+    def test_health_keeps_loss_and_grad_norm(
+        self, tiny_task, tiny_config, monkeypatch
+    ):
+        from repro.obs import HealthMonitor
+
+        calls = self._spy(monkeypatch)
+        DeepDirectEmbedding(tiny_config).fit(
+            tiny_task.network, seed=0,
+            health=HealthMonitor(policy="warn", check_every=4),
+        )
+        assert all(n for n, _ in calls)
+        assert all(g for _, g in calls)
+
+
+class TestHealthEvents:
+    def test_health_events_stream_through_callbacks(
+        self, tiny_task, tiny_config
+    ):
+        from repro.obs import HealthMonitor
+
+        sink = InMemorySink()
+        DeepDirectEmbedding(tiny_config).fit(
+            tiny_task.network, seed=0, log_every=5,
+            callbacks=[sink],
+            health=HealthMonitor(policy="warn", check_every=4),
+        )
+        events = sink.of_kind("health")
+        assert events
+        for event in events:
+            assert event["policy"] == "warn"
+            assert event["warnings"] == 0
+            assert event["checks"] >= 0
+            assert "L_ema" in event
+        assert events[-1]["batch"] > 0
+
+    def test_monitored_fit_matches_bare_fit(self, tiny_task, tiny_config):
+        from repro.obs import HealthMonitor
+
+        bare = DeepDirectEmbedding(tiny_config).fit(tiny_task.network, seed=0)
+        monitored = DeepDirectEmbedding(tiny_config).fit(
+            tiny_task.network, seed=0,
+            health=HealthMonitor(policy="abort", check_every=4),
+        )
+        assert np.array_equal(bare.embeddings, monitored.embeddings)
+        assert np.array_equal(bare.contexts, monitored.contexts)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 import urllib.error
 import urllib.request
 
@@ -285,6 +286,16 @@ class TestAccessLogAndTrace:
             server.access_log.log(request_id="nope")
 
 
+def _wait_for_count(hist, n, timeout_s=5.0):
+    # The handler observes latency *after* the response bytes go out
+    # (the measurement must include the write), so the client can win
+    # the race to this assertion; poll briefly instead.
+    deadline = time.monotonic() + timeout_s
+    while hist.count < n and time.monotonic() < deadline:
+        time.sleep(0.005)
+    return hist.count
+
+
 class TestEndpointHistograms:
     def test_every_routed_endpoint_gets_a_latency_histogram(
         self, served, model
@@ -297,11 +308,11 @@ class TestEndpointHistograms:
             hist = engine.metrics.histogram(
                 f"serve.http.{endpoint}.latency_ms"
             )
-            assert hist.count >= 1
+            assert _wait_for_count(hist, 1) >= 1
             assert hist.min > 0
 
     def test_errors_are_measured_too(self, served):
         server, engine = served
         _request(server.url + "/score", data=b"{nope")
         hist = engine.metrics.histogram("serve.http.score.latency_ms")
-        assert hist.count == 1
+        assert _wait_for_count(hist, 1) == 1
