@@ -31,6 +31,16 @@ and at the report top level, so a committed baseline states its
 precision honestly).  See ``docs/performance.md`` for how to read the
 output.
 
+The paper-scale ``xlarge`` tier (off by default; ``--sizes xlarge``)
+builds a ~10^6-social-tie synthetic network, round-trips it through an
+on-disk graph store, and trains a one-epoch E-Step pair budget against
+the ``MmapStore`` (see ``docs/graph_storage.md``) with peak parent RSS
+sampled by ``repro.obs.RssSampler`` and recorded per entry as
+``rss_peak_mb``.  ``--check-rss TIER:WORKERS=MB ...`` turns that into
+the out-of-core acceptance gate (e.g. ``--check-rss xlarge:1=2048``);
+like the other gates, a rule that names a missing entry fails instead
+of passing vacuously.
+
 Every report carries a ``host`` provenance block (platform, machine,
 ``os.cpu_count()``, usable-core affinity) so a benchmark committed from
 a 1-core box can never silently masquerade as parallel-speedup
@@ -77,24 +87,41 @@ import numpy as np
 SCHEMA = "bench_estep/v1"
 
 #: Synthetic-graph node counts per size tier.
-SIZE_TIERS: dict[str, int] = {"small": 300, "medium": 1200, "large": 4000}
+SIZE_TIERS: dict[str, int] = {
+    "small": 300,
+    "medium": 1200,
+    "large": 4000,
+    "xlarge": 62_500,
+}
+#: Ties added per arriving node; the paper-scale tier is denser so that
+#: 62,500 nodes yield ~10^6 social ties (Table 2 territory).
+TIES_PER_NODE: dict[str, int] = {"xlarge": 16}
+#: Tiers that round-trip the graph through an on-disk ``MmapStore``
+#: before training (the out-of-core path) instead of holding it in RAM.
+STORE_TIERS = frozenset({"xlarge"})
+#: Default ``--sizes``: the in-memory tiers only.  The paper-scale
+#: ``xlarge`` tier (minutes, not seconds) must be requested explicitly.
+DEFAULT_SIZES = tuple(s for s in SIZE_TIERS if s not in STORE_TIERS)
 #: Alias-table weight counts per size tier (the acceptance target is the
 #: 10^6 build, exercised by the medium tier).
 ALIAS_WEIGHTS: dict[str, int] = {
     "small": 100_000,
     "medium": 1_000_000,
     "large": 2_000_000,
+    "xlarge": 4_000_000,
 }
 #: E-Step pair budget per size tier (kept small: throughput stabilises
-#: within a few thousand batches).
+#: within a few thousand batches).  The xlarge budget is ~one
+#: pair-sampling epoch over its ~10^6 social ties.
 ESTEP_PAIRS: dict[str, int] = {
     "small": 60_000,
     "medium": 150_000,
     "large": 300_000,
+    "xlarge": 1_000_000,
 }
 
 
-def _build_network(n_nodes: int, seed: int):
+def _build_network(n_nodes: int, seed: int, ties_per_node: int = 8):
     from repro.datasets import (
         GeneratorConfig,
         generate_social_network,
@@ -102,7 +129,8 @@ def _build_network(n_nodes: int, seed: int):
     )
 
     network = generate_social_network(
-        GeneratorConfig(n_nodes=n_nodes), seed=seed
+        GeneratorConfig(n_nodes=n_nodes, ties_per_node=ties_per_node),
+        seed=seed,
     )
     return hide_directions(network, 0.3, seed=seed).network
 
@@ -158,7 +186,7 @@ def _bench_estep(
 ) -> dict:
     from repro.embedding import DeepDirectConfig, DeepDirectEmbedding
     from repro.embedding.hogwild import should_degrade
-    from repro.obs import HealthMonitor
+    from repro.obs import HealthMonitor, RssSampler
 
     # min_pairs_per_worker=0 forces the requested worker count so every
     # entry reports *measured* throughput; the ``degraded`` flag records
@@ -180,7 +208,10 @@ def _bench_estep(
         else None
     )
     start = time.perf_counter()
-    result = DeepDirectEmbedding(config).fit(network, seed=seed, health=health)
+    with RssSampler() as rss:
+        result = DeepDirectEmbedding(config).fit(
+            network, seed=seed, health=health
+        )
     seconds = time.perf_counter() - start
     default_floor = DeepDirectConfig().min_pairs_per_worker
     return {
@@ -190,6 +221,10 @@ def _bench_estep(
         "pairs_per_sec": result.n_pairs_trained / max(seconds, 1e-9),
         "dtype": dtype,
         "health_policy": health_policy,
+        # Parent-process peak during the fit (obs.profile gauge).  With
+        # workers>1 the HOGWILD children are separate processes and are
+        # NOT counted, so the RSS gate only accepts workers=1 rules.
+        "rss_peak_mb": rss.peak_mb,
         "degraded": bool(
             should_degrade(workers, result.n_pairs_trained, default_floor)
         ),
@@ -456,16 +491,54 @@ def run_benchmarks(
     for size in sizes:
         n_nodes = SIZE_TIERS[size]
         print(f"[{size}] generating {n_nodes}-node network ...", flush=True)
-        network = _build_network(n_nodes, seed)
+        network = _build_network(
+            n_nodes, seed, ties_per_node=TIES_PER_NODE.get(size, 8)
+        )
         entry: dict = {
             "n_nodes": network.n_nodes,
             "n_ties": int(network.n_social_ties),
             "connected_pairs": int(network.connected_pair_count()),
             "alias_setup": _bench_alias(ALIAS_WEIGHTS[size], repeats, seed),
             "sampler_setup_s": _bench_sampler_setup(network, repeats),
-            "centrality_s": _bench_centrality(network, repeats, seed),
+            # Pivot Brandes at paper scale belongs to the feature
+            # benchmarks; the store tier gates the out-of-core E-Step.
+            "centrality_s": (
+                None if size in STORE_TIERS
+                else _bench_centrality(network, repeats, seed)
+            ),
             "estep": {},
         }
+        store_ctx = None
+        if size in STORE_TIERS:
+            # The out-of-core path: round-trip the graph through an
+            # on-disk store and train against the MmapStore, so the
+            # measured RSS reflects mmap'd columns, not RAM copies.
+            import tempfile
+            from pathlib import Path
+
+            from repro.graph import MixedSocialNetwork
+
+            store_ctx = tempfile.TemporaryDirectory()
+            print(f"[{size}] writing + reopening graph store ...",
+                  flush=True)
+            t0 = time.perf_counter()
+            store_path = network.save_store(
+                Path(store_ctx.name) / "graph.store"
+            )
+            write_s = time.perf_counter() - t0
+            network = None  # free the in-memory copy before training
+            t0 = time.perf_counter()
+            network = MixedSocialNetwork.from_store(store_path)
+            entry["graph_store"] = {
+                "backend": "mmap",
+                "write_s": write_s,
+                "open_s": time.perf_counter() - t0,
+                "bytes": sum(
+                    f.stat().st_size for f in store_path.iterdir()
+                ),
+            }
+        else:
+            entry["graph_store"] = {"backend": "memory"}
         pair_budget = estep_pairs or ESTEP_PAIRS[size]
         for n_workers in workers:
             print(
@@ -492,6 +565,9 @@ def run_benchmarks(
             report["phases"] = _bench_traced_phases(
                 network, min(pair_budget, 20_000), seed, dtype=dtype
             )
+        if store_ctx is not None:
+            network = None  # drop the mmap views before unlinking
+            store_ctx.cleanup()
     if report["sizes"]:
         report["trace_overhead"] = _bench_trace_overhead(report)
     print("[serving] artifact round-trip + HTTP batch scoring ...",
@@ -666,6 +742,81 @@ def check_throughput(
     return 1 if failures else 0
 
 
+def parse_rss_rules(
+    specs: Sequence[str],
+) -> dict[tuple[str, int], float]:
+    """Parse ``TIER:WORKERS=MB`` specs (e.g. ``xlarge:1=2048``)."""
+    rules: dict[tuple[str, int], float] = {}
+    for spec in specs:
+        try:
+            target, mb_text = spec.split("=", 1)
+            size, workers_text = target.split(":", 1)
+            rules[(size, int(workers_text))] = float(mb_text)
+        except ValueError:
+            raise ValueError(
+                f"bad rss rule {spec!r}; expected TIER:WORKERS=MB "
+                "(e.g. xlarge:1=2048)"
+            ) from None
+    return rules
+
+
+def check_rss(report: dict, rules: dict[tuple[str, int], float]) -> int:
+    """Fail (return 1) when an entry's peak RSS exceeds its ceiling (MB).
+
+    The out-of-core acceptance gate: the paper-scale tier must train
+    its E-Step epoch against the ``MmapStore`` without the parent
+    process ballooning — a working-set regression (an accidental eager
+    materialisation of the mmap'd columns, an unbounded intermediate)
+    shows up here long before it OOMs a runner.  ``rss_peak_mb`` is
+    sampled by :class:`repro.obs.RssSampler` in the *parent* process
+    only, so rules naming ``workers>1`` entries fail outright rather
+    than gating a number that excludes the HOGWILD children.  A rule
+    naming an entry absent from the report — or one whose sampler never
+    fired — also fails: a ceiling that silently never ran is worse than
+    a blown one.
+    """
+    rules = dict(rules)
+    failures = []
+    checked = 0
+    for size, entry in report["sizes"].items():
+        for key, stats in entry["estep"].items():
+            n_workers = int(key)
+            ceiling = rules.pop((size, n_workers), None)
+            if ceiling is None:
+                continue
+            if n_workers > 1:
+                failures.append(
+                    f"{size}: workers={key} rss is parent-only "
+                    "(HOGWILD children are separate processes); "
+                    "gate workers=1 entries instead"
+                )
+                continue
+            peak = stats.get("rss_peak_mb") or 0.0
+            if peak <= 0.0:
+                failures.append(
+                    f"{size}: workers={key} recorded no RSS samples"
+                )
+                continue
+            checked += 1
+            if peak > ceiling:
+                failures.append(
+                    f"{size}: workers={key} peak rss {peak:,.0f} MB "
+                    f"> {ceiling:,.0f} MB ceiling"
+                )
+    for (size, n_workers), ceiling in sorted(rules.items()):
+        failures.append(
+            f"rule {size}:{n_workers}={ceiling:g} matched no report entry"
+        )
+    for failure in failures:
+        print(f"check-rss: FAIL {failure}")
+    if not failures:
+        print(
+            f"check-rss: ok ({checked} entr"
+            f"{'y' if checked == 1 else 'ies'} under their ceilings)"
+        )
+    return 1 if failures else 0
+
+
 def check_trace_overhead(report: dict, limit: float) -> int:
     """Fail (return 1) when the disabled-tracing cost exceeds ``limit``."""
     info = report.get("trace_overhead") or {}
@@ -760,7 +911,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--sizes",
         nargs="+",
         choices=tuple(SIZE_TIERS),
-        default=list(SIZE_TIERS),
+        default=list(DEFAULT_SIZES),
+        help="size tiers to run (default: the in-memory tiers; the "
+        "paper-scale 'xlarge' tier trains against an on-disk MmapStore "
+        "and must be requested explicitly)",
     )
     parser.add_argument(
         "--workers", nargs="+", type=int, default=[1, 2, 4]
@@ -810,6 +964,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stricter per-entry floors (e.g. 'large:4=1.5').  Entries whose "
         "worker count exceeds the host's usable cores are skipped with "
         "a notice",
+    )
+    parser.add_argument(
+        "--check-rss",
+        nargs="+",
+        default=None,
+        metavar="TIER:WORKERS=MB",
+        dest="check_rss",
+        help="exit non-zero if a named entry's peak parent RSS exceeds "
+        "its ceiling in MB (e.g. 'xlarge:1=2048'); the out-of-core "
+        "acceptance gate for the MmapStore-backed tiers",
     )
     parser.add_argument(
         "--check-trace-overhead",
@@ -883,6 +1047,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(f"--check-throughput: {exc}")
 
+    rss_rules: dict[tuple[str, int], float] = {}
+    if args.check_rss is not None:
+        try:
+            rss_rules = parse_rss_rules(args.check_rss)
+        except ValueError as exc:
+            parser.error(f"--check-rss: {exc}")
+
     if args.serving_only:
         try:
             with open(args.output) as fh:
@@ -917,18 +1088,29 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     for size, entry in () if args.serving_only else report["sizes"].items():
         alias = entry["alias_setup"]
+        centrality = entry.get("centrality_s")
         print(
             f"[{size}] alias {alias['n_weights']} weights: "
             f"{alias['seconds'] * 1e3:.1f} ms | sampler setup "
             f"{entry['sampler_setup_s'] * 1e3:.1f} ms | centrality "
-            f"{entry['centrality_s'] * 1e3:.1f} ms"
+            + (f"{centrality * 1e3:.1f} ms" if centrality is not None
+               else "skipped")
         )
+        store = entry.get("graph_store") or {}
+        if store.get("backend") == "mmap":
+            print(
+                f"[{size}] store: {store['bytes'] / 1e6:.1f} MB on disk, "
+                f"write {store['write_s']:.2f} s, "
+                f"open {store['open_s']:.2f} s"
+            )
         for key in sorted(entry["estep"], key=int):
             stats = entry["estep"][key]
+            rss = stats.get("rss_peak_mb") or 0.0
             print(
                 f"[{size}] workers={key}: "
                 f"{stats['pairs_per_sec']:,.0f} pairs/sec "
                 f"({stats['speedup_vs_1']:.2f}x)"
+                + (f", peak rss {rss:,.0f} MB" if rss > 0 else "")
                 + (" [degraded at default config]"
                    if stats.get("degraded") else "")
             )
@@ -958,6 +1140,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         status |= check_speedup(report, speedup_threshold, speedup_rules)
     if throughput_rules:
         status |= check_throughput(report, throughput_rules)
+    if rss_rules:
+        status |= check_rss(report, rss_rules)
     if args.check_trace_overhead is not None:
         status |= check_trace_overhead(report, args.check_trace_overhead)
     if args.check_serving is not None:

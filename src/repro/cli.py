@@ -137,7 +137,37 @@ _CONFIG_KEYS = (
     "workers", "min_pairs_per_worker", "dtype", "hide", "artifact",
     "cache_size", "batch_window_ms", "smoke", "access_log",
     "health_policy", "health_every", "telemetry_max_bytes",
+    "graph_store",
 )
+
+
+def _load_network(args: argparse.Namespace):
+    """The command's input network, optionally via an on-disk store.
+
+    Without ``--graph-store`` the tie-list TSV is parsed into an
+    in-memory network.  With it, the network is backed by a
+    ``repro_graphstore/v1`` directory instead (see
+    ``docs/graph_storage.md``): an existing store at the path is opened
+    directly — zero-copy mmap'd columns, no TSV re-parse — while a
+    missing one is built from the TSV once and then reopened, so
+    repeated runs against the same large graph pay the parse exactly
+    once and train against the ``MmapStore``.
+    """
+    from pathlib import Path
+
+    from .graph import MixedSocialNetwork
+
+    store = getattr(args, "graph_store", None)
+    if not store:
+        return read_tie_list(args.input)
+    path = Path(store)
+    if path.exists():
+        print(f"opening graph store {path}", file=sys.stderr)
+        return MixedSocialNetwork.from_store(path)
+    network = read_tie_list(args.input)
+    network.save_store(path)
+    print(f"wrote graph store {path}", file=sys.stderr)
+    return MixedSocialNetwork.from_store(path)
 
 
 class _ObsSession:
@@ -298,7 +328,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     with _ObsSession(args, "discover") as obs:
-        network = read_tie_list(args.input)
+        network = _load_network(args)
         obs.set_network(network)
         callbacks = _telemetry_callbacks(args)
         health = _build_health(args)
@@ -427,7 +457,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .serve import save_model_artifact
 
     with _ObsSession(args, "export") as obs:
-        network = read_tie_list(args.input)
+        network = _load_network(args)
         obs.set_network(network)
         callbacks = _telemetry_callbacks(args)
         health = _build_health(args)
@@ -702,6 +732,15 @@ def build_parser() -> argparse.ArgumentParser:
         "score accuracy on the hidden rest",
     )
     discover.add_argument("--output", default=None)
+    discover.add_argument(
+        "--graph-store",
+        default=None,
+        metavar="DIR",
+        dest="graph_store",
+        help="back the network with an on-disk graph store: open DIR "
+        "if it exists (skipping the TSV parse), else build it from the "
+        "input once; training then runs against the mmap'd store",
+    )
     _add_model_arguments(discover)
     discover.set_defaults(handler=_cmd_discover)
 
@@ -795,6 +834,15 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("input", help="tie-list TSV file")
     export.add_argument(
         "output", help="artifact bundle directory to create"
+    )
+    export.add_argument(
+        "--graph-store",
+        default=None,
+        metavar="DIR",
+        dest="graph_store",
+        help="back the network with an on-disk graph store: open DIR "
+        "if it exists (skipping the TSV parse), else build it from the "
+        "input once; training then runs against the mmap'd store",
     )
     _add_model_arguments(export)
     export.set_defaults(handler=_cmd_export)

@@ -22,11 +22,12 @@ Every generator takes an explicit ``seed`` and is fully deterministic.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..graph import MixedSocialNetwork
+from ..graph import MixedSocialNetwork, PairChunkBuffer
 from ..utils import check_probability, ensure_rng
 
 
@@ -155,6 +156,14 @@ def _grow_skeleton(
     probability ``homophily``, and candidates are accepted with
     probability ``σ(status_attachment · latent)`` so ties form toward
     high-status nodes.
+
+    The grown edge list never lives as Python tuples: edges stream into
+    a :class:`~repro.graph.store.PairChunkBuffer` (bounded int32 chunks
+    that spill to disk past a few million rows), adjacency lists are
+    packed C int arrays, and the preferential-attachment endpoint pool
+    is an amortised-doubling int32 buffer.  The rng call sequence is
+    identical to the historical list-based implementation, so seeds
+    reproduce the same graphs.
     """
     n, m = config.n_nodes, config.ties_per_node
     m0 = min(m + 1, n)
@@ -164,18 +173,25 @@ def _grow_skeleton(
     else:
         accept_prob = np.ones(n)
 
-    neighbors: list[list[int]] = [[] for _ in range(n)]
-    edges: list[tuple[int, int]] = []
-    # repeated_nodes holds one entry per edge endpoint, so uniform sampling
+    neighbors: list[array] = [array("i") for _ in range(n)]
+    edges = PairChunkBuffer()
+    # repeated holds one entry per edge endpoint, so uniform sampling
     # from it is degree-proportional sampling — the classic PA trick.
-    repeated_nodes: list[int] = []
+    repeated = np.empty(max(4 * n * max(m, 1), 16), dtype=np.int32)
+    repeated_len = 0
 
     def _link(u: int, v: int) -> None:
+        nonlocal repeated, repeated_len
         neighbors[u].append(v)
         neighbors[v].append(u)
-        edges.append((u, v))
-        repeated_nodes.append(u)
-        repeated_nodes.append(v)
+        edges.append(u, v)
+        if repeated_len + 2 > len(repeated):
+            grown = np.empty(2 * len(repeated), dtype=np.int32)
+            grown[:repeated_len] = repeated[:repeated_len]
+            repeated = grown
+        repeated[repeated_len] = u
+        repeated[repeated_len + 1] = v
+        repeated_len += 2
 
     # Seed: a path over the first m0 nodes keeps the graph connected.
     for i in range(1, m0):
@@ -198,7 +214,7 @@ def _grow_skeleton(
                 )
             else:
                 candidate = int(
-                    repeated_nodes[rng.integers(len(repeated_nodes))]
+                    repeated[rng.integers(repeated_len)]
                 )
             if candidate == new or candidate in targets:
                 continue
@@ -212,9 +228,12 @@ def _grow_skeleton(
         for t in targets:
             _link(new, t)
 
-    edge_arr = np.asarray(edges, dtype=np.int64)
+    edge_arr = edges.finalize()
     degrees = np.zeros(n, dtype=np.int64)
-    np.add.at(degrees, edge_arr.ravel(), 1)
+    step = 1 << 20
+    for start in range(0, len(edge_arr), step):
+        block = np.asarray(edge_arr[start : start + step])
+        degrees += np.bincount(block.ravel(), minlength=n)
     return edge_arr, degrees
 
 
@@ -277,22 +296,22 @@ def generate_social_network(
     )
     forward = rng.random(len(edges)) < forward_prob
 
-    directed_pairs = []
-    for i in np.flatnonzero(~bidirectional_mask):
-        if forward[i]:
-            directed_pairs.append((int(u[i]), int(v[i])))
-        else:
-            directed_pairs.append((int(v[i]), int(u[i])))
-    bidirectional_pairs = [
-        (int(u[i]), int(v[i])) for i in np.flatnonzero(bidirectional_mask)
-    ]
-    if not directed_pairs:
+    dir_idx = np.flatnonzero(~bidirectional_mask)
+    directed = np.column_stack(
+        [
+            np.where(forward[dir_idx], u[dir_idx], v[dir_idx]),
+            np.where(forward[dir_idx], v[dir_idx], u[dir_idx]),
+        ]
+    )
+    bi_idx = np.flatnonzero(bidirectional_mask)
+    bidirectional = np.column_stack([u[bi_idx], v[bi_idx]])
+    if len(directed) == 0:
         # Degenerate reciprocity=1.0 corner: Definition 1 needs |E_d| > 0,
         # so demote one bidirectional tie to directed.
-        first = bidirectional_pairs.pop()
-        directed_pairs.append(first)
-    return MixedSocialNetwork(
-        config.n_nodes, directed_pairs, bidirectional_pairs
+        directed = bidirectional[-1:].copy()
+        bidirectional = bidirectional[:-1]
+    return MixedSocialNetwork.from_arrays(
+        config.n_nodes, directed=directed, bidirectional=bidirectional
     )
 
 

@@ -26,7 +26,7 @@ from .node2vec import (
     Node2VecResult,
     generate_walks,
 )
-from .persistence import load_embedding, save_embedding
+from .persistence import embedding_from_arrays, embedding_to_arrays
 from .patterns import (
     TriadNeighborhood,
     build_triad_neighborhoods,
@@ -67,16 +67,16 @@ __all__ = [
     "build_triad_neighborhoods",
     "degree_pseudo_labels",
     "embed",
+    "embedding_from_arrays",
+    "embedding_to_arrays",
     "estep_batch_loss",
     "fused_estep_batch",
     "fused_sgns_batch",
-    "load_embedding",
     "reference_batch_triad_labels",
     "reference_estep_batch",
     "reference_sgns_batch",
     "sample_common_neighbors",
     "sample_common_neighbors_batch",
-    "save_embedding",
     "should_degrade",
     "triad_pseudo_labels",
 ]

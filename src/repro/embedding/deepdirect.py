@@ -416,8 +416,9 @@ class DeepDirectEmbedding:
         every worker through the copy-on-write task payload — so workers
         do zero sampling work and no longer duplicate per-batch draw
         overhead per process (the cost that used to make small-tier
-        HOGWILD slower than sequential).  Worker ``w`` slices batches
-        ``w, w + W, …`` out of the shared plan as zero-copy views.
+        HOGWILD slower than sequential).  The backend calls
+        ``task.shard(start, stop)`` per worker, so each worker receives
+        only its contiguous slice of the plan as zero-copy views.
         """
         cfg = self.config
         plan = planner.plan(n_batches * cfg.batch_size, cfg.batch_size)
@@ -585,10 +586,12 @@ class _HogwildEStepTask:
     Carries everything a worker needs to run :meth:`_train_batch`
     against the shared ``M``/``N``/``w'``/``b'`` buffers.  The whole-run
     :class:`~repro.embedding.samplers.SamplePlan` was drawn in the
-    parent, so the plan arrays travel to the workers copy-on-write
-    (fork) or via pickling (spawn) and each worker just slices its
-    batches out — workers themselves never touch an RNG, which is why
-    :meth:`counters` is empty.
+    parent; :meth:`shard` then narrows the payload to one worker's
+    contiguous batch range, so each worker receives just its own slice
+    of the plan (zero-copy views — one contiguous tie-id range of the
+    store) copy-on-write (fork) or via pickling (spawn).  Workers
+    themselves never touch an RNG, which is why :meth:`counters` is
+    empty.
     """
 
     config: DeepDirectConfig
@@ -598,6 +601,17 @@ class _HogwildEStepTask:
     labeled_mask: np.ndarray
     undirected_mask: np.ndarray
     y_degree: np.ndarray
+    #: Global index of the first batch in :attr:`plan` (0 for the full
+    #: plan; the shard start after :meth:`shard`).
+    batch_offset: int = 0
+
+    def shard(self, start: int, stop: int) -> "_HogwildEStepTask":
+        """Payload for one worker: batches ``start .. stop - 1`` only."""
+        return dataclasses.replace(
+            self,
+            plan=self.plan.slice_batches(start, stop),
+            batch_offset=start,
+        )
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
@@ -612,7 +626,7 @@ class _HogwildEStepTask:
         lr: float,
         rng: np.random.Generator,
     ) -> float:
-        e, successor, negatives = self.plan.batch(batch_idx)
+        e, successor, negatives = self.plan.batch(batch_idx - self.batch_offset)
         # Poison test hook: workers inherit REPRO_HEALTH_POISON through
         # the environment, so a poisoned batch lands one NaN in this
         # worker's shared-memory view — the parent's monitor must catch

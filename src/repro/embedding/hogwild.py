@@ -8,10 +8,14 @@ module extends that approximation across processes, the HOGWILD recipe
 
 * the model matrices live in one ``multiprocessing.shared_memory``
   segment; workers update them concurrently without locks,
-* each worker owns a **disjoint slice of the batch schedule** (worker
-  ``w`` runs global batches ``w, w + W, w + 2W, ...``) so the learning
-  rate decay and the total pair budget are exactly those of the
-  sequential run,
+* each worker owns a **contiguous slice of the batch schedule**
+  (:func:`contiguous_shards` splits ``[0, n_batches)`` into ``W``
+  ranges): the learning-rate decay still uses the *global* batch index
+  and the total pair budget is exactly that of the sequential run,
+  while tasks that pre-plan their samples can hand each worker just its
+  own tie-id range of the plan (the optional ``task.shard(start, stop)``
+  hook) — a zero-copy view of one contiguous store slice instead of the
+  whole schedule,
 * each worker draws from its own child generator (``rng.spawn``), so a
   run is seeded end-to-end; bit-level reproducibility across runs is
   intentionally traded for throughput (scatter-adds interleave freely).
@@ -92,6 +96,27 @@ class HogwildTask(Protocol):
 
     def counters(self, state: Any) -> tuple[int, ...]:
         """Final deterministic counter values, in ``counter_names`` order."""
+
+
+def contiguous_shards(n_batches: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_batches)`` into ``workers`` contiguous ranges.
+
+    The first ``n_batches % workers`` shards get one extra batch, so
+    shard sizes differ by at most one — the same balance the old
+    strided schedule had, but with each worker's batches (and therefore
+    its slice of a pre-drawn :class:`~repro.embedding.samplers.
+    SamplePlan`) forming one contiguous tie-id range.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    base, rem = divmod(max(n_batches, 0), workers)
+    shards = []
+    start = 0
+    for w in range(workers):
+        stop = start + base + (1 if w < rem else 0)
+        shards.append((start, stop))
+        start = stop
+    return shards
 
 
 @dataclass
@@ -189,8 +214,9 @@ def _worker_main(
     layout: tuple[tuple[str, tuple[int, ...], str, int], ...],
     task: HogwildTask,
     rng: np.random.Generator,
+    batch_start: int,
+    batch_stop: int,
     n_batches: int,
-    workers: int,
     batch_size: int,
     lr0: float,
     lr_floor: float,
@@ -221,7 +247,10 @@ def _worker_main(
                 state = task.setup(views, rng)
             start = time.perf_counter()
             with span("hogwild.worker_train", worker_id=worker_id) as train_sp:
-                for batch_idx in range(worker_id, n_batches, workers):
+                # Contiguous shard of the global schedule; the lr decay
+                # keeps using the global batch index, so the budget and
+                # decay curve match the sequential run exactly.
+                for batch_idx in range(batch_start, batch_stop):
                     lr = lr0 * max(1.0 - batch_idx / n_batches, lr_floor)
                     loss = float(task.step(state, views, batch_idx, lr, rng))
                     row[_LAST_LOSS] = loss
@@ -333,6 +362,16 @@ def run_hogwild(
 
         child_rngs = rng.spawn(workers)
         untrack_shm = ctx.get_start_method() != "fork"
+        shards = contiguous_shards(n_batches, workers)
+        # Tasks that pre-plan their samples expose shard(start, stop):
+        # the parent then ships each worker only its contiguous slice of
+        # the plan (zero-copy views — one tie-id range of the store)
+        # instead of the full schedule.
+        shard_fn = getattr(task, "shard", None)
+        worker_tasks = [
+            shard_fn(start, stop) if callable(shard_fn) else task
+            for start, stop in shards
+        ]
         tracer = current_tracer()
         if tracer is not None and tracer.enabled:
             trace_dir = tempfile.mkdtemp(prefix="repro-hogwild-trace-")
@@ -347,8 +386,10 @@ def run_hogwild(
             ctx.Process(
                 target=_worker_main,
                 args=(
-                    worker_id, shm.name, layout, task, child_rngs[worker_id],
-                    n_batches, workers, batch_size, lr0, lr_floor,
+                    worker_id, shm.name, layout, worker_tasks[worker_id],
+                    child_rngs[worker_id],
+                    shards[worker_id][0], shards[worker_id][1], n_batches,
+                    batch_size, lr0, lr_floor,
                     len(counter_names), untrack_shm, trace_paths[worker_id],
                 ),
                 daemon=True,

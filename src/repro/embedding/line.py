@@ -387,6 +387,17 @@ class _HogwildLineTask:
     u: np.ndarray
     v: np.ndarray
     negs: np.ndarray
+    #: Global index of the first batch held by this payload's arrays.
+    batch_offset: int = 0
+
+    def shard(self, start: int, stop: int) -> "_HogwildLineTask":
+        """Payload for one worker: samples of batches ``start..stop-1``."""
+        lo = start * self.config.batch_size
+        hi = stop * self.config.batch_size
+        return dataclasses.replace(
+            self, u=self.u[lo:hi], v=self.v[lo:hi], negs=self.negs[lo:hi],
+            batch_offset=start,
+        )
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
@@ -404,7 +415,7 @@ class _HogwildLineTask:
         cfg = self.config
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
-        lo = batch_idx * cfg.batch_size
+        lo = (batch_idx - self.batch_offset) * cfg.batch_size
         hi = lo + cfg.batch_size
         u, v, negs = self.u[lo:hi], self.v[lo:hi], self.negs[lo:hi]
         maybe_poison(batch_idx, arrays)

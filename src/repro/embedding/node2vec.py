@@ -435,6 +435,17 @@ class _HogwildNode2VecTask:
     u: np.ndarray
     v: np.ndarray
     negs: np.ndarray
+    #: Global index of the first batch held by this payload's arrays.
+    batch_offset: int = 0
+
+    def shard(self, start: int, stop: int) -> "_HogwildNode2VecTask":
+        """Payload for one worker: samples of batches ``start..stop-1``."""
+        lo = start * self.config.batch_size
+        hi = stop * self.config.batch_size
+        return dataclasses.replace(
+            self, u=self.u[lo:hi], v=self.v[lo:hi], negs=self.negs[lo:hi],
+            batch_offset=start,
+        )
 
     def setup(
         self, arrays: dict[str, np.ndarray], rng: np.random.Generator
@@ -453,7 +464,7 @@ class _HogwildNode2VecTask:
         maybe_poison(batch_idx, arrays)
         kernel = (fused_sgns_batch if cfg.kernel == "fused"
                   else reference_sgns_batch)
-        lo = batch_idx * cfg.batch_size
+        lo = (batch_idx - self.batch_offset) * cfg.batch_size
         hi = lo + cfg.batch_size
         u, v, negs = self.u[lo:hi], self.v[lo:hi], self.negs[lo:hi]
         return float(

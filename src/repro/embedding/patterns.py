@@ -92,11 +92,21 @@ def _ragged_csr_rows(
     return positions, np.repeat(np.arange(len(rows)), counts)
 
 
+#: Entry budget per chunk of the triad-neighbourhood build.  One chunk
+#: materialises ~10 temporaries of this many int64s (the tagged
+#: neighbour lists plus their sort keys and permutations), so the
+#: transient footprint is bounded at roughly ``10 * 8 * budget`` bytes
+#: regardless of graph size — a paper-scale hub-heavy graph no longer
+#: allocates a multi-GB intersection in one shot.
+TRIAD_CHUNK_ENTRIES = 4_000_000
+
+
 def build_triad_neighborhoods(
     network: MixedSocialNetwork,
     gamma: int,
     seed: int | np.random.Generator = 0,
     tie_ids: np.ndarray | None = None,
+    chunk_entries: int = TRIAD_CHUNK_ENTRIES,
 ) -> TriadNeighborhood:
     """Sample ``t(u, v)`` for the requested ties (default: all of ``E_u``).
 
@@ -105,10 +115,18 @@ def build_triad_neighborhoods(
 
     The build is fully vectorised: one canonical orientation per tie is
     selected with ``np.unique`` over ``min(e, reverse_of[e])`` keys, the
-    common-neighbour intersection of every pair happens in a single
-    lexsort over the concatenated (tagged) neighbour lists, and the
-    per-pair down-sampling to ``gamma`` witnesses uses random sort keys
+    common-neighbour intersection happens in a sort over the
+    concatenated (tagged) neighbour lists, and the per-pair
+    down-sampling to ``gamma`` witnesses uses random sort keys
     (equivalent to a uniform draw without replacement).
+
+    The intersection streams over the canonical pairs in chunks of at
+    most ``chunk_entries`` neighbour-list entries (never splitting a
+    pair), so peak transient memory is bounded by the budget, not by
+    ``sum(deg)`` of the whole graph.  Chunking is *exact*: hits keep
+    their global order and numpy ``Generator`` draws are stream-stable
+    under splitting, so the result is bit-identical for any
+    ``chunk_entries``.
     """
     rng = ensure_rng(seed)
     n = network.n_ties
@@ -129,8 +147,8 @@ def build_triad_neighborhoods(
     _, first = np.unique(orbit, return_index=True)
     canon = tie_ids[np.sort(first)]
     rev = network.reverse_of[canon]
-    u_nodes = network.tie_src[canon]
-    v_nodes = network.tie_dst[canon]
+    u_all = network.tie_src[canon]
+    v_all = network.tie_dst[canon]
 
     # The undirected CSR stores neighbours in lexsort((tie_dst, tie_src))
     # order, so CSR position p *is* oriented tie order[p]: recovering the
@@ -138,6 +156,41 @@ def build_triad_neighborhoods(
     offsets, targets = network._ensure_und_csr()  # noqa: SLF001
     csr_tie_ids = np.lexsort((network.tie_dst, network.tie_src))
 
+    degree = np.asarray(offsets[1:]) - np.asarray(offsets[:-1])
+    entries = np.cumsum(degree[u_all] + degree[v_all])
+    start = 0
+    while start < len(canon):
+        consumed = int(entries[start - 1]) if start else 0
+        stop = int(
+            np.searchsorted(entries, consumed + chunk_entries, side="right")
+        )
+        stop = min(max(stop, start + 1), len(canon))
+        _intersect_chunk(
+            network, rng, gamma, uw, vw, counts,
+            canon[start:stop], rev[start:stop],
+            u_all[start:stop], v_all[start:stop],
+            offsets, targets, csr_tie_ids,
+        )
+        start = stop
+    return TriadNeighborhood(uw_ids=uw, vw_ids=vw, counts=counts)
+
+
+def _intersect_chunk(
+    network: MixedSocialNetwork,
+    rng: np.random.Generator,
+    gamma: int,
+    uw: np.ndarray,
+    vw: np.ndarray,
+    counts: np.ndarray,
+    canon: np.ndarray,
+    rev: np.ndarray,
+    u_nodes: np.ndarray,
+    v_nodes: np.ndarray,
+    offsets: np.ndarray,
+    targets: np.ndarray,
+    csr_tie_ids: np.ndarray,
+) -> None:
+    """Intersect one chunk of canonical pairs into ``uw``/``vw``/``counts``."""
     pos_u, grp_u = _ragged_csr_rows(offsets, u_nodes)
     pos_v, grp_v = _ragged_csr_rows(offsets, v_nodes)
     grp = np.concatenate([grp_u, grp_v])
@@ -197,7 +250,6 @@ def build_triad_neighborhoods(
         kept_counts = np.bincount(pair_k, minlength=len(canon))
         counts[canon] = kept_counts
         counts[rev] = kept_counts
-    return TriadNeighborhood(uw_ids=uw, vw_ids=vw, counts=counts)
 
 
 def triad_pseudo_labels(

@@ -1,27 +1,20 @@
-"""Persistence for trained embeddings (numpy ``.npz``).
+"""Array (de)serialisation contract for trained embeddings.
 
 An E-Step run on a large network is the expensive part of the pipeline;
-these helpers let it be saved once and reloaded for further D-Step
-experiments, visualisation, or export.
+:func:`embedding_to_arrays` / :func:`embedding_from_arrays` define the
+validated plain-array contract the serving-artifact API
+(:func:`repro.serve.save_embedding_artifact` /
+:func:`repro.serve.load_embedding_artifact`) persists — no pickling,
+every array checked on the way back in.
 
-The format is a plain ``.npz`` archive (no pickling), so files are
-portable and safe to load from untrusted sources.
-
-.. deprecated::
-    The bare :func:`save_embedding` / :func:`load_embedding` pair is
-    superseded by the serving-artifact API
-    (:func:`repro.serve.save_embedding_artifact` /
-    :func:`repro.serve.load_embedding_artifact`), which adds a JSON
-    metadata side-car, schema versioning and a dataset fingerprint.
-    Both functions still work but emit :class:`DeprecationWarning`; see
-    ``docs/serving.md`` and the migration notes in
-    ``docs/paper_mapping.md``.
+The bare ``save_embedding`` / ``load_embedding`` helpers that once
+lived here were deprecated in favour of artifact bundles and have been
+removed; see ``docs/serving.md`` and the migration notes in
+``docs/paper_mapping.md``.
 """
 
 from __future__ import annotations
 
-import os
-import warnings
 from typing import Mapping
 
 import numpy as np
@@ -76,7 +69,7 @@ def embedding_from_arrays(
         return ValueError(
             f"{source}: array {name!r} {why} "
             f"(got dtype={arr.dtype}, shape={arr.shape}); the archive is "
-            "truncated or was not written by save_embedding"
+            "truncated or was not written by embedding_to_arrays"
         )
 
     embeddings = np.asarray(arrays["embeddings"])
@@ -124,37 +117,3 @@ def embedding_from_arrays(
         ],
         n_pairs_trained=int(n_pairs[0]),
     )
-
-
-def save_embedding(result: EmbeddingResult, path: str | os.PathLike) -> None:
-    """Write an :class:`EmbeddingResult` to ``path`` as ``.npz``.
-
-    .. deprecated::
-        Use :func:`repro.serve.save_embedding_artifact`, which writes a
-        versioned bundle with metadata; this shim remains for existing
-        ``.npz`` files.
-    """
-    warnings.warn(
-        "save_embedding is deprecated; use "
-        "repro.serve.save_embedding_artifact (see docs/serving.md)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    np.savez(path, **embedding_to_arrays(result))
-
-
-def load_embedding(path: str | os.PathLike) -> EmbeddingResult:
-    """Read an :class:`EmbeddingResult` written by :func:`save_embedding`.
-
-    .. deprecated::
-        Use :func:`repro.serve.load_embedding_artifact` for artifact
-        bundles; this shim remains able to read legacy ``.npz`` files.
-    """
-    warnings.warn(
-        "load_embedding is deprecated; use "
-        "repro.serve.load_embedding_artifact (see docs/serving.md)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    with np.load(path, allow_pickle=False) as archive:
-        return embedding_from_arrays(dict(archive), source=str(path))

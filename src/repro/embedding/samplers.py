@@ -320,6 +320,30 @@ class SamplePlan:
         hi = min(lo + self.batch_size, self.n_pairs)
         return self.e[lo:hi], self.successor[lo:hi], self.negatives[lo:hi]
 
+    def slice_batches(self, start: int, stop: int) -> "SamplePlan":
+        """Zero-copy sub-plan covering batches ``start .. stop - 1``.
+
+        This is how the HOGWILD parent hands each worker a *contiguous*
+        slice of the schedule: the returned plan's arrays are views of
+        this plan's (one contiguous tie-id range of the backing store),
+        so a forked worker shares the pages and a spawned worker pickles
+        only its own slice.  Batch ``i`` of the sub-plan is batch
+        ``start + i`` of this plan.
+        """
+        if not 0 <= start <= stop <= self.n_batches:
+            raise IndexError(
+                f"batches [{start}, {stop}) out of range for plan with "
+                f"{self.n_batches} batches"
+            )
+        lo = start * self.batch_size
+        hi = min(stop * self.batch_size, self.n_pairs)
+        return SamplePlan(
+            self.e[lo:hi],
+            self.successor[lo:hi],
+            self.negatives[lo:hi],
+            self.batch_size,
+        )
+
 
 class SamplePlanner:
     """Epoch-scale sample planning over a :class:`ConnectedPairSampler`.

@@ -5,10 +5,25 @@ from .io import read_tie_list, write_tie_list
 from .line_graph import line_graph_edges, line_graph_size, to_networkx_line_graph
 from .mixed_graph import GraphValidationError, MixedSocialNetwork, TieKind
 from .sampling import bfs_sample_nodes, bfs_sample_ties, top_degree_subgraph
+from .store import (
+    STORE_SCHEMA,
+    GraphStore,
+    InMemoryStore,
+    MmapStore,
+    PairChunkBuffer,
+    open_store,
+    tie_fingerprint,
+    write_store,
+)
 
 __all__ = [
+    "GraphStore",
     "GraphValidationError",
+    "InMemoryStore",
     "MixedSocialNetwork",
+    "MmapStore",
+    "PairChunkBuffer",
+    "STORE_SCHEMA",
     "TieKind",
     "bfs_sample_nodes",
     "bfs_sample_ties",
@@ -17,8 +32,11 @@ __all__ = [
     "from_tie_arrays",
     "line_graph_edges",
     "line_graph_size",
+    "open_store",
     "read_tie_list",
+    "tie_fingerprint",
     "to_networkx_line_graph",
     "top_degree_subgraph",
+    "write_store",
     "write_tie_list",
 ]

@@ -13,14 +13,40 @@ the preprocessing step of Algorithm 1 in the paper: every directed tie
 bidirectional or undirected tie is stored in both orientations.  Each
 oriented tie gets a dense integer id ``0..n_ties-1``; ``reverse_of[e]``
 links the two orientations of the same social tie.
+
+Since the storage-backend split, :class:`MixedSocialNetwork` is a thin
+façade over a :class:`~repro.graph.store.GraphStore`: the tie columns
+and every derived structure (CSRs, key index, tie degrees) live in the
+backend — :class:`~repro.graph.store.InMemoryStore` for networks built
+from pair lists, :class:`~repro.graph.store.MmapStore` for networks
+opened from an on-disk store directory via :meth:`MixedSocialNetwork.
+from_store`.  All accessors delegate, so downstream code is oblivious
+to where the arrays actually live.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from enum import IntEnum
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
+
+from .store import (
+    GraphStore,
+    GraphValidationError,
+    InMemoryStore,
+    MmapStore,
+    write_store,
+)
+
+__all__ = [
+    "GraphValidationError",
+    "MixedSocialNetwork",
+    "TieKind",
+]
 
 
 class TieKind(IntEnum):
@@ -36,13 +62,19 @@ class TieKind(IntEnum):
     UNDIRECTED = 3
 
 
-class GraphValidationError(ValueError):
-    """Raised when tie lists violate the mixed-social-network contract."""
+#: Above this many pairs, feeding plain Python iterables through the
+#: constructor earns a DeprecationWarning: the list round-trip holds
+#: every tie as a tuple of boxed ints, exactly what the store API is
+#: designed to avoid.  Arrays of any size stay silent.
+_LARGE_ITERABLE_WARN = 250_000
 
 
 def _as_pair_array(ties: Iterable[tuple[int, int]]) -> np.ndarray:
     """Normalise an iterable of (u, v) pairs into an ``(n, 2)`` int array."""
-    arr = np.asarray(list(ties), dtype=np.int64)
+    if isinstance(ties, np.ndarray):
+        arr = np.ascontiguousarray(ties, dtype=np.int64)
+    else:
+        arr = np.asarray(list(ties), dtype=np.int64)
     if arr.size == 0:
         return arr.reshape(0, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:
@@ -72,6 +104,12 @@ class MixedSocialNetwork:
         When true (default), enforce Definition 1: no self loops, no
         duplicate ties, disjoint tie classes, and ``|E_d| > 0``.
 
+    For large graphs prefer the array-native constructors: build
+    ``(k, 2)`` arrays and call :meth:`from_arrays`, or open a persisted
+    store directory with :meth:`from_store`.  The positional-iterable
+    constructor remains supported as a validated shim, but warns once
+    the input is a non-array iterable past ~250k pairs.
+
     Examples
     --------
     >>> net = MixedSocialNetwork(3, directed_ties=[(0, 1)],
@@ -90,67 +128,110 @@ class MixedSocialNetwork:
         undirected_ties: Iterable[tuple[int, int]] = (),
         validate: bool = True,
     ) -> None:
-        if n_nodes <= 0:
-            raise GraphValidationError("n_nodes must be positive")
-        self._n_nodes = int(n_nodes)
-
+        listy = sum(
+            len(ties) if hasattr(ties, "__len__") else 0
+            for ties in (directed_ties, bidirectional_ties, undirected_ties)
+            if not isinstance(ties, np.ndarray)
+        )
+        if listy > _LARGE_ITERABLE_WARN:
+            warnings.warn(
+                f"building a MixedSocialNetwork from {listy} Python pairs; "
+                "for graphs this size use MixedSocialNetwork.from_arrays "
+                "(numpy (k, 2) arrays) or from_store (on-disk store) — "
+                "see docs/graph_storage.md",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         e_d = _as_pair_array(directed_ties)
         e_b = _as_pair_array(bidirectional_ties)
         e_u = _as_pair_array(undirected_ties)
+        self._init_from_pairs(n_nodes, e_d, e_b, e_u, validate)
 
+    def _init_from_pairs(
+        self,
+        n_nodes: int,
+        e_d: np.ndarray,
+        e_b: np.ndarray,
+        e_u: np.ndarray,
+        validate: bool,
+    ) -> None:
+        if n_nodes <= 0:
+            raise GraphValidationError("n_nodes must be positive")
+        self._n_nodes = int(n_nodes)
         if validate:
             self._validate(e_d, e_b, e_u)
-
-        src_parts, dst_parts, kind_parts = [], [], []
-
-        def _add(pairs: np.ndarray, kind: TieKind) -> None:
-            src_parts.append(pairs[:, 0])
-            dst_parts.append(pairs[:, 1])
-            kind_parts.append(np.full(len(pairs), int(kind), dtype=np.int8))
-
-        # Layout: [E_d forward | E_d reverse | E_b both | E_u both].
-        # Reverse orientations sit at a fixed offset from their partner,
-        # which makes reverse_of cheap to build.
-        _add(e_d, TieKind.DIRECTED)
-        _add(e_d[:, ::-1], TieKind.DIRECTED_REVERSE)
-        _add(e_b, TieKind.BIDIRECTIONAL)
-        _add(e_b[:, ::-1], TieKind.BIDIRECTIONAL)
-        _add(e_u, TieKind.UNDIRECTED)
-        _add(e_u[:, ::-1], TieKind.UNDIRECTED)
-
-        self.tie_src = np.concatenate(src_parts) if src_parts else np.zeros(0, np.int64)
-        self.tie_dst = np.concatenate(dst_parts) if dst_parts else np.zeros(0, np.int64)
-        self.tie_kind = (
-            np.concatenate(kind_parts) if kind_parts else np.zeros(0, np.int8)
+        self._store: GraphStore = InMemoryStore.from_social_ties(
+            self._n_nodes, e_d, e_b, e_u
         )
 
-        nd, nb, nu = len(e_d), len(e_b), len(e_u)
-        self._n_directed = nd
-        self._n_bidirectional = nb
-        self._n_undirected = nu
+    # ------------------------------------------------------------------
+    # Store-backed construction
+    # ------------------------------------------------------------------
 
-        rev = np.empty(2 * (nd + nb + nu), dtype=np.int64)
-        rev[:nd] = np.arange(nd) + nd
-        rev[nd : 2 * nd] = np.arange(nd)
-        base = 2 * nd
-        rev[base : base + nb] = np.arange(nb) + base + nb
-        rev[base + nb : base + 2 * nb] = np.arange(nb) + base
-        base = 2 * nd + 2 * nb
-        rev[base : base + nu] = np.arange(nu) + base + nu
-        rev[base + nu : base + 2 * nu] = np.arange(nu) + base
-        self.reverse_of = rev
+    @classmethod
+    def from_arrays(
+        cls,
+        n_nodes: int,
+        directed: np.ndarray | None = None,
+        bidirectional: np.ndarray | None = None,
+        undirected: np.ndarray | None = None,
+        *,
+        validate: bool = True,
+    ) -> "MixedSocialNetwork":
+        """Build from per-class ``(k, 2)`` arrays without a Python round-trip.
 
-        self._tie_index: dict[tuple[int, int], int] = {
-            (int(s), int(d)): i
-            for i, (s, d) in enumerate(zip(self.tie_src, self.tie_dst))
-        }
-        if self._tie_index and len(self._tie_index) != self.n_ties:
-            raise GraphValidationError("duplicate oriented ties detected")
+        The array-native hot path: inputs go straight into the backing
+        :class:`~repro.graph.store.InMemoryStore` with no per-pair
+        boxing.  Semantics match the classic constructor exactly
+        (``directed`` pairs are true orientations; ``bidirectional`` /
+        ``undirected`` take one canonical pair per tie).
+        """
+        empty = np.empty((0, 2), dtype=np.int64)
+        net = cls.__new__(cls)
+        net._init_from_pairs(
+            n_nodes,
+            _as_pair_array(empty if directed is None else directed),
+            _as_pair_array(empty if bidirectional is None else bidirectional),
+            _as_pair_array(empty if undirected is None else undirected),
+            validate,
+        )
+        return net
 
-        self._out_csr: tuple[np.ndarray, np.ndarray] | None = None
-        self._und_csr: tuple[np.ndarray, np.ndarray] | None = None
-        self._tie_degrees: np.ndarray | None = None
-        self._tie_key_index: tuple[np.ndarray, np.ndarray] | None = None
+    @classmethod
+    def from_store(
+        cls,
+        source: GraphStore | str | os.PathLike,
+        *,
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> "MixedSocialNetwork":
+        """Wrap an existing store, or open a store directory from disk.
+
+        ``source`` may be a :class:`~repro.graph.store.GraphStore`
+        instance or a path written by :meth:`save_store`; paths open as
+        a memory-mapped :class:`~repro.graph.store.MmapStore`
+        (``mmap=False`` forces an eager read, ``verify=False`` skips
+        the SHA-256 content check).
+        """
+        if isinstance(source, (str, os.PathLike)):
+            store: GraphStore = MmapStore.open(
+                source, mmap=mmap, verify=verify
+            )
+        else:
+            store = source
+        net = cls.__new__(cls)
+        net._n_nodes = int(store.n_nodes)
+        net._store = store
+        return net
+
+    def save_store(self, path: str | os.PathLike) -> Path:
+        """Persist the backing store as a ``repro_graphstore/v1`` directory."""
+        return write_store(self._store, path)
+
+    @property
+    def store(self) -> GraphStore:
+        """The storage backend holding this network's tie arrays."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Validation
@@ -169,10 +250,15 @@ class MixedSocialNetwork:
             if np.any(pairs[:, 0] == pairs[:, 1]):
                 raise GraphValidationError(f"{name} contains self loops")
 
-        def _canon(pairs: np.ndarray) -> set[tuple[int, int]]:
-            return {
-                (int(min(u, v)), int(max(u, v))) for u, v in pairs
-            }
+        n = np.int64(self._n_nodes)
+
+        def _canon(pairs: np.ndarray) -> np.ndarray:
+            # Orientation-blind key per pair; unique == deduplicated set.
+            if len(pairs) == 0:
+                return np.empty(0, dtype=np.int64)
+            lo = np.minimum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+            hi = np.maximum(pairs[:, 0], pairs[:, 1]).astype(np.int64)
+            return np.unique(lo * n + hi)
 
         cd, cb, cu = _canon(e_d), _canon(e_b), _canon(e_u)
         if len(cd) != len(e_d):
@@ -182,7 +268,11 @@ class MixedSocialNetwork:
             )
         if len(cb) != len(e_b) or len(cu) != len(e_u):
             raise GraphValidationError("E_b or E_u contains duplicate ties")
-        if cd & cb or cd & cu or cb & cu:
+        if (
+            np.intersect1d(cd, cb, assume_unique=True).size
+            or np.intersect1d(cd, cu, assume_unique=True).size
+            or np.intersect1d(cb, cu, assume_unique=True).size
+        ):
             raise GraphValidationError("tie classes E_d, E_b, E_u must be disjoint")
 
     # ------------------------------------------------------------------
@@ -195,45 +285,82 @@ class MixedSocialNetwork:
         return self._n_nodes
 
     @property
+    def tie_src(self) -> np.ndarray:
+        """Source node per oriented tie (read-only, backend-owned)."""
+        return self._store.tie_src
+
+    @property
+    def tie_dst(self) -> np.ndarray:
+        """Destination node per oriented tie (read-only, backend-owned)."""
+        return self._store.tie_dst
+
+    @property
+    def tie_kind(self) -> np.ndarray:
+        """:class:`TieKind` code per oriented tie (read-only)."""
+        return self._store.tie_kind
+
+    @property
+    def reverse_of(self) -> np.ndarray:
+        """Id of the opposite orientation of each oriented tie."""
+        return self._store.reverse_of
+
+    @property
     def n_ties(self) -> int:
         """Number of *oriented* ties in the expanded tie set."""
-        return len(self.tie_src)
+        return self._store.n_ties
 
     @property
     def n_social_ties(self) -> int:
         """Number of social ties ``|E_d| + |E_b| + |E_u|`` (unoriented)."""
-        return self._n_directed + self._n_bidirectional + self._n_undirected
+        return (
+            self._store.n_directed
+            + self._store.n_bidirectional
+            + self._store.n_undirected
+        )
 
     @property
     def n_directed(self) -> int:
         """``|E_d|``."""
-        return self._n_directed
+        return self._store.n_directed
 
     @property
     def n_bidirectional(self) -> int:
         """``|E_b|``."""
-        return self._n_bidirectional
+        return self._store.n_bidirectional
 
     @property
     def n_undirected(self) -> int:
         """``|E_u|``."""
-        return self._n_undirected
+        return self._store.n_undirected
+
+    def _lookup_tie(self, u: int, v: int) -> int:
+        """Id of oriented tie ``(u, v)`` via the key index, ``-1`` if absent."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n_nodes and 0 <= v < self._n_nodes):
+            return -1
+        sorted_keys, order = self._store.tie_key_index()
+        if len(sorted_keys) == 0:
+            return -1
+        key = u * self._n_nodes + v
+        pos = int(np.searchsorted(sorted_keys, key))
+        if pos < len(sorted_keys) and sorted_keys[pos] == key:
+            return int(order[pos])
+        return -1
 
     def tie_id(self, u: int, v: int) -> int:
         """Dense id of the oriented tie ``(u, v)``; raises KeyError if absent."""
-        return self._tie_index[(int(u), int(v))]
+        idx = self._lookup_tie(u, v)
+        if idx < 0:
+            raise KeyError((int(u), int(v)))
+        return idx
 
     def has_tie(self, u: int, v: int) -> bool:
         """Whether the oriented tie ``(u, v)`` exists in the expanded set."""
-        return (int(u), int(v)) in self._tie_index
+        return self._lookup_tie(u, v) >= 0
 
     def _ensure_tie_key_index(self) -> tuple[np.ndarray, np.ndarray]:
-        """Sorted ``src * n + dst`` keys + matching tie ids, built lazily."""
-        if self._tie_key_index is None:
-            keys = self.tie_src * np.int64(self._n_nodes) + self.tie_dst
-            order = np.argsort(keys, kind="stable").astype(np.int64)
-            self._tie_key_index = (keys[order], order)
-        return self._tie_key_index
+        """Sorted ``src * n + dst`` keys + matching tie ids (backend-owned)."""
+        return self._store.tie_key_index()
 
     def tie_ids(
         self, pairs: np.ndarray, missing: str = "raise"
@@ -288,8 +415,8 @@ class MixedSocialNetwork:
         answers true; bidirectional and undirected ties answer true both
         ways.
         """
-        idx = self._tie_index.get((int(u), int(v)))
-        return idx is not None and self.tie_kind[idx] != int(
+        idx = self._lookup_tie(u, v)
+        return idx >= 0 and self.tie_kind[idx] != int(
             TieKind.DIRECTED_REVERSE
         )
 
@@ -355,14 +482,8 @@ class MixedSocialNetwork:
     # ------------------------------------------------------------------
 
     def _ensure_out_csr(self) -> tuple[np.ndarray, np.ndarray]:
-        """CSR over nodes -> outgoing oriented tie ids in the expanded set."""
-        if self._out_csr is None:
-            order = np.argsort(self.tie_src, kind="stable")
-            counts = np.bincount(self.tie_src, minlength=self._n_nodes)
-            offsets = np.zeros(self._n_nodes + 1, dtype=np.int64)
-            np.cumsum(counts, out=offsets[1:])
-            self._out_csr = (offsets, order.astype(np.int64))
-        return self._out_csr
+        """CSR over nodes -> outgoing oriented tie ids (backend-owned)."""
+        return self._store.out_csr()
 
     def out_ties(self, node: int) -> np.ndarray:
         """Ids of oriented ties leaving ``node`` in the expanded tie set."""
@@ -384,15 +505,7 @@ class MixedSocialNetwork:
         Equals the out-tie count of ``dst(e)`` minus one if the back-tie
         ``(dst, src)`` exists (Definition 4 excludes it).
         """
-        if self._tie_degrees is None:
-            offsets, _ = self._ensure_out_csr()
-            out_counts = np.diff(offsets)
-            deg = out_counts[self.tie_dst].astype(np.int64)
-            # The reverse orientation of e is always materialised for every
-            # tie kind, so the back-tie (dst, src) always exists.
-            deg -= 1
-            self._tie_degrees = deg
-        return self._tie_degrees
+        return self._store.tie_degrees()
 
     def connected_pair_count(self) -> int:
         """``|C(G)|``: total number of connected tie pairs."""
@@ -406,19 +519,9 @@ class MixedSocialNetwork:
         """CSR over nodes -> neighbour node ids, ignoring orientation.
 
         Every social tie contributes each endpoint to the other's
-        neighbour list exactly once.
+        neighbour list exactly once (backend-owned).
         """
-        if self._und_csr is None:
-            # Orientated ties already contain (u,v) and (v,u) for every
-            # social tie, so the neighbour multiset is just tie_dst grouped
-            # by tie_src, deduplicated (a pair can have at most one social
-            # tie by validation, so no dedup needed).
-            order = np.lexsort((self.tie_dst, self.tie_src))
-            counts = np.bincount(self.tie_src, minlength=self._n_nodes)
-            offsets = np.zeros(self._n_nodes + 1, dtype=np.int64)
-            np.cumsum(counts, out=offsets[1:])
-            self._und_csr = (offsets, self.tie_dst[order].astype(np.int64))
-        return self._und_csr
+        return self._store.und_csr()
 
     def neighbors(self, node: int) -> np.ndarray:
         """Sorted neighbour ids of ``node``, ignoring tie orientation."""
@@ -490,6 +593,6 @@ class MixedSocialNetwork:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MixedSocialNetwork(n_nodes={self._n_nodes}, "
-            f"|E_d|={self._n_directed}, |E_b|={self._n_bidirectional}, "
-            f"|E_u|={self._n_undirected})"
+            f"|E_d|={self.n_directed}, |E_b|={self.n_bidirectional}, "
+            f"|E_u|={self.n_undirected})"
         )

@@ -13,29 +13,41 @@ import collections
 import numpy as np
 
 from .mixed_graph import MixedSocialNetwork, TieKind
+from .store import PairChunkBuffer
+
+#: Rows of the source tie set processed per chunk while inducing a
+#: sub-network; bounds the temporary footprint regardless of graph size.
+_INDUCE_CHUNK = 1 << 20
 
 
 def _induced(network: MixedSocialNetwork, kept: np.ndarray) -> MixedSocialNetwork:
-    """Sub-network induced on the node set ``kept`` (relabelled 0..k-1)."""
+    """Sub-network induced on the node set ``kept`` (relabelled 0..k-1).
+
+    Streams each tie class through bounded chunks into a
+    :class:`~repro.graph.store.PairChunkBuffer` — no Python pair lists,
+    and no full-size temporaries beyond the relabel table — so BFS
+    sub-sampling works against memory-mapped stores much larger than
+    RAM.
+    """
     keep_mask = np.zeros(network.n_nodes, dtype=bool)
     keep_mask[kept] = True
-    relabel = np.full(network.n_nodes, -1, dtype=np.int64)
+    relabel = np.full(network.n_nodes, -1, dtype=np.int32)
     relabel[kept] = np.arange(len(kept))
 
-    def _select(kind: TieKind) -> list[tuple[int, int]]:
+    def _select(kind: TieKind) -> np.ndarray:
         pairs = network.social_ties(kind)
-        if len(pairs) == 0:
-            return []
-        mask = keep_mask[pairs[:, 0]] & keep_mask[pairs[:, 1]]
-        return [
-            (int(relabel[u]), int(relabel[v])) for u, v in pairs[mask]
-        ]
+        out = PairChunkBuffer()
+        for start in range(0, len(pairs), _INDUCE_CHUNK):
+            block = np.asarray(pairs[start : start + _INDUCE_CHUNK])
+            mask = keep_mask[block[:, 0]] & keep_mask[block[:, 1]]
+            out.extend(relabel[block[mask]])
+        return out.finalize()
 
-    return MixedSocialNetwork(
+    return MixedSocialNetwork.from_arrays(
         len(kept),
-        _select(TieKind.DIRECTED),
-        _select(TieKind.BIDIRECTIONAL),
-        _select(TieKind.UNDIRECTED),
+        directed=_select(TieKind.DIRECTED),
+        bidirectional=_select(TieKind.BIDIRECTIONAL),
+        undirected=_select(TieKind.UNDIRECTED),
         validate=False,
     )
 

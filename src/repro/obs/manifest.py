@@ -22,7 +22,6 @@ Schema (``repro_manifest/v1``) — all keys always present::
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pathlib
@@ -41,17 +40,22 @@ def network_fingerprint(network) -> dict[str, Any]:
     """Content fingerprint of a :class:`~repro.graph.MixedSocialNetwork`.
 
     Hashes the node count and the oriented tie arrays (sources,
-    destinations, kinds), so two runs can be compared knowing whether
-    they saw byte-identical input.  Returns the digest plus the shape
-    facts a reader wants at a glance.
+    destinations, kinds) via :func:`repro.graph.store.tie_fingerprint`,
+    which canonicalises the column dtypes first — so the digest is
+    identical whether the network lives in memory (int32 columns) or
+    behind a memory-mapped store, and matches the ``fingerprint`` field
+    of a :class:`~repro.graph.store.GraphStore` manifest by
+    construction.  Returns the digest plus the shape facts a reader
+    wants at a glance.
     """
-    digest = hashlib.sha256()
-    digest.update(str(int(network.n_nodes)).encode())
-    for array in (network.tie_src, network.tie_dst, network.tie_kind):
-        arr = np.ascontiguousarray(array)
-        digest.update(arr.tobytes())
+    # Imported lazily: repro.graph imports repro.obs at module load.
+    from ..graph.store import tie_fingerprint
+
     return {
-        "fingerprint": f"sha256:{digest.hexdigest()}",
+        "fingerprint": tie_fingerprint(
+            network.n_nodes, network.tie_src, network.tie_dst,
+            network.tie_kind,
+        ),
         "n_nodes": int(network.n_nodes),
         "n_ties": int(network.n_ties),
         "n_undirected": int(network.n_undirected),

@@ -23,6 +23,7 @@ from .artifact import (
     save_model_artifact,
 )
 from .engine import ScoringEngine
+from .errors import GraphMismatchError
 from .server import (
     ERROR_CODES,
     MAX_BODY_BYTES,
@@ -35,6 +36,7 @@ __all__ = [
     "ARTIFACT_SCHEMA",
     "ArtifactError",
     "ERROR_CODES",
+    "GraphMismatchError",
     "MAX_BODY_BYTES",
     "MODEL_CLASS_NAMES",
     "ModelServer",

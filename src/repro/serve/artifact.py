@@ -36,6 +36,7 @@ import numpy as np
 from ..embedding.deepdirect import EmbeddingResult
 from ..embedding.persistence import embedding_from_arrays, embedding_to_arrays
 from ..graph import MixedSocialNetwork, TieKind
+from ..graph.store import STORE_SCHEMA
 from ..obs import network_fingerprint, span
 
 #: Schema tag written into every ``artifact.json``.
@@ -255,13 +256,21 @@ def save_model_artifact(model, path: str | os.PathLike) -> pathlib.Path:
         arrays.update(
             {name: np.asarray(arr) for name, arr in model_arrays.items()}
         )
+        dataset = network_fingerprint(network)
         meta = {
             "schema": ARTIFACT_SCHEMA,
             "kind": "model",
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "model_class": class_name,
             "params": model._artifact_params(),  # noqa: SLF001
-            "dataset": network_fingerprint(network),
+            "dataset": dataset,
+            # The graph-store identity of the training network: equal to
+            # MixedSocialNetwork.store.fingerprint() by construction, so
+            # serving clients can pin requests to this exact graph.
+            "store": {
+                "schema": STORE_SCHEMA,
+                "fingerprint": dataset["fingerprint"],
+            },
             "packages": {"numpy": np.__version__},
         }
         return _write_bundle(path, meta, arrays)
@@ -330,11 +339,17 @@ def save_embedding_artifact(
     metadata (recommended — it documents which graph the tie ids of the
     embedding rows refer to).
     """
+    dataset = network_fingerprint(network) if network is not None else {}
     meta = {
         "schema": ARTIFACT_SCHEMA,
         "kind": "embedding",
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "dataset": network_fingerprint(network) if network is not None else {},
+        "dataset": dataset,
+        "store": (
+            {"schema": STORE_SCHEMA, "fingerprint": dataset["fingerprint"]}
+            if dataset
+            else {}
+        ),
         "packages": {"numpy": np.__version__},
     }
     return _write_bundle(path, meta, embedding_to_arrays(result))

@@ -31,6 +31,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..obs import MetricsRegistry, linear_buckets, log_buckets, span
+from .errors import GraphMismatchError
 
 #: Bucket bounds for the batch-size histogram (pairs per request).
 BATCH_PAIRS_BUCKETS = log_buckets(1.0, 1e6, per_decade=3)
@@ -93,6 +94,11 @@ class ScoringEngine:
             raise ValueError("max_coalesced_pairs must be positive")
         self.model = model
         self.network = model._check_fitted()  # noqa: SLF001
+        #: Fingerprint of the served graph (see
+        #: :func:`repro.graph.store.tie_fingerprint`); requests may pin
+        #: the fingerprint their tie ids refer to and are refused with
+        #: :class:`GraphMismatchError` when it differs.
+        self.fingerprint: str = self.network.store.fingerprint()
         self.cache_size = cache_size
         self.batch_window_s = batch_window_s
         self.max_coalesced_pairs = max_coalesced_pairs
@@ -117,6 +123,18 @@ class ScoringEngine:
                 f"pairs must be a (k, 2) array; got shape {arr.shape}"
             )
         return arr
+
+    def check_fingerprint(self, fingerprint: str | None) -> None:
+        """Refuse a request pinned to a graph this engine does not serve.
+
+        ``None`` (the caller did not pin a graph) always passes; a
+        non-matching digest raises :class:`GraphMismatchError` *before*
+        any ``tie_ids`` searchsorted lookup happens, because ids
+        resolved against the wrong graph score the wrong ties without
+        any other symptom.
+        """
+        if fingerprint is not None and fingerprint != self.fingerprint:
+            raise GraphMismatchError(self.fingerprint, str(fingerprint))
 
     def _cache_get_many(
         self, pairs: np.ndarray
@@ -144,16 +162,24 @@ class ScoringEngine:
     # -- scoring --------------------------------------------------------
 
     def score_pairs(
-        self, pairs, use_cache: bool = True, info: dict | None = None
+        self,
+        pairs,
+        use_cache: bool = True,
+        info: dict | None = None,
+        fingerprint: str | None = None,
     ) -> np.ndarray:
         """``d(u, v)`` for a ``(k, 2)`` batch of oriented-tie pairs.
 
         Cached pairs are answered from the LRU; the misses go through
         one vectorised ``directionality_batch`` call.  Raises
-        :class:`KeyError` when a pair is not an oriented tie.  When the
-        caller passes an ``info`` dict it is filled with this request's
-        ``cache_hits``/``cache_misses`` (the access log consumes this).
+        :class:`KeyError` when a pair is not an oriented tie, and
+        :class:`GraphMismatchError` when ``fingerprint`` (the graph the
+        caller's tie ids refer to) differs from the served one.  When
+        the caller passes an ``info`` dict it is filled with this
+        request's ``cache_hits``/``cache_misses`` (the access log
+        consumes this).
         """
+        self.check_fingerprint(fingerprint)
         pairs = self._as_pairs(pairs)
         start = time.perf_counter()
         # No Timer here: one Timer instance accumulates globally; the
@@ -200,7 +226,10 @@ class ScoringEngine:
         return scores
 
     def score_pairs_coalesced(
-        self, pairs, info: dict | None = None
+        self,
+        pairs,
+        info: dict | None = None,
+        fingerprint: str | None = None,
     ) -> np.ndarray:
         """Like :meth:`score_pairs`, coalescing concurrent callers.
 
@@ -215,6 +244,7 @@ class ScoringEngine:
         ``cache_hits`` — the request-correlated detail the access log
         records per entry.
         """
+        self.check_fingerprint(fingerprint)
         request = _Request(self._as_pairs(pairs))
         with self._mb_lock:
             self._pending.append(request)
@@ -284,13 +314,16 @@ class ScoringEngine:
             for request in batch:
                 request.done.set()
 
-    def discover_pairs(self, pairs) -> np.ndarray:
+    def discover_pairs(
+        self, pairs, fingerprint: str | None = None
+    ) -> np.ndarray:
         """Predicted ``(source, target)`` per pair (Eq. 28), batched.
 
         Each row may arrive in either orientation; scoring happens in
         canonical order so the ``>=`` tie-break is orientation-stable
         (mirrors :func:`repro.apps.predict_directions`).
         """
+        self.check_fingerprint(fingerprint)
         pairs = self._as_pairs(pairs)
         if len(pairs) == 0:
             return pairs.copy()

@@ -1,0 +1,32 @@
+"""Serving error types shared by the engine and the HTTP front end.
+
+Kept in their own module so :mod:`repro.serve.engine` (which raises
+them) and :mod:`repro.serve.server` (which maps them onto the HTTP
+error taxonomy) can both import without a cycle.
+"""
+
+from __future__ import annotations
+
+
+class GraphMismatchError(ValueError):
+    """A request pinned a graph fingerprint the engine does not serve.
+
+    Tie ids are positions in one specific expanded oriented tie layout;
+    scoring a client's ids against a *different* graph silently returns
+    directionality for unrelated ties.  Callers that know which graph
+    their pairs refer to include its fingerprint (the ``fingerprint``
+    field of the artifact's ``store`` block, equal to
+    :func:`repro.graph.store.tie_fingerprint` of the network) in the
+    request; :class:`~repro.serve.ScoringEngine` refuses mismatches
+    with this error, which :class:`~repro.serve.ModelServer` answers
+    as HTTP 400 with taxonomy code ``bad_request``.
+    """
+
+    def __init__(self, expected: str, got: str) -> None:
+        super().__init__(
+            f"graph fingerprint mismatch: request pinned {got!r} but this "
+            f"engine serves {expected!r}; tie ids would resolve against "
+            "the wrong graph"
+        )
+        self.expected = expected
+        self.got = got

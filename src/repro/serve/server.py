@@ -4,11 +4,15 @@ A :class:`ModelServer` wraps :class:`http.server.ThreadingHTTPServer`
 (one thread per connection, no third-party dependencies) and exposes
 
 ``POST /score``
-    Body ``{"pairs": [[u, v], ...], "cache": true?}`` →
+    Body ``{"pairs": [[u, v], ...], "cache": true?,
+    "fingerprint": "sha256:..."?}`` →
     ``{"scores": [...], "count": k, "latency_ms": ...}``.  Concurrent
     requests are micro-batched through the engine's coalescing path.
+    An optional ``fingerprint`` pins the graph the caller's ids refer
+    to; a mismatch with the served artifact answers 400
+    (``bad_request``) instead of silently scoring the wrong ties.
 ``POST /discover``
-    Body ``{"pairs": [[u, v], ...]}`` →
+    Body ``{"pairs": [[u, v], ...], "fingerprint": ...?}`` →
     ``{"directions": [[source, target], ...], "count": k}`` (Eq. 28 on
     each undirected pair).
 ``GET /healthz``
@@ -31,7 +35,8 @@ Observability (see ``docs/observability.md``):
   log, and the Perfetto timeline.
 * Failures increment an **error taxonomy**:
   ``serve.errors.bad_request`` (malformed body/shape, wrong method,
-  oversized body), ``serve.errors.not_found`` (unknown path),
+  oversized body, pinned graph fingerprint mismatch),
+  ``serve.errors.not_found`` (unknown path),
   ``serve.errors.engine`` (the scoring engine rejected the pairs, e.g.
   an unknown tie), ``serve.errors.internal`` (unexpected exceptions,
   answered 500).  Error bodies are structured JSON:
@@ -65,6 +70,7 @@ from ..obs import (
     use_tracer,
 )
 from .engine import ScoringEngine
+from .errors import GraphMismatchError
 
 #: Schema tag included in every JSON response.
 SERVE_SCHEMA = "repro_serve/v1"
@@ -176,6 +182,10 @@ class _Handler(BaseHTTPRequestHandler):
             raise _ApiError(
                 f'"pairs" must be a list of [u, v] integer pairs ({exc})'
             ) from exc
+        if not isinstance(payload.get("fingerprint"), (str, type(None))):
+            raise _ApiError(
+                '"fingerprint" must be a string graph digest when present'
+            )
         return pairs, payload
 
     # -- dispatch -------------------------------------------------------
@@ -238,6 +248,16 @@ class _Handler(BaseHTTPRequestHandler):
                     status = exc.status
                     log_fields["error"] = exc.code
                     self._respond_error(exc, request_id)
+                except GraphMismatchError as exc:
+                    # Before the generic ValueError branch: a pinned-
+                    # but-wrong graph is the *client's* request being
+                    # unanswerable here, not an engine rejection.
+                    status = 400
+                    log_fields["error"] = "bad_request"
+                    self._respond_error(
+                        _ApiError(str(exc), status=400, code="bad_request"),
+                        request_id,
+                    )
                 except KeyError as exc:
                     # The engine rejected a pair (no such oriented tie).
                     status = 404
@@ -309,11 +329,16 @@ class _Handler(BaseHTTPRequestHandler):
         log_fields: dict[str, Any],
     ) -> int:
         pairs, payload = self._read_pairs()
+        fingerprint = payload.get("fingerprint")
         info: dict[str, Any] = {}
         if payload.get("cache", True):
-            scores = engine.score_pairs_coalesced(pairs, info=info)
+            scores = engine.score_pairs_coalesced(
+                pairs, info=info, fingerprint=fingerprint
+            )
         else:
-            scores = engine.score_pairs(pairs, use_cache=False, info=info)
+            scores = engine.score_pairs(
+                pairs, use_cache=False, info=info, fingerprint=fingerprint
+            )
         log_fields["n_pairs"] = int(len(pairs))
         log_fields.update(
             (k, v) for k, v in info.items() if not k.startswith("_")
@@ -337,8 +362,10 @@ class _Handler(BaseHTTPRequestHandler):
         start: float,
         log_fields: dict[str, Any],
     ) -> int:
-        pairs, _payload = self._read_pairs()
-        directions = engine.discover_pairs(pairs)
+        pairs, payload = self._read_pairs()
+        directions = engine.discover_pairs(
+            pairs, fingerprint=payload.get("fingerprint")
+        )
         log_fields["n_pairs"] = int(len(pairs))
         self._respond(
             200,
@@ -364,6 +391,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "status": "ok",
                 "model": type(engine.model).__name__,
+                "fingerprint": engine.fingerprint,
                 "n_nodes": int(engine.network.n_nodes),
                 "n_ties": int(engine.network.n_ties),
                 "uptime_s": round(time.time() - engine.started_at, 3),

@@ -56,11 +56,13 @@ def test_harness_writes_machine_readable_report(tmp_path):
     assert small["alias_setup"]["seconds"] > 0
     assert small["sampler_setup_s"] > 0
     assert small["centrality_s"] > 0
+    assert small["graph_store"]["backend"] == "memory"
     for key in ("1", "2"):
         stats = small["estep"][key]
         assert stats["pairs"] > 0
         assert stats["pairs_per_sec"] > 0
         assert stats["speedup_vs_1"] > 0
+        assert stats["rss_peak_mb"] > 0  # the obs.profile gauge landed
     assert small["estep"]["1"]["speedup_vs_1"] == 1.0
 
     # Per-phase baseline from the traced workers=1 run: the hot E-Step
@@ -366,6 +368,117 @@ def test_check_throughput_fails_on_unmatched_rule(capsys):
     assert check_throughput(report, {("huge", 1): 10.0}) == 1
     out = capsys.readouterr().out
     assert "matched no report entry" in out
+
+
+def test_parse_rss_rules():
+    from benchmarks.perf import parse_rss_rules
+
+    rules = parse_rss_rules(["xlarge:1=2048", "large:1=1e3"])
+    assert rules == {("xlarge", 1): 2048.0, ("large", 1): 1000.0}
+    assert parse_rss_rules([]) == {}
+    for bad in ("xlarge=5", "xlarge:1", "xlarge:x=5", "xlarge:1=abc"):
+        with pytest.raises(ValueError):
+            parse_rss_rules([bad])
+
+
+def _rss_report(peaks: dict[str, float | None]) -> dict:
+    estep = {
+        workers: {"pairs_per_sec": 100.0, "rss_peak_mb": peak}
+        for workers, peak in peaks.items()
+    }
+    return {
+        "host": {"cpu_count": 4, "usable_cores": 4},
+        "sizes": {"xlarge": {"estep": estep}},
+    }
+
+
+def test_check_rss(capsys):
+    from benchmarks.perf import check_rss
+
+    report = _rss_report({"1": 1500.0})
+    assert check_rss(report, {("xlarge", 1): 2048.0}) == 0
+    assert "ok" in capsys.readouterr().out
+    assert check_rss(report, {("xlarge", 1): 1024.0}) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "ceiling" in out
+
+
+def test_check_rss_rejects_multi_worker_rules(capsys):
+    # The sampler only sees the parent process; a workers>1 ceiling
+    # would silently exclude the HOGWILD children, so it fails.
+    from benchmarks.perf import check_rss
+
+    report = _rss_report({"1": 1500.0, "2": 900.0})
+    assert check_rss(report, {("xlarge", 2): 2048.0}) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "parent-only" in out
+
+
+def test_check_rss_fails_on_missing_samples(capsys):
+    from benchmarks.perf import check_rss
+
+    report = _rss_report({"1": 0.0})
+    assert check_rss(report, {("xlarge", 1): 2048.0}) == 1
+    assert "no RSS samples" in capsys.readouterr().out
+
+
+def test_check_rss_fails_on_unmatched_rule(capsys):
+    from benchmarks.perf import check_rss
+
+    report = _rss_report({"1": 1500.0})
+    assert check_rss(report, {("huge", 1): 2048.0}) == 1
+    assert "matched no report entry" in capsys.readouterr().out
+
+
+def test_store_tier_round_trips_through_mmap(tmp_path, monkeypatch):
+    # A STORE_TIERS size must write the graph to disk, reopen it as an
+    # MmapStore, and hand the reopened network to the timed E-Step.
+    import benchmarks.perf as perf
+    from repro.graph.store import MmapStore
+
+    backends = []
+
+    def fake_bench_estep(network, workers, max_pairs, seed,
+                         dtype="float64", health_policy=None):
+        backends.append(type(network.store))
+        return {"workers": workers, "pairs": 1, "seconds": 0.001,
+                "pairs_per_sec": 1000.0, "dtype": dtype,
+                "health_policy": health_policy, "rss_peak_mb": 1.0,
+                "degraded": False}
+
+    monkeypatch.setitem(perf.SIZE_TIERS, "xlarge", 60)
+    monkeypatch.setattr(perf, "_bench_estep", fake_bench_estep)
+    monkeypatch.setattr(
+        perf, "_bench_alias", lambda *a, **k: {"seconds": 0.001}
+    )
+    monkeypatch.setattr(perf, "_bench_sampler_setup", lambda *a, **k: 0.001)
+    monkeypatch.setattr(
+        perf, "_bench_traced_phases", lambda *a, **k: {}
+    )
+    monkeypatch.setattr(
+        perf, "_bench_trace_overhead", lambda *a, **k: {}
+    )
+    monkeypatch.setattr(
+        perf, "_bench_serving", lambda *a, **k: {"p50_ms": 1.0}
+    )
+    report = perf.run_benchmarks(
+        sizes=["xlarge"], workers=[1], repeats=1, seed=0, estep_pairs=50
+    )
+    assert backends == [MmapStore]
+    entry = report["sizes"]["xlarge"]
+    assert entry["centrality_s"] is None  # skipped on store tiers
+    store = entry["graph_store"]
+    assert store["backend"] == "mmap"
+    assert store["bytes"] > 0
+    assert store["write_s"] >= 0 and store["open_s"] >= 0
+
+
+def test_default_sizes_exclude_store_tiers():
+    from benchmarks.perf import DEFAULT_SIZES, SIZE_TIERS, STORE_TIERS
+
+    assert "xlarge" in SIZE_TIERS
+    assert "xlarge" in STORE_TIERS
+    assert set(DEFAULT_SIZES) == set(SIZE_TIERS) - STORE_TIERS
 
 
 def test_bench_estep_records_health_policy(small_dataset):

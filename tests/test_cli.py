@@ -69,6 +69,42 @@ def test_discover_completion_mode(tmp_path, capsys):
     assert completed.n_undirected == 0
 
 
+def test_discover_with_graph_store(tie_file, tmp_path, capsys):
+    from repro.graph.store import STORE_META
+
+    store = tmp_path / "net.store"
+    args = [
+        "discover", tie_file,
+        "--hide", "0.3", "--method", "hf",
+        "--graph-store", str(store),
+    ]
+    # First run builds the store from the TSV, then trains against it.
+    assert main(args) == 0
+    assert (store / STORE_META).exists()
+    out1 = capsys.readouterr().out
+    assert "accuracy=" in out1
+    # Second run opens the existing store; same seed, same accuracy.
+    assert main(args) == 0
+    assert capsys.readouterr().out == out1
+
+
+def test_export_with_graph_store(tie_file, tmp_path, capsys):
+    from repro.serve import load_model_artifact
+
+    store = tmp_path / "net.store"
+    bundle = tmp_path / "artifact"
+    code = main(
+        [
+            "export", tie_file, str(bundle),
+            "--method", "hf", "--graph-store", str(store),
+        ]
+    )
+    assert code == 0
+    assert store.is_dir()
+    model = load_model_artifact(bundle)
+    assert model.network.n_ties == read_tie_list(tie_file).n_ties
+
+
 def test_discover_no_undirected_errors(tie_file, capsys):
     # small_dataset has no undirected ties -> completion mode must fail
     assert main(["discover", tie_file, "--method", "hf"]) == 1

@@ -76,6 +76,27 @@ class TestTriadNeighborhoods:
         triads = build_triad_neighborhoods(net, gamma=2, seed=0)
         assert triads.counts.max() <= 2
 
+    @pytest.mark.parametrize("budget", [1, 7, 100])
+    def test_chunked_build_is_bit_identical(self, discovery_task, budget):
+        """Bounding the intersection's memory must not change the draw.
+
+        Chunking splits the ``rng.random`` witness keys across chunks;
+        numpy ``Generator`` streams are stable under splitting and hits
+        keep their global order, so every budget — down to one entry
+        per chunk — reproduces the monolithic build exactly.
+        """
+        net = discovery_task.network
+        ref = build_triad_neighborhoods(
+            net, gamma=3, seed=np.random.default_rng(5)
+        )
+        out = build_triad_neighborhoods(
+            net, gamma=3, seed=np.random.default_rng(5),
+            chunk_entries=budget,
+        )
+        assert np.array_equal(ref.uw_ids, out.uw_ids)
+        assert np.array_equal(ref.vw_ids, out.vw_ids)
+        assert np.array_equal(ref.counts, out.counts)
+
 
 class TestTriadPseudoLabels:
     def test_eq15_single_witness(self):

@@ -1,25 +1,22 @@
-"""Unit tests for embedding persistence.
+"""Unit tests for the embedding array (de)serialisation contract.
 
-The bare ``save_embedding``/``load_embedding`` pair is deprecated in
-favour of the serving-artifact API (``repro.serve``); the shims must
-keep round-tripping legacy ``.npz`` files while warning, and
-``load_embedding`` must reject truncated or mismatched archives with a
-clear ``ValueError`` instead of mis-loading them.
+Embeddings persist through the serving-artifact API
+(``repro.serve.save_embedding_artifact`` /
+``load_embedding_artifact``); ``embedding_from_arrays`` is the
+validation layer underneath and must reject truncated or mismatched
+archives with a clear ``ValueError`` instead of mis-loading them.
 """
 
 import numpy as np
 import pytest
 
-from repro.embedding import (
-    DeepDirectEmbedding,
-    load_embedding,
-    save_embedding,
-)
+from repro.embedding import DeepDirectEmbedding
 from repro.embedding.persistence import (
     EMBEDDING_ARRAY_NAMES,
     embedding_from_arrays,
     embedding_to_arrays,
 )
+from repro.serve import load_embedding_artifact, save_embedding_artifact
 
 
 @pytest.fixture(scope="module")
@@ -29,15 +26,13 @@ def trained(discovery_task, fast_config):
 
 @pytest.fixture
 def saved(trained, tmp_path):
-    path = tmp_path / "emb.npz"
-    with pytest.warns(DeprecationWarning, match="save_embedding"):
-        save_embedding(trained, path)
+    path = tmp_path / "emb_artifact"
+    save_embedding_artifact(trained, path)
     return path
 
 
 def test_roundtrip(trained, saved):
-    with pytest.warns(DeprecationWarning, match="load_embedding"):
-        restored = load_embedding(saved)
+    restored = load_embedding_artifact(saved)
     assert np.array_equal(restored.embeddings, trained.embeddings)
     assert np.array_equal(restored.contexts, trained.contexts)
     assert np.array_equal(
@@ -49,32 +44,26 @@ def test_roundtrip(trained, saved):
 
 
 def test_scores_survive_roundtrip(trained, saved):
-    with pytest.warns(DeprecationWarning):
-        restored = load_embedding(saved)
+    restored = load_embedding_artifact(saved)
     assert np.allclose(restored.tie_scores(), trained.tie_scores())
 
 
-def test_wrong_file_rejected(tmp_path):
-    path = tmp_path / "other.npz"
-    np.savez(path, something=np.zeros(3))
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="not a saved embedding"):
-            load_embedding(path)
+def test_wrong_arrays_rejected():
+    with pytest.raises(ValueError, match="not a saved embedding"):
+        embedding_from_arrays({"something": np.zeros(3)})
 
 
-def test_deprecation_points_at_replacement(trained, tmp_path):
-    with pytest.warns(DeprecationWarning, match="save_embedding_artifact"):
-        save_embedding(trained, tmp_path / "emb.npz")
-    with pytest.warns(DeprecationWarning, match="load_embedding_artifact"):
-        load_embedding(tmp_path / "emb.npz")
+def test_legacy_shims_are_gone():
+    import repro.embedding as embedding
+
+    assert not hasattr(embedding, "save_embedding")
+    assert not hasattr(embedding, "load_embedding")
 
 
-def _corrupt_and_save(trained, tmp_path, name, value):
+def _corrupt(trained, name, value):
     arrays = embedding_to_arrays(trained)
-    arrays[name] = value
-    path = tmp_path / "bad.npz"
-    np.savez(path, **arrays)
-    return path
+    arrays[name] = np.asarray(value)
+    return arrays
 
 
 @pytest.mark.parametrize(
@@ -94,28 +83,22 @@ def _corrupt_and_save(trained, tmp_path, name, value):
         ("n_pairs_trained", np.asarray([1.5]), "single integer"),
     ],
 )
-def test_truncated_archive_rejected(trained, tmp_path, name, value, match):
-    path = _corrupt_and_save(trained, tmp_path, name, value)
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match=match):
-            load_embedding(path)
+def test_truncated_arrays_rejected(trained, name, value, match):
+    with pytest.raises(ValueError, match=match):
+        embedding_from_arrays(_corrupt(trained, name, value))
 
 
-def test_mismatched_embeddings_contexts_rejected(trained, tmp_path):
+def test_mismatched_embeddings_contexts_rejected(trained):
     arrays = embedding_to_arrays(trained)
-    path = _corrupt_and_save(
-        trained, tmp_path, "contexts", arrays["contexts"][:-1]
-    )
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="identical shapes"):
-            load_embedding(path)
+    arrays["contexts"] = arrays["contexts"][:-1]
+    with pytest.raises(ValueError, match="identical shapes"):
+        embedding_from_arrays(arrays)
 
 
-def test_error_names_source_and_array(trained, tmp_path):
-    path = _corrupt_and_save(trained, tmp_path, "embeddings", np.zeros(3))
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match=str(path)):
-            load_embedding(path)
+def test_error_names_source_and_array(trained):
+    arrays = _corrupt(trained, "embeddings", np.zeros(3))
+    with pytest.raises(ValueError, match="my-archive"):
+        embedding_from_arrays(arrays, source="my-archive")
 
 
 def test_array_contract_is_total(trained):

@@ -205,3 +205,27 @@ def test_snapshot_is_flat_and_json_ready(engine, tie_pairs):
     assert snap["serve.requests"] == 1
     assert snap["serve.pairs"] == 5
     assert snap["uptime_s"] >= 0
+
+
+def test_engine_fingerprint_matches_network_store(engine, model):
+    assert engine.fingerprint == model.network.store.fingerprint()
+
+
+def test_fingerprint_mismatch_raises_before_lookup(engine, tie_pairs):
+    from repro.serve import GraphMismatchError
+
+    with pytest.raises(GraphMismatchError, match="fingerprint mismatch"):
+        engine.score_pairs(tie_pairs[:2], fingerprint="sha256:wrong")
+    with pytest.raises(GraphMismatchError):
+        engine.discover_pairs(tie_pairs[:2], fingerprint="sha256:wrong")
+    with pytest.raises(GraphMismatchError):
+        engine.score_pairs_coalesced(
+            tie_pairs[:2], fingerprint="sha256:wrong"
+        )
+
+
+def test_matching_fingerprint_scores(engine, tie_pairs):
+    scores = engine.score_pairs(
+        tie_pairs[:5], fingerprint=engine.fingerprint
+    )
+    assert len(scores) == 5

@@ -177,3 +177,60 @@ def test_port_zero_binds_ephemeral(served):
     server, _engine = served
     assert server.port != 0
     assert str(server.port) in server.url
+
+
+def test_matching_fingerprint_accepted(served, model):
+    server, engine = served
+    net = model.network
+    pairs = [[int(net.tie_src[0]), int(net.tie_dst[0])]]
+    payload = _post(
+        server.url + "/score",
+        {"pairs": pairs, "fingerprint": engine.fingerprint},
+    )
+    assert payload["count"] == 1
+
+
+def test_mismatched_fingerprint_is_400_bad_request(served, model):
+    server, engine = served
+    net = model.network
+    pairs = [[int(net.tie_src[0]), int(net.tie_dst[0])]]
+    before = engine.metrics.counter("serve.errors.bad_request").value
+    status, payload = _post_error(
+        server.url + "/score",
+        json.dumps(
+            {"pairs": pairs, "fingerprint": "sha256:deadbeef"}
+        ).encode(),
+    )
+    assert status == 400
+    assert payload["code"] == "bad_request"
+    assert "fingerprint mismatch" in payload["error"]
+    after = engine.metrics.counter("serve.errors.bad_request").value
+    assert after == before + 1
+
+
+def test_mismatched_fingerprint_on_discover(served):
+    server, _engine = served
+    status, payload = _post_error(
+        server.url + "/discover",
+        json.dumps(
+            {"pairs": [[0, 1]], "fingerprint": "sha256:deadbeef"}
+        ).encode(),
+    )
+    assert status == 400
+    assert payload["code"] == "bad_request"
+
+
+def test_non_string_fingerprint_is_400(served):
+    server, _engine = served
+    status, payload = _post_error(
+        server.url + "/score",
+        json.dumps({"pairs": [[0, 1]], "fingerprint": 7}).encode(),
+    )
+    assert status == 400
+    assert payload["code"] == "bad_request"
+
+
+def test_healthz_reports_fingerprint(served):
+    server, engine = served
+    payload = _get(server.url + "/healthz")
+    assert payload["fingerprint"] == engine.fingerprint
